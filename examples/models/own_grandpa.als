@@ -1,0 +1,47 @@
+// Daniel Jackson's classic "I'm My Own Grandpa" model, transcribed to
+// the mini-Alloy dialect as a frontend showcase: signature hierarchy,
+// lone fields, transpose, transitive closure, let, and a run command.
+//
+// Run with: dune exec bin/alloy_lite.exe -- examples/models/own_grandpa.als
+
+abstract sig Person {
+  father: lone Man,
+  mother: lone Woman
+}
+
+sig Man extends Person {
+  wife: lone Woman
+}
+
+sig Woman extends Person {
+  husband: lone Man
+}
+
+fact biology {
+  no p: Person | p in p.^(father + mother)
+}
+
+fact terminology {
+  wife = ~husband
+}
+
+fact socialConvention {
+  no (wife + husband) & ^(mother + father)
+}
+
+fun parent [] : set Person {
+  mother + father + father.wife + mother.husband
+}
+
+pred ownGrandpa[p: Person] {
+  p in p.(parent[]).(parent[]) & Man
+}
+
+// a person can be their own grandfather (by marriage, not blood)
+run ownGrandpa for 4
+
+// sanity: nobody is their own biological ancestor
+assert noSelfAncestor {
+  no p: Person | p in p.^(father + mother)
+}
+check noSelfAncestor for 5

@@ -1,0 +1,47 @@
+// The static MCA model of Sections III-IV, in the textual mini-Alloy
+// language understood by bin/alloy_lite.exe. Field and fact names follow
+// the paper's listings.
+//
+// Run with: dune exec bin/alloy_lite.exe -- examples/models/paper_listings.als
+
+sig vnode {}
+
+sig pnode {
+  pid: one Int,
+  pcp: one Int,
+  initBids: vnode -> Int,
+  pconnections: set pnode
+}
+
+fact uniqueIDs {
+  all disj n1, n2: pnode | n1.pid != n2.pid
+}
+
+// undirected links must be modeled as two directed relations
+fact pconnectivity {
+  all disj pn1, pn2: pnode |
+    (pn1 in pn2.pconnections) <=> (pn2 in pn1.pconnections)
+}
+
+// physical nodes can bid on virtual nodes only within their capacity
+fact pcapacity {
+  all p: pnode | (sum vnode.(p.initBids)) <= (sum p.pcp)
+}
+
+assert uniqueID {
+  all disj n1, n2: pnode | n1.pid != n2.pid
+}
+
+assert symmetricLinks {
+  all pn1, pn2: pnode | (pn1 in pn2.pconnections) => (pn2 in pn1.pconnections)
+}
+
+// intentionally false: nothing forces an agent to bid at all
+assert everyoneBids {
+  all p: pnode | some p.initBids
+}
+
+check uniqueID for 3 but 4 Int
+check symmetricLinks for 3 but 4 Int
+check everyoneBids for 3 but 4 Int
+run {} for 3 but 4 Int
