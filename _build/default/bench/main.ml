@@ -1,0 +1,169 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (experiments E1-E8; see DESIGN.md for the index), then
+   times the computational kernels behind them with Bechamel.
+
+   Run with: dune exec bench/main.exe
+   Pass --fast to skip the slow SAT-model checks (the Result-1 UNSAT rows
+   take tens of seconds each; the naive-encoding solve is reported as
+   intractable by design, matching the paper's day-long naive run). *)
+
+let fast_mode = Array.exists (( = ) "--fast") Sys.argv
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables (the paper's figures and results)         *)
+
+let run_experiments () =
+  let ppf = Format.std_formatter in
+  section "E1 - Figure 1 worked example";
+  ignore (Core.Experiments.figure1 ppf);
+
+  section "E2/E3 - Figure 2 and Result 1: policy matrix";
+  ignore (Core.Experiments.policy_matrix ~include_sat:(not fast_mode) ppf);
+
+  section "E4 - Result 2: rebidding attack";
+  ignore (Core.Experiments.rebidding_attack ppf);
+
+  section "E5 - Abstraction efficiency (naive vs efficient encoding)";
+  ignore (Core.Experiments.encoding_comparison ~solve_naive:false ppf);
+  Format.printf
+    "  note: the naive-encoding check is not solved here — as in the paper,@.";
+  Format.printf
+    "  where the naive model ran ~a day vs <2h for the efficient one.@.";
+
+  section "E6 - Convergence bound (rounds vs D*|J|)";
+  let rows = Core.Experiments.convergence_bound ppf in
+  let within =
+    List.filter
+      (fun r -> r.Core.Experiments.rounds <= r.Core.Experiments.bound + 2)
+      rows
+  in
+  Format.printf "  %d/%d runs within D*|J|+2 rounds@." (List.length within)
+    (List.length rows);
+
+  section "E7 - VN mapping case study";
+  ignore
+    (Core.Experiments.vnm_comparison ~instances:(if fast_mode then 10 else 30) ppf);
+
+  section "E8 - Section III listings";
+  ignore (Core.Experiments.paper_listings ppf)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timing of the kernels                              *)
+
+let bench_tests () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  ignore Instance.one;
+  let sat_php =
+    Test.make ~name:"e5/sat-cdcl-pigeonhole-7-into-6"
+      (Staged.stage (fun () ->
+           match Sat.Solver.solve_problem (Sat.Gen.pigeonhole 6) with
+           | Sat.Solver.Unsat -> ()
+           | Sat.Solver.Sat _ -> assert false))
+  in
+  let sat_random =
+    Test.make ~name:"e5/sat-cdcl-random3sat-100v"
+      (Staged.stage (fun () ->
+           ignore
+             (Sat.Solver.solve_problem
+                (Sat.Gen.random_ksat ~seed:3 ~k:3 ~num_vars:100 ~num_clauses:420))))
+  in
+  let relalg_translate =
+    let m =
+      Core.Mca_model.build Core.Mca_model.Efficient
+        Core.Mca_model.honest_submodular Core.Mca_model.small_scope
+    in
+    Test.make ~name:"e5/translate-efficient-2p2v"
+      (Staged.stage (fun () -> ignore (Core.Mca_model.translation_stats m)))
+  in
+  let consensus_attack_sat =
+    Test.make ~name:"e3/sat-check-attack-counterexample"
+      (Staged.stage (fun () ->
+           let p =
+             { Core.Mca_model.honest_submodular with
+               Core.Mca_model.rebid_attack = true }
+           in
+           let m =
+             Core.Mca_model.build Core.Mca_model.Efficient p
+               { Core.Mca_model.small_scope with Core.Mca_model.states = 4 }
+           in
+           match Core.Mca_model.check_consensus m with
+           | Alloylite.Compile.Sat _ -> ()
+           | Alloylite.Compile.Unsat -> assert false))
+  in
+  let explicit_checker =
+    let cfg =
+      Mca.Protocol.uniform_config ~graph:(Netsim.Topology.clique 2) ~num_items:2
+        ~base_utilities:[| [| 10; 11 |]; [| 11; 10 |] |]
+        ~policy:
+          (Mca.Policy.make ~utility:(Mca.Policy.Submodular 2) ~target_items:2 ())
+    in
+    Test.make ~name:"e3/explicit-checker-2x2"
+      (Staged.stage (fun () -> ignore (Checker.Explore.run cfg)))
+  in
+  let protocol_sim =
+    let rng = Netsim.Rng.create 4 in
+    let graph = Netsim.Topology.erdos_renyi_connected rng 8 0.4 in
+    let base_utilities =
+      Array.init 8 (fun _ -> Array.init 4 (fun _ -> 1 + Netsim.Rng.int rng 30))
+    in
+    let cfg =
+      Mca.Protocol.uniform_config ~graph ~num_items:4 ~base_utilities
+        ~policy:
+          (Mca.Policy.make ~utility:(Mca.Policy.Submodular 1) ~target_items:4 ())
+    in
+    Test.make ~name:"e6/protocol-sim-8agents-4items"
+      (Staged.stage (fun () -> ignore (Mca.Protocol.run_sync cfg)))
+  in
+  let vnm_embed =
+    let rng = Netsim.Rng.create 9 in
+    let physical =
+      Vnm.Vnet.random_physical rng ~nodes:6 ~edge_prob:0.5 ~max_cpu:20 ~max_bw:16
+    in
+    let virtual_net =
+      Vnm.Vnet.random_virtual rng ~nodes:3 ~edge_prob:0.6 ~max_cpu:5 ~max_bw:4
+    in
+    Test.make ~name:"e7/vnm-mca-embed"
+      (Staged.stage (fun () -> ignore (Vnm.Embed.mca ~physical ~virtual_net ())))
+  in
+  let listings =
+    Test.make ~name:"e8/textual-frontend-check"
+      (Staged.stage (fun () ->
+           ignore
+             (Alloylite.Elaborate.run_file
+                "sig a { f: set a } assert refl { all x: a | x in x.*f } check refl for 3")))
+  in
+  [
+    sat_php; sat_random; relalg_translate; consensus_attack_sat;
+    explicit_checker; protocol_sim; vnm_embed; listings;
+  ]
+
+let run_benchmarks () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  section "Kernel timings (Bechamel, ns per run)";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Format.printf "  %-44s %14.0f@." name est
+          | _ -> Format.printf "  %-44s (no estimate)@." name)
+        results)
+    (bench_tests ())
+
+let () =
+  Format.printf "MCA verification library — benchmark & experiment harness@.";
+  Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
+  run_experiments ();
+  run_benchmarks ();
+  Format.printf "@.done.@."

@@ -1,0 +1,117 @@
+(* Command-line runner for textual mini-Alloy files: parses, elaborates,
+   compiles and executes every check/run command, printing verdicts and
+   counterexample instances.
+
+   Usage: alloy_lite FILE.als [--quiet] [--dot DIR] [--enumerate N]
+                              [--symmetry]
+
+   --dot DIR      also write each found instance as DIR/<command-N>.dot
+   --enumerate N  for run commands, list up to N distinct instances
+   --symmetry     add Kodkod-style symmetry-breaking predicates *)
+
+open Cmdliner
+
+let sanitize label =
+  String.map (fun c -> if c = ' ' || c = '{' || c = '}' then '_' else c) label
+
+let run path quiet dot_dir enumerate symmetry =
+  let src =
+    match open_in path with
+    | exception Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+  in
+  match Alloylite.Elaborate.file (Alloylite.Parser.parse src) with
+  | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | { Alloylite.Elaborate.model; commands } ->
+      let failures = ref 0 in
+      let emit_instance label idx inst =
+        if not quiet then Format.printf "%a@." Relalg.Instance.pp inst;
+        match dot_dir with
+        | Some dir ->
+            let file =
+              Filename.concat dir (Printf.sprintf "%s-%d.dot" (sanitize label) idx)
+            in
+            Relalg.Pretty.dot_to_file file inst;
+            Format.printf "  (wrote %s)@." file
+        | None -> ()
+      in
+      List.iter
+        (fun cmd ->
+          match cmd with
+          | Alloylite.Elaborate.Check (name, scope) -> (
+              let c = Alloylite.Compile.prepare model scope in
+              let label = Printf.sprintf "check %s" name in
+              match Alloylite.Compile.check ~symmetry c name with
+              | Alloylite.Compile.Unsat ->
+                  Format.printf "%s: assertion holds in scope@." label
+              | Alloylite.Compile.Sat inst ->
+                  incr failures;
+                  Format.printf "%s: COUNTEREXAMPLE found@." label;
+                  emit_instance label 0 inst)
+          | Alloylite.Elaborate.Run (name, f, scope) -> (
+              let c = Alloylite.Compile.prepare model scope in
+              let label =
+                match name with
+                | Some n -> Printf.sprintf "run %s" n
+                | None -> "run {}"
+              in
+              let formula =
+                match (name, f) with
+                | Some n, _ -> (
+                    match Alloylite.Model.find_pred model n with
+                    | Some p ->
+                        Relalg.Ast.exists
+                          (List.map (fun (x, s) -> (x, Relalg.Ast.rel s)) p.Alloylite.Model.params)
+                          p.Alloylite.Model.body
+                    | None -> Relalg.Ast.tt)
+                | None, Some f -> f
+                | None, None -> Relalg.Ast.tt
+              in
+              match enumerate with
+              | Some limit ->
+                  let insts =
+                    Alloylite.Compile.enumerate ~symmetry ~limit c formula
+                  in
+                  Format.printf "%s: %d instance(s)@." label (List.length insts);
+                  if insts = [] then incr failures;
+                  List.iteri (fun i inst -> emit_instance label i inst) insts
+              | None -> (
+                  match Alloylite.Compile.run_formula ~symmetry c formula with
+                  | Alloylite.Compile.Unsat ->
+                      incr failures;
+                      Format.printf "%s: no instance found@." label
+                  | Alloylite.Compile.Sat inst ->
+                      Format.printf "%s: instance found@." label;
+                      emit_instance label 0 inst)))
+        commands;
+      exit (if !failures > 0 then 1 else 0)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-Alloy source file")
+
+let quiet_flag =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Do not print instances")
+
+let dot_arg =
+  Arg.(value & opt (some dir) None & info [ "dot" ] ~docv:"DIR" ~doc:"Write instances as Graphviz files into DIR")
+
+let enum_arg =
+  Arg.(value & opt (some int) None & info [ "enumerate"; "n" ] ~docv:"N" ~doc:"List up to N instances per run command")
+
+let symmetry_flag =
+  Arg.(value & flag & info [ "symmetry" ] ~doc:"Add symmetry-breaking predicates")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "alloy_lite" ~doc:"Run check/run commands of a mini-Alloy file")
+    Term.(const run $ path_arg $ quiet_flag $ dot_arg $ enum_arg $ symmetry_flag)
+
+let () = exit (Cmd.eval cmd)

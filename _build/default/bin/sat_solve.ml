@@ -1,0 +1,46 @@
+(* Standalone DIMACS CNF solver on the library's CDCL engine.
+
+   Usage: sat_solve FILE.cnf [--dpll] [--stats]
+   Prints an s SATISFIABLE / s UNSATISFIABLE verdict with a v model
+   line, SAT-competition style. *)
+
+open Cmdliner
+
+let solve_file path use_dpll show_stats =
+  match Sat.Dimacs.parse_file path with
+  | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | problem ->
+      let result, stats =
+        if use_dpll then (Sat.Dpll.solve problem, None)
+        else begin
+          let solver = Sat.Solver.of_problem problem in
+          let r = Sat.Solver.solve solver in
+          (r, Some (Sat.Solver.stats solver))
+        end
+      in
+      Sat.Dimacs.print_result Format.std_formatter result;
+      (match (show_stats, stats) with
+      | true, Some st -> Format.printf "c %a@." Sat.Solver.pp_stats st
+      | _ -> ());
+      exit (match result with Sat.Solver.Sat _ -> 10 | Sat.Solver.Unsat -> 20)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file")
+
+let dpll_flag =
+  Arg.(value & flag & info [ "dpll" ] ~doc:"Use the plain DPLL baseline instead of CDCL")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print solver statistics as a comment line")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sat_solve" ~doc:"CDCL SAT solver for DIMACS CNF files")
+    Term.(const solve_file $ path_arg $ dpll_flag $ stats_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/economic_dispatch.ml: Array Format Mca Netsim

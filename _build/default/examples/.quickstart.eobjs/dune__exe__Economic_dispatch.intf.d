@@ -1,0 +1,1 @@
+examples/economic_dispatch.mli:

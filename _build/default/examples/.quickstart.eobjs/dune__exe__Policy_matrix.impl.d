@@ -1,0 +1,1 @@
+examples/policy_matrix.ml: Alloylite Array Checker Core Format List Mca Netsim String

@@ -1,0 +1,1 @@
+examples/rebidding_attack.ml: Array Checker Format List Mca Netsim

@@ -1,0 +1,1 @@
+examples/rebidding_attack.mli:

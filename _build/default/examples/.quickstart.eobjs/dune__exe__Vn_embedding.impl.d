@@ -1,0 +1,1 @@
+examples/vn_embedding.ml: Format Netsim Vnm

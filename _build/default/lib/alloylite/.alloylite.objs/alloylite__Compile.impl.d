@@ -1,0 +1,1 @@
+lib/alloylite/compile.ml: Ast Bounds Format Hashtbl Instance List Model Printf Relalg Scope Stdlib Translate Tuple Universe

@@ -1,0 +1,1 @@
+lib/alloylite/compile.mli: Format Model Relalg Scope

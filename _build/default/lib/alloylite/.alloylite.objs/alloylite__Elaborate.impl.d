@@ -1,0 +1,1 @@
+lib/alloylite/elaborate.ml: Compile List Model Option Parser Printf Relalg Scope Subst Surface

@@ -1,0 +1,1 @@
+lib/alloylite/elaborate.mli: Compile Model Relalg Scope Surface

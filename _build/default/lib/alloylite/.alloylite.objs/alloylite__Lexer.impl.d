@@ -1,0 +1,1 @@
+lib/alloylite/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/alloylite/lexer.mli: Format

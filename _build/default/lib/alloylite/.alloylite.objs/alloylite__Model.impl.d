@@ -1,0 +1,1 @@
+lib/alloylite/model.ml: List Option Printf Relalg Subst

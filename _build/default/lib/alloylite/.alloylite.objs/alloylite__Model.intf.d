@@ -1,0 +1,1 @@
+lib/alloylite/model.mli: Relalg

@@ -1,0 +1,1 @@
+lib/alloylite/parser.ml: Format Lexer List Option Surface

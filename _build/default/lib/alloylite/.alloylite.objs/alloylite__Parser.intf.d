@@ -1,0 +1,1 @@
+lib/alloylite/parser.mli: Surface

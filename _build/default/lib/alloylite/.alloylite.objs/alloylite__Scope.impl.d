@@ -1,0 +1,1 @@
+lib/alloylite/scope.ml: Format List

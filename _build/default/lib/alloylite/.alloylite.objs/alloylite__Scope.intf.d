@@ -1,0 +1,1 @@
+lib/alloylite/scope.mli: Format

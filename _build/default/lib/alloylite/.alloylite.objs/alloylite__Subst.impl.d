@@ -1,0 +1,1 @@
+lib/alloylite/subst.ml: Ast List Printf Relalg

@@ -1,0 +1,1 @@
+lib/alloylite/subst.mli: Relalg

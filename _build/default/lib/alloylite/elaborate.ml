@@ -1,0 +1,319 @@
+module A = Relalg.Ast
+
+type command =
+  | Check of string * Scope.t
+  | Run of string option * Relalg.Ast.formula option * Scope.t
+
+type elaborated = { model : Model.t; commands : command list }
+
+let located (p : Surface.pos) msg =
+  failwith (Printf.sprintf "elaborate: line %d, col %d: %s" p.Surface.line p.Surface.col msg)
+
+(* An integer literal used relationally denotes the matching Int atom. *)
+let int_const n =
+  A.compr [ ("n!", A.rel "Int") ] (A.( =! ) (A.sum_over (A.v "n!")) (A.i n))
+
+type env = { model : Model.t; vars : (string * A.expr) list }
+
+let rec r_expr env (e : Surface.expr) : A.expr =
+  match e with
+  | Surface.EName (p, name) -> (
+      match List.assoc_opt name env.vars with
+      | Some e -> e
+      | None ->
+          if name = "Int" then A.rel "Int"
+          else if Model.find_sig env.model name <> None then A.rel name
+          else if Model.find_field env.model name <> None then A.rel name
+          else if
+            List.exists
+              (fun o ->
+                name = o ^ "_first" || name = o ^ "_last" || name = o ^ "_next")
+              env.model.Model.orderings
+          then A.rel name
+          else located p (Printf.sprintf "unknown name %s" name))
+  | Surface.EInt (_, n) -> int_const n
+  | Surface.EUniv _ -> A.Univ
+  | Surface.ENone _ -> A.None_
+  | Surface.EIden _ -> A.Iden
+  | Surface.EUnion (a, b) -> A.( + ) (r_expr env a) (r_expr env b)
+  | Surface.EDiff (a, b) -> A.( - ) (r_expr env a) (r_expr env b)
+  | Surface.EInter (a, b) -> A.( & ) (r_expr env a) (r_expr env b)
+  | Surface.EJoin (a, b) -> A.join (r_expr env a) (r_expr env b)
+  | Surface.EProduct (a, b) -> A.( --> ) (r_expr env a) (r_expr env b)
+  | Surface.EOverride (a, b) -> A.override (r_expr env a) (r_expr env b)
+  | Surface.EDomRestrict (a, b) -> A.DomRestrict (r_expr env a, r_expr env b)
+  | Surface.ERanRestrict (a, b) -> A.RanRestrict (r_expr env a, r_expr env b)
+  | Surface.ETranspose (_, e) -> A.transpose (r_expr env e)
+  | Surface.EClosure (_, e) -> A.closure (r_expr env e)
+  | Surface.ERClosure (_, e) -> A.rclosure (r_expr env e)
+  | Surface.ECard (p, _) | Surface.ESum (p, _) ->
+      located p "integer expression used where a relation is expected"
+  | Surface.ECall (p, name, args) -> (
+      match Model.find_fun env.model name with
+      | Some _ -> Model.apply_fun env.model name (List.map (r_expr env) args)
+      | None ->
+          located p
+            (Printf.sprintf "%s is not usable as a relational expression" name))
+  | Surface.ECompr (_, decls, f) ->
+      let env', rdecls = elaborate_decls env decls in
+      let guards =
+        List.concat_map
+          (fun (d : Surface.decl) ->
+            if not d.Surface.disj then []
+            else
+              let names = List.map snd d.Surface.vars in
+              let rec pairs = function
+                | [] -> []
+                | x :: rest ->
+                    List.map (fun y -> A.not_ (A.( =: ) (A.v x) (A.v y))) rest
+                    @ pairs rest
+              in
+              pairs names)
+          decls
+      in
+      A.compr rdecls (A.and_ (guards @ [ formula_env env' f ]))
+  | Surface.EIte (c, t, e) -> A.ite_e (formula_env env c) (r_expr env t) (r_expr env e)
+
+(* the integer reading of an expression, when it has one *)
+and i_expr env (e : Surface.expr) : A.intexpr option =
+  match e with
+  | Surface.EInt (_, n) -> Some (A.i n)
+  | Surface.ECard (_, e) -> Some (A.card (r_expr env e))
+  | Surface.ESum (_, e) -> Some (A.sum_over (r_expr env e))
+  | Surface.ECall (p, "plus", [ a; b ]) -> Some (A.( +! ) (as_int env p a) (as_int env p b))
+  | Surface.ECall (p, "minus", [ a; b ]) -> Some (A.( -! ) (as_int env p a) (as_int env p b))
+  | Surface.ECall (p, "mul", [ a; b ]) -> Some (A.( *! ) (as_int env p a) (as_int env p b))
+  | Surface.ECall (p, "negate", [ a ]) -> Some (A.Neg (as_int env p a))
+  | _ -> None
+
+and as_int env _p e =
+  match i_expr env e with
+  | Some ie -> ie
+  | None -> A.sum_over (r_expr env e)
+
+and formula_env env (f : Surface.fmla) : A.formula =
+  match f with
+  | Surface.FTrue _ -> A.tt
+  | Surface.FFalse _ -> A.ff
+  | Surface.FCompare (op, a, b) -> (
+      match op with
+      | Surface.Cin -> A.( <=: ) (r_expr env a) (r_expr env b)
+      | Surface.Cnotin -> A.not_ (A.( <=: ) (r_expr env a) (r_expr env b))
+      | Surface.Clt -> A.( <! ) (as_int env dummy_pos a) (as_int env dummy_pos b)
+      | Surface.Cle -> A.( <=! ) (as_int env dummy_pos a) (as_int env dummy_pos b)
+      | Surface.Cgt -> A.( >! ) (as_int env dummy_pos a) (as_int env dummy_pos b)
+      | Surface.Cge -> A.( >=! ) (as_int env dummy_pos a) (as_int env dummy_pos b)
+      | Surface.Ceq | Surface.Cneq ->
+          let f =
+            match (i_expr env a, i_expr env b) with
+            | Some ia, Some ib -> A.( =! ) ia ib
+            | Some ia, None -> A.( =! ) ia (A.sum_over (r_expr env b))
+            | None, Some ib -> A.( =! ) (A.sum_over (r_expr env a)) ib
+            | None, None -> A.( =: ) (r_expr env a) (r_expr env b)
+          in
+          if op = Surface.Ceq then f else A.not_ f)
+  | Surface.FMult (m, e) -> (
+      let re = r_expr env e in
+      match m with
+      | Surface.FSome -> A.some re
+      | Surface.FNo -> A.no re
+      | Surface.FOne -> A.one re
+      | Surface.FLone -> A.lone re)
+  | Surface.FNot f -> A.not_ (formula_env env f)
+  | Surface.FAnd (a, b) -> A.and_ [ formula_env env a; formula_env env b ]
+  | Surface.FOr (a, b) -> A.or_ [ formula_env env a; formula_env env b ]
+  | Surface.FImplies (a, b) -> A.( ==> ) (formula_env env a) (formula_env env b)
+  | Surface.FIff (a, b) -> A.( <=> ) (formula_env env a) (formula_env env b)
+  | Surface.FQuant (q, decls, body) -> elaborate_quant env q decls body
+  | Surface.FCall (p, name, args) -> (
+      let rargs = List.map (r_expr env) args in
+      match Model.find_pred env.model name with
+      | Some _ -> Model.call env.model name rargs
+      | None -> located p (Printf.sprintf "unknown predicate %s" name))
+  | Surface.FLet (_, x, e, body) ->
+      let bound = r_expr env e in
+      formula_env { env with vars = (x, bound) :: env.vars } body
+
+and dummy_pos = { Surface.line = 0; col = 0 }
+
+and elaborate_decls env decls =
+  (* flatten [x, y: d] and [disj] groups into Relalg decls, threading the
+     environment so later domains may mention earlier variables
+     ([all n: node, m: reachable[n] | ...]) *)
+  let rec go env acc = function
+    | [] -> (env, List.rev acc)
+    | (d : Surface.decl) :: rest ->
+        let dom = r_expr env d.Surface.domain in
+        let names = List.map snd d.Surface.vars in
+        let env =
+          { env with vars = List.map (fun x -> (x, A.v x)) names @ env.vars }
+        in
+        go env (List.map (fun x -> (x, dom)) names @ acc) rest
+  in
+  go env [] decls
+
+and elaborate_quant env q decls body =
+  let env', rdecls = elaborate_decls env decls in
+  let guards =
+    (* pairwise distinctness within each disj group *)
+    List.concat_map
+      (fun (d : Surface.decl) ->
+        if not d.Surface.disj then []
+        else
+          let names = List.map snd d.Surface.vars in
+          let rec pairs = function
+            | [] -> []
+            | x :: rest ->
+                List.map (fun y -> A.not_ (A.( =: ) (A.v x) (A.v y))) rest
+                @ pairs rest
+          in
+          pairs names)
+      decls
+  in
+  let body' = formula_env env' body in
+  let universal body = A.for_all rdecls (A.( ==> ) (A.and_ guards) body) in
+  let existential body = A.exists rdecls (A.and_ (guards @ [ body ])) in
+  match q with
+  | Surface.Qall -> universal body'
+  | Surface.Qsome -> existential body'
+  | Surface.Qno -> universal (A.not_ body')
+  | Surface.Qlone | Surface.Qone ->
+      (* [lone xs | f]: the witness tuple is unique; [one] adds existence.
+         Encoded by comparing a primed copy of the declarations. *)
+      let primed = List.map (fun (x, dom) -> (x ^ "'", dom)) rdecls in
+      let body_primed =
+        Subst.formula (List.map (fun (x, _) -> (x, A.v (x ^ "'"))) rdecls) body'
+      in
+      let all_equal =
+        A.and_ (List.map (fun (x, _) -> A.( =: ) (A.v x) (A.v (x ^ "'"))) rdecls)
+      in
+      let unique =
+        A.for_all rdecls
+          (A.( ==> ) (A.and_ guards)
+             (A.for_all primed
+                (A.( ==> )
+                   (A.and_ [ body'; body_primed ])
+                   all_equal)))
+      in
+      if q = Surface.Qlone then unique
+      else A.and_ [ existential body'; unique ]
+
+let mult_of = function
+  | Surface.Mone -> Model.One
+  | Surface.Mlone -> Model.Lone
+  | Surface.Msome -> Model.Some_
+  | Surface.Mset -> Model.Set
+
+let scope_of (s : Surface.scope) =
+  let but =
+    List.filter_map
+      (fun (exact, n, name) -> if exact then None else Some (name, n))
+      s.Surface.s_but
+  in
+  let exactly =
+    List.filter_map
+      (fun (exact, n, name) -> if exact then Some (name, n) else None)
+      s.Surface.s_but
+  in
+  Scope.make ?bitwidth:s.Surface.s_bitwidth ~but ~exactly s.Surface.s_default
+
+let file (paragraphs : Surface.file) =
+  (* signatures and orderings first, so facts and predicates can refer
+     to any of them regardless of paragraph order *)
+  let model = ref Model.empty in
+  List.iter
+    (fun p ->
+      match p with
+      | Surface.Psig { flags; name; extends; fields; _ } ->
+          let abstract = List.mem Surface.Sabstract flags in
+          let mult =
+            if List.mem Surface.Sone flags then Model.One
+            else if List.mem Surface.Slone flags then Model.Lone
+            else if List.mem Surface.Ssome flags then Model.Some_
+            else Model.Set
+          in
+          let fields =
+            List.map
+              (fun (f : Surface.field_decl) ->
+                (f.Surface.f_name, mult_of f.Surface.f_mult, f.Surface.f_cols))
+              fields
+          in
+          model := Model.sig_ ~abstract ~mult ?extends name ~fields !model
+      | Surface.Popen_ordering (_, s) -> model := Model.ordering s !model
+      | _ -> ())
+    paragraphs;
+  (* then facts, predicates, assertions and commands, in order *)
+  let commands = ref [] in
+  let fact_count = ref 0 in
+  List.iter
+    (fun p ->
+      let env = { model = !model; vars = [] } in
+      match p with
+      | Surface.Psig _ | Surface.Popen_ordering _ -> ()
+      | Surface.Pfact (_, name, f) ->
+          incr fact_count;
+          let name =
+            match name with Some n -> n | None -> Printf.sprintf "fact$%d" !fact_count
+          in
+          model := Model.fact name (formula_env env f) !model
+      | Surface.Pfun (p, name, params, body) ->
+          List.iter
+            (fun (_, dom) ->
+              if Model.find_sig !model dom = None then
+                located p
+                  (Printf.sprintf "parameter domain %s is not a signature" dom))
+            params;
+          let env =
+            { env with vars = List.map (fun (x, _) -> (x, A.v x)) params }
+          in
+          model := Model.fun_ name ~params (r_expr env body) !model
+      | Surface.Ppred (p, name, params, body) ->
+          List.iter
+            (fun (_, dom) ->
+              if Model.find_sig !model dom = None then
+                located p (Printf.sprintf "parameter domain %s is not a signature" dom))
+            params;
+          let env =
+            { env with vars = List.map (fun (x, _) -> (x, A.v x)) params }
+          in
+          model := Model.pred name ~params (formula_env env body) !model
+      | Surface.Passert (_, name, f) ->
+          model := Model.assert_ name (formula_env env f) !model
+      | Surface.Pcheck (p, name, scope) ->
+          if Model.find_assert !model name = None then
+            located p (Printf.sprintf "unknown assertion %s" name);
+          commands := Check (name, scope_of scope) :: !commands
+      | Surface.Prun (p, name, f, scope) ->
+          (match name with
+          | Some n when Model.find_pred !model n = None ->
+              located p (Printf.sprintf "unknown predicate %s" n)
+          | _ -> ());
+          let f = Option.map (formula_env env) f in
+          commands := Run (name, f, scope_of scope) :: !commands)
+    paragraphs;
+  { model = !model; commands = List.rev !commands }
+
+let formula model vars f = formula_env { model; vars } f
+let expr model vars e = r_expr { model; vars } e
+
+let run_file src =
+  let { model; commands } = file (Parser.parse src) in
+  List.map
+    (fun cmd ->
+      match cmd with
+      | Check (name, scope) ->
+          let c = Compile.prepare model scope in
+          (Printf.sprintf "check %s" name, Compile.check c name)
+      | Run (name, f, scope) ->
+          let c = Compile.prepare model scope in
+          let outcome =
+            match (name, f) with
+            | Some n, _ -> Compile.run_pred c n
+            | None, Some f -> Compile.run_formula c f
+            | None, None -> Compile.run_formula c A.tt
+          in
+          let label =
+            match name with Some n -> Printf.sprintf "run %s" n | None -> "run {}"
+          in
+          (label, outcome))
+    commands

@@ -1,0 +1,32 @@
+(** Elaboration of parsed mini-Alloy files into {!Model.t} plus
+    executable commands.
+
+    Name resolution: an [EName] is, in order, a bound variable, a
+    signature, a field, or (in call position) a predicate. Integer
+    positions coerce: [<] [<=] [>] [>=] always compare integers, turning
+    a relational operand into [sum e] (Alloy's implicit [int\[e\]]);
+    [=]/[!=] compare integers when either side is syntactically numeric
+    ([#e], [sum e], a literal, or arithmetic). The builtins [plus],
+    [minus], [mul], [negate] provide arithmetic, as in Alloy's
+    [util/integer]. An integer literal in relational position denotes
+    the corresponding [Int] atom. *)
+
+type command =
+  | Check of string * Scope.t  (** assertion name *)
+  | Run of string option * Relalg.Ast.formula option * Scope.t
+
+type elaborated = { model : Model.t; commands : command list }
+
+val file : Surface.file -> elaborated
+(** Raises [Failure] with a located message on unresolved names, arity
+    misuse, or duplicate declarations. *)
+
+val formula : Model.t -> (string * Relalg.Ast.expr) list -> Surface.fmla -> Relalg.Ast.formula
+(** Elaborates one formula against a model, with extra variable
+    bindings — used by predicate bodies and the CLI evaluator. *)
+
+val expr : Model.t -> (string * Relalg.Ast.expr) list -> Surface.expr -> Relalg.Ast.expr
+
+val run_file : string -> (string * Compile.outcome) list
+(** Parses, elaborates, compiles and executes every command in the given
+    source text; returns [(description, outcome)] per command. *)

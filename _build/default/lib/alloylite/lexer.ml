@@ -1,0 +1,174 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW of string
+  | LBRACE | RBRACE | LBRACKET | RBRACKET | LPAREN | RPAREN
+  | COLON | COMMA | BAR | DOT | AT
+  | PLUS | MINUS | AMP | ARROW | TILDE | CARET | STAR | HASH
+  | PLUSPLUS | LTCOLON | COLONGT
+  | BANG | AMPAMP | BARBAR | IMPLIES | IFF
+  | EQ | NEQ | LT | LE | GT | GE | NOTIN
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+let keywords =
+  [
+    "sig"; "abstract"; "extends"; "one"; "lone"; "some"; "set"; "no";
+    "fact"; "pred"; "fun"; "assert"; "check"; "run"; "for"; "but"; "exactly";
+    "all"; "disj"; "let"; "not"; "and"; "or"; "implies"; "iff"; "in";
+    "sum"; "univ"; "none"; "iden"; "open"; "Int"; "true"; "false"; "else";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '/' || c = '\'' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let toks = ref [] in
+  let emit t l c = toks := { token = t; line = l; col = c } :: !toks in
+  let fail msg l c = failwith (Printf.sprintf "lexer: line %d, col %d: %s" l c msg) in
+  let i = ref 0 in
+  let advance () =
+    if !i < n then begin
+      if src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    let l = !line and cl = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '-' && peek 1 = Some '-' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then fail "unterminated comment" l cl
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start)))) l cl
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) l cl
+      else emit (IDENT word) l cl
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let adv k = for _ = 1 to k do advance () done in
+      if three = "<=>" then begin adv 3; emit IFF l cl end
+      else if two = "=>" then begin adv 2; emit IMPLIES l cl end
+      else if two = "->" then begin adv 2; emit ARROW l cl end
+      else if two = "++" then begin adv 2; emit PLUSPLUS l cl end
+      else if two = "<:" then begin adv 2; emit LTCOLON l cl end
+      else if two = ":>" then begin adv 2; emit COLONGT l cl end
+      else if two = "&&" then begin adv 2; emit AMPAMP l cl end
+      else if two = "||" then begin adv 2; emit BARBAR l cl end
+      else if two = "!=" then begin adv 2; emit NEQ l cl end
+      else if two = "<=" then begin adv 2; emit LE l cl end
+      else if two = ">=" then begin adv 2; emit GE l cl end
+      else if three = "!in" then begin adv 3; emit NOTIN l cl end
+      else
+        match c with
+        | '{' -> adv 1; emit LBRACE l cl
+        | '}' -> adv 1; emit RBRACE l cl
+        | '[' -> adv 1; emit LBRACKET l cl
+        | ']' -> adv 1; emit RBRACKET l cl
+        | '(' -> adv 1; emit LPAREN l cl
+        | ')' -> adv 1; emit RPAREN l cl
+        | ':' -> adv 1; emit COLON l cl
+        | ',' -> adv 1; emit COMMA l cl
+        | '|' -> adv 1; emit BAR l cl
+        | '.' -> adv 1; emit DOT l cl
+        | '@' -> adv 1; emit AT l cl
+        | '+' -> adv 1; emit PLUS l cl
+        | '-' -> adv 1; emit MINUS l cl
+        | '&' -> adv 1; emit AMP l cl
+        | '~' -> adv 1; emit TILDE l cl
+        | '^' -> adv 1; emit CARET l cl
+        | '*' -> adv 1; emit STAR l cl
+        | '#' -> adv 1; emit HASH l cl
+        | '!' -> adv 1; emit BANG l cl
+        | '=' -> adv 1; emit EQ l cl
+        | '<' -> adv 1; emit LT l cl
+        | '>' -> adv 1; emit GT l cl
+        | _ -> fail (Printf.sprintf "illegal character %C" c) l cl
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !toks
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | LBRACE -> Format.pp_print_string ppf "{"
+  | RBRACE -> Format.pp_print_string ppf "}"
+  | LBRACKET -> Format.pp_print_string ppf "["
+  | RBRACKET -> Format.pp_print_string ppf "]"
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | COLON -> Format.pp_print_string ppf ":"
+  | COMMA -> Format.pp_print_string ppf ","
+  | BAR -> Format.pp_print_string ppf "|"
+  | DOT -> Format.pp_print_string ppf "."
+  | AT -> Format.pp_print_string ppf "@"
+  | PLUS -> Format.pp_print_string ppf "+"
+  | MINUS -> Format.pp_print_string ppf "-"
+  | AMP -> Format.pp_print_string ppf "&"
+  | ARROW -> Format.pp_print_string ppf "->"
+  | TILDE -> Format.pp_print_string ppf "~"
+  | CARET -> Format.pp_print_string ppf "^"
+  | STAR -> Format.pp_print_string ppf "*"
+  | HASH -> Format.pp_print_string ppf "#"
+  | PLUSPLUS -> Format.pp_print_string ppf "++"
+  | LTCOLON -> Format.pp_print_string ppf "<:"
+  | COLONGT -> Format.pp_print_string ppf ":>"
+  | BANG -> Format.pp_print_string ppf "!"
+  | AMPAMP -> Format.pp_print_string ppf "&&"
+  | BARBAR -> Format.pp_print_string ppf "||"
+  | IMPLIES -> Format.pp_print_string ppf "=>"
+  | IFF -> Format.pp_print_string ppf "<=>"
+  | EQ -> Format.pp_print_string ppf "="
+  | NEQ -> Format.pp_print_string ppf "!="
+  | LT -> Format.pp_print_string ppf "<"
+  | LE -> Format.pp_print_string ppf "<="
+  | GT -> Format.pp_print_string ppf ">"
+  | GE -> Format.pp_print_string ppf ">="
+  | NOTIN -> Format.pp_print_string ppf "!in"
+  | EOF -> Format.pp_print_string ppf "end of input"

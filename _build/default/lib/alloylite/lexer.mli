@@ -1,0 +1,25 @@
+(** Hand-written lexer for the textual mini-Alloy language. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW of string  (** keywords: sig, fact, pred, assert, check, run, ... *)
+  | LBRACE | RBRACE | LBRACKET | RBRACKET | LPAREN | RPAREN
+  | COLON | COMMA | BAR | DOT | AT
+  | PLUS | MINUS | AMP | ARROW | TILDE | CARET | STAR | HASH
+  | PLUSPLUS | LTCOLON | COLONGT
+  | BANG | AMPAMP | BARBAR | IMPLIES | IFF
+  | EQ | NEQ | LT | LE | GT | GE | NOTIN
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+val tokenize : string -> located list
+(** Raises [Failure] with a located message on illegal input. Line
+    comments ([//] and [--]) and block comments ([/* ... */]) are
+    skipped. *)
+
+val keywords : string list
+(** Words lexed as [KW] rather than [IDENT]. *)
+
+val pp_token : Format.formatter -> token -> unit

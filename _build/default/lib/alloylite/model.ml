@@ -1,0 +1,180 @@
+type mult = One | Lone | Some_ | Set
+
+type field = {
+  field_name : string;
+  owner : string;
+  cols : string list;
+  field_mult : mult;
+}
+
+type sig_decl = {
+  sig_name : string;
+  abstract : bool;
+  sig_mult : mult;
+  parent : string option;
+  fields : field list;
+}
+
+type pred = {
+  pred_name : string;
+  params : (string * string) list;
+  body : Relalg.Ast.formula;
+}
+
+type func = {
+  fun_name : string;
+  fun_params : (string * string) list;
+  fun_body : Relalg.Ast.expr;
+}
+
+type t = {
+  sigs : sig_decl list;
+  facts : (string * Relalg.Ast.formula) list;
+  preds : pred list;
+  funs : func list;
+  asserts : (string * Relalg.Ast.formula) list;
+  orderings : string list;
+}
+
+let empty =
+  { sigs = []; facts = []; preds = []; funs = []; asserts = []; orderings = [] }
+let find_sig m n = List.find_opt (fun s -> s.sig_name = n) m.sigs
+
+let find_field m n =
+  List.find_map
+    (fun s -> List.find_opt (fun f -> f.field_name = n) s.fields)
+    m.sigs
+
+let find_pred m n = List.find_opt (fun p -> p.pred_name = n) m.preds
+let find_fun m n = List.find_opt (fun f -> f.fun_name = n) m.funs
+let find_assert m n = List.assoc_opt n m.asserts
+let children m n = List.filter (fun s -> s.parent = Some n) m.sigs
+
+let rec is_ancestor m ~ancestor s =
+  s = ancestor
+  ||
+  match find_sig m s with
+  | Some { parent = Some p; _ } -> is_ancestor m ~ancestor p
+  | _ -> false
+
+let sig_ ?(abstract = false) ?(mult = Set) ?extends name ~fields m =
+  if find_sig m name <> None then
+    invalid_arg (Printf.sprintf "Model.sig_: duplicate signature %s" name);
+  let fields =
+    List.map
+      (fun (fname, fmult, cols) ->
+        if find_field m fname <> None then
+          invalid_arg (Printf.sprintf "Model.sig_: duplicate field %s" fname);
+        if cols = [] then
+          invalid_arg (Printf.sprintf "Model.sig_: field %s has no columns" fname);
+        { field_name = fname; owner = name; cols; field_mult = fmult })
+      fields
+  in
+  {
+    m with
+    sigs =
+      m.sigs
+      @ [ { sig_name = name; abstract; sig_mult = mult; parent = extends; fields } ];
+  }
+
+let fact name f m = { m with facts = m.facts @ [ (name, f) ] }
+
+let pred name ~params body m =
+  if find_pred m name <> None then
+    invalid_arg (Printf.sprintf "Model.pred: duplicate predicate %s" name);
+  { m with preds = m.preds @ [ { pred_name = name; params; body } ] }
+
+let fun_ name ~params body m =
+  if find_fun m name <> None then
+    invalid_arg (Printf.sprintf "Model.fun_: duplicate function %s" name);
+  { m with funs = m.funs @ [ { fun_name = name; fun_params = params; fun_body = body } ] }
+
+let assert_ name f m = { m with asserts = m.asserts @ [ (name, f) ] }
+let ordering s m = { m with orderings = m.orderings @ [ s ] }
+
+let validate m =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let sig_names = List.map (fun s -> s.sig_name) m.sigs in
+  let dup names =
+    let sorted = List.sort compare names in
+    let rec find = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find sorted
+  in
+  let field_names =
+    List.concat_map (fun s -> List.map (fun f -> f.field_name) s.fields) m.sigs
+  in
+  match dup sig_names with
+  | Some n -> err "duplicate signature %s" n
+  | None -> (
+      match dup field_names with
+      | Some n -> err "duplicate field %s" n
+      | None -> (
+          let bad_parent =
+            List.find_opt
+              (fun s ->
+                match s.parent with
+                | Some p -> find_sig m p = None
+                | None -> false)
+              m.sigs
+          in
+          match bad_parent with
+          | Some s ->
+              err "signature %s extends unknown %s" s.sig_name
+                (Option.get s.parent)
+          | None -> (
+              let bad_col =
+                List.find_opt
+                  (fun (f : field) ->
+                    List.exists
+                      (fun c -> c <> "Int" && find_sig m c = None)
+                      f.cols)
+                  (List.concat_map (fun s -> s.fields) m.sigs)
+              in
+              match bad_col with
+              | Some f -> err "field %s references unknown signature" f.field_name
+              | None -> (
+                  match
+                    List.find_opt (fun o -> find_sig m o = None) m.orderings
+                  with
+                  | Some o -> err "ordering over unknown signature %s" o
+                  | None ->
+                      (* extends cycles *)
+                      let rec depth seen s =
+                        if List.mem s seen then None
+                        else
+                          match find_sig m s with
+                          | Some { parent = Some p; _ } -> depth (s :: seen) p
+                          | _ -> Some ()
+                      in
+                      if
+                        List.for_all
+                          (fun s -> depth [] s.sig_name <> None)
+                          m.sigs
+                      then Ok ()
+                      else err "cycle in extends hierarchy"))))
+
+let call m name args =
+  match find_pred m name with
+  | None -> invalid_arg (Printf.sprintf "Model.call: unknown predicate %s" name)
+  | Some p ->
+      if List.length args <> List.length p.params then
+        invalid_arg
+          (Printf.sprintf "Model.call: %s expects %d arguments, got %d" name
+             (List.length p.params) (List.length args));
+      let env = List.map2 (fun (x, _) a -> (x, a)) p.params args in
+      Subst.formula env p.body
+
+let apply_fun m name args =
+  match find_fun m name with
+  | None -> invalid_arg (Printf.sprintf "Model.apply_fun: unknown function %s" name)
+  | Some f ->
+      if List.length args <> List.length f.fun_params then
+        invalid_arg
+          (Printf.sprintf "Model.apply_fun: %s expects %d arguments, got %d" name
+             (List.length f.fun_params) (List.length args));
+      let env = List.map2 (fun (x, _) a -> (x, a)) f.fun_params args in
+      Subst.expr env f.fun_body

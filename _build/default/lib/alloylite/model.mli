@@ -1,0 +1,91 @@
+(** Alloy-lite models: signatures, fields, facts, predicates, assertions.
+
+    This is the structured form shared by the OCaml EDSL ({!Dsl}) and the
+    textual parser ({!Parser}). A model is compiled against a {!Scope.t}
+    into relational bounds plus a conjunction of facts ({!Compile}),
+    mirroring how the Alloy Analyzer prepares a command for Kodkod. *)
+
+(** Multiplicity keywords, as used both on signatures ([one sig]) and on
+    binary-field ranges ([f: one S]). *)
+type mult = One | Lone | Some_ | Set
+
+type field = {
+  field_name : string;
+  owner : string;  (** signature declaring the field (first column) *)
+  cols : string list;  (** remaining column signatures; ["Int"] allowed *)
+  field_mult : mult;  (** multiplicity of the last column *)
+}
+
+type sig_decl = {
+  sig_name : string;
+  abstract : bool;
+  sig_mult : mult;  (** [One]/[Lone]/[Some_] sigs; [Set] is plain *)
+  parent : string option;  (** [extends] parent *)
+  fields : field list;
+}
+
+type pred = {
+  pred_name : string;
+  params : (string * string) list;  (** parameter name, domain sig *)
+  body : Relalg.Ast.formula;
+      (** parameters occur as [Ast.Var] with their names *)
+}
+
+type func = {
+  fun_name : string;
+  fun_params : (string * string) list;  (** parameter name, domain sig *)
+  fun_body : Relalg.Ast.expr;
+}
+
+type t = {
+  sigs : sig_decl list;
+  facts : (string * Relalg.Ast.formula) list;
+  preds : pred list;
+  funs : func list;
+  asserts : (string * Relalg.Ast.formula) list;
+  orderings : string list;
+      (** signatures opened with [util/ordering]; they get [<sig>_first],
+          [<sig>_next] and [<sig>_last] relations and an exact scope *)
+}
+
+val empty : t
+
+(** {1 Builders} *)
+
+val sig_ : ?abstract:bool -> ?mult:mult -> ?extends:string -> string
+  -> fields:(string * mult * string list) list -> t -> t
+(** [sig_ name ~fields m] declares a signature. Each field is
+    [(name, mult, cols)] where [cols] are the column sigs after the
+    owner. Raises [Invalid_argument] on duplicate names. *)
+
+val fact : string -> Relalg.Ast.formula -> t -> t
+val pred : string -> params:(string * string) list -> Relalg.Ast.formula -> t -> t
+val fun_ : string -> params:(string * string) list -> Relalg.Ast.expr -> t -> t
+val assert_ : string -> Relalg.Ast.formula -> t -> t
+val ordering : string -> t -> t
+(** Opens an ordering over the given signature. *)
+
+(** {1 Lookup} *)
+
+val find_sig : t -> string -> sig_decl option
+val find_field : t -> string -> field option
+val find_pred : t -> string -> pred option
+val find_fun : t -> string -> func option
+val find_assert : t -> string -> Relalg.Ast.formula option
+val children : t -> string -> sig_decl list
+val is_ancestor : t -> ancestor:string -> string -> bool
+(** [is_ancestor m ~ancestor s] holds when [s] equals or extends
+    (transitively) [ancestor]. *)
+
+val validate : t -> (unit, string) result
+(** Static checks: unique names, parents exist, field columns exist (or
+    are ["Int"]), ordering targets exist, no extends cycles. *)
+
+val call : t -> string -> Relalg.Ast.expr list -> Relalg.Ast.formula
+(** [call m p args] inlines predicate [p] applied to [args], substituting
+    arguments for parameters capture-avoidingly. Raises
+    [Invalid_argument] on unknown predicate or arity mismatch. *)
+
+val apply_fun : t -> string -> Relalg.Ast.expr list -> Relalg.Ast.expr
+(** [apply_fun m f args] inlines the named expression [f] — Alloy's
+    [fun] paragraphs. Same error conditions as {!call}. *)

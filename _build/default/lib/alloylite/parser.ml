@@ -1,0 +1,650 @@
+open Surface
+
+type state = { mutable toks : Lexer.located list }
+
+let pos_of (l : Lexer.located) = { line = l.Lexer.line; col = l.Lexer.col }
+
+let peek st =
+  match st.toks with [] -> failwith "parser: unexpected end" | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> Some t.Lexer.token | _ -> None
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let t = peek st in
+  failwith
+    (Format.asprintf "parser: line %d, col %d: %s (found %a)" t.Lexer.line
+       t.Lexer.col msg Lexer.pp_token t.Lexer.token)
+
+let expect st token msg =
+  let t = peek st in
+  if t.Lexer.token = token then advance st else fail st msg
+
+let accept st token =
+  let t = peek st in
+  if t.Lexer.token = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | Lexer.KW "Int" ->
+      advance st;
+      "Int"
+  | _ -> fail st "expected an identifier"
+
+let mult_f_of = function
+  | Lexer.KW "some" -> Some FSome
+  | Lexer.KW "no" -> Some FNo
+  | Lexer.KW "one" -> Some FOne
+  | Lexer.KW "lone" -> Some FLone
+  | _ -> None
+
+(* a quantifier keyword starts a quantified formula only when followed by
+   declarations ("x:", or "disj"); otherwise it is a multiplicity test *)
+let starts_decl st =
+  match (peek2 st, st.toks) with
+  | Some (Lexer.KW "disj"), _ -> true
+  | Some (Lexer.IDENT _), _ :: _ :: rest -> (
+      (* lookahead for ':' or ',' after the identifier *)
+      match rest with
+      | { Lexer.token = Lexer.COLON; _ } :: _ -> true
+      | { Lexer.token = Lexer.COMMA; _ } :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+(* ---------------- expressions ----------------
+
+   precedence (loosest to tightest):
+     + -  |  &  |  ++  |  <: :>  |  ->  |  .  |  unary ~ ^ * # sum  | atom *)
+
+let rec parse_expr_prec st = parse_union st
+
+and parse_union st =
+  let lhs = ref (parse_card st) in
+  let continue = ref true in
+  while !continue do
+    let t = peek st in
+    match t.Lexer.token with
+    | Lexer.PLUS ->
+        advance st;
+        lhs := EUnion (!lhs, parse_card st)
+    | Lexer.MINUS ->
+        advance st;
+        lhs := EDiff (!lhs, parse_card st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+(* # and sum bind looser than the other connectives (Alloy's precedence):
+   [sum p.initBids] is [sum (p.initBids)] *)
+and parse_card st =
+  let t = peek st in
+  let p = pos_of t in
+  match t.Lexer.token with
+  | Lexer.HASH ->
+      advance st;
+      ECard (p, parse_card st)
+  | Lexer.KW "sum" ->
+      advance st;
+      ESum (p, parse_card st)
+  | _ -> parse_inter st
+
+and parse_inter st =
+  let lhs = ref (parse_override st) in
+  while peek st |> fun t -> t.Lexer.token = Lexer.AMP do
+    advance st;
+    lhs := EInter (!lhs, parse_override st)
+  done;
+  !lhs
+
+and parse_override st =
+  let lhs = ref (parse_restrict st) in
+  while peek st |> fun t -> t.Lexer.token = Lexer.PLUSPLUS do
+    advance st;
+    lhs := EOverride (!lhs, parse_restrict st)
+  done;
+  !lhs
+
+and parse_restrict st =
+  let lhs = ref (parse_product st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.token with
+    | Lexer.LTCOLON ->
+        advance st;
+        lhs := EDomRestrict (!lhs, parse_product st)
+    | Lexer.COLONGT ->
+        advance st;
+        lhs := ERanRestrict (!lhs, parse_product st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_product st =
+  let lhs = ref (parse_join st) in
+  while peek st |> fun t -> t.Lexer.token = Lexer.ARROW do
+    advance st;
+    lhs := EProduct (!lhs, parse_join st)
+  done;
+  !lhs
+
+and parse_join st =
+  let lhs = ref (parse_unary st) in
+  while peek st |> fun t -> t.Lexer.token = Lexer.DOT do
+    advance st;
+    lhs := EJoin (!lhs, parse_unary st)
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  let p = pos_of t in
+  match t.Lexer.token with
+  | Lexer.TILDE ->
+      advance st;
+      ETranspose (p, parse_unary st)
+  | Lexer.CARET ->
+      advance st;
+      EClosure (p, parse_unary st)
+  | Lexer.STAR ->
+      advance st;
+      ERClosure (p, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = peek st in
+  let p = pos_of t in
+  match t.Lexer.token with
+  | Lexer.IDENT name ->
+      advance st;
+      if (peek st).Lexer.token = Lexer.LBRACKET then begin
+        (* call syntax name[e1, ..., en] (possibly empty) *)
+        advance st;
+        let args =
+          if (peek st).Lexer.token = Lexer.RBRACKET then []
+          else parse_expr_list st
+        in
+        expect st Lexer.RBRACKET "expected ] after call arguments";
+        ECall (p, name, args)
+      end
+      else EName (p, name)
+  | Lexer.KW "Int" ->
+      advance st;
+      EName (p, "Int")
+  | Lexer.INT n ->
+      advance st;
+      EInt (p, n)
+  | Lexer.KW "univ" ->
+      advance st;
+      EUniv p
+  | Lexer.KW "none" ->
+      advance st;
+      ENone p
+  | Lexer.KW "iden" ->
+      advance st;
+      EIden p
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Lexer.RPAREN "expected )";
+      e
+  | Lexer.LBRACE ->
+      (* set comprehension { x: e, ... | f } *)
+      advance st;
+      let decls = parse_decls st in
+      expect st Lexer.BAR "expected | in comprehension";
+      let f = parse_formula_prec st in
+      expect st Lexer.RBRACE "expected } after comprehension";
+      ECompr (p, decls, f)
+  | _ -> fail st "expected an expression"
+
+and parse_expr_list st =
+  let first = parse_expr_prec st in
+  let rec more acc =
+    if accept st Lexer.COMMA then more (parse_expr_prec st :: acc)
+    else List.rev acc
+  in
+  more [ first ]
+
+(* ---------------- formulas ----------------
+
+   precedence: iff < implies < or < and < not < atomic *)
+
+and parse_formula_prec st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_implies st in
+  if accept st Lexer.IFF then FIff (lhs, parse_iff st) else lhs
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if accept st Lexer.IMPLIES then FImplies (lhs, parse_implies st) else lhs
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.token with
+    | Lexer.BARBAR | Lexer.KW "or" ->
+        advance st;
+        lhs := FOr (!lhs, parse_and st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).Lexer.token with
+    | Lexer.AMPAMP | Lexer.KW "and" ->
+        advance st;
+        lhs := FAnd (!lhs, parse_not st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_not st =
+  match (peek st).Lexer.token with
+  | Lexer.BANG | Lexer.KW "not" ->
+      advance st;
+      FNot (parse_not st)
+  | _ -> parse_atomic_formula st
+
+and parse_decls st =
+  let parse_decl () =
+    let disj = accept st (Lexer.KW "disj") in
+    let first = (pos_of (peek st), ident st) in
+    let rec names acc =
+      if accept st Lexer.COMMA then names ((pos_of (peek st), ident st) :: acc)
+      else List.rev acc
+    in
+    let vars = names [ first ] in
+    expect st Lexer.COLON "expected : in declaration";
+    let domain = parse_expr_prec st in
+    { disj; vars; domain }
+  in
+  let first = parse_decl () in
+  let rec more acc =
+    if accept st Lexer.COMMA then more (parse_decl () :: acc) else List.rev acc
+  in
+  more [ first ]
+
+and parse_atomic_formula st =
+  let t = peek st in
+  let p = pos_of t in
+  match t.Lexer.token with
+  | Lexer.KW "true" ->
+      advance st;
+      FTrue p
+  | Lexer.KW "false" ->
+      advance st;
+      FFalse p
+  | Lexer.KW "let" ->
+      advance st;
+      let x = ident st in
+      expect st Lexer.EQ "expected = in let";
+      let e = parse_expr_prec st in
+      expect st Lexer.BAR "expected | after let binding";
+      FLet (p, x, e, parse_formula_prec st)
+  | Lexer.KW (("all" | "some" | "no" | "lone" | "one") as q) when starts_decl st ->
+      advance st;
+      let decls = parse_decls st in
+      expect st Lexer.BAR "expected | after quantifier declarations";
+      let body = parse_formula_prec st in
+      let quant =
+        match q with
+        | "all" -> Qall
+        | "some" -> Qsome
+        | "no" -> Qno
+        | "lone" -> Qlone
+        | _ -> Qone
+      in
+      FQuant (quant, decls, body)
+  | Lexer.KW ("some" | "no" | "one" | "lone") ->
+      let m = Option.get (mult_f_of t.Lexer.token) in
+      advance st;
+      FMult (m, parse_expr_prec st)
+  | Lexer.LPAREN -> (
+      (* could be a parenthesized formula or expression comparison;
+         try formula first by scanning — simplest: attempt formula parse
+         and fall back to comparison via backtracking on the token list *)
+      let saved = st.toks in
+      match parse_paren_formula st with
+      | Some f -> f
+      | None ->
+          st.toks <- saved;
+          parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_paren_formula st =
+  (* "(" formula ")" not followed by a comparison/expression operator *)
+  advance st;
+  match parse_formula_prec st with
+  | f ->
+      if accept st Lexer.RPAREN then
+        match (peek st).Lexer.token with
+        | Lexer.DOT | Lexer.PLUS | Lexer.MINUS | Lexer.AMP | Lexer.ARROW
+        | Lexer.EQ | Lexer.NEQ | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE
+        | Lexer.KW "in" ->
+            None (* it was an expression in disguise; re-parse *)
+        | _ -> Some f
+      else None
+  | exception _ -> None
+
+and parse_comparison st =
+  let t = peek st in
+  let p = pos_of t in
+  match t.Lexer.token with
+  | Lexer.IDENT name when peek2 st = Some Lexer.LBRACKET -> (
+      (* name[args]: a predicate call when bare, an expression call when
+         followed by a comparison operator *)
+      advance st;
+      advance st;
+      let args =
+        if (peek st).Lexer.token = Lexer.RBRACKET then []
+        else parse_expr_list st
+      in
+      expect st Lexer.RBRACKET "expected ] after call arguments";
+      match comparison_tail st (ECall (p, name, args)) with
+      | Some f -> f
+      | None -> FCall (p, name, args))
+  | _ -> (
+      let lhs = parse_expr_prec st in
+      match comparison_tail st lhs with
+      | Some f -> f
+      | None -> fail st "expected a comparison operator")
+
+and comparison_tail st lhs =
+  let negated = accept st Lexer.BANG in
+  let mk op =
+    advance st;
+    let rhs = parse_expr_prec st in
+    let f = FCompare (op, lhs, rhs) in
+    Some (if negated then FNot f else f)
+  in
+  match (peek st).Lexer.token with
+  | Lexer.KW "in" -> mk Cin
+  | Lexer.NOTIN -> mk Cnotin
+  | Lexer.EQ -> mk Ceq
+  | Lexer.NEQ -> mk Cneq
+  | Lexer.LT -> mk Clt
+  | Lexer.LE -> mk Cle
+  | Lexer.GT -> mk Cgt
+  | Lexer.GE -> mk Cge
+  | _ ->
+      if negated then fail st "expected a comparison operator after !"
+      else None
+
+(* ---------------- paragraphs ---------------- *)
+
+let parse_mult st =
+  match (peek st).Lexer.token with
+  | Lexer.KW "one" ->
+      advance st;
+      Mone
+  | Lexer.KW "lone" ->
+      advance st;
+      Mlone
+  | Lexer.KW "some" ->
+      advance st;
+      Msome
+  | Lexer.KW "set" ->
+      advance st;
+      Mset
+  | _ -> Mset
+
+let parse_field st =
+  let p = pos_of (peek st) in
+  let name = ident st in
+  expect st Lexer.COLON "expected : in field declaration";
+  let m = parse_mult st in
+  let first_col = ident st in
+  let rec cols acc =
+    if accept st Lexer.ARROW then begin
+      (* an optional multiplicity may precede the column; only the final
+         one is kept (applied to the last column) *)
+      let m' = parse_mult st in
+      ignore m';
+      cols (ident st :: acc)
+    end
+    else List.rev acc
+  in
+  let all_cols = cols [ first_col ] in
+  { f_name = name; f_mult = m; f_cols = all_cols; f_pos = p }
+
+let parse_sig st flags =
+  let p = pos_of (peek st) in
+  expect st (Lexer.KW "sig") "expected sig";
+  let name = ident st in
+  let extends =
+    if accept st (Lexer.KW "extends") then Some (ident st) else None
+  in
+  expect st Lexer.LBRACE "expected { after signature name";
+  let fields =
+    if (peek st).Lexer.token = Lexer.RBRACE then []
+    else begin
+      let first = parse_field st in
+      let rec more acc =
+        if accept st Lexer.COMMA then more (parse_field st :: acc)
+        else List.rev acc
+      in
+      more [ first ]
+    end
+  in
+  expect st Lexer.RBRACE "expected } after fields";
+  Psig { p_pos = p; flags; name; extends; fields }
+
+let parse_scope st =
+  if accept st (Lexer.KW "for") then begin
+    let d =
+      match (peek st).Lexer.token with
+      | Lexer.INT n ->
+          advance st;
+          n
+      | _ -> fail st "expected a scope bound"
+    in
+    let but = ref [] in
+    let bitwidth = ref None in
+    let parse_bound () =
+      let exactly = accept st (Lexer.KW "exactly") in
+      match (peek st).Lexer.token with
+      | Lexer.INT n -> (
+          advance st;
+          match (peek st).Lexer.token with
+          | Lexer.KW "Int" ->
+              advance st;
+              bitwidth := Some n
+          | _ -> but := (exactly, n, ident st) :: !but)
+      | _ -> fail st "expected a per-signature bound"
+    in
+    if accept st (Lexer.KW "but") then begin
+      parse_bound ();
+      while accept st Lexer.COMMA do
+        parse_bound ()
+      done
+    end;
+    { s_default = d; s_but = List.rev !but; s_bitwidth = !bitwidth }
+  end
+  else { s_default = 3; s_but = []; s_bitwidth = None }
+
+let rec parse_paragraph st =
+  let t = peek st in
+  let p = pos_of t in
+  match t.Lexer.token with
+  | Lexer.KW "open" ->
+      advance st;
+      let path = ident st in
+      if path <> "util/ordering" then
+        fail st "only util/ordering can be opened";
+      expect st Lexer.LBRACKET "expected [ after util/ordering";
+      let s = ident st in
+      expect st Lexer.RBRACKET "expected ] after ordered signature";
+      Popen_ordering (p, s)
+  | Lexer.KW "sig" -> parse_sig st []
+  | Lexer.KW (("abstract" | "one" | "lone" | "some") as kw) ->
+      let rec flags acc =
+        match (peek st).Lexer.token with
+        | Lexer.KW "abstract" ->
+            advance st;
+            flags (Sabstract :: acc)
+        | Lexer.KW "one" ->
+            advance st;
+            flags (Sone :: acc)
+        | Lexer.KW "lone" ->
+            advance st;
+            flags (Slone :: acc)
+        | Lexer.KW "some" ->
+            advance st;
+            flags (Ssome :: acc)
+        | _ -> List.rev acc
+      in
+      ignore kw;
+      let fl = flags [] in
+      parse_sig st fl
+  | Lexer.KW "fact" ->
+      advance st;
+      let name =
+        match (peek st).Lexer.token with
+        | Lexer.IDENT s ->
+            advance st;
+            Some s
+        | _ -> None
+      in
+      expect st Lexer.LBRACE "expected { after fact";
+      let f = parse_fact_body st in
+      Pfact (p, name, f)
+  | Lexer.KW "assert" ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.LBRACE "expected { after assert name";
+      let f = parse_fact_body st in
+      Passert (p, name, f)
+  | Lexer.KW "fun" ->
+      advance st;
+      let name = ident st in
+      let params =
+        if accept st Lexer.LBRACKET then begin
+          let parse_param () =
+            let x = ident st in
+            expect st Lexer.COLON "expected : in parameter";
+            let dom = ident st in
+            (x, dom)
+          in
+          if accept st Lexer.RBRACKET then []
+          else begin
+            let first = parse_param () in
+            let rec more acc =
+              if accept st Lexer.COMMA then more (parse_param () :: acc)
+              else List.rev acc
+            in
+            let ps = more [ first ] in
+            expect st Lexer.RBRACKET "expected ] after parameters";
+            ps
+          end
+        end
+        else []
+      in
+      (* optional return declaration, parsed and discarded *)
+      if accept st Lexer.COLON then begin
+        ignore (parse_mult st);
+        ignore (parse_expr_prec st)
+      end;
+      expect st Lexer.LBRACE "expected { after fun header";
+      let body = parse_expr_prec st in
+      expect st Lexer.RBRACE "expected } after fun body";
+      Pfun (p, name, params, body)
+  | Lexer.KW "pred" ->
+      advance st;
+      let name = ident st in
+      let params =
+        if accept st Lexer.LBRACKET then begin
+          let parse_param () =
+            let x = ident st in
+            expect st Lexer.COLON "expected : in parameter";
+            let dom = ident st in
+            (x, dom)
+          in
+          if accept st Lexer.RBRACKET then []
+          else begin
+            let first = parse_param () in
+            let rec more acc =
+              if accept st Lexer.COMMA then more (parse_param () :: acc)
+              else List.rev acc
+            in
+            let ps = more [ first ] in
+            expect st Lexer.RBRACKET "expected ] after parameters";
+            ps
+          end
+        end
+        else []
+      in
+      expect st Lexer.LBRACE "expected { after pred header";
+      let f = parse_fact_body st in
+      Ppred (p, name, params, f)
+  | Lexer.KW "check" ->
+      advance st;
+      let name = ident st in
+      let scope = parse_scope st in
+      Pcheck (p, name, scope)
+  | Lexer.KW "run" ->
+      advance st;
+      if accept st Lexer.LBRACE then begin
+        let f =
+          if (peek st).Lexer.token = Lexer.RBRACE then None
+          else Some (parse_fact_body_open st)
+        in
+        expect st Lexer.RBRACE "expected } after run block";
+        let scope = parse_scope st in
+        Prun (p, None, f, scope)
+      end
+      else begin
+        let name = ident st in
+        let scope = parse_scope st in
+        Prun (p, Some name, None, scope)
+      end
+  | _ -> fail st "expected a paragraph (sig, fact, pred, assert, check, run, open)"
+
+(* the body of a fact/pred/assert: formulas separated by newlines are
+   implicitly conjoined; we conjoin until the closing brace *)
+and parse_fact_body st =
+  let f = parse_fact_body_open st in
+  expect st Lexer.RBRACE "expected } after body";
+  f
+
+and parse_fact_body_open st =
+  let first = parse_formula_prec st in
+  let rec more acc =
+    if (peek st).Lexer.token = Lexer.RBRACE then acc
+    else more (FAnd (acc, parse_formula_prec st))
+  in
+  more first
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    if (peek st).Lexer.token = Lexer.EOF then List.rev acc
+    else go (parse_paragraph st :: acc)
+  in
+  go []
+
+let parse_formula src =
+  let st = { toks = Lexer.tokenize src } in
+  let f = parse_formula_prec st in
+  if (peek st).Lexer.token <> Lexer.EOF then fail st "trailing input";
+  f
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_prec st in
+  if (peek st).Lexer.token <> Lexer.EOF then fail st "trailing input";
+  e

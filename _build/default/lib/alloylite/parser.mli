@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the textual mini-Alloy language.
+
+    Grammar (Alloy's, restricted to what the paper's models use):
+    signatures with multiplicity flags, [extends], and relational field
+    declarations; [fact]/[pred]/[assert] paragraphs; [open
+    util/ordering\[S\]]; [check]/[run] commands with [for .. but ..]
+    scopes. Formulas support quantifiers (with [disj]), the boolean
+    connectives, relational comparison ([in], [=], [!=]) and integer
+    comparison ([<] [<=] [>] [>=], coercing relational operands through
+    [sum]), cardinality [#], [sum], predicate calls [p\[e1, e2\]] and
+    [let]. Expressions support [. ~ ^ * + - & -> ++ <: :>], [univ],
+    [none], [iden], and integer literals. *)
+
+val parse : string -> Surface.file
+(** Raises [Failure] with a line/column-located message on syntax
+    errors. *)
+
+val parse_formula : string -> Surface.fmla
+(** Parses a single formula (used by tests and the REPL-style CLI). *)
+
+val parse_expr : string -> Surface.expr

@@ -1,0 +1,40 @@
+type entry = { count : int; exact : bool }
+
+type t = {
+  default : int;
+  overrides : (string * entry) list;
+  bitwidth : int option;
+}
+
+let make ?bitwidth ?(but = []) ?(exactly = []) default =
+  if default < 0 then invalid_arg "Scope.make: negative default";
+  let overrides =
+    List.map (fun (s, n) -> (s, { count = n; exact = false })) but
+    @ List.map (fun (s, n) -> (s, { count = n; exact = true })) exactly
+  in
+  { default; overrides; bitwidth }
+
+let entry_for t name =
+  match List.assoc_opt name t.overrides with
+  | Some e -> e
+  | None -> { count = t.default; exact = false }
+
+let int_range t =
+  match t.bitwidth with
+  | None -> None
+  | Some w ->
+      if w < 1 || w > 16 then invalid_arg "Scope: bitwidth out of [1,16]"
+      else Some (-(1 lsl (w - 1)), (1 lsl (w - 1)) - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "for %d" t.default;
+  List.iter
+    (fun (s, e) ->
+      Format.fprintf ppf "%s %s%d %s"
+        (if t.overrides <> [] then " but" else "")
+        (if e.exact then "exactly " else "")
+        e.count s)
+    t.overrides;
+  match t.bitwidth with
+  | Some w -> Format.fprintf ppf " (bitwidth %d)" w
+  | None -> ()

@@ -1,0 +1,27 @@
+(** Analysis scopes: how many atoms each signature may have, Alloy's
+    [for 3 but 2 vnode, exactly 4 netState] clause. A scope bounds the
+    search space; the Alloy-lite commands are decision procedures only
+    within their scope. *)
+
+type entry = { count : int; exact : bool }
+
+type t = {
+  default : int;  (** atom budget for unmentioned top-level signatures *)
+  overrides : (string * entry) list;
+  bitwidth : int option;
+      (** [Some w] materializes Int atoms [-2{^w-1} .. 2{^w-1}-1];
+          [None] admits no integer atoms (the paper's efficient encoding
+          runs without them) *)
+}
+
+val make : ?bitwidth:int -> ?but:(string * int) list -> ?exactly:(string * int) list -> int -> t
+(** [make n] is [for n]; [~but] lists non-exact per-sig overrides,
+    [~exactly] exact ones. *)
+
+val entry_for : t -> string -> entry
+(** Scope entry for a signature name (falls back to the default). *)
+
+val int_range : t -> (int * int) option
+(** Inclusive range of integer atoms implied by the bitwidth. *)
+
+val pp : Format.formatter -> t -> unit

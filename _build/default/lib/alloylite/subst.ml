@@ -1,0 +1,128 @@
+open Relalg
+
+let counter = ref 0
+
+let fresh_name x =
+  incr counter;
+  Printf.sprintf "%s#%d" x !counter
+
+let rec expr_free (e : Ast.expr) : string list =
+  match e with
+  | Ast.Var x -> [ x ]
+  | Ast.Rel _ | Ast.Univ | Ast.None_ | Ast.Iden -> []
+  | Ast.Union (a, b) | Ast.Inter (a, b) | Ast.Diff (a, b) | Ast.Join (a, b)
+  | Ast.Product (a, b) | Ast.Override (a, b) | Ast.DomRestrict (a, b)
+  | Ast.RanRestrict (a, b) ->
+      expr_free a @ expr_free b
+  | Ast.Transpose e | Ast.Closure e | Ast.RClosure e -> expr_free e
+  | Ast.IfExpr (c, t, e) -> formula_free c @ expr_free t @ expr_free e
+  | Ast.Comprehension (decls, f) -> decls_free decls f
+
+and decls_free decls f =
+  (* domains see outer bindings; body sees the declared variables *)
+  let rec go bound = function
+    | [] -> List.filter (fun x -> not (List.mem x bound)) (formula_free f)
+    | (x, dom) :: rest ->
+        List.filter (fun y -> not (List.mem y bound)) (expr_free dom)
+        @ go (x :: bound) rest
+  in
+  go [] decls
+
+and formula_free (f : Ast.formula) : string list =
+  match f with
+  | Ast.True_ | Ast.False_ -> []
+  | Ast.Subset (a, b) | Ast.Eq (a, b) -> expr_free a @ expr_free b
+  | Ast.Some_ e | Ast.No e | Ast.One e | Ast.Lone e -> expr_free e
+  | Ast.Not f -> formula_free f
+  | Ast.And fs | Ast.Or fs -> List.concat_map formula_free fs
+  | Ast.Implies (a, b) | Ast.Iff (a, b) -> formula_free a @ formula_free b
+  | Ast.ForAll (decls, f) | Ast.Exists (decls, f) -> decls_free decls f
+  | Ast.IntCmp (_, a, b) -> int_free a @ int_free b
+
+and int_free (e : Ast.intexpr) : string list =
+  match e with
+  | Ast.IConst _ -> []
+  | Ast.Card e | Ast.SumOver e -> expr_free e
+  | Ast.Add (a, b) | Ast.Sub (a, b) | Ast.Mul (a, b) -> int_free a @ int_free b
+  | Ast.Neg a -> int_free a
+
+let free_vars f = List.sort_uniq compare (formula_free f)
+
+(* Substitution environment: var -> expr. [avoid] is the set of names
+   free in the substituted expressions; binders clashing with it are
+   renamed. *)
+let rec s_expr env avoid (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var x -> ( match List.assoc_opt x env with Some r -> r | None -> e)
+  | Ast.Rel _ | Ast.Univ | Ast.None_ | Ast.Iden -> e
+  | Ast.Union (a, b) -> Ast.Union (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Inter (a, b) -> Ast.Inter (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Diff (a, b) -> Ast.Diff (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Join (a, b) -> Ast.Join (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Product (a, b) -> Ast.Product (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Override (a, b) -> Ast.Override (s_expr env avoid a, s_expr env avoid b)
+  | Ast.DomRestrict (a, b) ->
+      Ast.DomRestrict (s_expr env avoid a, s_expr env avoid b)
+  | Ast.RanRestrict (a, b) ->
+      Ast.RanRestrict (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Transpose e -> Ast.Transpose (s_expr env avoid e)
+  | Ast.Closure e -> Ast.Closure (s_expr env avoid e)
+  | Ast.RClosure e -> Ast.RClosure (s_expr env avoid e)
+  | Ast.IfExpr (c, t, e) ->
+      Ast.IfExpr (s_formula env avoid c, s_expr env avoid t, s_expr env avoid e)
+  | Ast.Comprehension (decls, f) ->
+      let decls, env, avoid = s_decls env avoid decls in
+      Ast.Comprehension (decls, s_formula env avoid f)
+
+and s_decls env avoid decls =
+  (* rename binders that clash with [avoid]; drop shadowed env entries *)
+  let rec go env avoid acc = function
+    | [] -> (List.rev acc, env, avoid)
+    | (x, dom) :: rest ->
+        let dom = s_expr env avoid dom in
+        if List.mem x avoid then begin
+          let x' = fresh_name x in
+          let env = (x, Ast.Var x') :: env in
+          go env (x' :: avoid) ((x', dom) :: acc) rest
+        end
+        else
+          let env = List.remove_assoc x env in
+          go env avoid ((x, dom) :: acc) rest
+  in
+  go env avoid [] decls
+
+and s_formula env avoid (f : Ast.formula) : Ast.formula =
+  match f with
+  | Ast.True_ | Ast.False_ -> f
+  | Ast.Subset (a, b) -> Ast.Subset (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Eq (a, b) -> Ast.Eq (s_expr env avoid a, s_expr env avoid b)
+  | Ast.Some_ e -> Ast.Some_ (s_expr env avoid e)
+  | Ast.No e -> Ast.No (s_expr env avoid e)
+  | Ast.One e -> Ast.One (s_expr env avoid e)
+  | Ast.Lone e -> Ast.Lone (s_expr env avoid e)
+  | Ast.Not f -> Ast.Not (s_formula env avoid f)
+  | Ast.And fs -> Ast.And (List.map (s_formula env avoid) fs)
+  | Ast.Or fs -> Ast.Or (List.map (s_formula env avoid) fs)
+  | Ast.Implies (a, b) -> Ast.Implies (s_formula env avoid a, s_formula env avoid b)
+  | Ast.Iff (a, b) -> Ast.Iff (s_formula env avoid a, s_formula env avoid b)
+  | Ast.ForAll (decls, f) ->
+      let decls, env, avoid = s_decls env avoid decls in
+      Ast.ForAll (decls, s_formula env avoid f)
+  | Ast.Exists (decls, f) ->
+      let decls, env, avoid = s_decls env avoid decls in
+      Ast.Exists (decls, s_formula env avoid f)
+  | Ast.IntCmp (op, a, b) -> Ast.IntCmp (op, s_int env avoid a, s_int env avoid b)
+
+and s_int env avoid (e : Ast.intexpr) : Ast.intexpr =
+  match e with
+  | Ast.IConst _ -> e
+  | Ast.Card e -> Ast.Card (s_expr env avoid e)
+  | Ast.SumOver e -> Ast.SumOver (s_expr env avoid e)
+  | Ast.Add (a, b) -> Ast.Add (s_int env avoid a, s_int env avoid b)
+  | Ast.Sub (a, b) -> Ast.Sub (s_int env avoid a, s_int env avoid b)
+  | Ast.Mul (a, b) -> Ast.Mul (s_int env avoid a, s_int env avoid b)
+  | Ast.Neg a -> Ast.Neg (s_int env avoid a)
+
+let avoid_of env = List.concat_map (fun (_, e) -> expr_free e) env
+let expr env e = s_expr env (avoid_of env) e
+let formula env f = s_formula env (avoid_of env) f

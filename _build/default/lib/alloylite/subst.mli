@@ -1,0 +1,14 @@
+(** Capture-avoiding substitution of expressions for free variables in
+    relational formulas — the mechanism behind predicate-call inlining
+    (Alloy's [pred p[x: S] {...}] applied as [p[e]]). *)
+
+val expr : (string * Relalg.Ast.expr) list -> Relalg.Ast.expr -> Relalg.Ast.expr
+(** [expr env e] replaces each free [Var x] by [List.assoc x env] (when
+    bound in [env]). Binders shadow; bound variables that would capture a
+    free variable of a substituted expression are renamed. *)
+
+val formula :
+  (string * Relalg.Ast.expr) list -> Relalg.Ast.formula -> Relalg.Ast.formula
+
+val free_vars : Relalg.Ast.formula -> string list
+(** Free (unbound) variable names, sorted and duplicate-free. *)

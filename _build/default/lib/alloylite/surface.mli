@@ -1,0 +1,87 @@
+(** Surface abstract syntax of the textual mini-Alloy language, produced
+    by {!Parser} and consumed by {!Elaborate}. Kept separate from
+    {!Relalg.Ast} because the surface has conveniences (predicate calls,
+    [let], [disj] declarations, integer literals in relational position)
+    that elaborate away. *)
+
+type pos = { line : int; col : int }
+
+type mult = Mone | Mlone | Msome | Mset
+
+type expr =
+  | EName of pos * string
+  | EInt of pos * int
+  | EUniv of pos
+  | ENone of pos
+  | EIden of pos
+  | EUnion of expr * expr
+  | EDiff of expr * expr
+  | EInter of expr * expr
+  | EJoin of expr * expr
+  | EProduct of expr * expr
+  | EOverride of expr * expr
+  | EDomRestrict of expr * expr
+  | ERanRestrict of expr * expr
+  | ETranspose of pos * expr
+  | EClosure of pos * expr
+  | ERClosure of pos * expr
+  | ECard of pos * expr
+  | ESum of pos * expr
+  | ECall of pos * string * expr list
+      (** [plus]/[minus]/[mul] builtins or a function-style use *)
+  | ECompr of pos * decl list * fmla  (** [{ x: e | f }] *)
+  | EIte of fmla * expr * expr
+
+and fmla =
+  | FTrue of pos
+  | FFalse of pos
+  | FCompare of cmp * expr * expr
+  | FMult of mult_f * expr
+  | FNot of fmla
+  | FAnd of fmla * fmla
+  | FOr of fmla * fmla
+  | FImplies of fmla * fmla
+  | FIff of fmla * fmla
+  | FQuant of quant * decl list * fmla
+  | FCall of pos * string * expr list  (** predicate application *)
+  | FLet of pos * string * expr * fmla
+
+and cmp = Cin | Cnotin | Ceq | Cneq | Clt | Cle | Cgt | Cge
+and mult_f = FSome | FNo | FOne | FLone
+and quant = Qall | Qsome | Qno | Qlone | Qone
+and decl = { disj : bool; vars : (pos * string) list; domain : expr }
+
+type field_decl = {
+  f_name : string;
+  f_mult : mult;
+  f_cols : string list;  (** column signature names after the owner *)
+  f_pos : pos;
+}
+
+type sig_flag = Sabstract | Sone | Slone | Ssome
+
+type paragraph =
+  | Psig of {
+      p_pos : pos;
+      flags : sig_flag list;
+      name : string;
+      extends : string option;
+      fields : field_decl list;
+    }
+  | Pfact of pos * string option * fmla
+  | Ppred of pos * string * (string * string) list * fmla
+  | Pfun of pos * string * (string * string) list * expr
+      (** named expression with parameters (return declaration is
+          checked only for well-formedness) *)
+  | Passert of pos * string * fmla
+  | Popen_ordering of pos * string
+  | Pcheck of pos * string * scope
+  | Prun of pos * string option * fmla option * scope
+
+and scope = {
+  s_default : int;
+  s_but : (bool * int * string) list;  (** exactly?, count, sig *)
+  s_bitwidth : int option;
+}
+
+type file = paragraph list

@@ -1,0 +1,1 @@
+lib/checker/explore.ml: Format Hashtbl List State

@@ -1,0 +1,1 @@
+lib/checker/explore.mli: Format Mca State

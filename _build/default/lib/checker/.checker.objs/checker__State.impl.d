@@ -1,0 +1,1 @@
+lib/checker/state.ml: Array Buffer Format Hashtbl List Mca Netsim

@@ -1,0 +1,1 @@
+lib/checker/state.mli: Format Mca

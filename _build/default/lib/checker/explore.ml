@@ -1,0 +1,71 @@
+type verdict =
+  | Converges of { states : int; terminals : int }
+  | Nonconvergence of { trace : State.transition list; states : int }
+  | Bad_terminal of { trace : State.transition list; states : int }
+  | Unknown of { states : int }
+
+type color = Gray | Black
+
+(* Iterative DFS over the reachable configuration graph. A back edge to
+   a gray (on-stack) state is an oscillation witness: the cycle is
+   reachable and can be taken forever. *)
+let run ?(max_states = 200_000) cfg =
+  let exception Found of verdict in
+  let colors : (string, color) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 in
+  let terminals = ref 0 in
+  (* [path] is the reversed transition list from the initial state *)
+  let rec dfs path state =
+    let key = State.canonical_key state in
+    match Hashtbl.find_opt colors key with
+    | Some Gray ->
+        raise (Found (Nonconvergence { trace = List.rev path; states = !states }))
+    | Some Black -> ()
+    | None ->
+        incr states;
+        if !states > max_states then
+          raise (Found (Unknown { states = !states }));
+        Hashtbl.replace colors key Gray;
+        (match State.enabled state with
+        | [] ->
+            incr terminals;
+            if not (State.conflict_free state) then
+              raise
+                (Found (Bad_terminal { trace = List.rev path; states = !states }))
+        | trs ->
+            List.iter
+              (fun tr -> dfs (tr :: path) (State.apply cfg state tr))
+              trs);
+        Hashtbl.replace colors key Black
+  in
+  try
+    dfs [] (State.initial cfg);
+    Converges { states = !states; terminals = !terminals }
+  with Found v -> v
+
+let replay cfg trace =
+  let rec go state acc = function
+    | [] -> List.rev (state :: acc)
+    | tr :: rest -> go (State.apply cfg state tr) (state :: acc) rest
+  in
+  go (State.initial cfg) [] trace
+
+let pp_transition ppf = function
+  | State.Deliver i -> Format.fprintf ppf "deliver#%d" i
+  | State.Quiesce -> Format.pp_print_string ppf "quiesce"
+
+let pp_verdict ppf = function
+  | Converges { states; terminals } ->
+      Format.fprintf ppf
+        "consensus holds: every interleaving converges (%d states, %d terminal)"
+        states terminals
+  | Nonconvergence { trace; states } ->
+      Format.fprintf ppf
+        "NONCONVERGENCE: oscillation after %d steps (%d states explored)"
+        (List.length trace) states
+  | Bad_terminal { trace; states } ->
+      Format.fprintf ppf
+        "CONFLICTING terminal allocation after %d steps (%d states explored)"
+        (List.length trace) states
+  | Unknown { states } ->
+      Format.fprintf ppf "unknown: state budget exhausted (%d states)" states

@@ -1,0 +1,38 @@
+(** Exhaustive bounded model checking of MCA convergence.
+
+    Explores every reachable configuration under every message
+    interleaving (depth-first, deduplicating states by
+    {!State.canonical_key}). Because time-rank canonicalization makes
+    the state space finite, the search decides the paper's consensus
+    property for the given scope:
+
+    - {b Converges}: every execution reaches a terminal state (empty
+      buffer, no possible bid, all views equal), and every terminal
+      allocation is conflict-free — the assertion of Section V holds.
+    - {b Nonconvergence}: some execution revisits a configuration (a back
+      edge in the reachable-state graph), i.e. the protocol can oscillate
+      forever — the paper's instability counterexample, with the witness
+      trace.
+    - {b Bad_terminal}: an execution terminates in a conflicting
+      allocation (never observed; kept as a soundness alarm).
+    - {b Unknown}: the state budget was exhausted first.
+
+    This explicit-state path is the independent oracle for the SAT-based
+    Alloy-lite model of [Mca_model] — experiment E3 runs both and
+    cross-checks the verdicts. *)
+
+type verdict =
+  | Converges of { states : int; terminals : int }
+  | Nonconvergence of { trace : State.transition list; states : int }
+  | Bad_terminal of { trace : State.transition list; states : int }
+  | Unknown of { states : int }
+
+val run : ?max_states:int -> Mca.Protocol.config -> verdict
+(** Default budget: 200_000 states. *)
+
+val replay : Mca.Protocol.config -> State.transition list -> State.t list
+(** Replays a witness trace from the initial state; the returned list
+    includes the initial and every intermediate state. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_transition : Format.formatter -> State.transition -> unit

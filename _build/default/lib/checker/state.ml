@@ -1,0 +1,175 @@
+type pending = {
+  src : Mca.Types.agent_id;
+  dst : Mca.Types.agent_id;
+  view : Mca.Types.view;
+}
+
+type t = { agents : Mca.Agent.t array; buffer : pending list }
+
+let clone s =
+  {
+    agents = Array.map Mca.Agent.clone s.agents;
+    buffer = s.buffer (* pendings are immutable snapshots *);
+  }
+
+let broadcast cfg agents buffer i =
+  let snap = Mca.Agent.snapshot agents.(i) in
+  List.fold_left
+    (fun buf nb -> buf @ [ { src = i; dst = nb; view = snap } ])
+    buffer
+    (Netsim.Graph.neighbors cfg.Mca.Protocol.graph i)
+
+let initial (cfg : Mca.Protocol.config) =
+  let n = Netsim.Graph.num_nodes cfg.Mca.Protocol.graph in
+  let agents =
+    Array.init n (fun i ->
+        Mca.Agent.create ~id:i ~num_items:cfg.Mca.Protocol.num_items
+          ~base_utility:cfg.Mca.Protocol.base_utilities.(i)
+          ~policy:cfg.Mca.Protocol.policies.(i))
+  in
+  let buffer = ref [] in
+  Array.iteri
+    (fun i a ->
+      ignore (Mca.Agent.bid_phase a);
+      buffer := broadcast cfg agents !buffer i)
+    agents;
+  { agents; buffer = !buffer }
+
+type transition = Deliver of int | Quiesce
+
+let consensus s = Mca.Protocol.consensus_reached s.agents
+let conflict_free s = Mca.Protocol.conflict_free s.agents
+
+(* Probe whether any agent could bid, without mutating the state. *)
+let can_bid s =
+  Array.exists (fun a -> Mca.Agent.bid_phase (Mca.Agent.clone a)) s.agents
+
+let is_terminal _cfg s = s.buffer = [] && (not (can_bid s)) && consensus s
+
+let enabled s =
+  match s.buffer with
+  | [] -> if (not (can_bid s)) && consensus s then [] else [ Quiesce ]
+  | msgs -> List.mapi (fun i _ -> Deliver i) msgs
+
+let apply cfg s tr =
+  let s = clone s in
+  match tr with
+  | Deliver i ->
+      let rec take k acc = function
+        | [] -> invalid_arg "State.apply: no such message"
+        | m :: rest ->
+            if k = i then (m, List.rev_append acc rest)
+            else take (k + 1) (m :: acc) rest
+      in
+      let m, rest = take 0 [] s.buffer in
+      let changed =
+        Mca.Agent.receive s.agents.(m.dst)
+          { Mca.Types.sender = m.src; view = m.view }
+      in
+      let rebid = Mca.Agent.bid_phase s.agents.(m.dst) in
+      let buffer =
+        if changed || rebid then broadcast cfg s.agents rest m.dst else rest
+      in
+      { s with buffer }
+  | Quiesce ->
+      let buffer = ref s.buffer in
+      let any_bid = ref false in
+      Array.iteri
+        (fun i a ->
+          if Mca.Agent.bid_phase a then begin
+            any_bid := true;
+            buffer := broadcast cfg s.agents !buffer i
+          end)
+        s.agents;
+      if (not !any_bid) && not (consensus s) then
+        (* anti-entropy: full exchange to flush stale entries *)
+        Array.iteri
+          (fun i _ -> buffer := broadcast cfg s.agents !buffer i)
+          s.agents;
+      { s with buffer = !buffer }
+
+(* Canonical key: serialize agents and the (order-insensitive) buffer,
+   with every timestamp replaced by its rank among the timestamps
+   occurring anywhere in the configuration. *)
+let canonical_key s =
+  let times = Hashtbl.create 64 in
+  let note t = Hashtbl.replace times t () in
+  Array.iter
+    (fun a ->
+      note (Mca.Agent.clock a);
+      Array.iter (fun (e : Mca.Types.entry) -> note e.Mca.Types.time) (Mca.Agent.view a))
+    s.agents;
+  List.iter
+    (fun m -> Array.iter (fun (e : Mca.Types.entry) -> note e.Mca.Types.time) m.view)
+    s.buffer;
+  let sorted = List.sort compare (Hashtbl.fold (fun t () acc -> t :: acc) times []) in
+  let rank = Hashtbl.create 64 in
+  List.iteri (fun i t -> Hashtbl.replace rank t i) sorted;
+  let r t = Hashtbl.find rank t in
+  let buf = Buffer.create 512 in
+  let add_view view =
+    Array.iter
+      (fun (e : Mca.Types.entry) ->
+        (match e.Mca.Types.winner with
+        | Mca.Types.Nobody -> Buffer.add_char buf '-'
+        | Mca.Types.Agent i -> Buffer.add_string buf (string_of_int i));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int e.Mca.Types.bid);
+        Buffer.add_char buf '@';
+        Buffer.add_string buf (string_of_int (r e.Mca.Types.time));
+        Buffer.add_char buf ' ')
+      view
+  in
+  Array.iter
+    (fun a ->
+      add_view (Mca.Agent.view a);
+      Buffer.add_char buf '|';
+      List.iter
+        (fun j ->
+          Buffer.add_string buf (string_of_int j);
+          Buffer.add_char buf ',')
+        (Mca.Agent.bundle a);
+      Buffer.add_char buf '|';
+      List.iter
+        (fun j ->
+          Buffer.add_string buf (string_of_int j);
+          Buffer.add_char buf ',')
+        (Mca.Agent.lost_items a);
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int (r (Mca.Agent.clock a)));
+      Buffer.add_char buf ';')
+    s.agents;
+  (* buffer as a sorted multiset *)
+  let pend_strs =
+    List.map
+      (fun m ->
+        let b = Buffer.create 64 in
+        Buffer.add_string b (string_of_int m.src);
+        Buffer.add_char b '>';
+        Buffer.add_string b (string_of_int m.dst);
+        Buffer.add_char b '=';
+        Array.iter
+          (fun (e : Mca.Types.entry) ->
+            (match e.Mca.Types.winner with
+            | Mca.Types.Nobody -> Buffer.add_char b '-'
+            | Mca.Types.Agent i -> Buffer.add_string b (string_of_int i));
+            Buffer.add_char b ':';
+            Buffer.add_string b (string_of_int e.Mca.Types.bid);
+            Buffer.add_char b '@';
+            Buffer.add_string b (string_of_int (r e.Mca.Types.time));
+            Buffer.add_char b ' ')
+          m.view;
+        Buffer.contents b)
+      s.buffer
+  in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf p;
+      Buffer.add_char buf '#')
+    (List.sort compare pend_strs);
+  Buffer.contents buf
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun a -> Format.fprintf ppf "%a@," Mca.Agent.pp a) s.agents;
+  Format.fprintf ppf "in flight: %d message(s)@]" (List.length s.buffer)

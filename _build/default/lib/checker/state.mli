@@ -1,0 +1,48 @@
+(** Global protocol configurations for the explicit-state checker: the
+    joint state of all agents plus the multiset of in-flight messages —
+    exactly the paper's [netState] signature ([bidVectors] + [buffMsgs]).
+
+    States are deduplicated by a canonical key in which bid timestamps
+    are replaced by their rank among all timestamps present in the
+    configuration. Relative order is all the conflict-resolution table
+    ever inspects, so rank compression is a bisimulation-preserving
+    abstraction — and it makes the reachable state space finite, turning
+    the checker into a decision procedure for the given scope. *)
+
+type pending = { src : Mca.Types.agent_id; dst : Mca.Types.agent_id; view : Mca.Types.view }
+
+type t = {
+  agents : Mca.Agent.t array;
+  buffer : pending list;  (** oldest first *)
+}
+
+val initial : Mca.Protocol.config -> t
+(** Every agent runs its first bidding phase and broadcasts to its
+    neighbors, as in the protocol driver. *)
+
+val clone : t -> t
+
+(** One checker transition. *)
+type transition =
+  | Deliver of int  (** index into the buffer *)
+  | Quiesce  (** empty buffer: give every agent a bidding opportunity and
+                 rebroadcast (also anti-entropy when views disagree) *)
+
+val enabled : t -> transition list
+(** All transitions from this state ([Deliver i] for each buffered
+    message, or [Quiesce] when the buffer is empty and the state is not
+    yet terminal). The empty list means the state is terminal. *)
+
+val apply : Mca.Protocol.config -> t -> transition -> t
+(** Executes a transition on a fresh copy (the input state is not
+    mutated). *)
+
+val is_terminal : Mca.Protocol.config -> t -> bool
+(** Empty buffer, no agent can bid, and all views agree. *)
+
+val canonical_key : t -> string
+(** Time-rank-canonicalized digest used for state deduplication. *)
+
+val consensus : t -> bool
+val conflict_free : t -> bool
+val pp : Format.formatter -> t -> unit

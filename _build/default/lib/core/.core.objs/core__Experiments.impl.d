@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Alloylite Array Checker Format List Mca Mca_model Netsim Printf Relalg Unix Vnm

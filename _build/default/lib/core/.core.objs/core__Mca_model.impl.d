@@ -1,0 +1,1 @@
+lib/core/mca_model.ml: Alloylite Printf Relalg Stdlib

@@ -1,0 +1,440 @@
+(* One driver per paper artifact. Each prints a table shaped like the
+   paper's narrative and returns the rows for programmatic checks. *)
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1                                                       *)
+
+type figure1_row = { item : string; winner : int; bid : int }
+
+let figure1 ppf =
+  let cfg =
+    Mca.Protocol.uniform_config ~graph:(Netsim.Topology.clique 2) ~num_items:3
+      ~base_utilities:[| [| 10; 0; 30 |]; [| 20; 15; 0 |] |]
+      ~policy:(Mca.Policy.make ~utility:(Mca.Policy.Submodular 0) ~target_items:2 ())
+  in
+  match Mca.Protocol.run_sync cfg with
+  | Mca.Protocol.Converged { allocation; rounds; messages } ->
+      Format.fprintf ppf "E1 (Figure 1): consensus in %d round(s), %d messages@."
+        rounds messages;
+      let names = [| "A"; "B"; "C" |] in
+      let rows =
+        Array.to_list
+          (Array.mapi
+             (fun j w ->
+               let winner =
+                 match w with Mca.Types.Agent i -> i | Mca.Types.Nobody -> -1
+               in
+               { item = names.(j); winner; bid = 0 })
+             allocation)
+      in
+      List.iter
+        (fun r -> Format.fprintf ppf "  item %s -> agent %d@." r.item r.winner)
+        rows;
+      rows
+  | v ->
+      Format.fprintf ppf "E1 (Figure 1): UNEXPECTED %a@." Mca.Protocol.pp_verdict v;
+      []
+
+(* ------------------------------------------------------------------ *)
+(* E2/E3 — Result 1 policy matrix                                      *)
+
+type matrix_row = {
+  policy_name : string;
+  sim_converges : bool;
+  explicit_converges : bool;
+  sat_holds : bool;
+}
+
+let contended policy =
+  Mca.Protocol.uniform_config ~graph:(Netsim.Topology.clique 2) ~num_items:2
+    ~base_utilities:[| [| 10; 11 |]; [| 11; 10 |] |]
+    ~policy
+
+let policy_matrix ?(include_sat = true) ppf =
+  Format.fprintf ppf
+    "E3 (Result 1/2): policy matrix — converges? (sim / exhaustive%s)@."
+    (if include_sat then " / SAT model" else "");
+  let rows =
+    List.map2
+      (fun (name, p) (_, mp) ->
+        let sim_converges =
+          match Mca.Protocol.run_sync ~max_rounds:200 (contended p) with
+          | Mca.Protocol.Converged _ -> true
+          | _ -> false
+        in
+        let explicit_converges =
+          match Checker.Explore.run (contended p) with
+          | Checker.Explore.Converges _ -> true
+          | _ -> false
+        in
+        let sat_holds =
+          if not include_sat then sim_converges
+          else
+            match
+              Mca_model.check_consensus ~symmetry:true
+                (Mca_model.build Mca_model.Efficient mp Mca_model.small_scope)
+            with
+            | Alloylite.Compile.Unsat -> true
+            | Alloylite.Compile.Sat _ -> false
+        in
+        Format.fprintf ppf "  %-26s %-10b %-10b %s@." name sim_converges
+          explicit_converges
+          (if include_sat then string_of_bool sat_holds else "(skipped)");
+        { policy_name = name; sim_converges; explicit_converges; sat_holds })
+      Mca.Policy.paper_grid Mca_model.paper_policies
+  in
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Result 2                                                       *)
+
+type attack_row = {
+  scenario : string;
+  converges : bool;
+  detected : Mca.Types.agent_id list;
+}
+
+let run_with_monitor cfg rounds =
+  let n = Array.length cfg.Mca.Protocol.policies in
+  let items = cfg.Mca.Protocol.num_items in
+  let agents =
+    Array.init n (fun i ->
+        Mca.Agent.create ~id:i ~num_items:items
+          ~base_utility:cfg.Mca.Protocol.base_utilities.(i)
+          ~policy:cfg.Mca.Protocol.policies.(i))
+  in
+  let monitor = Mca.Attack.create_monitor ~num_agents:n ~num_items:items in
+  for _ = 1 to rounds do
+    Array.iter (fun a -> ignore (Mca.Agent.bid_phase a)) agents;
+    let snaps = Array.map Mca.Agent.snapshot agents in
+    let batch =
+      List.concat_map
+        (fun (u, w) ->
+          [ (w, { Mca.Types.sender = u; view = snaps.(u) });
+            (u, { Mca.Types.sender = w; view = snaps.(w) }) ])
+        (Netsim.Graph.edges cfg.Mca.Protocol.graph)
+    in
+    ignore (Mca.Attack.observe_batch monitor batch);
+    List.iter (fun (dst, msg) -> ignore (Mca.Agent.receive agents.(dst) msg)) batch
+  done;
+  Mca.Attack.flagged monitor
+
+let rebidding_attack ppf =
+  Format.fprintf ppf "E4 (Result 2): rebidding attack and detection@.";
+  let rng = Netsim.Rng.create 7 in
+  let graph = Netsim.Topology.ring 4 in
+  let base_utilities =
+    Array.init 4 (fun _ -> Array.init 3 (fun _ -> 5 + Netsim.Rng.int rng 20))
+  in
+  let honest_cfg =
+    Mca.Protocol.uniform_config ~graph ~num_items:3 ~base_utilities
+      ~policy:(Mca.Policy.make ~utility:(Mca.Policy.Submodular 2) ~target_items:2 ())
+  in
+  let attacked = Mca.Attack.attacker_config ~base:honest_cfg ~attacker:2 in
+  let verdict cfg =
+    match Mca.Protocol.run_sync ~max_rounds:100 cfg with
+    | Mca.Protocol.Converged _ -> true
+    | _ -> false
+  in
+  let rows =
+    [
+      { scenario = "all honest"; converges = verdict honest_cfg;
+        detected = run_with_monitor honest_cfg 12 };
+      { scenario = "agent 2 rebids on lost items"; converges = verdict attacked;
+        detected = run_with_monitor attacked 12 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-30s converges=%-5b flagged=[%a]@." r.scenario
+        r.converges
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+           Format.pp_print_int)
+        r.detected)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E5 — abstraction efficiency                                         *)
+
+type encoding_row = {
+  encoding : string;
+  scope_label : string;
+  primary : int;
+  vars : int;
+  clauses : int;
+  solve_seconds : float option;
+}
+
+let encoding_comparison ?(solve_naive = false) ppf =
+  Format.fprintf ppf
+    "E5 (abstractions): naive Int encoding vs efficient value/bidVector@.";
+  Format.fprintf ppf
+    "    encoding (paper: 259K vs 190K clauses, ~1 day vs <2 h), plus the@.";
+  Format.fprintf ppf
+    "    buffered (explicit message atoms) variant and a symmetry ablation@.";
+  let scopes =
+    [
+      ("2p/2v/5st", { Mca_model.small_scope with Mca_model.states = 5 });
+      ("3p/2v/5st", { Mca_model.paper_scope with Mca_model.states = 5 });
+    ]
+  in
+  let variants =
+    [
+      ("efficient", Mca_model.Efficient, false);
+      ("eff+symm", Mca_model.Efficient, true);
+      ("buffered", Mca_model.Buffered, false);
+      ("naive", Mca_model.Naive, false);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (scope_label, scope) ->
+        List.map
+          (fun (encoding, enc, symmetry) ->
+            let m = Mca_model.build enc Mca_model.honest_submodular scope in
+            let st = Mca_model.translation_stats m in
+            let solve_seconds =
+              (* the buffered and naive encodings mirror the paper's slow
+                 full model: report their translation size, solve only on
+                 request *)
+              let solve_this =
+                match enc with
+                | Mca_model.Efficient -> scope_label = "2p/2v/5st"
+                | Mca_model.Buffered | Mca_model.Naive -> solve_naive
+              in
+              if solve_this then begin
+                let t0 = Unix.gettimeofday () in
+                ignore (Mca_model.check_consensus ~symmetry m);
+                Some (Unix.gettimeofday () -. t0)
+              end
+              else None
+            in
+            let row =
+              {
+                encoding;
+                scope_label;
+                primary = st.Relalg.Translate.primary;
+                vars = st.Relalg.Translate.vars;
+                clauses = st.Relalg.Translate.clauses;
+                solve_seconds;
+              }
+            in
+            Format.fprintf ppf
+              "  %-10s %-10s primary=%6d vars=%7d clauses=%9d solve=%s@."
+              row.encoding row.scope_label row.primary row.vars row.clauses
+              (match row.solve_seconds with
+              | Some s -> Printf.sprintf "%.1fs" s
+              | None -> "(skipped)");
+            row)
+          variants)
+      scopes
+  in
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E6 — the D·|J| bound                                                *)
+
+type bound_row = {
+  topology : string;
+  agents : int;
+  diameter : int;
+  items : int;
+  rounds : int;
+  messages : int;
+  bound : int;
+}
+
+let convergence_bound ppf =
+  Format.fprintf ppf
+    "E6 (Section V bound): rounds to consensus vs D * |J| across topologies@.";
+  let rng = Netsim.Rng.create 2026 in
+  let topologies n =
+    [
+      ("line", Netsim.Topology.line n);
+      ("ring", Netsim.Topology.ring (max 3 n));
+      ("star", Netsim.Topology.star n);
+      ("clique", Netsim.Topology.clique n);
+      ("erdos-renyi", Netsim.Topology.erdos_renyi_connected rng n 0.4);
+      ("barabasi-albert", Netsim.Topology.barabasi_albert rng n 2);
+      ("watts-strogatz",
+        (let g = Netsim.Topology.watts_strogatz rng n 2 0.2 in
+         if Netsim.Graph.is_connected g then g else Netsim.Topology.ring n));
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (topology, graph) ->
+          List.iter
+            (fun items ->
+              let base_utilities =
+                Array.init n (fun _ ->
+                    Array.init items (fun _ -> 1 + Netsim.Rng.int rng 30))
+              in
+              let cfg =
+                Mca.Protocol.uniform_config ~graph ~num_items:items
+                  ~base_utilities
+                  ~policy:
+                    (Mca.Policy.make ~utility:(Mca.Policy.Submodular 1)
+                       ~target_items:items ())
+              in
+              match Mca.Protocol.run_sync ~max_rounds:500 cfg with
+              | Mca.Protocol.Converged { rounds; messages; _ } ->
+                  let diameter = Netsim.Graph.diameter graph in
+                  rows :=
+                    {
+                      topology;
+                      agents = n;
+                      diameter;
+                      items;
+                      rounds;
+                      messages;
+                      bound = diameter * items;
+                    }
+                    :: !rows
+              | _ -> ())
+            [ 1; 2; 4 ])
+        (topologies n))
+    [ 4; 6; 8 ];
+  let rows = List.rev !rows in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  %-12s n=%d D=%d |J|=%d : %3d rounds (bound D*J=%2d), %4d msgs@."
+        r.topology r.agents r.diameter r.items r.rounds r.bound r.messages)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E7 — VN mapping                                                     *)
+
+type vnm_row = {
+  mapper : string;
+  accepted : int;
+  total : int;
+  mean_residual_ratio : float;
+}
+
+let vnm_comparison ?(instances = 30) ppf =
+  Format.fprintf ppf
+    "E7 (case study): VN embedding — MCA vs greedy vs optimum (%d requests)@."
+    instances;
+  let rng = Netsim.Rng.create 11 in
+  let cases =
+    List.init instances (fun _ ->
+        let physical =
+          Vnm.Vnet.random_physical rng ~nodes:6 ~edge_prob:0.5 ~max_cpu:20
+            ~max_bw:16
+        in
+        let virtual_net =
+          Vnm.Vnet.random_virtual rng ~nodes:3 ~edge_prob:0.6 ~max_cpu:5 ~max_bw:4
+        in
+        (physical, virtual_net))
+  in
+  let evaluate mapper_name run =
+    let accepted = ref 0 and ratios = ref [] in
+    List.iter
+      (fun (physical, virtual_net) ->
+        let r : Vnm.Embed.result = run ~physical ~virtual_net in
+        if r.Vnm.Embed.accepted then begin
+          incr accepted;
+          match Vnm.Embed.optimal_node_map ~physical ~virtual_net with
+          | Some opt ->
+              let u = Vnm.Embed.total_residual ~physical ~virtual_net
+                        r.Vnm.Embed.mapping.Vnm.Embed.node_map in
+              let uo = Vnm.Embed.total_residual ~physical ~virtual_net opt in
+              if uo > 0 then
+                ratios := (float_of_int u /. float_of_int uo) :: !ratios
+          | None -> ()
+        end)
+      cases;
+    let mean =
+      match !ratios with
+      | [] -> 0.0
+      | rs -> List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)
+    in
+    {
+      mapper = mapper_name;
+      accepted = !accepted;
+      total = instances;
+      mean_residual_ratio = mean;
+    }
+  in
+  let rows =
+    [
+      evaluate "MCA (submodular)" (fun ~physical ~virtual_net ->
+          Vnm.Embed.mca ~physical ~virtual_net ());
+      evaluate "greedy (centralized)" (fun ~physical ~virtual_net ->
+          Vnm.Embed.greedy ~physical ~virtual_net ());
+      evaluate "MCA misconfigured" (fun ~physical ~virtual_net ->
+          Vnm.Embed.mca_nonsubmodular ~physical ~virtual_net ());
+    ]
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-22s accepted %2d/%2d, mean residual ratio %.3f@."
+        r.mapper r.accepted r.total r.mean_residual_ratio)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E8 — the Section III listings through the textual frontend          *)
+
+let listing_source =
+  {|
+    sig vnode {}
+    sig pnode {
+      pid: one Int,
+      pcp: one Int,
+      initBids: vnode -> Int,
+      pconnections: set pnode
+    }
+
+    fact uniqueIDs { all disj n1, n2: pnode | n1.pid != n2.pid }
+    fact pconnectivity {
+      all disj pn1, pn2: pnode |
+        (pn1 in pn2.pconnections) <=> (pn2 in pn1.pconnections)
+    }
+    fact pcapacity { all p: pnode | (sum vnode.(p.initBids)) <= (sum p.pcp) }
+
+    assert uniqueID { all disj n1, n2: pnode | n1.pid != n2.pid }
+    assert symmetricLinks {
+      all pn1, pn2: pnode |
+        (pn1 in pn2.pconnections) => (pn2 in pn1.pconnections)
+    }
+    assert everyoneOverbids { all p: pnode | some p.initBids }
+
+    check uniqueID for 3 but 4 Int
+    check symmetricLinks for 3 but 4 Int
+    check everyoneOverbids for 3 but 4 Int
+    run {} for 3 but 4 Int
+  |}
+
+let paper_listings ppf =
+  Format.fprintf ppf "E8 (Section III listings): textual frontend checks@.";
+  (* expected per command: check uniqueID holds (Unsat), symmetricLinks
+     holds (Unsat), everyoneOverbids refuted (Sat), run {} satisfiable *)
+  let expected =
+    [
+      ("check uniqueID", false);
+      ("check symmetricLinks", false);
+      ("check everyoneOverbids", true);
+      ("run {}", true);
+    ]
+  in
+  let results = Alloylite.Elaborate.run_file listing_source in
+  List.map2
+    (fun (label, outcome) (elabel, expect_sat) ->
+      assert (label = elabel);
+      let sat = match outcome with Alloylite.Compile.Sat _ -> true | _ -> false in
+      let ok = sat = expect_sat in
+      Format.fprintf ppf "  %-26s %-24s %s@." label
+        (match outcome with
+        | Alloylite.Compile.Sat _ -> "instance/counterexample"
+        | Alloylite.Compile.Unsat -> "holds/none")
+        (if ok then "as expected" else "UNEXPECTED");
+      (label, ok))
+    results expected

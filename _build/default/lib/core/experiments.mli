@@ -1,0 +1,85 @@
+(** Experiment drivers: one function per paper artifact (see the
+    experiment index in DESIGN.md). Each returns the rows it printed so
+    tests and the bench harness can assert the qualitative shape —
+    who converges, who oscillates, which encoding is smaller — that the
+    paper reports. *)
+
+(** E1 — Figure 1: the two-agent, three-item worked example. *)
+type figure1_row = {
+  item : string;
+  winner : int;  (** agent index *)
+  bid : int;
+}
+
+val figure1 : Format.formatter -> figure1_row list
+(** Runs the Figure-1 auction and prints the final consensus column.
+    Expected: A→1@20, B→1@15, C→0@30 in 1 exchange round. *)
+
+(** E2/E3 — Figure 2 and Result 1: the policy matrix over the three
+    backends. *)
+type matrix_row = {
+  policy_name : string;
+  sim_converges : bool;
+  explicit_converges : bool;
+  sat_holds : bool;
+}
+
+val policy_matrix : ?include_sat:bool -> Format.formatter -> matrix_row list
+(** Prints the Result-1 table. [include_sat] (default true) also runs the
+    SAT-model checks (tens of seconds for the UNSAT rows). *)
+
+(** E4 — Result 2: the rebidding attack with a single attacker, plus the
+    footnote-7 detection. *)
+type attack_row = {
+  scenario : string;
+  converges : bool;
+  detected : Mca.Types.agent_id list;
+}
+
+val rebidding_attack : Format.formatter -> attack_row list
+
+(** E5 — the abstraction-efficiency study: naive vs efficient encoding
+    translation sizes (the paper's 259K vs 190K clause comparison), and
+    solve time for the tractable cases. *)
+type encoding_row = {
+  encoding : string;
+  scope_label : string;
+  primary : int;
+  vars : int;
+  clauses : int;
+  solve_seconds : float option;  (** [None] when skipped as intractable *)
+}
+
+val encoding_comparison : ?solve_naive:bool -> Format.formatter -> encoding_row list
+(** [solve_naive] (default false) also times the naive-encoding check —
+    expect minutes-to-hours, matching the paper's day-long naive run. *)
+
+(** E6 — the D·|J| convergence bound: rounds-to-consensus across
+    topologies and item counts. *)
+type bound_row = {
+  topology : string;
+  agents : int;
+  diameter : int;
+  items : int;
+  rounds : int;
+  messages : int;
+  bound : int;  (** D * |J| *)
+}
+
+val convergence_bound : Format.formatter -> bound_row list
+
+(** E7 — the VN-mapping case study: acceptance and utility of MCA
+    against the greedy and optimal baselines. *)
+type vnm_row = {
+  mapper : string;
+  accepted : int;
+  total : int;
+  mean_residual_ratio : float;  (** vs exhaustive optimum, accepted only *)
+}
+
+val vnm_comparison : ?instances:int -> Format.formatter -> vnm_row list
+
+(** E8 — the Section III listings, run through the textual frontend. *)
+val paper_listings : Format.formatter -> (string * bool) list
+(** Returns [(command, expected_outcome_met)] per command of the
+    reconstructed listing file. *)

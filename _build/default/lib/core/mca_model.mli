@@ -1,0 +1,89 @@
+(** The paper's Alloy model of the Max-Consensus Auction, rebuilt on the
+    Alloy-lite stack — static sub-model (agents, items, connectivity,
+    utilities, policies) plus dynamic sub-model (ordered [netState]
+    trace, message-processing and bidding transitions, release-on-outbid
+    reaction), with the [consensus] assertion of Section V.
+
+    Two encodings reproduce the paper's abstraction-efficiency study
+    (Section IV, "Abstractions Efficiency"):
+
+    - {b Naive}: per-state information kept in quaternary relations
+      [netState -> pnode -> vnode -> _] and bids drawn from the built-in
+      [Int] (compiled to bit-vector circuits), mirroring the paper's
+      first model with ternary relations + integers;
+    - {b Efficient}: the per-(state, agent) rows reified as [bidVector]
+      atoms with lower-arity fields — the paper's [bidTriple] trick —
+      and bids drawn from an ordered, exactly-bounded [value] signature
+      whose comparisons translate to constant matrices instead of adder
+      circuits;
+    - {b Buffered}: the Efficient data layout plus the paper's explicit
+      [message] signature and per-state [buffMsgs] buffer — every
+      transition consumes one (possibly stale) buffered message, exactly
+      the paper's [stateTransition]/[messageProcessing] design. The
+      Efficient encoding instead abstracts in-flight staleness into a
+      simultaneous-exchange transition (see DESIGN.md §5.0); the
+      Buffered one makes it concrete at a higher translation cost.
+
+    Both encodings expose the same commands; experiment E5 measures the
+    translation-size gap, and experiments E3/E4 check the [consensus]
+    assertion per policy, cross-validated against {!Checker.Explore}. *)
+
+type encoding = Naive | Efficient | Buffered
+
+type policy = {
+  submodular : bool;  (** p_u: later bids no larger (Definition 2) *)
+  release_outbid : bool;  (** p_RO *)
+  rebid_attack : bool;
+      (** Result 2: some (solver-chosen, nonempty) set of agents ignores
+          the Remark-1 beat-check *)
+  target : int;  (** p_T: 1 or 2 items per agent *)
+}
+
+val honest_submodular : policy
+val paper_policies : (string * policy) list
+(** The Result-1/Result-2 grid, named as in {!Mca.Policy.paper_grid}. *)
+
+type scope_spec = {
+  pnodes : int;
+  vnodes : int;
+  states : int;  (** trace length (netState scope; ordered, exact) *)
+  values : int;  (** bid levels for the efficient encoding (ordered) *)
+  bitwidth : int;  (** Int bitwidth for the naive encoding *)
+}
+
+val paper_scope : scope_spec
+(** The paper's headline scope: 3 physical nodes, 2 virtual nodes (plus
+    5 states, 6 values, bitwidth 4). *)
+
+val small_scope : scope_spec
+(** 2×2, for quick checks and tests. *)
+
+type t = {
+  compiled : Alloylite.Compile.t;
+  encoding : encoding;
+  policy : policy;
+  scope : scope_spec;
+  consensus_pred : Relalg.Ast.formula;
+      (** the assertion body: agreement on winners and bids at the last
+          state of the trace *)
+}
+
+val build : encoding -> policy -> scope_spec -> t
+(** Compiles the model. Raises [Invalid_argument] for a [target] outside
+    [1..vnodes] or non-positive scopes. *)
+
+val check_consensus : ?symmetry:bool -> t -> Alloylite.Compile.outcome
+(** The paper's [check consensus]: searches for a trace refuting
+    consensus at the horizon. [Sat inst] is an oscillation/instability
+    counterexample; [Unsat] means the assertion holds in scope.
+    [symmetry] (default false) adds Kodkod-style symmetry-breaking
+    predicates — the ablation of experiment E5b. *)
+
+val run_instance : t -> Alloylite.Compile.outcome
+(** [run {}]: any instance of the model (sanity: the facts are
+    satisfiable, so [check] verdicts are not vacuous). *)
+
+val translation_stats : t -> Relalg.Translate.stats
+(** Size of the [check consensus] SAT translation (experiment E5). *)
+
+val describe : t -> string

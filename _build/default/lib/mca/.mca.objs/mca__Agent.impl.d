@@ -1,0 +1,1 @@
+lib/mca/agent.ml: Array Format Fun List Policy Types

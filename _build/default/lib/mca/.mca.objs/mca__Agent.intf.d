@@ -1,0 +1,1 @@
+lib/mca/agent.mli: Format Policy Types

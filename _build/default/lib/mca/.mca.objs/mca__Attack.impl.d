@@ -1,0 +1,1 @@
+lib/mca/attack.ml: Array List Policy Protocol Types

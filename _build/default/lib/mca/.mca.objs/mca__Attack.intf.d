@@ -1,0 +1,1 @@
+lib/mca/attack.mli: Protocol Types

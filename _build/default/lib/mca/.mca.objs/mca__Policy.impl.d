@@ -1,0 +1,1 @@
+lib/mca/policy.ml: Format List Printf Types

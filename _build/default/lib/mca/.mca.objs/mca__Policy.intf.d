@@ -1,0 +1,1 @@
+lib/mca/policy.mli: Format Types

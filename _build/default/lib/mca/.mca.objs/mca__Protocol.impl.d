@@ -1,0 +1,1 @@
+lib/mca/protocol.ml: Agent Array Format Hashtbl List Netsim Policy Trace Types

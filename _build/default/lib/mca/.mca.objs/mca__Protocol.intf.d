@@ -1,0 +1,1 @@
+lib/mca/protocol.mli: Agent Format Netsim Policy Trace Types

@@ -1,0 +1,1 @@
+lib/mca/trace.ml: Agent Array Buffer Format List Types

@@ -1,0 +1,1 @@
+lib/mca/trace.mli: Agent Format Types

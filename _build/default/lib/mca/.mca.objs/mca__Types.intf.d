@@ -1,0 +1,1 @@
+lib/mca/types.mli: Format

@@ -1,0 +1,81 @@
+let attacker_config ~(base : Protocol.config) ~attacker =
+  let n = Array.length base.Protocol.policies in
+  if attacker < 0 || attacker >= n then
+    invalid_arg "Attack.attacker_config: attacker id out of range";
+  let policies = Array.copy base.Protocol.policies in
+  policies.(attacker) <- { (policies.(attacker)) with Policy.rebid_lost = true };
+  { base with Protocol.policies }
+
+(* delivered.(agent).(item): the strongest live rival (bid, winner, time)
+   this agent has provably received for the item — the evidence base for
+   Remark-1 violation claims. A delivered release (Nobody entry newer
+   than the recorded bid) withdraws the evidence: re-bidding after the
+   winner released the item is legitimate (Remark 2). *)
+type monitor = {
+  num_items : int;
+  delivered : (int * Types.agent_id * int) option array array;
+  mutable flags : Types.agent_id list;
+}
+
+let create_monitor ~num_agents ~num_items =
+  {
+    num_items;
+    delivered = Array.make_matrix num_agents num_items None;
+    flags = [];
+  }
+
+let convict mon (msg : Types.message) =
+  let k = msg.Types.sender in
+  let newly = ref [] in
+  Array.iteri
+    (fun j (e : Types.entry) ->
+      match (e.Types.winner, mon.delivered.(k).(j)) with
+      | Types.Agent w, Some (rival_bid, rival, _)
+        when w = k && rival <> k
+             && (e.Types.bid < rival_bid
+                || (e.Types.bid = rival_bid && k > rival)) ->
+          if not (List.mem k mon.flags) then begin
+            mon.flags <- k :: mon.flags;
+            newly := k :: !newly
+          end
+      | _ -> ())
+    msg.Types.view;
+  !newly
+
+let record mon ~dst (msg : Types.message) =
+  Array.iteri
+    (fun j (e : Types.entry) ->
+      match e.Types.winner with
+      | Types.Agent w when w <> dst -> (
+          match mon.delivered.(dst).(j) with
+          | Some (b, _, _) when b >= e.Types.bid -> ()
+          | _ -> mon.delivered.(dst).(j) <- Some (e.Types.bid, w, e.Types.time))
+      | Types.Nobody -> (
+          (* a release withdraws older evidence *)
+          match mon.delivered.(dst).(j) with
+          | Some (_, _, t) when e.Types.time > t ->
+              mon.delivered.(dst).(j) <- None
+          | _ -> ())
+      | Types.Agent _ -> ())
+    msg.Types.view
+
+let observe mon ~dst (msg : Types.message) =
+  if Array.length msg.Types.view <> mon.num_items then
+    invalid_arg "Attack.observe: view length mismatch";
+  let newly = convict mon msg in
+  record mon ~dst msg;
+  newly
+
+let observe_batch mon batch =
+  List.iter
+    (fun (_, msg) ->
+      if Array.length msg.Types.view <> mon.num_items then
+        invalid_arg "Attack.observe_batch: view length mismatch")
+    batch;
+  (* judge every message against pre-batch evidence first: messages of
+     one synchronous round carry snapshots that predate each other *)
+  let newly = List.concat_map (fun (_, msg) -> convict mon msg) batch in
+  List.iter (fun (dst, msg) -> record mon ~dst msg) batch;
+  List.sort_uniq compare newly
+
+let flagged mon = List.sort_uniq compare mon.flags

@@ -1,0 +1,41 @@
+(** Misbehavior studies: the rebidding attack of Result 2 and the
+    signature/history-based detection sketched in the paper's footnote 7.
+
+    A rebidding attacker violates Remark 1 by bidding again on items it
+    was outbid on. The paper shows MCA is not resilient: the attack
+    prevents the network from ever reaching a conflict-free fixed point
+    (a denial of service). Footnote 7 suggests a countermeasure: agents
+    sign messages and neighbors keep per-agent bid histories, flagging a
+    sender whose new bid resurrects an item it had provably lost. *)
+
+val attacker_config :
+  base:Protocol.config -> attacker:Types.agent_id -> Protocol.config
+(** Returns a copy of [base] where the given agent's policy has
+    [rebid_lost = true] (everyone else unchanged). *)
+
+(** A channel-observing bid-history monitor implementing the footnote-7
+    detection rule. It watches the messages crossing the links of its
+    neighborhood and remembers, per agent, the strongest rival bid that
+    agent has provably been delivered for each item. *)
+type monitor
+
+val create_monitor : num_agents:int -> num_items:int -> monitor
+
+val observe : monitor -> dst:Types.agent_id -> Types.message -> Types.agent_id list
+(** Feeds one delivered message to the monitor; returns the agents newly
+    flagged. The sender is flagged when it claims to win an item with a
+    bid that does not beat a rival bid it was itself previously
+    delivered — a provable Remark-1 violation (honest agents only bid
+    when they beat everything they have seen). Concurrent innocent
+    over-claims (bids made before the rival's bid arrived) are never
+    flagged. *)
+
+val observe_batch : monitor -> (Types.agent_id * Types.message) list -> Types.agent_id list
+(** Observes a batch of simultaneous deliveries ([(dst, message)]):
+    every message is judged against the evidence recorded {e before} the
+    batch, then all of them extend the evidence. Use this for
+    synchronous rounds, where the round's messages carry start-of-round
+    snapshots and must not incriminate each other. *)
+
+val flagged : monitor -> Types.agent_id list
+(** All agents flagged so far, sorted. *)

@@ -1,0 +1,76 @@
+type utility =
+  | Submodular of int
+  | Non_submodular of int
+  | Custom of (base:int -> bundle_size:int -> int)
+  | Bundle_aware of (item:int -> base:int -> bundle:Types.item_id list -> int)
+
+type t = {
+  utility : utility;
+  release_outbid : bool;
+  rebid_lost : bool;
+  target_items : int;
+}
+
+let default =
+  {
+    utility = Submodular 1;
+    release_outbid = false;
+    rebid_lost = false;
+    target_items = 2;
+  }
+
+let make ?(utility = default.utility) ?(release_outbid = false)
+    ?(rebid_lost = false) ?(target_items = default.target_items) () =
+  { utility; release_outbid; rebid_lost; target_items }
+
+let marginal t ~item ~base ~bundle =
+  let bundle_size = List.length bundle in
+  let v =
+    match t.utility with
+    | Submodular d -> base - (d * bundle_size)
+    | Non_submodular d -> base + (d * bundle_size)
+    | Custom f -> f ~base ~bundle_size
+    | Bundle_aware f -> f ~item ~base ~bundle
+  in
+  max 0 v
+
+let is_submodular t =
+  match t.utility with
+  | Submodular _ -> true
+  | Non_submodular d -> d = 0
+  | Custom _ | Bundle_aware _ ->
+      (* probe: marginal must be nonincreasing as the bundle grows *)
+      let ok = ref true in
+      for base = 0 to 30 do
+        for s = 0 to 5 do
+          let bundle = List.init s (fun i -> i + 100) in
+          let bigger = List.init (s + 1) (fun i -> i + 100) in
+          if
+            marginal t ~item:0 ~base ~bundle:bigger
+            > marginal t ~item:0 ~base ~bundle
+          then ok := false
+        done
+      done;
+      !ok
+
+let pp ppf t =
+  let shape =
+    match t.utility with
+    | Submodular d -> Printf.sprintf "submodular(%d)" d
+    | Non_submodular d -> Printf.sprintf "non-submodular(%d)" d
+    | Custom _ -> "custom"
+    | Bundle_aware _ -> "bundle-aware"
+  in
+  Format.fprintf ppf "{u=%s; release_outbid=%b; rebid_lost=%b; T=%d}" shape
+    t.release_outbid t.rebid_lost t.target_items
+
+let paper_grid =
+  let sub = Submodular 2 and non = Non_submodular 10 in
+  [
+    ("submod", make ~utility:sub ());
+    ("submod+release", make ~utility:sub ~release_outbid:true ());
+    ("nonsubmod", make ~utility:non ());
+    ("nonsubmod+release", make ~utility:non ~release_outbid:true ());
+    ("submod+rebid-attack", make ~utility:sub ~rebid_lost:true ());
+    ("nonsubmod+rebid-attack", make ~utility:non ~rebid_lost:true ());
+  ]

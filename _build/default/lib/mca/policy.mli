@@ -1,0 +1,55 @@
+(** MCA policies — the variant aspects of the two invariant mechanisms.
+
+    The paper's central point is that the bidding and agreement
+    mechanisms are fixed while policies vary, and that specific policy
+    combinations break convergence. The policy record collects exactly
+    the knobs the paper's model exposes: the utility-function shape
+    ([p_u]), the release-outbid flag ([p_RO]), the per-agent target
+    capacity ([p_T]) and — for the Result-2 misbehavior study — whether
+    the Remark-1 "never rebid on lost items" rule is violated. *)
+
+(** Shape of the marginal-utility function [u(j, m)]: how the value of
+    item [j] depends on the bundle [m] already held. *)
+type utility =
+  | Submodular of int
+      (** [Submodular d]: marginal value [max 0 (base - d*|m|)] — adding
+          items can only lower later bids (Definition 2 of the paper). *)
+  | Non_submodular of int
+      (** [Non_submodular d]: marginal value [base + d*|m|] — later bids
+          inflate, the shape behind the Figure-2 oscillation. *)
+  | Custom of (base:int -> bundle_size:int -> int)
+  | Bundle_aware of (item:int -> base:int -> bundle:Types.item_id list -> int)
+      (** full generality: the bid may depend on which items the bundle
+          holds (e.g. residual CPU capacity in the VN-mapping study) *)
+
+type t = {
+  utility : utility;  (** p_u *)
+  release_outbid : bool;  (** p_RO: on losing an item, release (and reset)
+                              every bundle item added after it *)
+  rebid_lost : bool;  (** violate Remark 1: keep bidding on lost items
+                          (models the rebidding attack of Result 2) *)
+  target_items : int;  (** p_T: bundle capacity *)
+}
+
+val default : t
+(** Submodular, no release, honest, capacity 2 — the well-behaved
+    instantiation. *)
+
+val make : ?utility:utility -> ?release_outbid:bool -> ?rebid_lost:bool -> ?target_items:int -> unit -> t
+
+val marginal : t -> item:Types.item_id -> base:int -> bundle:Types.item_id list -> int
+(** The bid an agent generates for item [item] of base value [base] given
+    its current bundle. Never negative. *)
+
+val is_submodular : t -> bool
+(** True when {!marginal} is provably nonincreasing in the bundle size
+    for this policy (trivially true for [Submodular], false for
+    [Non_submodular]; [Custom] is probed over a sample grid). *)
+
+val pp : Format.formatter -> t -> unit
+
+val paper_grid : (string * t) list
+(** The 2×2(×2) policy matrix of Result 1 and Result 2: submodular /
+    non-submodular × release-outbid on/off, plus the rebidding attack
+    variants. Names like ["submod+release"] appear in benches and the
+    policy-matrix example. *)

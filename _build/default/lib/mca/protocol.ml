@@ -1,0 +1,225 @@
+type config = {
+  graph : Netsim.Graph.t;
+  num_items : int;
+  base_utilities : int array array;
+  policies : Policy.t array;
+}
+
+let uniform_config ~graph ~num_items ~base_utilities ~policy =
+  let n = Netsim.Graph.num_nodes graph in
+  if Array.length base_utilities <> n then
+    invalid_arg "Protocol.uniform_config: one utility row per agent required";
+  Array.iter
+    (fun row ->
+      if Array.length row <> num_items then
+        invalid_arg "Protocol.uniform_config: utility row length mismatch")
+    base_utilities;
+  { graph; num_items; base_utilities; policies = Array.make n policy }
+
+type allocation = Types.winner array
+
+type verdict =
+  | Converged of { rounds : int; messages : int; allocation : allocation }
+  | Oscillating of { rounds : int; messages : int; cycle_length : int }
+  | Exhausted of { rounds : int; messages : int }
+
+let make_agents cfg =
+  let n = Netsim.Graph.num_nodes cfg.graph in
+  if Array.length cfg.policies <> n then
+    invalid_arg "Protocol: one policy per agent required";
+  Array.init n (fun i ->
+      Agent.create ~id:i ~num_items:cfg.num_items
+        ~base_utility:cfg.base_utilities.(i) ~policy:cfg.policies.(i))
+
+let consensus_reached agents =
+  match Array.to_list agents with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      List.for_all
+        (fun a -> Types.view_equal (Agent.view first) (Agent.view a))
+        rest
+
+let conflict_free agents =
+  let claimed = Hashtbl.create 16 in
+  Array.for_all
+    (fun a ->
+      List.for_all
+        (fun j ->
+          if Hashtbl.mem claimed j then false
+          else begin
+            Hashtbl.add claimed j ();
+            true
+          end)
+        (Agent.bundle a))
+    agents
+
+let allocation_of agents num_items =
+  let alloc = Array.make num_items Types.Nobody in
+  if Array.length agents > 0 then begin
+    let view = Agent.view agents.(0) in
+    Array.iteri (fun j (e : Types.entry) -> alloc.(j) <- e.Types.winner) view
+  end;
+  alloc
+
+let network_utility cfg alloc =
+  let total = ref 0 in
+  Array.iteri
+    (fun j w ->
+      match w with
+      | Types.Agent i -> total := !total + cfg.base_utilities.(i).(j)
+      | Types.Nobody -> ())
+    alloc;
+  !total
+
+let maybe_record record agents =
+  match record with Some t -> Trace.record t agents | None -> ()
+
+let run_sync ?(max_rounds = 200) ?record cfg =
+  let agents = make_agents cfg in
+  let seen = Hashtbl.create 64 in
+  let messages = ref 0 in
+  let rec loop round =
+    if round >= max_rounds then Exhausted { rounds = round; messages = !messages }
+    else begin
+      let changed = ref false in
+      Array.iter (fun a -> if Agent.bid_phase a then changed := true) agents;
+      maybe_record record agents;
+      (* simultaneous exchange: snapshot all views first *)
+      let snaps = Array.map Agent.snapshot agents in
+      List.iter
+        (fun (u, w) ->
+          let deliver src dst =
+            incr messages;
+            if
+              Agent.receive agents.(dst)
+                { Types.sender = src; view = snaps.(src) }
+            then changed := true
+          in
+          deliver u w;
+          deliver w u)
+        (Netsim.Graph.edges cfg.graph);
+      maybe_record record agents;
+      if not !changed then
+        Converged
+          {
+            rounds = round + 1;
+            messages = !messages;
+            allocation = allocation_of agents cfg.num_items;
+          }
+      else begin
+        let fp = Trace.fingerprint agents in
+        match Hashtbl.find_opt seen fp with
+        | Some prev ->
+            Oscillating
+              {
+                rounds = round + 1;
+                messages = !messages;
+                cycle_length = round + 1 - prev;
+              }
+        | None ->
+            Hashtbl.add seen fp (round + 1);
+            loop (round + 1)
+      end
+    end
+  in
+  loop 0
+
+let run_async ?(max_steps = 10_000) ?(sched = Netsim.Sched.Fifo) ?record cfg =
+  let agents = make_agents cfg in
+  let buffer = Netsim.Sched.create sched in
+  let deterministic =
+    match sched with
+    | Netsim.Sched.Fifo | Netsim.Sched.Lifo -> true
+    | Netsim.Sched.Random_order _ -> false
+  in
+  let seen = Hashtbl.create 64 in
+  let broadcast i =
+    let snap = Agent.snapshot agents.(i) in
+    List.iter
+      (fun nb -> Netsim.Sched.send buffer ~src:i ~dst:nb snap)
+      (Netsim.Graph.neighbors cfg.graph i)
+  in
+  (* initial bidding and broadcast *)
+  Array.iteri
+    (fun i a ->
+      ignore (Agent.bid_phase a);
+      broadcast i)
+    agents;
+  maybe_record record agents;
+  let rec loop steps =
+    if steps >= max_steps then
+      Exhausted { rounds = steps; messages = Netsim.Sched.total_sent buffer }
+    else
+      match Netsim.Sched.deliver buffer with
+      | None ->
+          (* quiescent: one more bidding opportunity everywhere, and if
+             views still disagree an anti-entropy full exchange (agents
+             only re-broadcast on change, so a message crossing a
+             concurrent update can leave stale entries behind) *)
+          let changed = ref false in
+          Array.iteri
+            (fun i a ->
+              if Agent.bid_phase a then begin
+                changed := true;
+                broadcast i
+              end)
+            agents;
+          if !changed then loop steps
+          else if not (consensus_reached agents) then begin
+            Array.iteri (fun i _ -> broadcast i) agents;
+            loop steps
+          end
+          else
+            Converged
+              {
+                rounds = steps;
+                messages = Netsim.Sched.total_sent buffer;
+                allocation = allocation_of agents cfg.num_items;
+              }
+      | Some { Netsim.Sched.src; dst; payload } ->
+          let changed =
+            Agent.receive agents.(dst) { Types.sender = src; view = payload }
+          in
+          let rebid = Agent.bid_phase agents.(dst) in
+          if changed || rebid then broadcast dst;
+          maybe_record record agents;
+          if deterministic && (changed || rebid) then begin
+            let pending =
+              List.map
+                (fun { Netsim.Sched.src; dst; payload } -> (src, dst, payload))
+                (Netsim.Sched.pending_list buffer)
+            in
+            let fp = Trace.fingerprint_with_messages agents pending in
+            match Hashtbl.find_opt seen fp with
+            | Some prev ->
+                Oscillating
+                  {
+                    rounds = steps + 1;
+                    messages = Netsim.Sched.total_sent buffer;
+                    cycle_length = steps + 1 - prev;
+                  }
+            | None ->
+                Hashtbl.add seen fp (steps + 1);
+                loop (steps + 1)
+          end
+          else loop (steps + 1)
+  in
+  loop 0
+
+let pp_allocation ppf alloc =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (j, w) -> Format.fprintf ppf "%d->%a" j Types.pp_winner w))
+    (Array.to_list (Array.mapi (fun j w -> (j, w)) alloc))
+
+let pp_verdict ppf = function
+  | Converged { rounds; messages; allocation } ->
+      Format.fprintf ppf "converged in %d rounds, %d messages, allocation %a"
+        rounds messages pp_allocation allocation
+  | Oscillating { rounds; messages; cycle_length } ->
+      Format.fprintf ppf "OSCILLATING (cycle length %d) after %d rounds, %d messages"
+        cycle_length rounds messages
+  | Exhausted { rounds; messages } ->
+      Format.fprintf ppf "exhausted budget after %d rounds, %d messages" rounds
+        messages

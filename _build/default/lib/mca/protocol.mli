@@ -1,0 +1,57 @@
+(** Running a network of MCA agents to a verdict.
+
+    Two execution modes mirror the paper's setting: a synchronous mode
+    (round = every agent bids, then every agent exchanges views with all
+    neighbors) used for the convergence-bound experiment (messages to
+    consensus ≤ D·|J|), and an asynchronous mode where single messages
+    are delivered in scheduler order, matching the paper's dynamic model
+    in which a state transition processes one buffered message.
+
+    The verdict distinguishes the paper's three behaviors: convergence
+    to a conflict-free allocation, provable oscillation (the global
+    state revisits a previous configuration without having converged —
+    the Figure-2 livelock), and budget exhaustion. *)
+
+type config = {
+  graph : Netsim.Graph.t;  (** agent communication topology *)
+  num_items : int;
+  base_utilities : int array array;  (** [base_utilities.(i).(j)] *)
+  policies : Policy.t array;  (** per-agent policy (may differ) *)
+}
+
+val uniform_config :
+  graph:Netsim.Graph.t -> num_items:int -> base_utilities:int array array
+  -> policy:Policy.t -> config
+(** All agents share one policy. Validates dimensions. *)
+
+(** The allocation extracted from a converged run: per item, the agreed
+    winner. *)
+type allocation = Types.winner array
+
+type verdict =
+  | Converged of { rounds : int; messages : int; allocation : allocation }
+  | Oscillating of { rounds : int; messages : int; cycle_length : int }
+  | Exhausted of { rounds : int; messages : int }
+
+val run_sync : ?max_rounds:int -> ?record:Trace.t -> config -> verdict
+(** Synchronous rounds until a round changes nothing (converged), a
+    global state repeats (oscillating), or [max_rounds] (default 200)
+    elapse. *)
+
+val run_async :
+  ?max_steps:int -> ?sched:Netsim.Sched.policy -> ?record:Trace.t -> config -> verdict
+(** Single-message steps under the given delivery policy (default FIFO).
+    [rounds] in the verdict counts delivered messages. *)
+
+val consensus_reached : Agent.t array -> bool
+(** All agents hold entry-equal views — Definition 1's fixed point. *)
+
+val conflict_free : Agent.t array -> bool
+(** No item is claimed in two different bundles. *)
+
+val network_utility : config -> allocation -> int
+(** Sum over allocated items of the winner's base utility — the
+    [Σ ui] objective the agents cooperate on. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_allocation : Format.formatter -> allocation -> unit

@@ -1,0 +1,30 @@
+type agent_id = int
+type item_id = int
+type winner = Nobody | Agent of agent_id
+type entry = { winner : winner; bid : int; time : int }
+type view = entry array
+
+let no_entry = { winner = Nobody; bid = 0; time = 0 }
+let entry_equal a b = a.winner = b.winner && a.bid = b.bid
+
+let view_equal v1 v2 =
+  Array.length v1 = Array.length v2
+  && Array.for_all2 entry_equal v1 v2
+
+let copy_view = Array.copy
+
+let pp_winner ppf = function
+  | Nobody -> Format.pp_print_string ppf "-"
+  | Agent i -> Format.fprintf ppf "a%d" i
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a:%d@@%d" pp_winner e.winner e.bid e.time
+
+let pp_view ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       pp_entry)
+    (Array.to_list v)
+
+type message = { sender : agent_id; view : view }

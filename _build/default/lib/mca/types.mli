@@ -1,0 +1,36 @@
+(** Core vocabulary of the Max-Consensus Auction: agents, items, and the
+    per-item information triplet every agent maintains — the winner
+    ([a] vector of the paper), the winning bid ([b] vector) and the bid
+    generation timestamp ([t] vector, used by the asynchronous conflict
+    resolution). *)
+
+type agent_id = int
+type item_id = int
+
+type winner = Nobody | Agent of agent_id
+
+type entry = {
+  winner : winner;
+  bid : int;  (** highest bid known for the item; 0 when [Nobody] *)
+  time : int;  (** generation timestamp of that bid *)
+}
+
+(** An agent's current view: one {!entry} per item. *)
+type view = entry array
+
+val no_entry : entry
+(** [{ winner = Nobody; bid = 0; time = 0 }]. *)
+
+val entry_equal : entry -> entry -> bool
+(** Equality on the consensus-relevant part (winner and bid — the
+    timestamp is bookkeeping). *)
+
+val view_equal : view -> view -> bool
+val copy_view : view -> view
+val pp_winner : Format.formatter -> winner -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp_view : Format.formatter -> view -> unit
+
+(** A bid message: the sender's whole view, as in the paper's [message]
+    signature ([msgWinners], [msgBids], [msgBidTimes]). *)
+type message = { sender : agent_id; view : view }

@@ -1,0 +1,1 @@
+lib/netsim/paths.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/netsim/paths.mli: Graph

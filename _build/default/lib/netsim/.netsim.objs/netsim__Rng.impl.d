@@ -1,0 +1,1 @@
+lib/netsim/rng.ml: Array Fun Int64 List

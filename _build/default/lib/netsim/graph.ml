@@ -1,0 +1,118 @@
+type t = { n : int; adj : int list array; edge_list : (int * int) list }
+
+let create n raw_edges =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  let norm (a, b) =
+    if a < 0 || a >= n || b < 0 || b >= n then
+      invalid_arg (Printf.sprintf "Graph.create: edge (%d,%d) out of range" a b);
+    if a = b then invalid_arg (Printf.sprintf "Graph.create: self-loop %d" a);
+    if a < b then (a, b) else (b, a)
+  in
+  let edge_list = List.sort_uniq compare (List.map norm raw_edges) in
+  let adj = Array.make (max n 1) [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edge_list;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { n; adj; edge_list }
+
+let num_nodes g = g.n
+let num_edges g = List.length g.edge_list
+let nodes g = List.init g.n Fun.id
+let edges g = g.edge_list
+
+let neighbors g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.neighbors: out of range";
+  g.adj.(v)
+
+let has_edge g a b = a <> b && List.mem (min a b, max a b) g.edge_list
+let degree g v = List.length (neighbors g v)
+
+let bfs_distances g src =
+  let dist = Array.make (max g.n 1) max_int in
+  if g.n > 0 then begin
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        g.adj.(u)
+    done
+  end;
+  dist
+
+let is_connected g =
+  g.n <= 1
+  ||
+  let dist = bfs_distances g 0 in
+  Array.for_all (fun d -> d < max_int) (Array.sub dist 0 g.n)
+
+let diameter g =
+  if not (is_connected g) then invalid_arg "Graph.diameter: disconnected graph";
+  if g.n <= 1 then 0
+  else
+    List.fold_left
+      (fun acc v ->
+        let dist = bfs_distances g v in
+        Array.fold_left
+          (fun acc d -> if d < max_int then max acc d else acc)
+          acc (Array.sub dist 0 g.n))
+      0 (nodes g)
+
+let shortest_path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let prev = Array.make (max g.n 1) (-1) in
+    let dist = Array.make (max g.n 1) max_int in
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            prev.(v) <- u;
+            if v = dst then found := true;
+            Queue.add v q
+          end)
+        g.adj.(u)
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc = if v = src then src :: acc else build prev.(v) (v :: acc) in
+      Some (build dst [])
+    end
+  end
+
+let subgraph g keep =
+  let keep = List.sort_uniq compare keep in
+  let back = Array.of_list keep in
+  let fwd = Hashtbl.create (List.length keep) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let edges =
+    List.filter_map
+      (fun (a, b) ->
+        match (Hashtbl.find_opt fwd a, Hashtbl.find_opt fwd b) with
+        | Some a', Some b' -> Some (a', b')
+        | _ -> None)
+      g.edge_list
+  in
+  (create (Array.length back) edges, back)
+
+let pp ppf g =
+  Format.fprintf ppf "graph(%d nodes): %a" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (a, b) -> Format.fprintf ppf "%d-%d" a b))
+    g.edge_list

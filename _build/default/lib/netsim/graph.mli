@@ -1,0 +1,43 @@
+(** Undirected graphs over dense integer nodes [0..n-1].
+
+    The communication topology of a network of MCA agents, and the
+    physical/virtual networks of the VN-mapping case study. Immutable
+    after construction. *)
+
+type t
+
+val create : int -> (int * int) list -> t
+(** [create n edges] builds a graph on [n] nodes. Self-loops are
+    rejected; duplicate and reversed duplicates are merged. Raises
+    [Invalid_argument] on out-of-range endpoints. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+val nodes : t -> int list
+val edges : t -> (int * int) list
+(** Each undirected edge once, with smaller endpoint first; sorted. *)
+
+val neighbors : t -> int -> int list
+(** Sorted adjacency list. *)
+
+val has_edge : t -> int -> int -> bool
+val degree : t -> int -> int
+val is_connected : t -> bool
+(** Vacuously true for the empty graph. *)
+
+val bfs_distances : t -> int -> int array
+(** Hop distances from a source; unreachable nodes get [max_int]. *)
+
+val diameter : t -> int
+(** Longest shortest path over all pairs. Raises [Invalid_argument] when
+    the graph is disconnected (the MCA convergence bound D·|J| is only
+    defined for connected agent networks). *)
+
+val shortest_path : t -> int -> int -> int list option
+(** Node sequence from source to target inclusive, when one exists. *)
+
+val subgraph : t -> int list -> t * int array
+(** [subgraph g keep] is the induced subgraph; the returned array maps
+    new indices back to the original node ids. *)
+
+val pp : Format.formatter -> t -> unit

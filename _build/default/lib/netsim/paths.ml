@@ -1,0 +1,141 @@
+module Pq = struct
+  (* tiny leftist-style priority queue on (cost, payload) *)
+  type 'a t = Empty | Node of float * 'a * 'a t * 'a t
+
+  let empty = Empty
+
+  let rec merge a b =
+    match (a, b) with
+    | Empty, t | t, Empty -> t
+    | Node (ka, _, _, _), Node (kb, _, _, _) when ka > kb -> merge b a
+    | Node (k, x, l, r), _ -> Node (k, x, merge r b, l)
+
+  let insert k x t = merge (Node (k, x, Empty, Empty)) t
+  let pop = function Empty -> None | Node (k, x, l, r) -> Some ((k, x), merge l r)
+end
+
+let dijkstra g ~weight src =
+  let n = Graph.num_nodes g in
+  let dist = Array.make (max n 1) infinity in
+  let prev = Array.make (max n 1) (-1) in
+  dist.(src) <- 0.0;
+  let q = ref (Pq.insert 0.0 src Pq.empty) in
+  let visited = Array.make (max n 1) false in
+  let rec loop () =
+    match Pq.pop !q with
+    | None -> ()
+    | Some ((d, u), q') ->
+        q := q';
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          List.iter
+            (fun v ->
+              let w = weight u v in
+              if w < 0.0 then invalid_arg "Paths.dijkstra: negative weight";
+              if d +. w < dist.(v) then begin
+                dist.(v) <- d +. w;
+                prev.(v) <- u;
+                q := Pq.insert dist.(v) v !q
+              end)
+            (Graph.neighbors g u)
+        end;
+        loop ()
+  in
+  loop ();
+  (dist, prev)
+
+let path_cost ~weight path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc +. weight a b) rest
+    | _ -> acc
+  in
+  go 0.0 path
+
+let shortest g ~weight src dst =
+  let dist, prev = dijkstra g ~weight src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build prev.(v) (v :: acc) in
+    Some (build dst [], dist.(dst))
+  end
+
+let is_simple path = List.length (List.sort_uniq compare path) = List.length path
+
+let is_path g = function
+  | [] -> false
+  | [ v ] -> v >= 0 && v < Graph.num_nodes g
+  | path ->
+      let rec go = function
+        | a :: (b :: _ as rest) -> Graph.has_edge g a b && go rest
+        | _ -> true
+      in
+      go path
+
+(* Yen's algorithm. Edge/node removal is simulated by an infinite
+   weight wrapper rather than rebuilding graphs. *)
+let yen g ~weight ~k src dst =
+  if k <= 0 then []
+  else
+    match shortest g ~weight src dst with
+    | None -> []
+    | Some first ->
+        let accepted = ref [ first ] in
+        let candidates = ref [] in
+        let add_candidate (p, c) =
+          let key = p in
+          if
+            (not (List.exists (fun (q, _) -> q = key) !candidates))
+            && not (List.exists (fun (q, _) -> q = key) !accepted)
+          then candidates := (p, c) :: !candidates
+        in
+        let rec take_prefix n = function
+          | _ when n = 0 -> []
+          | [] -> []
+          | x :: rest -> x :: take_prefix (n - 1) rest
+        in
+        let result_done = ref false in
+        while (not !result_done) && List.length !accepted < k do
+          let prev_path, _ = List.nth !accepted (List.length !accepted - 1) in
+          (* branch at every spur node of the last accepted path *)
+          List.iteri
+            (fun i _ ->
+              if i < List.length prev_path - 1 then begin
+                let root = take_prefix (i + 1) prev_path in
+                let spur = List.nth prev_path i in
+                (* edges removed: next hop of any accepted path sharing
+                   the root; nodes removed: root minus spur *)
+                let banned_edges =
+                  List.filter_map
+                    (fun (p, _) ->
+                      if take_prefix (i + 1) p = root && List.length p > i + 1
+                      then Some (List.nth p i, List.nth p (i + 1))
+                      else None)
+                    !accepted
+                in
+                let banned_nodes = List.filter (fun v -> v <> spur) root in
+                let weight' u v =
+                  if
+                    List.mem (u, v) banned_edges
+                    || List.mem (v, u) banned_edges
+                    || List.mem u banned_nodes
+                    || List.mem v banned_nodes
+                  then infinity
+                  else weight u v
+                in
+                match shortest g ~weight:weight' spur dst with
+                | Some (spur_path, c) when c < infinity ->
+                    let total =
+                      take_prefix i prev_path @ spur_path
+                    in
+                    if is_simple total then
+                      add_candidate (total, path_cost ~weight total)
+                | _ -> ()
+              end)
+            prev_path;
+          match List.sort (fun (_, a) (_, b) -> compare a b) !candidates with
+          | [] -> result_done := true
+          | (best, c) :: rest ->
+              accepted := !accepted @ [ (best, c) ];
+              candidates := rest
+        done;
+        !accepted

@@ -1,0 +1,28 @@
+(** Weighted shortest paths and Yen's k-shortest loop-free paths.
+
+    The VN-mapping case study maps every virtual link onto a loop-free
+    physical path (Section II-B of the paper: agents bid on virtual
+    nodes, then "run k-shortest path to map the virtual links"). *)
+
+val dijkstra :
+  Graph.t -> weight:(int -> int -> float) -> int -> float array * int array
+(** [dijkstra g ~weight src] returns distances and predecessors
+    ([-1] for the source/unreachable). Raises [Invalid_argument] on a
+    negative weight. *)
+
+val shortest :
+  Graph.t -> weight:(int -> int -> float) -> int -> int -> (int list * float) option
+(** Cheapest path between two nodes with its cost. *)
+
+val yen :
+  Graph.t -> weight:(int -> int -> float) -> k:int -> int -> int
+  -> (int list * float) list
+(** [yen g ~weight ~k src dst] lists up to [k] cheapest loop-free paths
+    in nondecreasing cost order. *)
+
+val path_cost : weight:(int -> int -> float) -> int list -> float
+val is_simple : int list -> bool
+(** No repeated node — "loop-free" in the paper's terms. *)
+
+val is_path : Graph.t -> int list -> bool
+(** Consecutive nodes adjacent in the graph. *)

@@ -1,0 +1,33 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every stochastic component of the library draws from here, so every
+    experiment is reproducible from a single integer seed. [split]
+    derives an independent stream, which keeps parallel workload
+    generators decoupled from the order in which they are consumed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] starts a stream. *)
+
+val split : t -> t
+(** Derives an independent stream (advances the parent). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound): [bound > 0] required. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0..n-1]. *)

@@ -1,0 +1,46 @@
+type 'm delivery = { src : int; dst : int; payload : 'm }
+type policy = Fifo | Lifo | Random_order of Rng.t
+
+type 'm t = {
+  policy : policy;
+  mutable buffer : 'm delivery list; (* newest first *)
+  mutable sent : int;
+}
+
+let create policy = { policy; buffer = []; sent = 0 }
+
+let send t ~src ~dst payload =
+  t.buffer <- { src; dst; payload } :: t.buffer;
+  t.sent <- t.sent + 1
+
+let remove_nth n xs =
+  let rec go i acc = function
+    | [] -> invalid_arg "Sched.remove_nth"
+    | x :: rest ->
+        if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] xs
+
+let deliver t =
+  match t.buffer with
+  | [] -> None
+  | newest :: older -> (
+      match t.policy with
+      | Lifo ->
+          t.buffer <- older;
+          Some newest
+      | Fifo ->
+          let n = List.length t.buffer in
+          let oldest, rest = remove_nth (n - 1) t.buffer in
+          t.buffer <- rest;
+          Some oldest
+      | Random_order rng ->
+          let n = List.length t.buffer in
+          let chosen, rest = remove_nth (Rng.int rng n) t.buffer in
+          t.buffer <- rest;
+          Some chosen)
+
+let pending t = List.length t.buffer
+let pending_list t = List.rev t.buffer
+let clear t = t.buffer <- []
+let total_sent t = t.sent

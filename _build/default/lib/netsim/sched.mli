@@ -1,0 +1,33 @@
+(** In-flight message buffer with pluggable delivery order.
+
+    Models the paper's [buffMsgs] relation: the network state includes a
+    set of unprocessed messages, and a protocol step consumes one of
+    them. The delivery policy determines which — FIFO approximates a
+    well-behaved network, [Random_order] exercises the asynchronous
+    reordering the MCA conflict-resolution rules must survive, and
+    [Lifo] is a cheap adversarial ordering. *)
+
+type 'm delivery = { src : int; dst : int; payload : 'm }
+
+type policy =
+  | Fifo
+  | Lifo
+  | Random_order of Rng.t
+      (** uniformly random pending message each step *)
+
+type 'm t
+
+val create : policy -> 'm t
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+val deliver : 'm t -> 'm delivery option
+(** Removes and returns the next message per the policy; [None] when the
+    buffer is empty. *)
+
+val pending : 'm t -> int
+val pending_list : 'm t -> 'm delivery list
+(** Snapshot in arrival order (for checkers and traces). *)
+
+val clear : 'm t -> unit
+val total_sent : 'm t -> int
+(** Messages ever sent through this buffer — the protocol's message
+    complexity counter. *)

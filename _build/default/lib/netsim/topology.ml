@@ -1,0 +1,125 @@
+let line n = Graph.create n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Topology.ring: need n >= 3";
+  Graph.create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n = Graph.create n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let clique n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Topology.grid: empty grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create (rows * cols) !edges
+
+let erdos_renyi rng n p =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let random_tree rng n =
+  Graph.create n
+    (List.init (max 0 (n - 1)) (fun i ->
+         let child = i + 1 in
+         (Rng.int rng child, child)))
+
+let erdos_renyi_connected rng n p =
+  let rec attempt k =
+    let g = erdos_renyi rng n p in
+    if Graph.is_connected g then g
+    else if k > 0 then attempt (k - 1)
+    else begin
+      (* add a random spanning tree on top to force connectivity *)
+      let tree = random_tree rng n in
+      Graph.create n (Graph.edges g @ Graph.edges tree)
+    end
+  in
+  attempt 50
+
+let random_geometric rng n radius =
+  let pts = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let xi, yi = pts.(i) and xj, yj = pts.(j) in
+      let dx = xi -. xj and dy = yi -. yj in
+      if sqrt ((dx *. dx) +. (dy *. dy)) <= radius then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let barabasi_albert rng n m =
+  if m < 1 || n <= m then invalid_arg "Topology.barabasi_albert: need n > m >= 1";
+  (* endpoint pool: each edge contributes both endpoints, so sampling the
+     pool is degree-proportional sampling *)
+  let edges = ref [] in
+  let pool = ref [] in
+  (* seed: a small clique on the first m+1 nodes *)
+  for i = 0 to m do
+    for j = i + 1 to m do
+      edges := (i, j) :: !edges;
+      pool := i :: j :: !pool
+    done
+  done;
+  for v = m + 1 to n - 1 do
+    let targets = ref [] in
+    while List.length !targets < m do
+      let t = Rng.pick rng !pool in
+      if (not (List.mem t !targets)) && t <> v then targets := t :: !targets
+    done;
+    List.iter
+      (fun t ->
+        edges := (v, t) :: !edges;
+        pool := v :: t :: !pool)
+      !targets
+  done;
+  Graph.create n !edges
+
+let watts_strogatz rng n k beta =
+  if k < 2 || k mod 2 <> 0 || n <= k then
+    invalid_arg "Topology.watts_strogatz: need even k >= 2 and n > k";
+  let edges = ref [] in
+  let has (a, b) = List.mem (min a b, max a b) !edges in
+  for v = 0 to n - 1 do
+    for d = 1 to k / 2 do
+      let u = (v + d) mod n in
+      if not (has (v, u)) then edges := (min v u, max v u) :: !edges
+    done
+  done;
+  (* rewire: replace (v, u) with (v, w) for random w, keeping simplicity *)
+  let rewired =
+    List.map
+      (fun (a, b) ->
+        if Rng.float rng 1.0 < beta then begin
+          let rec draw tries =
+            if tries = 0 then (a, b)
+            else
+              let w = Rng.int rng n in
+              if w <> a && w <> b && not (has (a, w)) then (min a w, max a w)
+              else draw (tries - 1)
+          in
+          draw 10
+        end
+        else (a, b))
+      !edges
+  in
+  Graph.create n rewired

@@ -1,0 +1,44 @@
+(** Topology generators for agent networks and physical substrates.
+
+    The convergence-bound experiment (E6) sweeps these families because
+    they span the diameter spectrum: cliques (D=1), stars (D=2), rings
+    (D=n/2), lines (D=n-1), plus random families for generality. *)
+
+val line : int -> Graph.t
+val ring : int -> Graph.t
+(** Requires n >= 3. *)
+
+val star : int -> Graph.t
+(** Node 0 is the hub. *)
+
+val clique : int -> Graph.t
+val grid : int -> int -> Graph.t
+(** [grid rows cols]; node [r*cols + c]. *)
+
+val erdos_renyi : Rng.t -> int -> float -> Graph.t
+(** [erdos_renyi rng n p] includes each edge independently with
+    probability [p]. *)
+
+val erdos_renyi_connected : Rng.t -> int -> float -> Graph.t
+(** Resamples (up to a bound) until connected, then falls back to adding
+    a random spanning backbone — experiments need connected agent
+    networks. *)
+
+val random_geometric : Rng.t -> int -> float -> Graph.t
+(** [random_geometric rng n radius] scatters nodes on the unit square and
+    links pairs within [radius]. *)
+
+val random_tree : Rng.t -> int -> Graph.t
+(** Uniform random recursive tree. *)
+
+val barabasi_albert : Rng.t -> int -> int -> Graph.t
+(** [barabasi_albert rng n m] grows a preferential-attachment network:
+    each new node attaches to [m] distinct existing nodes with
+    probability proportional to their degree. Connected by
+    construction; requires [n > m >= 1]. *)
+
+val watts_strogatz : Rng.t -> int -> int -> float -> Graph.t
+(** [watts_strogatz rng n k beta] starts from a ring lattice where every
+    node links to its [k/2] nearest neighbors on each side and rewires
+    each edge with probability [beta] — the small-world family.
+    Requires [n > k], even [k >= 2]. *)

@@ -1,0 +1,1 @@
+lib/relalg/ast.ml: Format List

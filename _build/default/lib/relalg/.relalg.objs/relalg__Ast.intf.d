@@ -1,0 +1,1 @@
+lib/relalg/ast.mli: Format

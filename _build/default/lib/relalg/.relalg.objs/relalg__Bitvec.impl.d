@@ -1,0 +1,1 @@
+lib/relalg/bitvec.ml: List Sat

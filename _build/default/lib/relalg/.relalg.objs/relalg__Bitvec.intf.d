@@ -1,0 +1,1 @@
+lib/relalg/bitvec.mli: Sat

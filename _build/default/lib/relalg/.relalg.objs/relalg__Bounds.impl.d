@@ -1,0 +1,1 @@
+lib/relalg/bounds.ml: Format Hashtbl List Printf Tuple Universe

@@ -1,0 +1,1 @@
+lib/relalg/bounds.mli: Format Tuple Universe

@@ -1,0 +1,1 @@
+lib/relalg/eval.ml: Ast Instance List Printf Tuple Universe

@@ -1,0 +1,1 @@
+lib/relalg/instance.ml: Format Hashtbl List Tuple Universe

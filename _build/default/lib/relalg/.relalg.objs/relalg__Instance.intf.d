@@ -1,0 +1,1 @@
+lib/relalg/instance.mli: Format Tuple Universe

@@ -1,0 +1,1 @@
+lib/relalg/matrix.ml: Format Hashtbl List Map Sat Tuple Universe

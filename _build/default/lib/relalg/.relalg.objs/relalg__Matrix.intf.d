@@ -1,0 +1,1 @@
+lib/relalg/matrix.mli: Format Sat Tuple Universe

@@ -1,0 +1,1 @@
+lib/relalg/pretty.ml: Format Hashtbl Instance List Printf String Tuple Universe

@@ -1,0 +1,1 @@
+lib/relalg/pretty.mli: Format Instance

@@ -1,0 +1,1 @@
+lib/relalg/translate.ml: Array Ast Bitvec Bounds Format Hashtbl Instance List Matrix Printf Sat Tuple Universe

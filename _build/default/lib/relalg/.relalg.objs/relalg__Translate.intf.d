@@ -1,0 +1,1 @@
+lib/relalg/translate.mli: Ast Bounds Format Instance Sat Tuple

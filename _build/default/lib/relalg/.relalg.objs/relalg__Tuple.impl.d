@@ -1,0 +1,1 @@
+lib/relalg/tuple.ml: Format List Stdlib Universe

@@ -1,0 +1,1 @@
+lib/relalg/universe.ml: Array Format Fun Hashtbl List Option Printf

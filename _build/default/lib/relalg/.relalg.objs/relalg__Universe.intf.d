@@ -1,0 +1,1 @@
+lib/relalg/universe.mli: Format

@@ -1,0 +1,226 @@
+type expr =
+  | Rel of string
+  | Var of string
+  | Univ
+  | None_
+  | Iden
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | Join of expr * expr
+  | Product of expr * expr
+  | Transpose of expr
+  | Closure of expr
+  | RClosure of expr
+  | Override of expr * expr
+  | DomRestrict of expr * expr
+  | RanRestrict of expr * expr
+  | IfExpr of formula * expr * expr
+  | Comprehension of (string * expr) list * formula
+
+and formula =
+  | True_
+  | False_
+  | Subset of expr * expr
+  | Eq of expr * expr
+  | Some_ of expr
+  | No of expr
+  | One of expr
+  | Lone of expr
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | ForAll of (string * expr) list * formula
+  | Exists of (string * expr) list * formula
+  | IntCmp of cmp * intexpr * intexpr
+
+and cmp = Lt | Le | Gt | Ge | IEq
+
+and intexpr =
+  | IConst of int
+  | Card of expr
+  | SumOver of expr
+  | Add of intexpr * intexpr
+  | Sub of intexpr * intexpr
+  | Neg of intexpr
+  | Mul of intexpr * intexpr
+
+let rel n = Rel n
+let v n = Var n
+let ( + ) a b = Union (a, b)
+let ( - ) a b = Diff (a, b)
+let ( & ) a b = Inter (a, b)
+let join a b = Join (a, b)
+let ( --> ) a b = Product (a, b)
+let transpose e = Transpose e
+let closure e = Closure e
+let rclosure e = RClosure e
+let override a b = Override (a, b)
+let ite_e c t e = IfExpr (c, t, e)
+let compr decls f = Comprehension (decls, f)
+let tt = True_
+let ff = False_
+let ( <=: ) a b = Subset (a, b)
+let ( =: ) a b = Eq (a, b)
+let some e = Some_ e
+let no e = No e
+let one e = One e
+let lone e = Lone e
+
+let not_ = function
+  | True_ -> False_
+  | False_ -> True_
+  | Not f -> f
+  | f -> Not f
+
+let and_ fs =
+  let fs = List.filter (( <> ) True_) fs in
+  if List.mem False_ fs then False_
+  else match fs with [] -> True_ | [ f ] -> f | fs -> And fs
+
+let or_ fs =
+  let fs = List.filter (( <> ) False_) fs in
+  if List.mem True_ fs then True_
+  else match fs with [] -> False_ | [ f ] -> f | fs -> Or fs
+
+let ( ==> ) a b =
+  match (a, b) with
+  | True_, b -> b
+  | False_, _ -> True_
+  | _, True_ -> True_
+  | a, False_ -> not_ a
+  | a, b -> Implies (a, b)
+
+let ( <=> ) a b = Iff (a, b)
+let for_all decls f = if decls = [] then f else ForAll (decls, f)
+let exists decls f = if decls = [] then f else Exists (decls, f)
+let i n = IConst n
+let card e = Card e
+let sum_over e = SumOver e
+let ( +! ) a b = Add (a, b)
+let ( -! ) a b = Sub (a, b)
+let ( *! ) a b = Mul (a, b)
+let ( <! ) a b = IntCmp (Lt, a, b)
+let ( <=! ) a b = IntCmp (Le, a, b)
+let ( >! ) a b = IntCmp (Gt, a, b)
+let ( >=! ) a b = IntCmp (Ge, a, b)
+let ( =! ) a b = IntCmp (IEq, a, b)
+
+let rec pp_expr ppf = function
+  | Rel n -> Format.pp_print_string ppf n
+  | Var n -> Format.pp_print_string ppf n
+  | Univ -> Format.pp_print_string ppf "univ"
+  | None_ -> Format.pp_print_string ppf "none"
+  | Iden -> Format.pp_print_string ppf "iden"
+  | Union (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Inter (a, b) -> Format.fprintf ppf "(%a & %a)" pp_expr a pp_expr b
+  | Diff (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Join (a, b) -> Format.fprintf ppf "%a.%a" pp_expr a pp_expr b
+  | Product (a, b) -> Format.fprintf ppf "(%a -> %a)" pp_expr a pp_expr b
+  | Transpose e -> Format.fprintf ppf "~%a" pp_expr e
+  | Closure e -> Format.fprintf ppf "^%a" pp_expr e
+  | RClosure e -> Format.fprintf ppf "*%a" pp_expr e
+  | Override (a, b) -> Format.fprintf ppf "(%a ++ %a)" pp_expr a pp_expr b
+  | DomRestrict (s, r) -> Format.fprintf ppf "(%a <: %a)" pp_expr s pp_expr r
+  | RanRestrict (r, s) -> Format.fprintf ppf "(%a :> %a)" pp_expr r pp_expr s
+  | IfExpr (c, t, e) ->
+      Format.fprintf ppf "(%a => %a else %a)" pp_formula c pp_expr t pp_expr e
+  | Comprehension (decls, f) ->
+      Format.fprintf ppf "{%a | %a}" pp_decls decls pp_formula f
+
+and pp_decls ppf decls =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (x, e) -> Format.fprintf ppf "%s: %a" x pp_expr e)
+    ppf decls
+
+and pp_formula ppf = function
+  | True_ -> Format.pp_print_string ppf "true"
+  | False_ -> Format.pp_print_string ppf "false"
+  | Subset (a, b) -> Format.fprintf ppf "(%a in %a)" pp_expr a pp_expr b
+  | Eq (a, b) -> Format.fprintf ppf "(%a = %a)" pp_expr a pp_expr b
+  | Some_ e -> Format.fprintf ppf "some %a" pp_expr e
+  | No e -> Format.fprintf ppf "no %a" pp_expr e
+  | One e -> Format.fprintf ppf "one %a" pp_expr e
+  | Lone e -> Format.fprintf ppf "lone %a" pp_expr e
+  | Not f -> Format.fprintf ppf "!%a" pp_formula f
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " && ")
+           pp_formula)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " || ")
+           pp_formula)
+        fs
+  | Implies (a, b) -> Format.fprintf ppf "(%a => %a)" pp_formula a pp_formula b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <=> %a)" pp_formula a pp_formula b
+  | ForAll (decls, f) ->
+      Format.fprintf ppf "(all %a | %a)" pp_decls decls pp_formula f
+  | Exists (decls, f) ->
+      Format.fprintf ppf "(some %a | %a)" pp_decls decls pp_formula f
+  | IntCmp (op, a, b) ->
+      let ops =
+        match op with Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | IEq -> "="
+      in
+      Format.fprintf ppf "(%a %s %a)" pp_intexpr a ops pp_intexpr b
+
+and pp_intexpr ppf = function
+  | IConst n -> Format.pp_print_int ppf n
+  | Card e -> Format.fprintf ppf "#%a" pp_expr e
+  | SumOver e -> Format.fprintf ppf "(sum %a)" pp_expr e
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_intexpr a pp_intexpr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_intexpr a pp_intexpr b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp_intexpr a
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_intexpr a pp_intexpr b
+
+let free_rels f =
+  let acc = ref [] in
+  let rec ge = function
+    | Rel n -> acc := n :: !acc
+    | Var _ | Univ | None_ | Iden -> ()
+    | Union (a, b) | Inter (a, b) | Diff (a, b) | Join (a, b)
+    | Product (a, b) | Override (a, b) | DomRestrict (a, b)
+    | RanRestrict (a, b) ->
+        ge a;
+        ge b
+    | Transpose e | Closure e | RClosure e -> ge e
+    | IfExpr (c, t, e) ->
+        gf c;
+        ge t;
+        ge e
+    | Comprehension (decls, f) ->
+        List.iter (fun (_, e) -> ge e) decls;
+        gf f
+  and gf = function
+    | True_ | False_ -> ()
+    | Subset (a, b) | Eq (a, b) ->
+        ge a;
+        ge b
+    | Some_ e | No e | One e | Lone e -> ge e
+    | Not f -> gf f
+    | And fs | Or fs -> List.iter gf fs
+    | Implies (a, b) | Iff (a, b) ->
+        gf a;
+        gf b
+    | ForAll (decls, f) | Exists (decls, f) ->
+        List.iter (fun (_, e) -> ge e) decls;
+        gf f
+    | IntCmp (_, a, b) ->
+        gi a;
+        gi b
+  and gi = function
+    | IConst _ -> ()
+    | Card e | SumOver e -> ge e
+    | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+        gi a;
+        gi b
+    | Neg a -> gi a
+  in
+  gf f;
+  List.sort_uniq compare !acc

@@ -1,0 +1,112 @@
+(** Abstract syntax of the relational logic: Kodkod's node language.
+
+    Expressions denote relations (sets of same-arity tuples), formulas
+    denote truth values, integer expressions denote symbolic integers.
+    Quantified variables ([Var]) always denote singleton unary relations,
+    as in Alloy/Kodkod. *)
+
+type expr =
+  | Rel of string  (** a declared relation *)
+  | Var of string  (** a quantified variable (singleton set) *)
+  | Univ  (** all atoms (arity 1) *)
+  | None_  (** the empty unary relation *)
+  | Iden  (** the identity binary relation *)
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Diff of expr * expr
+  | Join of expr * expr  (** Alloy's dot join *)
+  | Product of expr * expr  (** [->] *)
+  | Transpose of expr  (** [~e] *)
+  | Closure of expr  (** [^e] *)
+  | RClosure of expr  (** [*e] *)
+  | Override of expr * expr  (** [++] *)
+  | DomRestrict of expr * expr  (** [s <: r] *)
+  | RanRestrict of expr * expr  (** [r :> s] *)
+  | IfExpr of formula * expr * expr
+  | Comprehension of (string * expr) list * formula
+      (** [{ x1: e1, x2: e2 | f }] *)
+
+and formula =
+  | True_
+  | False_
+  | Subset of expr * expr  (** [e1 in e2] *)
+  | Eq of expr * expr
+  | Some_ of expr
+  | No of expr
+  | One of expr
+  | Lone of expr
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | ForAll of (string * expr) list * formula
+  | Exists of (string * expr) list * formula
+  | IntCmp of cmp * intexpr * intexpr
+
+and cmp = Lt | Le | Gt | Ge | IEq
+
+and intexpr =
+  | IConst of int
+  | Card of expr  (** [#e] *)
+  | SumOver of expr  (** sum of the integer values of atoms in a unary
+                          expression (Alloy's [sum e]) *)
+  | Add of intexpr * intexpr
+  | Sub of intexpr * intexpr
+  | Neg of intexpr
+  | Mul of intexpr * intexpr
+
+(** {1 Smart constructors} — the preferred way to build terms; they keep
+    the printed form small and fold the obvious constants. *)
+
+val rel : string -> expr
+val v : string -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( & ) : expr -> expr -> expr
+val join : expr -> expr -> expr
+val ( --> ) : expr -> expr -> expr
+val transpose : expr -> expr
+val closure : expr -> expr
+val rclosure : expr -> expr
+val override : expr -> expr -> expr
+val ite_e : formula -> expr -> expr -> expr
+val compr : (string * expr) list -> formula -> expr
+
+val tt : formula
+val ff : formula
+val ( <=: ) : expr -> expr -> formula
+(** Subset. *)
+
+val ( =: ) : expr -> expr -> formula
+val some : expr -> formula
+val no : expr -> formula
+val one : expr -> formula
+val lone : expr -> formula
+val not_ : formula -> formula
+val and_ : formula list -> formula
+val or_ : formula list -> formula
+val ( ==> ) : formula -> formula -> formula
+val ( <=> ) : formula -> formula -> formula
+val for_all : (string * expr) list -> formula -> formula
+val exists : (string * expr) list -> formula -> formula
+
+val i : int -> intexpr
+val card : expr -> intexpr
+val sum_over : expr -> intexpr
+val ( +! ) : intexpr -> intexpr -> intexpr
+val ( -! ) : intexpr -> intexpr -> intexpr
+val ( *! ) : intexpr -> intexpr -> intexpr
+val ( <! ) : intexpr -> intexpr -> formula
+val ( <=! ) : intexpr -> intexpr -> formula
+val ( >! ) : intexpr -> intexpr -> formula
+val ( >=! ) : intexpr -> intexpr -> formula
+val ( =! ) : intexpr -> intexpr -> formula
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_formula : Format.formatter -> formula -> unit
+val pp_intexpr : Format.formatter -> intexpr -> unit
+
+val free_rels : formula -> string list
+(** Names of declared relations mentioned in the formula (sorted,
+    duplicate-free) — used for sanity checks against the bounds. *)

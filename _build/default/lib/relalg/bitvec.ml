@@ -1,0 +1,123 @@
+module F = Sat.Formula
+
+type t = F.t list
+
+let of_int n =
+  (* minimal two's-complement width; LSB first, last bit is sign *)
+  let rec bits n w =
+    (* w chosen so that -2^(w-1) <= n < 2^(w-1) *)
+    if w > 62 then invalid_arg "Bitvec.of_int: constant too wide"
+    else if n >= -(1 lsl (w - 1)) && n < 1 lsl (w - 1) then
+      List.init w (fun i -> if (n lsr i) land 1 = 1 then F.tt else F.ff)
+    else bits n (w + 1)
+  in
+  bits n 1
+
+let width = List.length
+
+let sign = function [] -> F.ff | bits -> List.nth bits (List.length bits - 1)
+
+let extend v w =
+  let cur = width v in
+  if cur >= w then v else v @ List.init (w - cur) (fun _ -> sign v)
+
+let full_add a b cin =
+  let s = F.xor (F.xor a b) cin in
+  let cout = F.or_ [ F.and2 a b; F.and2 a cin; F.and2 b cin ] in
+  (s, cout)
+
+let add a b =
+  let w = max (width a) (width b) + 1 in
+  let a = extend a w and b = extend b w in
+  let rec go a b cin =
+    match (a, b) with
+    | [], [] -> []
+    | x :: xs, y :: ys ->
+        let s, cout = full_add x y cin in
+        s :: go xs ys cout
+    | _ -> assert false
+  in
+  go a b F.ff
+
+let lnot v = List.map F.not_ v
+
+let neg v =
+  (* two's complement: ~v + 1. One extra bit so that -(min value) fits. *)
+  let w = width v + 1 in
+  let v = extend v w in
+  let s = add (lnot v) [ F.tt; F.ff ] in
+  List.filteri (fun i _ -> i < w) s
+
+let sub a b = add a (neg b)
+
+let ite c t e =
+  let w = max (width t) (width e) in
+  let t = extend t w and e = extend e w in
+  List.map2 (fun x y -> F.ite c x y) t e
+
+let shift_left v k = List.init k (fun _ -> F.ff) @ v
+
+let mul a b =
+  (* two's-complement shift-and-add: the partial product of b's sign bit
+     carries weight -2^(wb-1) and must be subtracted, the rest added.
+     All arithmetic is exact modulo 2^w with w = wa + wb, which bounds
+     |a*b|, so truncating every intermediate to w bits is lossless. *)
+  let wa = width a and wb = width b in
+  let w = wa + wb in
+  let a = extend a w in
+  let trunc v = List.filteri (fun i _ -> i < w) v in
+  let partial i bi = trunc (List.map (fun aj -> F.and2 bi aj) (shift_left a i)) in
+  let partials = List.mapi partial b in
+  let rec split_last acc = function
+    | [] -> invalid_arg "Bitvec.mul: empty vector"
+    | [ last ] -> (List.rev acc, last)
+    | x :: rest -> split_last (x :: acc) rest
+  in
+  let positives, negative = split_last [] partials in
+  let rec sum_list acc = function
+    | [] -> acc
+    | v :: rest -> sum_list (trunc (add acc v)) rest
+  in
+  let total = sum_list (of_int 0) positives in
+  trunc (sub total negative)
+
+let sum vs =
+  let rec pairwise = function
+    | [] -> []
+    | [ v ] -> [ v ]
+    | v1 :: v2 :: rest -> add v1 v2 :: pairwise rest
+  in
+  let rec go = function
+    | [] -> of_int 0
+    | [ v ] -> v
+    | vs -> go (pairwise vs)
+  in
+  go vs
+
+let count fs = sum (List.map (fun f -> [ f; F.ff ]) fs)
+
+let eq a b =
+  let w = max (width a) (width b) in
+  let a = extend a w and b = extend b w in
+  F.and_ (List.map2 F.iff a b)
+
+let lt a b =
+  (* a < b  <=>  (a - b) < 0  <=> sign(a-b) *)
+  sign (sub a b)
+
+let le a b = F.or2 (lt a b) (eq a b)
+let gt a b = lt b a
+let ge a b = le b a
+
+let to_int env v =
+  let bits = List.map (F.eval env) v in
+  let w = List.length bits in
+  let magnitude =
+    List.fold_left
+      (fun (acc, i) b -> ((acc + if b && i < w - 1 then 1 lsl i else 0), i + 1))
+      (0, 0) bits
+    |> fst
+  in
+  match List.rev bits with
+  | true :: _ -> magnitude - (1 lsl (w - 1))
+  | _ -> magnitude

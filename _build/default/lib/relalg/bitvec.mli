@@ -1,0 +1,45 @@
+(** Symbolic two's-complement bit vectors over boolean formulas.
+
+    Integer expressions in the relational logic (cardinality, [sum],
+    arithmetic, comparisons) compile to these vectors, exactly as Kodkod
+    compiles Alloy's [Int]. A vector is least-significant-bit first; the
+    last bit is the sign bit. Widths grow as needed so arithmetic never
+    silently overflows (Alloy's wrap-around semantics is *not* copied —
+    the paper's model only needs order and equality, where exactness is
+    what we want). *)
+
+type t = Sat.Formula.t list
+
+val of_int : int -> t
+(** Constant vector, minimal width. *)
+
+val width : t -> int
+val extend : t -> int -> t
+(** Sign-extends to the given width. *)
+
+val add : t -> t -> t
+(** Ripple-carry addition; result is one bit wider than the inputs. *)
+
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Shift-and-add multiplication. *)
+
+val ite : Sat.Formula.t -> t -> t -> t
+(** Bitwise if-then-else. *)
+
+val sum : t list -> t
+(** Balanced summation tree. [sum [] = of_int 0]. *)
+
+val count : Sat.Formula.t list -> t
+(** Cardinality: the number of true formulas, as an unsigned vector
+    (with a zero sign bit appended). *)
+
+val eq : t -> t -> Sat.Formula.t
+val lt : t -> t -> Sat.Formula.t
+val le : t -> t -> Sat.Formula.t
+val gt : t -> t -> Sat.Formula.t
+val ge : t -> t -> Sat.Formula.t
+
+val to_int : (Sat.Cnf.var -> bool) -> t -> int
+(** Evaluates the vector under a model (two's complement). *)

@@ -1,0 +1,53 @@
+type rel = {
+  rel_name : string;
+  arity : int;
+  lower : Tuple.t list;
+  upper : Tuple.t list;
+}
+
+type t = { universe : Universe.t; order : string list; table : (string, rel) Hashtbl.t }
+
+let create universe = { universe; order = []; table = Hashtbl.create 16 }
+let universe b = b.universe
+
+let check_tuples b name arity ts =
+  let n = Universe.size b.universe in
+  List.iter
+    (fun t ->
+      if Tuple.arity t <> arity then
+        invalid_arg
+          (Printf.sprintf "Bounds.declare %s: tuple of arity %d, expected %d"
+             name (Tuple.arity t) arity);
+      List.iter
+        (fun a ->
+          if a < 0 || a >= n then
+            invalid_arg
+              (Printf.sprintf "Bounds.declare %s: atom index %d out of range" name a))
+        t)
+    ts
+
+let declare b name ~arity ~lower ~upper =
+  if Hashtbl.mem b.table name then
+    invalid_arg (Printf.sprintf "Bounds.declare: %s already declared" name);
+  if arity < 1 then invalid_arg "Bounds.declare: arity must be >= 1";
+  check_tuples b name arity lower;
+  check_tuples b name arity upper;
+  let lower = Tuple.sort_uniq lower and upper = Tuple.sort_uniq upper in
+  if not (Tuple.subset lower upper) then
+    invalid_arg (Printf.sprintf "Bounds.declare %s: lower not within upper" name);
+  Hashtbl.add b.table name { rel_name = name; arity; lower; upper };
+  { b with order = name :: b.order }
+
+let declare_exact b name ~arity tuples =
+  declare b name ~arity ~lower:tuples ~upper:tuples
+
+let find b name = Hashtbl.find b.table name
+let mem b name = Hashtbl.mem b.table name
+let rels b = List.rev_map (Hashtbl.find b.table) b.order
+
+let pp ppf b =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s/%d: lower=%d upper=%d@." r.rel_name r.arity
+        (List.length r.lower) (List.length r.upper))
+    (rels b)

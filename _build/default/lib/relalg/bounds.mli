@@ -1,0 +1,36 @@
+(** Relation bounds, Kodkod-style.
+
+    Each declared relation carries a lower bound (tuples it must contain)
+    and an upper bound (tuples it may contain). The translator allocates
+    one SAT variable per tuple in [upper \ lower]; exact bounds therefore
+    cost nothing. Scope selection in Alloy-lite reduces to choosing these
+    bounds. *)
+
+type rel = {
+  rel_name : string;
+  arity : int;
+  lower : Tuple.t list;
+  upper : Tuple.t list;
+}
+
+type t
+
+val create : Universe.t -> t
+val universe : t -> Universe.t
+
+val declare : t -> string -> arity:int -> lower:Tuple.t list -> upper:Tuple.t list -> t
+(** Adds a relation. Checks: tuples have the declared arity, indices are
+    in range, [lower] is a subset of [upper]. Raises [Invalid_argument]
+    otherwise, or on redeclaration. *)
+
+val declare_exact : t -> string -> arity:int -> Tuple.t list -> t
+(** Exact bound: lower = upper. *)
+
+val find : t -> string -> rel
+(** Raises [Not_found] for undeclared relations. *)
+
+val mem : t -> string -> bool
+val rels : t -> rel list
+(** In declaration order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+let arity_of ts = match ts with [] -> None | t :: _ -> Some (Tuple.arity t)
+
+let check_same_arity op ts1 ts2 =
+  match (arity_of ts1, arity_of ts2) with
+  | Some a, Some b when a <> b ->
+      invalid_arg (Printf.sprintf "Eval.%s: arity mismatch (%d vs %d)" op a b)
+  | _ -> ()
+
+let join_ts ts1 ts2 =
+  List.concat_map
+    (fun t1 ->
+      match List.rev t1 with
+      | [] -> []
+      | last :: rev_init ->
+          let init = List.rev rev_init in
+          List.filter_map
+            (fun t2 ->
+              match t2 with
+              | h :: rest when h = last ->
+                  if init = [] && rest = [] then None else Some (init @ rest)
+              | _ -> None)
+            ts2)
+    ts1
+
+let closure_ts ts =
+  let step acc = Tuple.sort_uniq (acc @ join_ts acc acc) in
+  let rec fix acc =
+    let acc' = step acc in
+    if List.length acc' = List.length acc then acc else fix acc'
+  in
+  fix (Tuple.sort_uniq ts)
+
+let rec expr inst env (e : Ast.expr) : Tuple.t list =
+  let u = Instance.universe inst in
+  match e with
+  | Ast.Rel n -> Instance.tuples inst n
+  | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some a -> [ [ a ] ]
+      | None -> invalid_arg (Printf.sprintf "Eval: unbound variable %s" x))
+  | Ast.Univ -> List.map (fun a -> [ a ]) (Universe.indices u)
+  | Ast.None_ -> []
+  | Ast.Iden -> List.map (fun a -> [ a; a ]) (Universe.indices u)
+  | Ast.Union (a, b) ->
+      let ta = expr inst env a and tb = expr inst env b in
+      check_same_arity "union" ta tb;
+      Tuple.sort_uniq (ta @ tb)
+  | Ast.Inter (a, b) ->
+      let ta = expr inst env a and tb = expr inst env b in
+      check_same_arity "inter" ta tb;
+      List.filter (fun t -> Tuple.mem t tb) ta
+  | Ast.Diff (a, b) ->
+      let ta = expr inst env a and tb = expr inst env b in
+      check_same_arity "diff" ta tb;
+      List.filter (fun t -> not (Tuple.mem t tb)) ta
+  | Ast.Join (a, b) ->
+      Tuple.sort_uniq (join_ts (expr inst env a) (expr inst env b))
+  | Ast.Product (a, b) -> Tuple.product (expr inst env a) (expr inst env b)
+  | Ast.Transpose a -> List.map List.rev (expr inst env a)
+  | Ast.Closure a -> closure_ts (expr inst env a)
+  | Ast.RClosure a ->
+      Tuple.sort_uniq
+        (closure_ts (expr inst env a)
+        @ List.map (fun x -> [ x; x ]) (Universe.indices u))
+  | Ast.Override (a, b) ->
+      let ta = expr inst env a and tb = expr inst env b in
+      check_same_arity "override" ta tb;
+      let dom = List.filter_map (function h :: _ -> Some h | [] -> None) tb in
+      Tuple.sort_uniq
+        (tb
+        @ List.filter
+            (function h :: _ -> not (List.mem h dom) | [] -> false)
+            ta)
+  | Ast.DomRestrict (s, r) ->
+      let ts = expr inst env s in
+      List.filter
+        (function h :: _ -> Tuple.mem [ h ] ts | [] -> false)
+        (expr inst env r)
+  | Ast.RanRestrict (r, s) ->
+      let ts = expr inst env s in
+      List.filter
+        (fun t ->
+          match List.rev t with h :: _ -> Tuple.mem [ h ] ts | [] -> false)
+        (expr inst env r)
+  | Ast.IfExpr (c, t, e) ->
+      if formula inst env c then expr inst env t else expr inst env e
+  | Ast.Comprehension (decls, f) ->
+      let rec go env = function
+        | [] -> if formula inst env f then [ [] ] else []
+        | (x, dom) :: rest ->
+            List.concat_map
+              (function
+                | [ a ] ->
+                    List.map (fun t -> a :: t) (go ((x, a) :: env) rest)
+                | _ -> invalid_arg "Eval: comprehension domain must be unary")
+              (expr inst env dom)
+      in
+      Tuple.sort_uniq (go env decls)
+
+and formula inst env (f : Ast.formula) : bool =
+  match f with
+  | Ast.True_ -> true
+  | Ast.False_ -> false
+  | Ast.Subset (a, b) ->
+      let ta = expr inst env a and tb = expr inst env b in
+      List.for_all (fun t -> Tuple.mem t tb) ta
+  | Ast.Eq (a, b) ->
+      Tuple.sort_uniq (expr inst env a) = Tuple.sort_uniq (expr inst env b)
+  | Ast.Some_ e -> expr inst env e <> []
+  | Ast.No e -> expr inst env e = []
+  | Ast.One e -> List.length (Tuple.sort_uniq (expr inst env e)) = 1
+  | Ast.Lone e -> List.length (Tuple.sort_uniq (expr inst env e)) <= 1
+  | Ast.Not f -> not (formula inst env f)
+  | Ast.And fs -> List.for_all (formula inst env) fs
+  | Ast.Or fs -> List.exists (formula inst env) fs
+  | Ast.Implies (a, b) -> (not (formula inst env a)) || formula inst env b
+  | Ast.Iff (a, b) -> formula inst env a = formula inst env b
+  | Ast.ForAll (decls, body) -> quant inst env decls body ~forall:true
+  | Ast.Exists (decls, body) -> quant inst env decls body ~forall:false
+  | Ast.IntCmp (op, a, b) -> (
+      let va = intexpr inst env a and vb = intexpr inst env b in
+      match op with
+      | Ast.Lt -> va < vb
+      | Ast.Le -> va <= vb
+      | Ast.Gt -> va > vb
+      | Ast.Ge -> va >= vb
+      | Ast.IEq -> va = vb)
+
+and quant inst env decls body ~forall =
+  match decls with
+  | [] -> formula inst env body
+  | (x, dom) :: rest ->
+      let atoms =
+        List.map
+          (function
+            | [ a ] -> a
+            | _ -> invalid_arg "Eval: quantifier domain must be unary")
+          (expr inst env dom)
+      in
+      let test a = quant inst ((x, a) :: env) rest body ~forall in
+      if forall then List.for_all test atoms else List.exists test atoms
+
+and intexpr inst env (e : Ast.intexpr) : int =
+  match e with
+  | Ast.IConst n -> n
+  | Ast.Card e -> List.length (Tuple.sort_uniq (expr inst env e))
+  | Ast.SumOver e ->
+      let u = Instance.universe inst in
+      List.fold_left
+        (fun acc t ->
+          match t with
+          | [ a ] -> (
+              match Universe.int_value u a with
+              | Some v -> acc + v
+              | None -> acc)
+          | _ -> invalid_arg "Eval: sum requires a unary expression")
+        0
+        (Tuple.sort_uniq (expr inst env e))
+  | Ast.Add (a, b) -> intexpr inst env a + intexpr inst env b
+  | Ast.Sub (a, b) -> intexpr inst env a - intexpr inst env b
+  | Ast.Neg a -> -intexpr inst env a
+  | Ast.Mul (a, b) -> intexpr inst env a * intexpr inst env b
+
+let holds inst f = formula inst [] f

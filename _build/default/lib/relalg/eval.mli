@@ -1,0 +1,18 @@
+(** Ground evaluation of relational terms over a concrete {!Instance.t}.
+
+    An independent denotational semantics: no SAT involved. The test
+    suite uses it as the oracle for the symbolic translator (any instance
+    the solver returns must satisfy the formula here, and randomly
+    generated instances must agree with translation + solving under exact
+    bounds), and Alloy-lite uses it to double-check counterexamples
+    before showing them. *)
+
+val expr : Instance.t -> (string * int) list -> Ast.expr -> Tuple.t list
+(** [expr inst env e] is the tuple set denoted by [e]; [env] binds
+    quantified variables to atoms. Raises [Invalid_argument] on arity
+    violations and [Not_found] on unbound relations. *)
+
+val formula : Instance.t -> (string * int) list -> Ast.formula -> bool
+val intexpr : Instance.t -> (string * int) list -> Ast.intexpr -> int
+val holds : Instance.t -> Ast.formula -> bool
+(** [holds inst f] is [formula inst [] f]. *)

@@ -1,0 +1,75 @@
+(** Sparse boolean matrices: the symbolic value of a relational expression.
+
+    A matrix of arity [n] maps each possible [n]-tuple to a boolean
+    formula over SAT variables stating "this tuple is in the relation".
+    Absent entries mean [False]; the representation stays sparse because
+    bounds keep upper tuple sets small. All of Kodkod's translation
+    algebra — union, join, product, transpose, closure, override,
+    comprehension — is implemented here. *)
+
+type t
+
+val arity : t -> int
+val empty : int -> t
+(** [empty n] is the all-[False] matrix of arity [n]. *)
+
+val of_entries : int -> (Tuple.t * Sat.Formula.t) list -> t
+(** Builds a matrix; entries with the same tuple are or-ed, [False]
+    entries dropped. *)
+
+val get : t -> Tuple.t -> Sat.Formula.t
+val set : t -> Tuple.t -> Sat.Formula.t -> t
+(** Functional update ([False] removes the entry). *)
+
+val entries : t -> (Tuple.t * Sat.Formula.t) list
+(** Non-[False] entries, in sorted tuple order (deterministic). *)
+
+val singleton : Tuple.t -> t
+(** The matrix that contains exactly the given tuple, with formula
+    [True]. *)
+
+val iden : Universe.t -> t
+(** Identity relation over all atoms. *)
+
+val full : Universe.t -> int -> t
+(** [full u n] has every arity-[n] tuple with formula [True] —
+    [univ], [univ->univ], ... *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val join : t -> t -> t
+(** Relational composition ([.] in Alloy). Arities must sum to > 2. *)
+
+val product : t -> t -> t
+val transpose : t -> t
+(** Binary matrices only. *)
+
+val closure : Universe.t -> t -> t
+(** Transitive closure of a binary matrix by iterative squaring. *)
+
+val reflexive_closure : Universe.t -> t -> t
+val override : t -> t -> t
+(** [override p q] is Alloy's [p ++ q]: tuples of [q], plus tuples of [p]
+    whose first atom is outside [q]'s domain. *)
+
+val restrict_domain : t -> t -> t
+(** [restrict_domain s r] is Alloy's [s <: r] with unary [s]. *)
+
+val restrict_range : t -> t -> t
+(** [restrict_range r s] is Alloy's [r :> s] with unary [s]. *)
+
+val some : t -> Sat.Formula.t
+(** "At least one tuple present". *)
+
+val no : t -> Sat.Formula.t
+val lone : t -> Sat.Formula.t
+val one : t -> Sat.Formula.t
+val subset : t -> t -> Sat.Formula.t
+val equal : t -> t -> Sat.Formula.t
+
+val count : t -> Sat.Formula.t list
+(** The multiset of entry formulas — input to cardinality counting. *)
+
+val map : (Sat.Formula.t -> Sat.Formula.t) -> t -> t
+val pp : Universe.t -> Format.formatter -> t -> unit

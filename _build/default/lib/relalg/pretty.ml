@@ -1,0 +1,82 @@
+let table ppf inst =
+  let u = Instance.universe inst in
+  List.iter
+    (fun (name, tuples) ->
+      Format.fprintf ppf "@[<v 2>%s (%d tuple%s):" name (List.length tuples)
+        (if List.length tuples = 1 then "" else "s");
+      List.iter
+        (fun t -> Format.fprintf ppf "@,%a" (Tuple.pp u) t)
+        tuples;
+      Format.fprintf ppf "@]@.")
+    (Instance.rels inst)
+
+let dot ?(graph_name = "instance") ppf inst =
+  let u = Instance.universe inst in
+  let atoms = Hashtbl.create 32 in
+  let labels = Hashtbl.create 32 in
+  let note_atom a = Hashtbl.replace atoms a () in
+  let add_label a tag =
+    let old = try Hashtbl.find labels a with Not_found -> [] in
+    if not (List.mem tag old) then Hashtbl.replace labels a (tag :: old)
+  in
+  List.iter
+    (fun (name, tuples) ->
+      List.iter
+        (fun t ->
+          List.iter note_atom t;
+          match t with [ a ] -> add_label a name | _ -> ())
+        tuples)
+    (Instance.rels inst);
+  let quote a = Printf.sprintf "%S" (Universe.name u a) in
+  Format.fprintf ppf "digraph %s {@." graph_name;
+  Format.fprintf ppf "  rankdir=LR;@.  node [shape=box, fontname=\"monospace\"];@.";
+  Hashtbl.iter
+    (fun a () ->
+      let tags = try Hashtbl.find labels a with Not_found -> [] in
+      let label =
+        match tags with
+        | [] -> Universe.name u a
+        | tags ->
+            Printf.sprintf "%s\\n(%s)" (Universe.name u a)
+              (String.concat ", " (List.sort compare tags))
+      in
+      Format.fprintf ppf "  %s [label=\"%s\"];@." (quote a) label)
+    atoms;
+  List.iter
+    (fun (name, tuples) ->
+      List.iter
+        (fun t ->
+          match t with
+          | [ a; b ] ->
+              Format.fprintf ppf "  %s -> %s [label=\"%s\"];@." (quote a)
+                (quote b) name
+          | _ -> ())
+        tuples)
+    (Instance.rels inst);
+  (* higher-arity relations, listed verbatim *)
+  let high =
+    List.filter
+      (fun (_, tuples) ->
+        match tuples with t :: _ -> List.length t > 2 | [] -> false)
+      (Instance.rels inst)
+  in
+  if high <> [] then begin
+    Format.fprintf ppf "  higher_arity [shape=note, label=\"";
+    List.iter
+      (fun (name, tuples) ->
+        List.iter
+          (fun t ->
+            Format.fprintf ppf "%s: %s\\l" name
+              (Format.asprintf "%a" (Tuple.pp u) t))
+          tuples)
+      high;
+    Format.fprintf ppf "\"];@."
+  end;
+  Format.fprintf ppf "}@."
+
+let dot_to_file path inst =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  dot ppf inst;
+  Format.pp_print_flush ppf ();
+  close_out oc

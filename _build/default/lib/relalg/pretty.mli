@@ -1,0 +1,14 @@
+(** Rendering of instances for humans: per-relation tables and Graphviz
+    DOT export (binary relations become edges, unary relations become
+    node labels) — the closest thing to the Alloy visualizer this side
+    of a GUI. *)
+
+val table : Format.formatter -> Instance.t -> unit
+(** Per-relation table with one tuple per row, aligned columns. *)
+
+val dot : ?graph_name:string -> Format.formatter -> Instance.t -> unit
+(** Graphviz digraph: every atom that occurs in some relation becomes a
+    node; binary tuples become labeled edges; unary relations annotate
+    node labels; higher-arity relations are listed in a comment box. *)
+
+val dot_to_file : string -> Instance.t -> unit

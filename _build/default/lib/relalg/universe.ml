@@ -1,0 +1,42 @@
+type t = {
+  names : string array;
+  by_name : (string, int) Hashtbl.t;
+  values : (int, int) Hashtbl.t; (* atom index -> integer value *)
+}
+
+let build names valued =
+  let all = names @ List.map fst valued in
+  let by_name = Hashtbl.create (List.length all) in
+  List.iteri
+    (fun i a ->
+      if Hashtbl.mem by_name a then
+        invalid_arg (Printf.sprintf "Universe.create: duplicate atom %S" a);
+      Hashtbl.add by_name a i)
+    all;
+  let values = Hashtbl.create 8 in
+  List.iter (fun (a, v) -> Hashtbl.add values (Hashtbl.find by_name a) v) valued;
+  { names = Array.of_list all; by_name; values }
+
+let create names = build names []
+let create_with_ints names valued = build names valued
+let size u = Array.length u.names
+
+let name u i =
+  if i < 0 || i >= size u then invalid_arg "Universe.name: out of range";
+  u.names.(i)
+
+let index u a = Hashtbl.find u.by_name a
+let mem u a = Hashtbl.mem u.by_name a
+let atoms u = Array.to_list u.names
+let indices u = List.init (size u) Fun.id
+let int_value u i = Hashtbl.find_opt u.values i
+
+let int_atoms u =
+  List.filter_map (fun i -> Option.map (fun v -> (i, v)) (int_value u i)) (indices u)
+
+let pp ppf u =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (atoms u)

@@ -1,0 +1,38 @@
+(** The universe of discourse: a finite, ordered set of named atoms.
+
+    Mirrors Kodkod's universe. Every relation's tuples draw their
+    components from here; atoms are referred to internally by their dense
+    index, which keeps tuple operations cheap. Some atoms may carry an
+    integer value (Alloy's [Int] atoms), which the translator uses for
+    [sum] expressions. *)
+
+type t
+
+val create : string list -> t
+(** [create names] builds a universe from distinct atom names.
+    Raises [Invalid_argument] on duplicates. *)
+
+val create_with_ints : string list -> (string * int) list -> t
+(** [create_with_ints names valued] additionally assigns integer values to
+    some atoms (given as [(name, value)] pairs appended after [names]). *)
+
+val size : t -> int
+val name : t -> int -> string
+(** [name u i] is the name of atom [i]. Raises [Invalid_argument] when out
+    of range. *)
+
+val index : t -> string -> int
+(** [index u a] is the dense index of atom [a]. Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val atoms : t -> string list
+val indices : t -> int list
+(** [indices u] is [[0; ...; size u - 1]]. *)
+
+val int_value : t -> int -> int option
+(** [int_value u i] is the integer carried by atom [i], if any. *)
+
+val int_atoms : t -> (int * int) list
+(** All [(atom index, value)] pairs, in atom order. *)
+
+val pp : Format.formatter -> t -> unit

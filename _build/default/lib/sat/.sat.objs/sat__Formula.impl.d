@@ -1,0 +1,1 @@
+lib/sat/formula.ml: Array Cnf Either Format Hashtbl List Solver

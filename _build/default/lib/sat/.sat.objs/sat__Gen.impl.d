@@ -1,0 +1,1 @@
+lib/sat/gen.ml: Cnf List Random

@@ -1,0 +1,74 @@
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let problem = ref Cnf.empty in
+  let declared = ref None in
+  let pending = ref [] in
+  let line_no = ref 0 in
+  let fail msg = failwith (Printf.sprintf "dimacs: line %d: %s" !line_no msg) in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> fail (Printf.sprintf "bad literal %S" tok)
+    | Some 0 ->
+        problem := Cnf.add_clause !problem (List.rev !pending);
+        pending := []
+    | Some i -> pending := Cnf.lit_of_int i :: !pending
+  in
+  List.iter
+    (fun line ->
+      incr line_no;
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; nc ] -> (
+            match (int_of_string_opt nv, int_of_string_opt nc) with
+            | Some nv, Some nc -> declared := Some (nv, nc)
+            | _ -> fail "bad p-header counts")
+        | _ -> fail "bad p-header"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (( <> ) "")
+        |> List.iter handle_token)
+    lines;
+  if !pending <> [] then
+    problem := Cnf.add_clause !problem (List.rev !pending);
+  (match !declared with
+  | Some (nv, _) when nv > (!problem).num_vars ->
+      problem := { !problem with num_vars = nv }
+  | _ -> ());
+  !problem
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let print ppf (p : Cnf.problem) =
+  Format.fprintf ppf "p cnf %d %d@." p.num_vars (Cnf.num_clauses p);
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Format.fprintf ppf "%d " (Cnf.int_of_lit l)) c;
+      Format.fprintf ppf "0@.")
+    (List.rev p.clauses)
+
+let to_string p = Format.asprintf "%a" print p
+
+let write_file path p =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  print ppf p;
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+let print_result ppf = function
+  | Solver.Unsat -> Format.fprintf ppf "s UNSATISFIABLE@."
+  | Solver.Sat m ->
+      Format.fprintf ppf "s SATISFIABLE@.v ";
+      for v = 1 to Array.length m - 1 do
+        Format.fprintf ppf "%d " (if m.(v) then v else -v)
+      done;
+      Format.fprintf ppf "0@."

@@ -1,0 +1,21 @@
+(** DIMACS CNF reader/writer, so the solver doubles as a standalone tool
+    ([bin/sat_solve]) and instances can be exported for cross-checking
+    with external solvers. *)
+
+val parse_string : string -> Cnf.problem
+(** Parses DIMACS CNF text. Raises [Failure] with a line-located message
+    on malformed input. Comments ([c ...]) and the [p cnf] header are
+    handled; the header's counts are checked loosely (the actual clause
+    list wins, as most tools accept). *)
+
+val parse_file : string -> Cnf.problem
+
+val print : Format.formatter -> Cnf.problem -> unit
+(** Writes the problem in DIMACS format, header included. *)
+
+val to_string : Cnf.problem -> string
+val write_file : string -> Cnf.problem -> unit
+
+val print_result : Format.formatter -> Solver.result -> unit
+(** Prints an [s SATISFIABLE] / [s UNSATISFIABLE] answer with a [v] model
+    line, SAT-competition style. *)

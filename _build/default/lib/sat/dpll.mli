@@ -1,0 +1,12 @@
+(** Plain DPLL solver (unit propagation + chronological backtracking, no
+    learning). Exponentially slower than {!Solver} on hard instances but
+    simple enough to be obviously correct: the test suite uses it as an
+    oracle against the CDCL engine, and the benchmark harness uses it as
+    the baseline the paper's Alloy-vs-naive comparisons call for. *)
+
+val solve : Cnf.problem -> Solver.result
+(** Decides the problem by depth-first search. *)
+
+val solve_with_limit : max_decisions:int -> Cnf.problem -> Solver.result option
+(** Same, but gives up (returns [None]) after [max_decisions] branching
+    steps. *)

@@ -1,0 +1,374 @@
+type t =
+  | True
+  | False
+  | Var of Cnf.var
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Ite of t * t * t
+
+(* ---- hash-consing ----------------------------------------------------
+   Structurally equal formulas built through the smart constructors are
+   physically equal. This keeps every DAG traversal (Tseitin caching,
+   size, max_var) linear: structural comparison or hashing of big shared
+   circuits would otherwise unfold them in exponential time. Nodes are
+   identified by the unique ids of their children, so interning is O(1)
+   per construction. *)
+
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type key =
+  | Kvar of Cnf.var
+  | Knot of int
+  | Kand of int list
+  | Kor of int list
+  | Kimplies of int * int
+  | Kiff of int * int
+  | Kite of int * int * int
+
+let intern_tbl : (key, t) Hashtbl.t = Hashtbl.create 4096
+let id_tbl : int Phys.t = Phys.create 4096
+let next_id = ref 2 (* 0 and 1 are the constants *)
+
+let node_id f =
+  match f with
+  | True -> 0
+  | False -> 1
+  | _ -> (
+      match Phys.find_opt id_tbl f with
+      | Some i -> i
+      | None ->
+          incr next_id;
+          Phys.replace id_tbl f !next_id;
+          !next_id)
+
+let intern key node =
+  match Hashtbl.find_opt intern_tbl key with
+  | Some canonical -> canonical
+  | None ->
+      ignore (node_id node);
+      Hashtbl.replace intern_tbl key node;
+      node
+
+let clear_sharing () =
+  (* ids stay monotone so stale formulas can never alias fresh ones *)
+  Hashtbl.reset intern_tbl;
+  Phys.reset id_tbl
+
+let tt = True
+let ff = False
+let var v = intern (Kvar v) (Var v)
+
+let not_ f =
+  match f with
+  | True -> False
+  | False -> True
+  | Not g -> g
+  | f -> intern (Knot (node_id f)) (Not f)
+
+
+let and_ fs =
+  let rec gather acc = function
+    | [] -> Some acc
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And gs :: rest -> (
+        match gather acc gs with None -> None | Some acc -> gather acc rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs ->
+      let fs = List.rev fs in
+      intern (Kand (List.map node_id fs)) (And fs)
+
+let or_ fs =
+  let rec gather acc = function
+    | [] -> Some acc
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> (
+        match gather acc gs with None -> None | Some acc -> gather acc rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs ->
+      let fs = List.rev fs in
+      intern (Kor (List.map node_id fs)) (Or fs)
+
+let and2 a b = and_ [ a; b ]
+let or2 a b = or_ [ a; b ]
+
+let implies a b =
+  match (a, b) with
+  | False, _ -> True
+  | True, b -> b
+  | _, True -> True
+  | a, False -> not_ a
+  | a, b -> intern (Kimplies (node_id a, node_id b)) (Implies (a, b))
+
+let iff a b =
+  match (a, b) with
+  | True, b -> b
+  | a, True -> a
+  | False, b -> not_ b
+  | a, False -> not_ a
+  | a, b ->
+      if a == b then True else intern (Kiff (node_id a, node_id b)) (Iff (a, b))
+
+let xor a b = not_ (iff a b)
+
+let ite c t e =
+  match c with
+  | True -> t
+  | False -> e
+  | c ->
+      if t == e then t
+      else intern (Kite (node_id c, node_id t, node_id e)) (Ite (c, t, e))
+
+let at_most_one fs =
+  let rec pairs = function
+    | [] -> []
+    | f :: rest -> List.map (fun g -> or2 (not_ f) (not_ g)) rest @ pairs rest
+  in
+  and_ (pairs fs)
+
+let exactly_one fs = and2 (or_ fs) (at_most_one fs)
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not f -> not (eval env f)
+  | And fs -> List.for_all (eval env) fs
+  | Or fs -> List.exists (eval env) fs
+  | Implies (a, b) -> (not (eval env a)) || eval env b
+  | Iff (a, b) -> eval env a = eval env b
+  | Ite (c, t, e) -> if eval env c then eval env t else eval env e
+
+let size f =
+  (* connective count of the circuit DAG: shared subcircuits counted once *)
+  let seen = Phys.create 256 in
+  let total = ref 0 in
+  let rec go f =
+    if not (Phys.mem seen f) then begin
+      Phys.add seen f ();
+      match f with
+      | True | False | Var _ -> ()
+      | Not g ->
+          incr total;
+          go g
+      | And fs | Or fs ->
+          incr total;
+          List.iter go fs
+      | Implies (a, b) | Iff (a, b) ->
+          incr total;
+          go a;
+          go b
+      | Ite (a, b, c) ->
+          incr total;
+          go a;
+          go b;
+          go c
+    end
+  in
+  go f;
+  !total
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Var v -> Format.fprintf ppf "v%d" v
+  | Not f -> Format.fprintf ppf "!%a" pp_atom f
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ") pp)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp)
+        fs
+  | Implies (a, b) -> Format.fprintf ppf "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <=> %a)" pp a pp b
+  | Ite (a, b, c) -> Format.fprintf ppf "(if %a then %a else %a)" pp a pp b pp c
+
+and pp_atom ppf f =
+  match f with
+  | True | False | Var _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+type cnf_result = {
+  problem : Cnf.problem;
+  root : Cnf.lit option;
+  constant : bool option;
+}
+
+let max_var f =
+  let seen = Phys.create 256 in
+  let best = ref 0 in
+  let rec go f =
+    if not (Phys.mem seen f) then begin
+      Phys.add seen f ();
+      match f with
+      | True | False -> ()
+      | Var v -> if v > !best then best := v
+      | Not g -> go g
+      | And fs | Or fs -> List.iter go fs
+      | Implies (a, b) | Iff (a, b) ->
+          go a;
+          go b
+      | Ite (a, b, c) ->
+          go a;
+          go b;
+          go c
+    end
+  in
+  go f;
+  !best
+
+(* Tseitin translation with structural sharing: identical subcircuits are
+   encoded once. Returns the literal representing each subformula. *)
+let to_cnf ?num_primary f =
+  let primary = match num_primary with Some n -> n | None -> max_var f in
+  let problem = ref { Cnf.num_vars = max primary (max_var f); clauses = [] } in
+  let add lits = problem := Cnf.add_clause !problem lits in
+  let fresh () =
+    let p, v = Cnf.fresh_var !problem in
+    problem := p;
+    v
+  in
+  (* cache on physical identity: the upstream compilers memoize their
+     output, so shared subcircuits are physically shared, and structural
+     keying would compare distinct DAG keys in exponential unfolded time *)
+  let cache : Cnf.lit Phys.t = Phys.create 1024 in
+  (* encode f, returning either a constant or a literal equivalent to f *)
+  let rec enc f : (bool, Cnf.lit) Either.t =
+    match f with
+    | True -> Either.Left true
+    | False -> Either.Left false
+    | Var v -> Either.Right (Cnf.pos v)
+    | Not g -> (
+        match enc g with
+        | Either.Left b -> Either.Left (not b)
+        | Either.Right l -> Either.Right (Cnf.negate l))
+    | _ -> (
+        match Phys.find_opt cache f with
+        | Some l -> Either.Right l
+        | None ->
+            let l = enc_node f in
+            (match l with
+            | Either.Right lit -> Phys.replace cache f lit
+            | Either.Left _ -> ());
+            l)
+  and enc_node f : (bool, Cnf.lit) Either.t =
+    match f with
+    | And fs -> enc_nary ~neutral:true fs
+    | Or fs -> (
+        (* x <-> (a | b | ...) encoded by dualizing And over negations *)
+        match enc_nary ~neutral:false fs with
+        | Either.Left b -> Either.Left b
+        | Either.Right l -> Either.Right l)
+    | Implies (a, b) -> enc (or2 (not_ a) b)
+    | Iff (a, b) -> (
+        match (enc a, enc b) with
+        | Either.Left ba, Either.Left bb -> Either.Left (ba = bb)
+        | Either.Left true, Either.Right l | Either.Right l, Either.Left true ->
+            Either.Right l
+        | Either.Left false, Either.Right l | Either.Right l, Either.Left false ->
+            Either.Right (Cnf.negate l)
+        | Either.Right la, Either.Right lb ->
+            let x = fresh () in
+            let xl = Cnf.pos x in
+            (* x -> (la <-> lb), !x -> (la <-> !lb) *)
+            add [ Cnf.negate xl; Cnf.negate la; lb ];
+            add [ Cnf.negate xl; la; Cnf.negate lb ];
+            add [ xl; la; lb ];
+            add [ xl; Cnf.negate la; Cnf.negate lb ];
+            Either.Right xl)
+    | Ite (c, t, e) -> (
+        match enc c with
+        | Either.Left true -> enc t
+        | Either.Left false -> enc e
+        | Either.Right lc -> (
+            match (enc t, enc e) with
+            | Either.Left bt, Either.Left be ->
+                if bt = be then Either.Left bt
+                else Either.Right (if bt then lc else Cnf.negate lc)
+            | et, ee ->
+                let lit_of = function
+                  | Either.Left true ->
+                      let v = fresh () in
+                      add [ Cnf.pos v ];
+                      Cnf.pos v
+                  | Either.Left false ->
+                      let v = fresh () in
+                      add [ Cnf.neg v ];
+                      Cnf.pos v
+                  | Either.Right l -> l
+                in
+                let lt = lit_of et and le = lit_of ee in
+                let x = fresh () in
+                let xl = Cnf.pos x in
+                add [ Cnf.negate xl; Cnf.negate lc; lt ];
+                add [ Cnf.negate xl; lc; le ];
+                add [ xl; Cnf.negate lc; Cnf.negate lt ];
+                add [ xl; lc; Cnf.negate le ];
+                Either.Right xl))
+    | True | False | Var _ | Not _ -> enc f
+  (* n-ary conjunction (neutral=true) or disjunction (neutral=false) *)
+  and enc_nary ~neutral fs =
+    let lits = ref [] in
+    let constant = ref None in
+    List.iter
+      (fun g ->
+        if !constant = None then
+          match enc g with
+          | Either.Left b -> if b <> neutral then constant := Some b
+          | Either.Right l -> lits := l :: !lits)
+      fs;
+    match !constant with
+    | Some b -> Either.Left b
+    | None -> (
+        match !lits with
+        | [] -> Either.Left neutral
+        | [ l ] -> Either.Right l
+        | lits ->
+            let x = fresh () in
+            let xl = Cnf.pos x in
+            if neutral then begin
+              (* x <-> /\ lits *)
+              List.iter (fun l -> add [ Cnf.negate xl; l ]) lits;
+              add (xl :: List.map Cnf.negate lits)
+            end
+            else begin
+              (* x <-> \/ lits *)
+              List.iter (fun l -> add [ xl; Cnf.negate l ]) lits;
+              add (Cnf.negate xl :: lits)
+            end;
+            Either.Right xl)
+  in
+  match enc f with
+  | Either.Left b ->
+      { problem = !problem; root = None; constant = Some b }
+  | Either.Right l ->
+      add [ l ];
+      { problem = !problem; root = Some l; constant = None }
+
+let solve ?num_primary f =
+  let { problem; constant; _ } = to_cnf ?num_primary f in
+  match constant with
+  | Some true -> Solver.Sat (Array.make (problem.num_vars + 1) false)
+  | Some false -> Solver.Unsat
+  | None -> Solver.solve_problem problem

@@ -1,0 +1,80 @@
+(** Boolean formulas (circuits) and their Tseitin translation to CNF.
+
+    This is the intermediate language between the relational-logic
+    translator ({!Relalg}) and the CNF solver: relational formulas become
+    boolean circuits over primary variables, which this module flattens to
+    equisatisfiable CNF with fresh auxiliary variables. Construction
+    performs constant folding and small-structure simplification so that
+    trivially true/false constraints never reach the solver. *)
+
+type t =
+  | True
+  | False
+  | Var of Cnf.var
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Ite of t * t * t  (** if-then-else over booleans *)
+
+val tt : t
+val ff : t
+val var : Cnf.var -> t
+
+val not_ : t -> t
+(** Negation with constant folding and double-negation elimination. *)
+
+val clear_sharing : unit -> unit
+(** Drops the hash-consing tables. The smart constructors intern nodes so
+    that structurally equal formulas are physically equal (which keeps
+    every traversal linear in the circuit DAG); call this between
+    independent translations to release the tables. Existing formulas
+    remain valid — only future sharing with them is lost. *)
+
+val and_ : t list -> t
+(** N-ary conjunction; folds constants, flattens nested [And]s. *)
+
+val or_ : t list -> t
+(** N-ary disjunction; folds constants, flattens nested [Or]s. *)
+
+val and2 : t -> t -> t
+val or2 : t -> t -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val xor : t -> t -> t
+val ite : t -> t -> t -> t
+
+val at_most_one : t list -> t
+(** Pairwise at-most-one constraint over the given formulas. *)
+
+val exactly_one : t list -> t
+
+val eval : (Cnf.var -> bool) -> t -> bool
+(** [eval env f] evaluates [f] under the assignment [env] — used to check
+    models and in tests as the semantic oracle for the Tseitin encoding. *)
+
+val size : t -> int
+(** Number of connective nodes, a proxy for circuit complexity. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 CNF translation} *)
+
+type cnf_result = {
+  problem : Cnf.problem;
+  root : Cnf.lit option;
+      (** Literal equisatisfiable with the formula; [None] when the
+          formula folded to a constant (see [constant]). *)
+  constant : bool option;
+      (** [Some b] when the whole formula simplified to constant [b]. *)
+}
+
+val to_cnf : ?num_primary:int -> t -> cnf_result
+(** [to_cnf ~num_primary f] Tseitin-translates [f]. Auxiliary variables
+    are allocated above [num_primary] (default: the max variable in [f]),
+    and the root literal is asserted as a unit clause, so the resulting
+    problem is satisfiable iff [f] is. *)
+
+val solve : ?num_primary:int -> t -> Solver.result
+(** Convenience: translate and run the CDCL solver. *)

@@ -1,0 +1,18 @@
+(** Structured SAT-instance generators for the test suite and the solver
+    benchmarks: classic families with known satisfiability status. *)
+
+val pigeonhole : int -> Cnf.problem
+(** [pigeonhole n] encodes [n+1] pigeons into [n] holes — unsatisfiable
+    for every [n >= 1], and exponentially hard for resolution, which makes
+    it the standard CDCL stress test. *)
+
+val random_ksat : seed:int -> k:int -> num_vars:int -> num_clauses:int -> Cnf.problem
+(** Uniform random k-SAT with distinct variables per clause. Around ratio
+    4.26 (for k=3) instances sit at the phase transition. *)
+
+val php_sat : int -> Cnf.problem
+(** [php_sat n] places [n] pigeons in [n] holes — satisfiable variant used
+    to exercise the model-extraction path. *)
+
+val graph_coloring : seed:int -> nodes:int -> edge_prob:float -> colors:int -> Cnf.problem
+(** Random-graph k-coloring encoding: one variable per (node, color). *)

@@ -1,0 +1,89 @@
+type t = {
+  mutable heap : int array; (* heap slots -> var *)
+  mutable index : int array; (* var -> heap slot, or -1 *)
+  mutable act : float array; (* var -> activity *)
+  mutable sz : int;
+}
+
+let create n =
+  {
+    heap = Array.make (n + 1) 0;
+    index = Array.make (n + 1) (-1);
+    act = Array.make (n + 1) 0.0;
+    sz = 0;
+  }
+
+let grow_to h n =
+  let old = Array.length h.index in
+  if n + 1 > old then begin
+    let resize a fill =
+      let b = Array.make (max (n + 1) (2 * old)) fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    h.heap <- resize h.heap 0;
+    h.index <- resize h.index (-1);
+    h.act <- resize h.act 0.0
+  end
+
+let in_heap h v = h.index.(v) >= 0
+let is_empty h = h.sz = 0
+let size h = h.sz
+let activity h v = h.act.(v)
+
+let swap h i j =
+  let vi = h.heap.(i) and vj = h.heap.(j) in
+  h.heap.(i) <- vj;
+  h.heap.(j) <- vi;
+  h.index.(vi) <- j;
+  h.index.(vj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.act.(h.heap.(i)) > h.act.(h.heap.(parent)) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.sz && h.act.(h.heap.(l)) > h.act.(h.heap.(!best)) then best := l;
+  if r < h.sz && h.act.(h.heap.(r)) > h.act.(h.heap.(!best)) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let insert h v =
+  if not (in_heap h v) then begin
+    if h.sz = Array.length h.heap then grow_to h (2 * Array.length h.heap);
+    h.heap.(h.sz) <- v;
+    h.index.(v) <- h.sz;
+    h.sz <- h.sz + 1;
+    sift_up h h.index.(v)
+  end
+
+let remove_max h =
+  if h.sz = 0 then raise Not_found;
+  let v = h.heap.(0) in
+  h.sz <- h.sz - 1;
+  h.index.(v) <- -1;
+  if h.sz > 0 then begin
+    let w = h.heap.(h.sz) in
+    h.heap.(0) <- w;
+    h.index.(w) <- 0;
+    sift_down h 0
+  end;
+  v
+
+let bump h v inc =
+  h.act.(v) <- h.act.(v) +. inc;
+  if in_heap h v then sift_up h h.index.(v)
+
+let rescale h factor =
+  for v = 0 to Array.length h.act - 1 do
+    h.act.(v) <- h.act.(v) *. factor
+  done

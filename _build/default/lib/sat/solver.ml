@@ -1,0 +1,507 @@
+(* CDCL solver, MiniSat lineage.
+
+   Watching convention: a clause watches its first two literals
+   [lits.(0)] and [lits.(1)]; the clause is registered in the watcher
+   list of the *negation* of each watched literal, so when a literal [p]
+   is enqueued (made true) we visit [watches.(p)] — exactly the clauses
+   in which a watched literal just became false. *)
+
+type clause = {
+  mutable lits : Cnf.lit array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+type result = Sat of Cnf.model | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  max_vars : int;
+  clauses_added : int;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = false }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause Vec.t; (* problem clauses *)
+  mutable learnts : clause Vec.t; (* learnt clauses *)
+  mutable watches : clause Vec.t array; (* lit-indexed *)
+  mutable assigns : Cnf.value array; (* var-indexed *)
+  mutable level : int array; (* var-indexed *)
+  mutable reason : clause option array; (* var-indexed *)
+  mutable polarity : bool array; (* var-indexed saved phase *)
+  mutable seen : bool array; (* var-indexed scratch *)
+  trail : Cnf.lit Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  order : Heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool; (* false once root-level unsat *)
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learnt_lits : int;
+  mutable n_clauses_added : int;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    watches = Array.make 2 (Vec.create ~dummy:dummy_clause ());
+    assigns = Array.make 1 Cnf.Unknown;
+    level = Array.make 1 (-1);
+    reason = Array.make 1 None;
+    polarity = Array.make 1 false;
+    seen = Array.make 1 false;
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    order = Heap.create 16;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+    n_learnt_lits = 0;
+    n_clauses_added = 0;
+  }
+
+let num_vars s = s.nvars
+
+let resize_arrays s n =
+  let grow a fill =
+    let old = Array.length a in
+    if n + 1 > old then begin
+      let b = Array.make (max (n + 1) (2 * old)) fill in
+      Array.blit a 0 b 0 old;
+      b
+    end
+    else a
+  in
+  s.assigns <- grow s.assigns Cnf.Unknown;
+  s.level <- grow s.level (-1);
+  s.reason <- grow s.reason None;
+  s.polarity <- grow s.polarity false;
+  s.seen <- grow s.seen false;
+  let oldw = Array.length s.watches in
+  if (2 * n) + 2 > oldw then begin
+    let w = Array.make (max ((2 * n) + 2) (2 * oldw)) (Vec.create ~dummy:dummy_clause ()) in
+    Array.blit s.watches 0 w 0 oldw;
+    for i = oldw to Array.length w - 1 do
+      w.(i) <- Vec.create ~dummy:dummy_clause ()
+    done;
+    s.watches <- w
+  end;
+  Heap.grow_to s.order n
+
+let ensure_vars s n =
+  if n > s.nvars then begin
+    resize_arrays s n;
+    for v = s.nvars + 1 to n do
+      Heap.insert s.order v
+    done;
+    s.nvars <- n
+  end
+
+let new_var s =
+  ensure_vars s (s.nvars + 1);
+  s.nvars
+
+let value_lit s l =
+  let v = s.assigns.(Cnf.var_of l) in
+  if Cnf.is_pos l then v else Cnf.value_negate v
+
+let decision_level s = Vec.size s.trail_lim
+
+(* Enqueue a literal as true, recording its reason. *)
+let enqueue s l reason =
+  let v = Cnf.var_of l in
+  s.assigns.(v) <- (if Cnf.is_pos l then Cnf.True else Cnf.False);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let watch s l c = Vec.push s.watches.(l) c
+
+(* Boolean constraint propagation. Returns the conflicting clause, if any. *)
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let ws = s.watches.(p) in
+    let i = ref 0 in
+    while !i < Vec.size ws do
+      let c = Vec.get ws !i in
+      if c.deleted then Vec.swap_remove ws !i
+      else begin
+        let lits = c.lits in
+        let false_lit = Cnf.negate p in
+        (* normalize: put the falsified watcher at position 1 *)
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if value_lit s lits.(0) = Cnf.True then incr i
+        else begin
+          (* look for a replacement watch *)
+          let n = Array.length lits in
+          let found = ref (-1) in
+          let k = ref 2 in
+          while !found < 0 && !k < n do
+            if value_lit s lits.(!k) <> Cnf.False then found := !k;
+            incr k
+          done;
+          if !found >= 0 then begin
+            let k = !found in
+            lits.(1) <- lits.(k);
+            lits.(k) <- false_lit;
+            watch s (Cnf.negate lits.(1)) c;
+            Vec.swap_remove ws !i
+          end
+          else if value_lit s lits.(0) = Cnf.False then begin
+            (* conflict: drain queue *)
+            conflict := Some c;
+            s.qhead <- Vec.size s.trail;
+            i := Vec.size ws
+          end
+          else begin
+            enqueue s lits.(0) (Some c);
+            incr i
+          end
+        end
+      end
+    done
+  done;
+  !conflict
+
+let var_bump s v =
+  Heap.bump s.order v s.var_inc;
+  if Heap.activity s.order v > 1e100 then begin
+    Heap.rescale s.order 1e-100;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let clause_bump s c =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+(* First-UIP conflict analysis. Returns (learnt clause lits with the
+   asserting literal first, backjump level). *)
+let analyze s confl =
+  let learnt = ref [] in
+  let seen = s.seen in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let btlevel = ref 0 in
+  let trail_idx = ref (Vec.size s.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | None -> ()
+    | Some c ->
+        if c.learnt then clause_bump s c;
+        let start = if !p = -1 then 0 else 1 in
+        for j = start to Array.length c.lits - 1 do
+          let q = c.lits.(j) in
+          let v = Cnf.var_of q in
+          if (not seen.(v)) && s.level.(v) > 0 then begin
+            seen.(v) <- true;
+            var_bump s v;
+            if s.level.(v) >= decision_level s then incr counter
+            else begin
+              learnt := q :: !learnt;
+              btlevel := max !btlevel s.level.(v)
+            end
+          end
+        done);
+    (* walk the trail back to the next marked literal *)
+    let v = ref (Cnf.var_of (Vec.get s.trail !trail_idx)) in
+    while not seen.(!v) do
+      decr trail_idx;
+      v := Cnf.var_of (Vec.get s.trail !trail_idx)
+    done;
+    p := Vec.get s.trail !trail_idx;
+    decr trail_idx;
+    seen.(!v) <- false;
+    confl := s.reason.(!v);
+    decr counter;
+    if !counter <= 0 then continue := false
+  done;
+  let asserting = Cnf.negate !p in
+  (* local clause minimization: drop literals implied by others *)
+  let is_redundant q =
+    match s.reason.(Cnf.var_of q) with
+    | None -> false
+    | Some c ->
+        Array.for_all
+          (fun l ->
+            l = Cnf.negate q
+            || seen.(Cnf.var_of l)
+            || s.level.(Cnf.var_of l) = 0)
+          c.lits
+  in
+  List.iter (fun q -> seen.(Cnf.var_of q) <- true) !learnt;
+  let kept = List.filter (fun q -> not (is_redundant q)) !learnt in
+  List.iter (fun q -> seen.(Cnf.var_of q) <- false) !learnt;
+  let btlevel =
+    List.fold_left (fun acc q -> max acc (s.level.(Cnf.var_of q))) 0 kept
+  in
+  (asserting :: kept, btlevel)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Cnf.var_of l in
+      s.assigns.(v) <- Cnf.Unknown;
+      s.polarity.(v) <- Cnf.is_pos l;
+      s.reason.(v) <- None;
+      s.level.(v) <- -1;
+      if not (Heap.in_heap s.order v) then Heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* Attach a clause of >= 2 literals to the watch lists. *)
+let attach s c =
+  watch s (Cnf.negate c.lits.(0)) c;
+  watch s (Cnf.negate c.lits.(1)) c
+
+let record_learnt s lits =
+  match lits with
+  | [] -> s.ok <- false
+  | [ l ] ->
+      (* asserting unit: enqueue at the backjumped (root) level *)
+      enqueue s l None
+  | first :: _ ->
+      let arr = Array.of_list lits in
+      (* watch the asserting literal and a literal from the backjump level *)
+      let max_i = ref 1 in
+      for i = 2 to Array.length arr - 1 do
+        if s.level.(Cnf.var_of arr.(i)) > s.level.(Cnf.var_of arr.(!max_i))
+        then max_i := i
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!max_i);
+      arr.(!max_i) <- tmp;
+      let c = { lits = arr; activity = 0.0; learnt = true; deleted = false } in
+      Vec.push s.learnts c;
+      attach s c;
+      clause_bump s c;
+      s.n_learnt_lits <- s.n_learnt_lits + Array.length arr;
+      enqueue s first (Some c)
+
+let add_clause s lits =
+  if s.ok then begin
+    s.n_clauses_added <- s.n_clauses_added + 1;
+    List.iter (fun l -> ensure_vars s (Cnf.var_of l)) lits;
+    (* root-level simplification: drop false lits, detect tautology *)
+    let lits = List.sort_uniq compare lits in
+    let tauto =
+      List.exists (fun l -> List.mem (Cnf.negate l) lits) lits
+      || List.exists (fun l -> value_lit s l = Cnf.True) lits
+    in
+    if not tauto then begin
+      let lits = List.filter (fun l -> value_lit s l <> Cnf.False) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          enqueue s l None;
+          if propagate s <> None then s.ok <- false
+      | _ ->
+          let arr = Array.of_list lits in
+          let c = { lits = arr; activity = 0.0; learnt = false; deleted = false } in
+          Vec.push s.clauses c;
+          attach s c
+    end
+  end
+
+(* Reduce the learnt-clause database: drop the less active half, keeping
+   clauses that are the current reason of an assignment. *)
+let reduce_db s =
+  let locked c =
+    Array.length c.lits > 0
+    &&
+    match s.reason.(Cnf.var_of c.lits.(0)) with
+    | Some r -> r == c
+    | None -> false
+  in
+  Vec.sort (fun a b -> compare a.activity b.activity) s.learnts;
+  let n = Vec.size s.learnts in
+  let keep = Vec.create ~dummy:dummy_clause () in
+  Vec.iteri
+    (fun i c ->
+      if i < n / 2 && (not (locked c)) && Array.length c.lits > 2 then
+        c.deleted <- true
+      else Vec.push keep c)
+    s.learnts;
+  s.learnts <- keep
+
+let pick_branch_lit s =
+  let rec loop () =
+    if Heap.is_empty s.order then None
+    else
+      let v = Heap.remove_max s.order in
+      if s.assigns.(v) = Cnf.Unknown then
+        Some (if s.polarity.(v) then Cnf.pos v else Cnf.neg v)
+      else loop ()
+  in
+  loop ()
+
+let extract_model s =
+  let m = Array.make (s.nvars + 1) false in
+  for v = 1 to s.nvars do
+    m.(v) <- s.assigns.(v) = Cnf.True
+  done;
+  m
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby i =
+  let rec expand sz seq = if sz < i + 1 then expand ((2 * sz) + 1) (seq + 1) else (sz, seq) in
+  let rec reduce x sz seq =
+    if sz - 1 = x then float_of_int (1 lsl seq)
+    else
+      let sz = (sz - 1) / 2 in
+      reduce (x mod sz) sz (seq - 1)
+  in
+  let sz, seq = expand 1 0 in
+  reduce i sz seq
+
+let solve ?(assumptions = []) s =
+  if not s.ok then Unsat
+  else begin
+    (* make sure assumption variables exist *)
+    List.iter (fun l -> ensure_vars s (Cnf.var_of l)) assumptions;
+    cancel_until s 0;
+    if propagate s <> None then begin
+      s.ok <- false;
+      Unsat
+    end
+    else begin
+      let result = ref None in
+      let restart_num = ref 0 in
+      let conflicts_since_restart = ref 0 in
+      let max_learnts = ref (max 1000 (Vec.size s.clauses / 3)) in
+      (* push assumptions as pseudo-decisions *)
+      let rec push_assumptions = function
+        | [] -> true
+        | l :: rest -> (
+            match value_lit s l with
+            | Cnf.True -> push_assumptions rest
+            | Cnf.False -> false
+            | Cnf.Unknown ->
+                Vec.push s.trail_lim (Vec.size s.trail);
+                enqueue s l None;
+                if propagate s <> None then false else push_assumptions rest)
+      in
+      let n_assumptions = List.length assumptions in
+      if not (push_assumptions assumptions) then begin
+        cancel_until s 0;
+        Unsat
+      end
+      else begin
+        let assumption_level = decision_level s in
+        ignore n_assumptions;
+        let restart_limit () = 100.0 *. luby !restart_num in
+        while !result = None do
+          match propagate s with
+          | Some confl ->
+              s.n_conflicts <- s.n_conflicts + 1;
+              incr conflicts_since_restart;
+              if decision_level s <= assumption_level then begin
+                (* conflict under assumptions only: unsat *)
+                cancel_until s 0;
+                result := Some Unsat
+              end
+              else begin
+                let learnt, btlevel = analyze s confl in
+                let btlevel = max btlevel assumption_level in
+                cancel_until s btlevel;
+                record_learnt s learnt;
+                if not s.ok then result := Some Unsat
+                else begin
+                  s.var_inc <- s.var_inc *. var_decay;
+                  s.cla_inc <- s.cla_inc *. clause_decay
+                end
+              end
+          | None ->
+              if
+                float_of_int !conflicts_since_restart >= restart_limit ()
+                && decision_level s > assumption_level
+              then begin
+                s.n_restarts <- s.n_restarts + 1;
+                incr restart_num;
+                conflicts_since_restart := 0;
+                cancel_until s assumption_level
+              end
+              else begin
+                if Vec.size s.learnts >= !max_learnts then begin
+                  reduce_db s;
+                  max_learnts := !max_learnts + (!max_learnts / 10)
+                end;
+                match pick_branch_lit s with
+                | None ->
+                    let m = extract_model s in
+                    cancel_until s 0;
+                    assert (Cnf.check_model m (Vec.fold (fun acc c -> c.lits :: acc) [] s.clauses));
+                    result := Some (Sat m)
+                | Some l ->
+                    s.n_decisions <- s.n_decisions + 1;
+                    Vec.push s.trail_lim (Vec.size s.trail);
+                    enqueue s l None
+              end
+        done;
+        match !result with Some r -> r | None -> assert false
+      end
+    end
+  end
+
+let of_problem (p : Cnf.problem) =
+  let s = create () in
+  ensure_vars s p.num_vars;
+  List.iter (fun c -> add_clause s (Array.to_list c)) (List.rev p.clauses);
+  s
+
+let solve_problem p = solve (of_problem p)
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_lits;
+    max_vars = s.nvars;
+    clauses_added = s.n_clauses_added;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d restarts=%d"
+    st.max_vars st.clauses_added st.decisions st.propagations st.conflicts
+    st.restarts

@@ -1,0 +1,55 @@
+(** Conflict-driven clause-learning (CDCL) SAT solver.
+
+    A from-scratch MiniSat-style solver: two-literal watching, first-UIP
+    conflict analysis with clause minimization, VSIDS decision heuristic
+    with phase saving, Luby restarts and activity-based learnt-clause
+    database reduction. This is the engine under the relational-logic
+    translation ({!Relalg}) and hence under every Alloy-lite [check]/[run]
+    command, mirroring the Alloy Analyzer's use of MiniSat via Kodkod. *)
+
+type t
+
+(** Outcome of a [solve] call. The model array is indexed by variable
+    (entry 0 unused) and is always verified against the clause database
+    before being returned. *)
+type result = Sat of Cnf.model | Unsat
+
+(** Solver counters, for the benchmark harness and tests. *)
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  max_vars : int;
+  clauses_added : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> Cnf.var
+(** Allocates the next variable. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars s n] makes variables [1..n] available. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Cnf.lit list -> unit
+(** Adds a clause over existing variables (unknown variables are allocated
+    automatically). Tautologies are dropped; duplicate literals merged.
+    Adding the empty clause marks the instance unsatisfiable. *)
+
+val solve : ?assumptions:Cnf.lit list -> t -> result
+(** Decides the instance. With [assumptions], decides satisfiability under
+    the given temporary unit hypotheses; the solver can be reused with
+    different assumptions afterwards. *)
+
+val of_problem : Cnf.problem -> t
+(** Loads a {!Cnf.problem} into a fresh solver. *)
+
+val solve_problem : Cnf.problem -> result
+(** One-shot convenience wrapper. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/vnm/embed.ml: Array Format Fun Hashtbl List Mca Netsim Option Vnet

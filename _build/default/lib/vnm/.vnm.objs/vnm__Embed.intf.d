@@ -1,0 +1,1 @@
+lib/vnm/embed.mli: Format Vnet

@@ -1,0 +1,1 @@
+lib/vnm/vnet.ml: Array Format List Netsim Printf

@@ -1,0 +1,1 @@
+lib/vnm/vnet.mli: Format Netsim

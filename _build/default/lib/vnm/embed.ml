@@ -1,0 +1,267 @@
+type mapping = {
+  node_map : int array;
+  link_map : ((int * int) * int list) list;
+}
+
+type result = {
+  mapping : mapping;
+  accepted : bool;
+  revenue : int;
+  messages : int;
+}
+
+let rejected ?(messages = 0) nv =
+  {
+    mapping = { node_map = Array.make nv (-1); link_map = [] };
+    accepted = false;
+    revenue = 0;
+    messages;
+  }
+
+let demand_sum (virtual_net : Vnet.t) items =
+  List.fold_left (fun acc j -> acc + virtual_net.Vnet.node_cap.(j)) 0 items
+
+let residual_capacity (physical : Vnet.t) (virtual_net : Vnet.t) i bundle =
+  physical.Vnet.node_cap.(i) - demand_sum virtual_net bundle
+
+(* Sub-modular bidding utility: the residual CPU the agent would retain
+   after hosting the item (plus one, so an exact fit still produces a
+   positive bid). Zero when the item does not fit. *)
+let residual_utility physical virtual_net i ~item ~base:_ ~bundle =
+  let residual = residual_capacity physical virtual_net i bundle in
+  let after = residual - virtual_net.Vnet.node_cap.(item) in
+  if after < 0 then 0 else after + 1
+
+let revenue_of (virtual_net : Vnet.t) =
+  Array.fold_left ( + ) 0 virtual_net.Vnet.node_cap
+  + List.fold_left (fun acc (_, c) -> acc + c) 0 virtual_net.Vnet.link_cap
+
+let total_residual ~(physical : Vnet.t) ~(virtual_net : Vnet.t) node_map =
+  let used = Array.make (Netsim.Graph.num_nodes physical.Vnet.graph) 0 in
+  Array.iteri
+    (fun j p ->
+      if p >= 0 then used.(p) <- used.(p) + virtual_net.Vnet.node_cap.(j))
+    node_map;
+  let total = ref 0 in
+  Array.iteri (fun p cap -> total := !total + max 0 (cap - used.(p))) physical.Vnet.node_cap;
+  !total
+
+(* Map virtual links over k-shortest loop-free paths with bandwidth
+   accounting. Returns None when some link cannot be routed. *)
+let map_links ~k_paths (physical : Vnet.t) (virtual_net : Vnet.t) node_map =
+  let residual_bw = Hashtbl.create 16 in
+  List.iter
+    (fun (e, c) -> Hashtbl.replace residual_bw e c)
+    physical.Vnet.link_cap;
+  let norm a b = if a < b then (a, b) else (b, a) in
+  let bw a b = try Hashtbl.find residual_bw (norm a b) with Not_found -> 0 in
+  let consume path d =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          Hashtbl.replace residual_bw (norm a b) (bw a b - d);
+          go rest
+      | _ -> ()
+    in
+    go path
+  in
+  let vedges =
+    List.sort
+      (fun (_, c1) (_, c2) -> compare c2 c1)
+      (List.map
+         (fun e -> (e, Vnet.link_capacity virtual_net (fst e) (snd e)))
+         (Netsim.Graph.edges virtual_net.Vnet.graph))
+  in
+  let rec route acc = function
+    | [] -> Some (List.rev acc)
+    | ((a, b), d) :: rest ->
+        let pa = node_map.(a) and pb = node_map.(b) in
+        if pa < 0 || pb < 0 then None
+        else if pa = pb then route (((a, b), [ pa ]) :: acc) rest
+        else begin
+          let weight u v = if bw u v >= d then 1.0 else infinity in
+          let candidates =
+            Netsim.Paths.yen physical.Vnet.graph ~weight ~k:k_paths pa pb
+          in
+          match
+            List.find_opt (fun (_, cost) -> cost < infinity) candidates
+          with
+          | Some (path, _) ->
+              consume path d;
+              route (((a, b), path) :: acc) rest
+          | None -> None
+        end
+  in
+  route [] vedges
+
+let is_valid ~(physical : Vnet.t) ~(virtual_net : Vnet.t) m =
+  let nv = Netsim.Graph.num_nodes virtual_net.Vnet.graph in
+  let np = Netsim.Graph.num_nodes physical.Vnet.graph in
+  Array.length m.node_map = nv
+  && Array.for_all (fun p -> p >= 0 && p < np) m.node_map
+  && (* node capacities *)
+  total_residual ~physical ~virtual_net m.node_map >= 0
+  && (let used = Array.make np 0 in
+      Array.iteri
+        (fun j p -> used.(p) <- used.(p) + virtual_net.Vnet.node_cap.(j))
+        m.node_map;
+      Array.for_all2 ( >= ) physical.Vnet.node_cap used)
+  && (* every virtual edge mapped on a valid loop-free path *)
+  List.for_all
+    (fun (a, b) ->
+      match List.assoc_opt (a, b) m.link_map with
+      | None -> false
+      | Some [ p ] -> m.node_map.(a) = p && m.node_map.(b) = p
+      | Some path ->
+          Netsim.Paths.is_simple path
+          && Netsim.Paths.is_path physical.Vnet.graph path
+          && List.hd path = m.node_map.(a)
+          && List.nth path (List.length path - 1) = m.node_map.(b))
+    (Netsim.Graph.edges virtual_net.Vnet.graph)
+  && (* bandwidth: demands sharing a physical link must fit *)
+  (let load = Hashtbl.create 16 in
+   let norm a b = if a < b then (a, b) else (b, a) in
+   List.iter
+     (fun ((a, b), path) ->
+       let d = Vnet.link_capacity virtual_net a b in
+       let rec go = function
+         | x :: (y :: _ as rest) ->
+             let e = norm x y in
+             Hashtbl.replace load e ((try Hashtbl.find load e with Not_found -> 0) + d);
+             go rest
+         | _ -> ()
+       in
+       go path)
+     m.link_map;
+   Hashtbl.fold
+     (fun (a, b) l ok -> ok && l <= Vnet.link_capacity physical a b)
+     load true)
+
+let finish ~k_paths ~messages physical virtual_net node_map =
+  let nv = Netsim.Graph.num_nodes virtual_net.Vnet.graph in
+  if Array.exists (fun p -> p < 0) node_map then rejected ~messages nv
+  else
+    match map_links ~k_paths physical virtual_net node_map with
+    | None -> rejected ~messages nv
+    | Some link_map ->
+        let mapping = { node_map; link_map } in
+        if is_valid ~physical ~virtual_net mapping then
+          {
+            mapping;
+            accepted = true;
+            revenue = revenue_of virtual_net;
+            messages;
+          }
+        else rejected ~messages nv
+
+let run_mca ~k_paths ~inflate ~release_outbid physical virtual_net =
+  let np = Netsim.Graph.num_nodes physical.Vnet.graph in
+  let nv = Netsim.Graph.num_nodes virtual_net.Vnet.graph in
+  let policy = Mca.Policy.make ~release_outbid ~target_items:nv () in
+  (* per-agent utilities: each depends on the agent's own capacity.
+     [inflate] switches the non-sub-modular ablation on, adding a bonus
+     that grows with the bundle (the misconfiguration of Result 1). *)
+  let agent_utility i =
+    Mca.Policy.Bundle_aware
+      (fun ~item ~base ~bundle ->
+        let r = residual_utility physical virtual_net i ~item ~base ~bundle in
+        if (not inflate) || r = 0 then r
+        else r + (7 * List.length bundle))
+  in
+  let policies =
+    Array.init np (fun i -> { policy with Mca.Policy.utility = agent_utility i })
+  in
+  let cfg =
+    Mca.Protocol.uniform_config ~graph:physical.Vnet.graph ~num_items:nv
+      ~base_utilities:(Array.make np (Array.make nv 0))
+      ~policy
+  in
+  let cfg = { cfg with Mca.Protocol.policies } in
+  match Mca.Protocol.run_sync ~max_rounds:300 cfg with
+  | Mca.Protocol.Converged { allocation; messages; _ } ->
+      let node_map =
+        Array.map
+          (function Mca.Types.Agent i -> i | Mca.Types.Nobody -> -1)
+          allocation
+      in
+      finish ~k_paths ~messages physical virtual_net node_map
+  | Mca.Protocol.Oscillating { messages; _ }
+  | Mca.Protocol.Exhausted { messages; _ } ->
+      rejected ~messages nv
+
+let mca ?(k_paths = 4) ?(release_outbid = false) ~physical ~virtual_net () =
+  run_mca ~k_paths ~inflate:false ~release_outbid physical virtual_net
+
+let mca_nonsubmodular ?(k_paths = 4) ~physical ~virtual_net () =
+  run_mca ~k_paths ~inflate:true ~release_outbid:true physical virtual_net
+
+let greedy ?(k_paths = 4) ~physical ~virtual_net () =
+  let np = Netsim.Graph.num_nodes physical.Vnet.graph in
+  let nv = Netsim.Graph.num_nodes virtual_net.Vnet.graph in
+  let residual = Array.copy physical.Vnet.node_cap in
+  let order =
+    List.sort
+      (fun a b ->
+        compare virtual_net.Vnet.node_cap.(b) virtual_net.Vnet.node_cap.(a))
+      (List.init nv Fun.id)
+  in
+  let node_map = Array.make nv (-1) in
+  List.iter
+    (fun j ->
+      let d = virtual_net.Vnet.node_cap.(j) in
+      let best = ref (-1) in
+      for p = 0 to np - 1 do
+        if residual.(p) >= d && (!best < 0 || residual.(p) > residual.(!best))
+        then best := p
+      done;
+      if !best >= 0 then begin
+        node_map.(j) <- !best;
+        residual.(!best) <- residual.(!best) - d
+      end)
+    order;
+  finish ~k_paths ~messages:0 physical virtual_net node_map
+
+let optimal_node_map ~physical ~virtual_net =
+  let np = Netsim.Graph.num_nodes physical.Vnet.graph in
+  let nv = Netsim.Graph.num_nodes virtual_net.Vnet.graph in
+  if nv > 6 || np > 8 then
+    invalid_arg "Embed.optimal_node_map: instance too large for brute force";
+  let best = ref None in
+  let node_map = Array.make nv (-1) in
+  let residual = Array.copy physical.Vnet.node_cap in
+  let rec go j =
+    if j = nv then begin
+      let u = total_residual ~physical ~virtual_net node_map in
+      match !best with
+      | Some (u', _) when u' >= u -> ()
+      | _ -> best := Some (u, Array.copy node_map)
+    end
+    else
+      for p = 0 to np - 1 do
+        let d = virtual_net.Vnet.node_cap.(j) in
+        if residual.(p) >= d then begin
+          residual.(p) <- residual.(p) - d;
+          node_map.(j) <- p;
+          go (j + 1);
+          node_map.(j) <- -1;
+          residual.(p) <- residual.(p) + d
+        end
+      done
+  in
+  go 0;
+  Option.map snd !best
+
+let pp_mapping ppf m =
+  Format.fprintf ppf "nodes: %a@ links: %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (j, p) -> Format.fprintf ppf "v%d->p%d" j p))
+    (Array.to_list (Array.mapi (fun j p -> (j, p)) m.node_map))
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf ((a, b), path) ->
+         Format.fprintf ppf "v%d-v%d:[%a]" a b
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ">")
+              Format.pp_print_int)
+           path))
+    m.link_map

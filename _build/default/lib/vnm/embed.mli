@@ -1,0 +1,61 @@
+(** MCA-driven virtual network embedding.
+
+    Physical nodes act as MCA agents, virtual nodes as auction items
+    (the paper's case study). Each agent bids its residual CPU capacity
+    after hypothetically hosting the virtual node — a sub-modular
+    utility (Definition 2's canonical example) — and the max-consensus
+    auction produces the conflict-free node mapping. Virtual links are
+    then mapped onto loop-free physical paths with Yen's k-shortest
+    paths, respecting bandwidth (Section II-B notes node bidding +
+    k-shortest-path link mapping is the standard split).
+
+    Baselines: a centralized greedy mapper and, for tiny instances, an
+    exhaustive optimum — used by experiment E7 to place the MCA utility
+    within the (1 - 1/e) approximation band the papers cite. *)
+
+type mapping = {
+  node_map : int array;  (** virtual node -> physical node, [-1] unmapped *)
+  link_map : ((int * int) * int list) list;
+      (** virtual edge -> physical path (node sequence) *)
+}
+
+type result = {
+  mapping : mapping;
+  accepted : bool;  (** all virtual nodes and links mapped and valid *)
+  revenue : int;  (** sum of mapped CPU + bandwidth demand (standard VN
+                      embedding revenue metric); 0 when rejected *)
+  messages : int;  (** MCA messages spent on winner determination *)
+}
+
+val mca :
+  ?k_paths:int -> ?release_outbid:bool -> physical:Vnet.t -> virtual_net:Vnet.t
+  -> unit -> result
+(** Distributed embedding via the MCA protocol (default [k_paths] 4). *)
+
+val mca_nonsubmodular :
+  ?k_paths:int -> physical:Vnet.t -> virtual_net:Vnet.t -> unit -> result
+(** Same pipeline but with an (unsound) non-sub-modular bidding utility —
+    the misconfiguration ablation; embedding may fail to terminate and is
+    cut off, reporting rejection. *)
+
+val greedy : ?k_paths:int -> physical:Vnet.t -> virtual_net:Vnet.t -> unit -> result
+(** Centralized baseline: map each virtual node (largest demand first) to
+    the feasible physical node with most residual CPU. *)
+
+val optimal_node_map : physical:Vnet.t -> virtual_net:Vnet.t -> int array option
+(** Exhaustive search over injective node maps maximizing total residual
+    capacity, ignoring links — only for tiny instances (|V| ≤ ~6). *)
+
+val is_valid : physical:Vnet.t -> virtual_net:Vnet.t -> mapping -> bool
+(** Checks Section II-B's validity conditions: every virtual node on
+    exactly one physical node (several virtual nodes may share a host,
+    capacity permitting), node capacities respected, every virtual link
+    on a loop-free physical path between the images of its endpoints
+    (trivial when both endpoints share a host), and bandwidth respected
+    (paths sharing a physical link sum their demands). *)
+
+val total_residual : physical:Vnet.t -> virtual_net:Vnet.t -> int array -> int
+(** Network utility of a node map: total physical CPU left after
+    hosting. *)
+
+val pp_mapping : Format.formatter -> mapping -> unit

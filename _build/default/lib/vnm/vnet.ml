@@ -1,0 +1,65 @@
+type t = {
+  graph : Netsim.Graph.t;
+  node_cap : int array;
+  link_cap : ((int * int) * int) list;
+}
+
+let normalize (a, b) = if a < b then (a, b) else (b, a)
+
+let create graph ~node_cap ~link_cap =
+  if Array.length node_cap <> Netsim.Graph.num_nodes graph then
+    invalid_arg "Vnet.create: one node capacity per node required";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Vnet.create: negative node capacity")
+    node_cap;
+  let link_cap = List.map (fun (e, c) -> (normalize e, c)) link_cap in
+  List.iter
+    (fun (e, c) ->
+      if c < 0 then invalid_arg "Vnet.create: negative link capacity";
+      let a, b = e in
+      if not (Netsim.Graph.has_edge graph a b) then
+        invalid_arg
+          (Printf.sprintf "Vnet.create: capacity for absent edge (%d,%d)" a b))
+    link_cap;
+  let missing =
+    List.filter (fun e -> not (List.mem_assoc e link_cap)) (Netsim.Graph.edges graph)
+  in
+  (match missing with
+  | [] -> ()
+  | (a, b) :: _ ->
+      invalid_arg (Printf.sprintf "Vnet.create: edge (%d,%d) has no capacity" a b));
+  { graph; node_cap; link_cap }
+
+let uniform graph ~node ~link =
+  create graph
+    ~node_cap:(Array.make (Netsim.Graph.num_nodes graph) node)
+    ~link_cap:(List.map (fun e -> (e, link)) (Netsim.Graph.edges graph))
+
+let link_capacity t a b = List.assoc (normalize (a, b)) t.link_cap
+
+let random_with rng ~nodes ~edge_prob ~draw_cpu ~draw_bw =
+  let graph = Netsim.Topology.erdos_renyi_connected rng nodes edge_prob in
+  create graph
+    ~node_cap:(Array.init nodes (fun _ -> draw_cpu ()))
+    ~link_cap:(List.map (fun e -> (e, draw_bw ())) (Netsim.Graph.edges graph))
+
+let random_virtual rng ~nodes ~edge_prob ~max_cpu ~max_bw =
+  random_with rng ~nodes ~edge_prob
+    ~draw_cpu:(fun () -> 1 + Netsim.Rng.int rng max_cpu)
+    ~draw_bw:(fun () -> 1 + Netsim.Rng.int rng max_bw)
+
+let random_physical rng ~nodes ~edge_prob ~max_cpu ~max_bw =
+  random_with rng ~nodes ~edge_prob
+    ~draw_cpu:(fun () -> Netsim.Rng.int_in rng (max 1 (max_cpu / 2)) max_cpu)
+    ~draw_bw:(fun () -> Netsim.Rng.int_in rng (max 1 (max_bw / 2)) max_bw)
+
+let pp ppf t =
+  Format.fprintf ppf "%a; cpu=[%a]; bw=[%a]" Netsim.Graph.pp t.graph
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list t.node_cap)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf ((a, b), c) -> Format.fprintf ppf "%d-%d:%d" a b c))
+    t.link_cap

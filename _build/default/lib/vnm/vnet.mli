@@ -1,0 +1,31 @@
+(** Virtual and physical networks for the mapping case study
+    (Section II-B): capacitated node sets and capacitated links. *)
+
+type t = {
+  graph : Netsim.Graph.t;
+  node_cap : int array;  (** CPU demand (virtual) or capacity (physical) *)
+  link_cap : ((int * int) * int) list;
+      (** per normalized edge (small endpoint first): bandwidth demand or
+          capacity *)
+}
+
+val create : Netsim.Graph.t -> node_cap:int array -> link_cap:((int * int) * int) list -> t
+(** Validates dimensions: one capacity per node, one per edge, all
+    non-negative. *)
+
+val uniform : Netsim.Graph.t -> node:int -> link:int -> t
+(** Same capacity on every node/link. *)
+
+val link_capacity : t -> int -> int -> int
+(** Capacity of the (undirected) edge; raises [Not_found] when absent. *)
+
+val random_virtual : Netsim.Rng.t -> nodes:int -> edge_prob:float
+  -> max_cpu:int -> max_bw:int -> t
+(** Connected random virtual-network request. *)
+
+val random_physical : Netsim.Rng.t -> nodes:int -> edge_prob:float
+  -> max_cpu:int -> max_bw:int -> t
+(** Connected random substrate with capacities drawn in
+    [max/2, max] (substrates are provisioned, not scarce). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_alloylite Test_checker Test_core Test_mca Test_netsim Test_relalg Test_sat Test_vnm

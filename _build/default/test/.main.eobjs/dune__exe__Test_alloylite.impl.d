@@ -1,0 +1,1 @@
+test/test_alloylite.ml: Alcotest Alloylite List Relalg String

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Checker List Mca Netsim QCheck QCheck_alcotest

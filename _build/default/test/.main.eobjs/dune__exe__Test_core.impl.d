@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alloylite Core List Relalg String

@@ -1,0 +1,1 @@
+test/test_mca.ml: Alcotest Array List Mca Netsim Printf QCheck QCheck_alcotest

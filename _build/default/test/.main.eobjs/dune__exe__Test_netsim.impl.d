@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Fun List Netsim QCheck QCheck_alcotest

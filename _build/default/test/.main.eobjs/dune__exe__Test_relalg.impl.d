@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Format List Netsim Printf QCheck QCheck_alcotest Relalg Sat Stdlib String

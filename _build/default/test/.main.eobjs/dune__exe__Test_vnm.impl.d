@@ -1,0 +1,1 @@
+test/test_vnm.ml: Alcotest Array Netsim Printf QCheck QCheck_alcotest Vnm

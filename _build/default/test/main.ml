@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "mca_verif"
+    [
+      ("sat", Test_sat.suite);
+      ("netsim", Test_netsim.suite);
+      ("relalg", Test_relalg.suite);
+      ("alloylite", Test_alloylite.suite);
+      ("mca", Test_mca.suite);
+      ("checker", Test_checker.suite);
+      ("vnm", Test_vnm.suite);
+      ("core", Test_core.suite);
+    ]

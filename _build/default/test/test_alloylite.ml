@@ -1,0 +1,433 @@
+(* Tests for the Alloy-lite layer: model building and validation,
+   substitution, scope handling, compilation (including the paper's
+   Section III listings), the textual lexer/parser and the elaborator. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let outcome_sat = function
+  | Alloylite.Compile.Sat _ -> true
+  | Alloylite.Compile.Unsat -> false
+
+(* ---- Model building ---- *)
+
+let simple_model =
+  Alloylite.Model.empty
+  |> Alloylite.Model.sig_ "node"
+       ~fields:[ ("edges", Alloylite.Model.Set, [ "node" ]) ]
+  |> Alloylite.Model.sig_ "root" ~mult:Alloylite.Model.One ~extends:"node"
+       ~fields:[]
+
+let test_model_building () =
+  check "sig found" true (Alloylite.Model.find_sig simple_model "node" <> None);
+  check "field found" true (Alloylite.Model.find_field simple_model "edges" <> None);
+  check_int "children" 1 (List.length (Alloylite.Model.children simple_model "node"));
+  check "ancestor" true
+    (Alloylite.Model.is_ancestor simple_model ~ancestor:"node" "root");
+  check "not ancestor" false
+    (Alloylite.Model.is_ancestor simple_model ~ancestor:"root" "node");
+  check "validates" true (Alloylite.Model.validate simple_model = Ok ())
+
+let test_model_duplicate_rejected () =
+  Alcotest.check_raises "duplicate sig"
+    (Invalid_argument "Model.sig_: duplicate signature node") (fun () ->
+      ignore (Alloylite.Model.sig_ "node" ~fields:[] simple_model))
+
+let test_model_validation_errors () =
+  let bad =
+    Alloylite.Model.empty
+    |> Alloylite.Model.sig_ "a" ~extends:"ghost" ~fields:[]
+  in
+  check "unknown parent" true
+    (match Alloylite.Model.validate bad with Error _ -> true | Ok () -> false);
+  let bad_field =
+    Alloylite.Model.empty
+    |> Alloylite.Model.sig_ "a" ~fields:[ ("f", Alloylite.Model.Set, [ "ghost" ]) ]
+  in
+  check "unknown column" true
+    (match Alloylite.Model.validate bad_field with Error _ -> true | Ok () -> false)
+
+(* ---- Subst ---- *)
+
+let test_subst_basic () =
+  let open Relalg.Ast in
+  let f = some (join (v "x") (rel "edges")) in
+  let g = Alloylite.Subst.formula [ ("x", rel "root") ] f in
+  check "substituted" true (g = some (join (rel "root") (rel "edges")))
+
+let test_subst_shadowing () =
+  let open Relalg.Ast in
+  (* the binder x shadows the substitution *)
+  let f = for_all [ ("x", rel "node") ] (v "x" <=: rel "node") in
+  let g = Alloylite.Subst.formula [ ("x", rel "root") ] f in
+  check "shadowed binder untouched" true (g = f)
+
+let test_subst_capture_avoidance () =
+  let open Relalg.Ast in
+  (* substituting an expression mentioning x under a binder for x must
+     rename the binder *)
+  let f = for_all [ ("x", rel "node") ] (v "x" <=: v "y") in
+  let g = Alloylite.Subst.formula [ ("y", v "x") ] f in
+  (match g with
+  | ForAll ([ (x', _) ], Subset (Var x'', Var y')) ->
+      check "binder renamed" true (x' <> "x");
+      check "body uses renamed binder" true (x'' = x');
+      check "free x survives" true (y' = "x")
+  | _ -> Alcotest.fail "unexpected shape after substitution");
+  check "free vars" true (Alloylite.Subst.free_vars f = [ "y" ])
+
+let test_pred_call_inlining () =
+  let open Relalg.Ast in
+  let m =
+    simple_model
+    |> Alloylite.Model.pred "reaches"
+         ~params:[ ("a", "node"); ("b", "node") ]
+         (v "b" <=: join (v "a") (closure (rel "edges")))
+  in
+  let f = Alloylite.Model.call m "reaches" [ rel "root"; rel "root" ] in
+  check "inlined" true
+    (f = (rel "root" <=: join (rel "root") (closure (rel "edges"))));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Model.call: reaches expects 2 arguments, got 1")
+    (fun () -> ignore (Alloylite.Model.call m "reaches" [ rel "root" ]))
+
+(* ---- Scope ---- *)
+
+let test_scope () =
+  let s = Alloylite.Scope.make ~bitwidth:4 ~but:[ ("a", 2) ] ~exactly:[ ("b", 5) ] 3 in
+  check_int "default" 3 (Alloylite.Scope.entry_for s "zzz").Alloylite.Scope.count;
+  check_int "but" 2 (Alloylite.Scope.entry_for s "a").Alloylite.Scope.count;
+  check "but not exact" false (Alloylite.Scope.entry_for s "a").Alloylite.Scope.exact;
+  check "exactly" true (Alloylite.Scope.entry_for s "b").Alloylite.Scope.exact;
+  check "int range" true (Alloylite.Scope.int_range s = Some (-8, 7))
+
+(* ---- Compile: the paper's Section III listings ---- *)
+
+let paper_model =
+  let open Relalg.Ast in
+  Alloylite.Model.empty
+  |> Alloylite.Model.sig_ "pnode"
+       ~fields:
+         [
+           ("pid", Alloylite.Model.One, [ "Int" ]);
+           ("pcp", Alloylite.Model.One, [ "Int" ]);
+           ("pconnections", Alloylite.Model.Set, [ "pnode" ]);
+         ]
+  |> Alloylite.Model.fact "uniqueIDs"
+       (for_all [ ("n1", rel "pnode"); ("n2", rel "pnode") ]
+          (not_ (v "n1" =: v "n2")
+          ==> not_ (join (v "n1") (rel "pid") =: join (v "n2") (rel "pid"))))
+  |> Alloylite.Model.assert_ "uniqueID"
+       (for_all [ ("n1", rel "pnode"); ("n2", rel "pnode") ]
+          (not_ (v "n1" =: v "n2")
+          ==> not_ (join (v "n1") (rel "pid") =: join (v "n2") (rel "pid"))))
+
+let test_paper_unique_id () =
+  let c = Alloylite.Compile.prepare paper_model (Alloylite.Scope.make ~bitwidth:3 3) in
+  check "uniqueID holds with fact" false
+    (outcome_sat (Alloylite.Compile.check c "uniqueID"));
+  (* without the fact the assertion is refuted *)
+  let m = { paper_model with Alloylite.Model.facts = [] } in
+  let c = Alloylite.Compile.prepare m (Alloylite.Scope.make ~bitwidth:3 3) in
+  match Alloylite.Compile.check c "uniqueID" with
+  | Alloylite.Compile.Sat inst ->
+      (* the counterexample really has a duplicated pid *)
+      let pids = Relalg.Instance.tuples inst "pid" in
+      let ids = List.map (fun t -> List.nth t 1) pids in
+      check "duplicate pid in counterexample" true
+        (List.length (List.sort_uniq compare ids) < List.length ids)
+  | Alloylite.Compile.Unsat -> Alcotest.fail "expected a counterexample"
+
+let test_one_sig_exact () =
+  let m =
+    Alloylite.Model.empty
+    |> Alloylite.Model.sig_ "thing" ~fields:[]
+    |> Alloylite.Model.sig_ "chosen" ~mult:Alloylite.Model.One ~extends:"thing" ~fields:[]
+  in
+  let c = Alloylite.Compile.prepare m (Alloylite.Scope.make 3) in
+  match Alloylite.Compile.run_formula c Relalg.Ast.tt with
+  | Alloylite.Compile.Sat inst ->
+      check_int "one sig has exactly one atom" 1
+        (List.length (Relalg.Instance.tuples inst "chosen"))
+  | Alloylite.Compile.Unsat -> Alcotest.fail "model must have instances"
+
+let test_field_multiplicity_one () =
+  let m =
+    Alloylite.Model.empty
+    |> Alloylite.Model.sig_ "a"
+         ~fields:[ ("f", Alloylite.Model.One, [ "a" ]) ]
+  in
+  let c = Alloylite.Compile.prepare m (Alloylite.Scope.make 3) in
+  match
+    Alloylite.Compile.run_formula c Relalg.Ast.(card (rel "a") =! i 3)
+  with
+  | Alloylite.Compile.Sat inst ->
+      check_int "f is total and functional" 3
+        (List.length (Relalg.Instance.tuples inst "f"))
+  | Alloylite.Compile.Unsat -> Alcotest.fail "expected an instance"
+
+let test_ordering_util () =
+  let m =
+    Alloylite.Model.empty
+    |> Alloylite.Model.sig_ "state" ~fields:[]
+    |> Alloylite.Model.ordering "state"
+  in
+  let c = Alloylite.Compile.prepare m (Alloylite.Scope.make 4) in
+  match Alloylite.Compile.run_formula c Relalg.Ast.tt with
+  | Alloylite.Compile.Sat inst ->
+      check_int "first is one atom" 1 (List.length (Relalg.Instance.tuples inst "state_first"));
+      check_int "next has n-1 pairs" 3 (List.length (Relalg.Instance.tuples inst "state_next"));
+      check_int "ordered sig is exact" 4 (List.length (Relalg.Instance.tuples inst "state"))
+  | Alloylite.Compile.Unsat -> Alcotest.fail "ordering model must have instances"
+
+(* ---- Lexer ---- *)
+
+let test_lexer_tokens () =
+  let toks = Alloylite.Lexer.tokenize "sig x { f: one Int } // comment\ncheck a for 3" in
+  let kinds = List.map (fun t -> t.Alloylite.Lexer.token) toks in
+  check "starts with sig keyword" true (List.hd kinds = Alloylite.Lexer.KW "sig");
+  check "ends with EOF" true (List.nth kinds (List.length kinds - 1) = Alloylite.Lexer.EOF);
+  check "comment skipped" false
+    (List.exists (function Alloylite.Lexer.IDENT "comment" -> true | _ -> false) kinds)
+
+let test_lexer_operators () =
+  let toks = Alloylite.Lexer.tokenize "<=> => -> ++ <: :> && || != <= >= !in" in
+  let kinds = List.map (fun t -> t.Alloylite.Lexer.token) toks in
+  Alcotest.(check int) "all multi-char operators" 13 (List.length kinds)
+  (* 12 operators + EOF *)
+
+let test_lexer_block_comment () =
+  let toks = Alloylite.Lexer.tokenize "a /* stuff\nmore */ b" in
+  check_int "two idents + eof" 3 (List.length toks)
+
+let test_lexer_error_located () =
+  match Alloylite.Lexer.tokenize "a\n  ?" with
+  | exception Failure msg ->
+      check "line 2 in message" true
+        (String.length msg > 0
+        && (let has_sub s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+              go 0
+            in
+            has_sub msg "line 2"))
+  | _ -> Alcotest.fail "expected lexer failure"
+
+(* ---- Parser + Elaborate, end to end ---- *)
+
+let test_run_file_end_to_end () =
+  let src =
+    {|
+      sig node { edges: set node }
+      one sig root {}
+      fact someEdges { some edges }
+      assert hasEdge { all n: node | some n.edges }
+      check hasEdge for 3
+      run {} for 2
+    |}
+  in
+  let results = Alloylite.Elaborate.run_file src in
+  check_int "two commands" 2 (List.length results);
+  (match results with
+  | [ ("check hasEdge", r1); ("run {}", r2) ] ->
+      check "counterexample (a node may lack edges)" true (outcome_sat r1);
+      check "instance exists" true (outcome_sat r2)
+  | _ -> Alcotest.fail "unexpected command labels")
+
+let test_parse_quantifiers_and_disj () =
+  let f = Alloylite.Parser.parse_formula "all disj a, b: node | a != b" in
+  match f with
+  | Alloylite.Surface.FQuant (Alloylite.Surface.Qall, [ d ], _) ->
+      check "disj" true d.Alloylite.Surface.disj;
+      check_int "two vars" 2 (List.length d.Alloylite.Surface.vars)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_precedence () =
+  (* => binds looser than && *)
+  match Alloylite.Parser.parse_formula "some x && some y => some z" with
+  | Alloylite.Surface.FImplies (Alloylite.Surface.FAnd _, _) -> ()
+  | _ -> Alcotest.fail "precedence of => vs &&"
+
+let test_parse_expr_precedence () =
+  (* join binds tighter than ->, which binds tighter than & *)
+  match Alloylite.Parser.parse_expr "a.b -> c & d" with
+  | Alloylite.Surface.EInter (Alloylite.Surface.EProduct (Alloylite.Surface.EJoin _, _), _) -> ()
+  | _ -> Alcotest.fail "expression precedence"
+
+let test_parse_error_located () =
+  match Alloylite.Parser.parse "sig {}" with
+  | exception Failure msg ->
+      check "message mentions identifier" true
+        (let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub msg "identifier")
+  | _ -> Alcotest.fail "expected parse failure"
+
+let test_elaborate_int_coercion () =
+  (* n.pcp <= 5 coerces the relational side through sum *)
+  let src =
+    {|
+      sig pnode { pcp: one Int }
+      fact small { all n: pnode | n.pcp <= 5 && n.pcp >= 0 }
+      run {} for 2 but 4 Int
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ (_, Alloylite.Compile.Sat _) ] -> ()
+  | _ -> Alcotest.fail "int coercion model should be satisfiable"
+
+let test_elaborate_unknown_name () =
+  match Alloylite.Elaborate.run_file "fact f { some ghost } run {} for 2" with
+  | exception Failure msg ->
+      check "unknown name reported" true
+        (let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub msg "ghost")
+  | _ -> Alcotest.fail "expected elaboration failure"
+
+let test_elaborate_ordering_open () =
+  let src =
+    {|
+      open util/ordering[st]
+      sig st {}
+      assert firstHasNoPred { no st_next.st_first }
+      check firstHasNoPred for 4
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ (_, Alloylite.Compile.Unsat) ] -> ()
+  | [ (_, Alloylite.Compile.Sat _) ] -> Alcotest.fail "first has no predecessor"
+  | _ -> Alcotest.fail "expected one command"
+
+let test_paper_pcapacity_textual () =
+  (* the paper's pcapacity fact, verbatim modulo surface syntax *)
+  let src =
+    {|
+      sig vnode {}
+      sig pnode { pcp: one Int, initBids: vnode -> Int }
+      fact pcapacity { all p: pnode | (sum vnode.(p.initBids)) <= (sum p.pcp) }
+      assert neverOverbid { all p: pnode | (sum vnode.(p.initBids)) <= (sum p.pcp) }
+      check neverOverbid for 2 but 4 Int
+      run {} for 2 but 4 Int
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ (_, r1); (_, r2) ] ->
+      check "assertion holds (it is the fact)" false (outcome_sat r1);
+      check "model satisfiable" true (outcome_sat r2)
+  | _ -> Alcotest.fail "expected two commands"
+
+let test_fun_paragraph () =
+  let src =
+    {|
+      sig node { edges: set node }
+      fun reachable [n: node] : set node { n.^edges }
+      fun loops [] : set node { { x: node | x in x.^edges } }
+      assert reachClosed {
+        all n: node, m: reachable[n] | reachable[m] in reachable[n]
+      }
+      check reachClosed for 4
+      run { some loops[] } for 3
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ ("check reachClosed", r1); ("run {}", r2) ] ->
+      check "closure of closure stays inside" false (outcome_sat r1);
+      check "a cycle exists in some instance" true (outcome_sat r2)
+  | _ -> Alcotest.fail "unexpected commands"
+
+let test_no_lone_one_quantifiers () =
+  let src =
+    {|
+      sig node { edges: set node }
+      fact noSelfLoop { no n: node | n in n.edges }
+      assert selfLoopFree { no (edges & iden) }
+      check selfLoopFree for 4
+      run { one n: node | some n.edges } for 3
+      run { lone n: node | some n.edges } for 2
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ (_, r1); (_, r2); (_, r3) ] ->
+      check "no-quantifier fact enforces the assertion" false (outcome_sat r1);
+      check "one-quantifier satisfiable" true (outcome_sat r2);
+      check "lone-quantifier satisfiable" true (outcome_sat r3)
+  | _ -> Alcotest.fail "unexpected commands"
+
+let test_enumerate_via_compile () =
+  let m =
+    Alloylite.Model.empty |> Alloylite.Model.sig_ "thing" ~fields:[]
+  in
+  let c = Alloylite.Compile.prepare m (Alloylite.Scope.make 2) in
+  (* subsets of two atoms: 4 instances *)
+  check_int "compile-level enumeration" 4
+    (List.length (Alloylite.Compile.enumerate c Relalg.Ast.tt))
+
+let test_textual_comprehension_and_scope () =
+  let src =
+    {|
+      sig node { edges: set node }
+      fun selfloopers [] : set node { { x: node | x in x.edges } }
+      run { some selfloopers[] } for 3 but exactly 2 node
+      run { #node = 2 } for 3 but exactly 2 node, 3 Int
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ (_, r1); (_, r2) ] ->
+      check "self-loops exist in scope" true (outcome_sat r1);
+      check "exactly-2 scope satisfiable" true (outcome_sat r2)
+  | _ -> Alcotest.fail "unexpected commands"
+
+let test_dependent_decls () =
+  let src =
+    {|
+      sig node { edges: set node }
+      assert neighborsReachable {
+        all n: node, m: n.edges | m in n.^edges
+      }
+      check neighborsReachable for 4
+    |}
+  in
+  match Alloylite.Elaborate.run_file src with
+  | [ (_, r) ] -> check "dependent decl assertion holds" false (outcome_sat r)
+  | _ -> Alcotest.fail "unexpected commands"
+
+let suite =
+  [
+    Alcotest.test_case "model building" `Quick test_model_building;
+    Alcotest.test_case "duplicate sig rejected" `Quick test_model_duplicate_rejected;
+    Alcotest.test_case "validation errors" `Quick test_model_validation_errors;
+    Alcotest.test_case "subst basic" `Quick test_subst_basic;
+    Alcotest.test_case "subst shadowing" `Quick test_subst_shadowing;
+    Alcotest.test_case "subst capture avoidance" `Quick test_subst_capture_avoidance;
+    Alcotest.test_case "pred call inlining" `Quick test_pred_call_inlining;
+    Alcotest.test_case "scope resolution" `Quick test_scope;
+    Alcotest.test_case "paper uniqueID listing" `Quick test_paper_unique_id;
+    Alcotest.test_case "one sig exact bound" `Quick test_one_sig_exact;
+    Alcotest.test_case "field multiplicity one" `Quick test_field_multiplicity_one;
+    Alcotest.test_case "ordering util" `Quick test_ordering_util;
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer block comment" `Quick test_lexer_block_comment;
+    Alcotest.test_case "lexer error located" `Quick test_lexer_error_located;
+    Alcotest.test_case "run_file end to end" `Quick test_run_file_end_to_end;
+    Alcotest.test_case "parse disj quantifier" `Quick test_parse_quantifiers_and_disj;
+    Alcotest.test_case "parse formula precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse expr precedence" `Quick test_parse_expr_precedence;
+    Alcotest.test_case "parse error located" `Quick test_parse_error_located;
+    Alcotest.test_case "int coercion" `Quick test_elaborate_int_coercion;
+    Alcotest.test_case "unknown name" `Quick test_elaborate_unknown_name;
+    Alcotest.test_case "ordering open" `Quick test_elaborate_ordering_open;
+    Alcotest.test_case "paper pcapacity textual" `Quick test_paper_pcapacity_textual;
+    Alcotest.test_case "fun paragraphs" `Quick test_fun_paragraph;
+    Alcotest.test_case "no/lone/one quantifiers" `Quick test_no_lone_one_quantifiers;
+    Alcotest.test_case "compile-level enumeration" `Quick test_enumerate_via_compile;
+    Alcotest.test_case "textual comprehension and exact scopes" `Quick test_textual_comprehension_and_scope;
+    Alcotest.test_case "dependent quantifier declarations" `Quick test_dependent_decls;
+  ]

@@ -1,0 +1,275 @@
+(* Tests for the network substrate: deterministic RNG, graphs, topology
+   generators, shortest/k-shortest paths and the message scheduler. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Netsim.Rng.create 42 and b = Netsim.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Netsim.Rng.int a 1000) (Netsim.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Netsim.Rng.create 42 in
+  let c = Netsim.Rng.split a in
+  let x = Netsim.Rng.int c 1000000 in
+  let a' = Netsim.Rng.create 42 in
+  let c' = Netsim.Rng.split a' in
+  check_int "split reproducible" x (Netsim.Rng.int c' 1000000)
+
+let test_rng_bounds () =
+  let rng = Netsim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Netsim.Rng.int rng 10 in
+    check "in range" true (x >= 0 && x < 10);
+    let y = Netsim.Rng.int_in rng 5 8 in
+    check "int_in range" true (y >= 5 && y <= 8);
+    let f = Netsim.Rng.float rng 2.0 in
+    check "float range" true (f >= 0.0 && f < 2.0)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Netsim.Rng.int rng 0))
+
+let test_rng_permutation () =
+  let rng = Netsim.Rng.create 3 in
+  let p = Netsim.Rng.permutation rng 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+(* ---- Graph ---- *)
+
+let test_graph_basics () =
+  let g = Netsim.Graph.create 4 [ (0, 1); (1, 2); (1, 0) ] in
+  check_int "nodes" 4 (Netsim.Graph.num_nodes g);
+  check_int "duplicate edges merged" 2 (Netsim.Graph.num_edges g);
+  check "has edge" true (Netsim.Graph.has_edge g 2 1);
+  check "no edge" false (Netsim.Graph.has_edge g 0 3);
+  Alcotest.(check (list int)) "neighbors sorted" [ 0; 2 ] (Netsim.Graph.neighbors g 1);
+  check_int "degree" 2 (Netsim.Graph.degree g 1)
+
+let test_graph_rejects_bad_edges () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop 1")
+    (fun () -> ignore (Netsim.Graph.create 3 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.create: edge (0,9) out of range") (fun () ->
+      ignore (Netsim.Graph.create 3 [ (0, 9) ]))
+
+let test_graph_connectivity_and_diameter () =
+  check "line connected" true (Netsim.Graph.is_connected (Netsim.Topology.line 5));
+  check_int "line diameter" 4 (Netsim.Graph.diameter (Netsim.Topology.line 5));
+  check_int "ring diameter" 3 (Netsim.Graph.diameter (Netsim.Topology.ring 6));
+  check_int "clique diameter" 1 (Netsim.Graph.diameter (Netsim.Topology.clique 5));
+  check_int "star diameter" 2 (Netsim.Graph.diameter (Netsim.Topology.star 6));
+  let disconnected = Netsim.Graph.create 4 [ (0, 1); (2, 3) ] in
+  check "disconnected" false (Netsim.Graph.is_connected disconnected);
+  Alcotest.check_raises "diameter of disconnected"
+    (Invalid_argument "Graph.diameter: disconnected graph") (fun () ->
+      ignore (Netsim.Graph.diameter disconnected))
+
+let test_graph_bfs () =
+  let g = Netsim.Topology.line 5 in
+  let d = Netsim.Graph.bfs_distances g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4 |] (Array.sub d 0 5)
+
+let test_graph_shortest_path () =
+  let g = Netsim.Topology.ring 6 in
+  (match Netsim.Graph.shortest_path g 0 3 with
+  | Some p -> check_int "ring path length" 4 (List.length p)
+  | None -> Alcotest.fail "path must exist");
+  let disconnected = Netsim.Graph.create 4 [ (0, 1) ] in
+  check "no path" true (Netsim.Graph.shortest_path disconnected 0 3 = None)
+
+let test_subgraph () =
+  let g = Netsim.Topology.clique 5 in
+  let sub, back = Netsim.Graph.subgraph g [ 1; 3; 4 ] in
+  check_int "sub nodes" 3 (Netsim.Graph.num_nodes sub);
+  check_int "sub edges" 3 (Netsim.Graph.num_edges sub);
+  Alcotest.(check (array int)) "back map" [| 1; 3; 4 |] back
+
+let test_grid () =
+  let g = Netsim.Topology.grid 3 4 in
+  check_int "grid nodes" 12 (Netsim.Graph.num_nodes g);
+  check_int "grid edges" 17 (Netsim.Graph.num_edges g);
+  check_int "grid diameter" 5 (Netsim.Graph.diameter g)
+
+let qcheck_er_connected =
+  QCheck.Test.make ~count:40 ~name:"erdos_renyi_connected is connected"
+    QCheck.(pair (int_range 1 10_000) (int_range 2 20))
+    (fun (seed, n) ->
+      let rng = Netsim.Rng.create seed in
+      Netsim.Graph.is_connected (Netsim.Topology.erdos_renyi_connected rng n 0.3))
+
+let qcheck_ba_connected =
+  QCheck.Test.make ~count:30 ~name:"barabasi-albert is connected with n-ish edges"
+    QCheck.(pair (int_range 1 10_000) (int_range 4 20))
+    (fun (seed, n) ->
+      let rng = Netsim.Rng.create seed in
+      let g = Netsim.Topology.barabasi_albert rng n 2 in
+      Netsim.Graph.is_connected g && Netsim.Graph.num_nodes g = n)
+
+let qcheck_ws_degree =
+  QCheck.Test.make ~count:30 ~name:"watts-strogatz keeps the edge count of the lattice"
+    QCheck.(pair (int_range 1 10_000) (int_range 6 20))
+    (fun (seed, n) ->
+      let rng = Netsim.Rng.create seed in
+      let g = Netsim.Topology.watts_strogatz rng n 4 0.3 in
+      (* rewiring keeps at most the lattice's n*k/2 edges (duplicates of
+         failed rewires collapse) *)
+      Netsim.Graph.num_edges g <= n * 2 && Netsim.Graph.num_edges g >= n)
+
+let qcheck_tree_edges =
+  QCheck.Test.make ~count:40 ~name:"random tree has n-1 edges and connects"
+    QCheck.(pair (int_range 1 10_000) (int_range 2 30))
+    (fun (seed, n) ->
+      let rng = Netsim.Rng.create seed in
+      let t = Netsim.Topology.random_tree rng n in
+      Netsim.Graph.num_edges t = n - 1 && Netsim.Graph.is_connected t)
+
+(* ---- Paths ---- *)
+
+let unit_weight _ _ = 1.0
+
+let test_dijkstra_matches_bfs () =
+  let rng = Netsim.Rng.create 11 in
+  for _ = 1 to 20 do
+    let g = Netsim.Topology.erdos_renyi_connected rng 12 0.3 in
+    let dist, _ = Netsim.Paths.dijkstra g ~weight:unit_weight 0 in
+    let bfs = Netsim.Graph.bfs_distances g 0 in
+    for v = 0 to 11 do
+      check_int "dijkstra = bfs on unit weights" bfs.(v) (int_of_float dist.(v))
+    done
+  done
+
+let test_dijkstra_weighted () =
+  (* triangle where the direct edge is more expensive than the detour *)
+  let g = Netsim.Graph.create 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let weight a b = if (min a b, max a b) = (0, 2) then 10.0 else 1.0 in
+  match Netsim.Paths.shortest g ~weight 0 2 with
+  | Some (path, cost) ->
+      Alcotest.(check (list int)) "detour taken" [ 0; 1; 2 ] path;
+      check "cost 2" true (cost = 2.0)
+  | None -> Alcotest.fail "path exists"
+
+let test_negative_weight_rejected () =
+  let g = Netsim.Topology.line 3 in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Paths.dijkstra: negative weight") (fun () ->
+      ignore (Netsim.Paths.dijkstra g ~weight:(fun _ _ -> -1.0) 0))
+
+let test_yen_basic () =
+  (* two disjoint routes between 0 and 3 plus a longer one *)
+  let g = Netsim.Graph.create 6 [ (0, 1); (1, 3); (0, 2); (2, 3); (0, 4); (4, 5); (5, 3) ] in
+  let paths = Netsim.Paths.yen g ~weight:unit_weight ~k:5 0 3 in
+  check_int "three loop-free routes" 3 (List.length paths);
+  (match paths with
+  | (p1, c1) :: (_, c2) :: (p3, c3) :: _ ->
+      check "sorted by cost" true (c1 <= c2 && c2 <= c3);
+      check_int "shortest is 2 hops" 2 (int_of_float c1);
+      check_int "longest is 3 hops" 3 (int_of_float c3);
+      check "all simple" true (Netsim.Paths.is_simple p1 && Netsim.Paths.is_simple p3)
+  | _ -> Alcotest.fail "expected 3 paths")
+
+let test_yen_no_path () =
+  let g = Netsim.Graph.create 4 [ (0, 1) ] in
+  check "no route" true (Netsim.Paths.yen g ~weight:unit_weight ~k:3 0 3 = [])
+
+let qcheck_yen_properties =
+  QCheck.Test.make ~count:30 ~name:"yen paths are simple, valid, sorted, distinct"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let g = Netsim.Topology.erdos_renyi_connected rng 10 0.35 in
+      let paths = Netsim.Paths.yen g ~weight:unit_weight ~k:4 0 9 in
+      let costs = List.map snd paths in
+      let sorted = List.sort compare costs = costs in
+      let all_valid =
+        List.for_all
+          (fun (p, _) ->
+            Netsim.Paths.is_simple p
+            && Netsim.Paths.is_path g p
+            && List.hd p = 0
+            && List.nth p (List.length p - 1) = 9)
+          paths
+      in
+      let distinct =
+        List.length (List.sort_uniq compare (List.map fst paths))
+        = List.length paths
+      in
+      sorted && all_valid && distinct)
+
+(* ---- Sched ---- *)
+
+let test_sched_fifo () =
+  let s = Netsim.Sched.create Netsim.Sched.Fifo in
+  Netsim.Sched.send s ~src:0 ~dst:1 "a";
+  Netsim.Sched.send s ~src:1 ~dst:0 "b";
+  (match Netsim.Sched.deliver s with
+  | Some d -> Alcotest.(check string) "fifo order" "a" d.Netsim.Sched.payload
+  | None -> Alcotest.fail "message expected");
+  check_int "one pending" 1 (Netsim.Sched.pending s);
+  check_int "total sent" 2 (Netsim.Sched.total_sent s)
+
+let test_sched_lifo () =
+  let s = Netsim.Sched.create Netsim.Sched.Lifo in
+  Netsim.Sched.send s ~src:0 ~dst:1 "a";
+  Netsim.Sched.send s ~src:1 ~dst:0 "b";
+  match Netsim.Sched.deliver s with
+  | Some d -> Alcotest.(check string) "lifo order" "b" d.Netsim.Sched.payload
+  | None -> Alcotest.fail "message expected"
+
+let test_sched_random_drains () =
+  let s = Netsim.Sched.create (Netsim.Sched.Random_order (Netsim.Rng.create 5)) in
+  for i = 1 to 10 do
+    Netsim.Sched.send s ~src:0 ~dst:1 i
+  done;
+  let seen = ref [] in
+  let rec drain () =
+    match Netsim.Sched.deliver s with
+    | Some d ->
+        seen := d.Netsim.Sched.payload :: !seen;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "all delivered exactly once"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.sort compare !seen)
+
+let test_sched_clear () =
+  let s = Netsim.Sched.create Netsim.Sched.Fifo in
+  Netsim.Sched.send s ~src:0 ~dst:1 ();
+  Netsim.Sched.clear s;
+  check "cleared" true (Netsim.Sched.deliver s = None)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng permutation" `Quick test_rng_permutation;
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph rejects bad edges" `Quick test_graph_rejects_bad_edges;
+    Alcotest.test_case "connectivity and diameter" `Quick test_graph_connectivity_and_diameter;
+    Alcotest.test_case "bfs distances" `Quick test_graph_bfs;
+    Alcotest.test_case "shortest path" `Quick test_graph_shortest_path;
+    Alcotest.test_case "induced subgraph" `Quick test_subgraph;
+    Alcotest.test_case "grid topology" `Quick test_grid;
+    Alcotest.test_case "dijkstra = bfs on unit weights" `Quick test_dijkstra_matches_bfs;
+    Alcotest.test_case "dijkstra weighted detour" `Quick test_dijkstra_weighted;
+    Alcotest.test_case "negative weight rejected" `Quick test_negative_weight_rejected;
+    Alcotest.test_case "yen three routes" `Quick test_yen_basic;
+    Alcotest.test_case "yen no path" `Quick test_yen_no_path;
+    Alcotest.test_case "sched fifo" `Quick test_sched_fifo;
+    Alcotest.test_case "sched lifo" `Quick test_sched_lifo;
+    Alcotest.test_case "sched random drains" `Quick test_sched_random_drains;
+    Alcotest.test_case "sched clear" `Quick test_sched_clear;
+    QCheck_alcotest.to_alcotest qcheck_er_connected;
+    QCheck_alcotest.to_alcotest qcheck_ba_connected;
+    QCheck_alcotest.to_alcotest qcheck_ws_degree;
+    QCheck_alcotest.to_alcotest qcheck_tree_edges;
+    QCheck_alcotest.to_alcotest qcheck_yen_properties;
+  ]

@@ -1,0 +1,343 @@
+(* Tests for the SAT substrate: CNF primitives, the growable vector and
+   the activity heap, DIMACS round-trips, the Tseitin translation and
+   the CDCL solver (cross-checked against the DPLL oracle). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Cnf ---- *)
+
+let test_literal_encoding () =
+  check_int "var_of pos" 7 (Sat.Cnf.var_of (Sat.Cnf.pos 7));
+  check_int "var_of neg" 7 (Sat.Cnf.var_of (Sat.Cnf.neg 7));
+  check "pos is pos" true (Sat.Cnf.is_pos (Sat.Cnf.pos 3));
+  check "neg not pos" false (Sat.Cnf.is_pos (Sat.Cnf.neg 3));
+  check_int "negate pos" (Sat.Cnf.neg 5) (Sat.Cnf.negate (Sat.Cnf.pos 5));
+  check_int "negate neg" (Sat.Cnf.pos 5) (Sat.Cnf.negate (Sat.Cnf.neg 5));
+  check_int "dimacs round trip" (-4)
+    (Sat.Cnf.int_of_lit (Sat.Cnf.lit_of_int (-4)))
+
+let test_lit_of_int_zero () =
+  Alcotest.check_raises "zero literal rejected"
+    (Invalid_argument "Cnf.lit_of_int: zero literal") (fun () ->
+      ignore (Sat.Cnf.lit_of_int 0))
+
+let test_problem_building () =
+  let p = Sat.Cnf.empty in
+  let p = Sat.Cnf.add_clause p [ Sat.Cnf.pos 1; Sat.Cnf.neg 3 ] in
+  let p = Sat.Cnf.add_clause p [ Sat.Cnf.pos 2 ] in
+  check_int "num_vars grows" 3 p.Sat.Cnf.num_vars;
+  check_int "clause count" 2 (Sat.Cnf.num_clauses p);
+  let p, v = Sat.Cnf.fresh_var p in
+  check_int "fresh var" 4 v;
+  check_int "fresh var bumps count" 4 p.Sat.Cnf.num_vars
+
+let test_check_model () =
+  let clauses = [ [| Sat.Cnf.pos 1; Sat.Cnf.neg 2 |]; [| Sat.Cnf.pos 2 |] ] in
+  check "satisfying model accepted" true
+    (Sat.Cnf.check_model [| false; true; true |] clauses);
+  check "falsifying model rejected" false
+    (Sat.Cnf.check_model [| false; false; true |] clauses)
+
+(* ---- Vec ---- *)
+
+let test_vec_push_pop () =
+  let v = Sat.Vec.create ~dummy:0 () in
+  for i = 1 to 100 do
+    Sat.Vec.push v i
+  done;
+  check_int "size" 100 (Sat.Vec.size v);
+  check_int "get" 42 (Sat.Vec.get v 41);
+  check_int "last" 100 (Sat.Vec.last v);
+  check_int "pop" 100 (Sat.Vec.pop v);
+  check_int "size after pop" 99 (Sat.Vec.size v);
+  Sat.Vec.shrink v 10;
+  check_int "shrink" 10 (Sat.Vec.size v);
+  check_int "fold sum" 55 (Sat.Vec.fold ( + ) 0 v)
+
+let test_vec_swap_remove () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  Sat.Vec.swap_remove v 1;
+  Alcotest.(check (list int)) "swap_remove" [ 1; 4; 3 ] (Sat.Vec.to_list v)
+
+let test_vec_sort () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 3; 1; 2 ] in
+  Sat.Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Sat.Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1 ] in
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Sat.Vec.get v 1))
+
+(* ---- Heap ---- *)
+
+let test_heap_ordering () =
+  let h = Sat.Heap.create 10 in
+  List.iter
+    (fun (v, a) ->
+      Sat.Heap.insert h v;
+      Sat.Heap.bump h v a)
+    [ (1, 5.0); (2, 9.0); (3, 1.0); (4, 7.0) ];
+  check_int "max first" 2 (Sat.Heap.remove_max h);
+  check_int "then 4" 4 (Sat.Heap.remove_max h);
+  Sat.Heap.bump h 3 100.0;
+  check_int "bump reorders" 3 (Sat.Heap.remove_max h);
+  check_int "last" 1 (Sat.Heap.remove_max h);
+  check "empty" true (Sat.Heap.is_empty h)
+
+let test_heap_rescale () =
+  let h = Sat.Heap.create 4 in
+  Sat.Heap.insert h 1;
+  Sat.Heap.bump h 1 8.0;
+  Sat.Heap.rescale h 0.5;
+  check "activity rescaled" true (Sat.Heap.activity h 1 = 4.0)
+
+let test_heap_grow () =
+  let h = Sat.Heap.create 2 in
+  Sat.Heap.grow_to h 100;
+  Sat.Heap.insert h 99;
+  check_int "inserted after grow" 99 (Sat.Heap.remove_max h)
+
+(* ---- Dimacs ---- *)
+
+let test_dimacs_roundtrip () =
+  let p = Sat.Gen.pigeonhole 3 in
+  let text = Sat.Dimacs.to_string p in
+  let p' = Sat.Dimacs.parse_string text in
+  check_int "vars preserved" p.Sat.Cnf.num_vars p'.Sat.Cnf.num_vars;
+  check_int "clauses preserved" (Sat.Cnf.num_clauses p) (Sat.Cnf.num_clauses p')
+
+let test_dimacs_comments_and_header () =
+  let p =
+    Sat.Dimacs.parse_string "c a comment\np cnf 3 2\n1 -2 0\n% ignored\n2 3 0\n"
+  in
+  check_int "vars" 3 p.Sat.Cnf.num_vars;
+  check_int "clauses" 2 (Sat.Cnf.num_clauses p)
+
+let test_dimacs_malformed () =
+  Alcotest.check_raises "bad literal"
+    (Failure "dimacs: line 2: bad literal \"x\"") (fun () ->
+      ignore (Sat.Dimacs.parse_string "p cnf 1 1\n1 x 0\n"))
+
+(* ---- Formula / Tseitin ---- *)
+
+let test_formula_simplification () =
+  let open Sat.Formula in
+  check "and of true" true (and_ [ tt; tt ] = tt);
+  check "and with false" true (and_ [ var 1; ff ] = ff);
+  check "or with true" true (or_ [ var 1; tt ] = tt);
+  check "double negation" true (not_ (not_ (var 2)) = var 2);
+  check "implies false antecedent" true (implies ff (var 1) = tt);
+  check "iff with true" true (iff tt (var 3) = var 3);
+  check "ite folds" true (ite tt (var 1) (var 2) = var 1)
+
+let random_formula rng max_var depth =
+  let open Sat.Formula in
+  let rec go depth =
+    if depth = 0 then
+      match Netsim.Rng.int rng 3 with
+      | 0 -> tt
+      | 1 -> ff
+      | _ -> var (1 + Netsim.Rng.int rng max_var)
+    else
+      match Netsim.Rng.int rng 7 with
+      | 0 -> not_ (go (depth - 1))
+      | 1 -> and_ [ go (depth - 1); go (depth - 1); go (depth - 1) ]
+      | 2 -> or_ [ go (depth - 1); go (depth - 1) ]
+      | 3 -> implies (go (depth - 1)) (go (depth - 1))
+      | 4 -> iff (go (depth - 1)) (go (depth - 1))
+      | 5 -> ite (go (depth - 1)) (go (depth - 1)) (go (depth - 1))
+      | _ -> var (1 + Netsim.Rng.int rng max_var)
+  in
+  go depth
+
+(* brute-force satisfiability of a formula over its primary variables *)
+let brute_force_sat f max_var =
+  let rec go assignment v =
+    if v > max_var then Sat.Formula.eval (fun x -> assignment.(x)) f
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make (max_var + 1) false) 1
+
+let test_tseitin_equisatisfiable () =
+  let rng = Netsim.Rng.create 2025 in
+  for _ = 1 to 200 do
+    let f = random_formula rng 5 3 in
+    let expected = brute_force_sat f 5 in
+    let got =
+      match Sat.Formula.solve ~num_primary:5 f with
+      | Sat.Solver.Sat _ -> true
+      | Sat.Solver.Unsat -> false
+    in
+    if expected <> got then
+      Alcotest.failf "tseitin mismatch on %a: brute=%b solver=%b"
+        Sat.Formula.pp f expected got
+  done
+
+let test_tseitin_model_evaluates_true () =
+  let rng = Netsim.Rng.create 77 in
+  for _ = 1 to 200 do
+    let f = random_formula rng 6 3 in
+    match Sat.Formula.solve ~num_primary:6 f with
+    | Sat.Solver.Unsat -> ()
+    | Sat.Solver.Sat m ->
+        let env v = v < Array.length m && m.(v) in
+        if not (Sat.Formula.eval env f) then
+          Alcotest.failf "model does not satisfy %a" Sat.Formula.pp f
+  done
+
+let test_at_most_one () =
+  let open Sat.Formula in
+  let vars = [ var 1; var 2; var 3 ] in
+  let f = and_ [ at_most_one vars; var 1; var 2 ] in
+  check "two true violates at_most_one" true (solve f = Sat.Solver.Unsat);
+  let g = and_ [ exactly_one vars; not_ (var 1); not_ (var 3) ] in
+  (match solve g with
+  | Sat.Solver.Sat m -> check "middle var forced" true m.(2)
+  | Sat.Solver.Unsat -> Alcotest.fail "exactly_one should be satisfiable")
+
+(* ---- Solver vs DPLL oracle ---- *)
+
+let test_solver_matches_dpll () =
+  let tag = function Sat.Solver.Sat _ -> true | Sat.Solver.Unsat -> false in
+  for seed = 1 to 120 do
+    let p = Sat.Gen.random_ksat ~seed ~k:3 ~num_vars:18 ~num_clauses:76 in
+    let cdcl = tag (Sat.Solver.solve_problem p) in
+    let dpll = tag (Sat.Dpll.solve p) in
+    if cdcl <> dpll then Alcotest.failf "solver mismatch at seed %d" seed
+  done
+
+let test_pigeonhole_unsat () =
+  List.iter
+    (fun n ->
+      check
+        (Printf.sprintf "php %d->%d unsat" (n + 1) n)
+        true
+        (Sat.Solver.solve_problem (Sat.Gen.pigeonhole n) = Sat.Solver.Unsat))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_pigeonhole_sat_variant () =
+  List.iter
+    (fun n ->
+      match Sat.Solver.solve_problem (Sat.Gen.php_sat n) with
+      | Sat.Solver.Sat _ -> ()
+      | Sat.Solver.Unsat -> Alcotest.failf "php %d->%d should be sat" n n)
+    [ 2; 4; 6 ]
+
+let test_graph_coloring () =
+  (* a clique-ish dense graph needs many colors; a sparse one is easy *)
+  let dense = Sat.Gen.graph_coloring ~seed:5 ~nodes:8 ~edge_prob:1.0 ~colors:3 in
+  check "K8 not 3-colorable" true
+    (Sat.Solver.solve_problem dense = Sat.Solver.Unsat);
+  let sparse = Sat.Gen.graph_coloring ~seed:5 ~nodes:8 ~edge_prob:0.2 ~colors:4 in
+  check "sparse 4-colorable" true
+    (match Sat.Solver.solve_problem sparse with
+    | Sat.Solver.Sat _ -> true
+    | Sat.Solver.Unsat -> false)
+
+let test_assumptions () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ Sat.Cnf.pos 1; Sat.Cnf.pos 2 ];
+  Sat.Solver.add_clause s [ Sat.Cnf.neg 1; Sat.Cnf.pos 3 ];
+  (match Sat.Solver.solve ~assumptions:[ Sat.Cnf.pos 1; Sat.Cnf.neg 3 ] s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "assumptions 1 & !3 must be unsat");
+  (match Sat.Solver.solve ~assumptions:[ Sat.Cnf.neg 1 ] s with
+  | Sat.Solver.Sat m -> check "2 forced under !1" true m.(2)
+  | Sat.Solver.Unsat -> Alcotest.fail "!1 should be satisfiable");
+  (* the solver is reusable after assumption solving *)
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat _ -> ()
+  | Sat.Solver.Unsat -> Alcotest.fail "unconstrained solve after assumptions"
+
+let test_empty_clause_unsat () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [];
+  check "empty clause" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_unit_conflict () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ Sat.Cnf.pos 1 ];
+  Sat.Solver.add_clause s [ Sat.Cnf.neg 1 ];
+  check "contradictory units" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_tautology_dropped () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ Sat.Cnf.pos 1; Sat.Cnf.neg 1 ];
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat _ -> ()
+  | Sat.Solver.Unsat -> Alcotest.fail "tautology must not constrain"
+
+let test_stats_reported () =
+  let s = Sat.Solver.of_problem (Sat.Gen.pigeonhole 5) in
+  ignore (Sat.Solver.solve s);
+  let st = Sat.Solver.stats s in
+  check "conflicts happened" true (st.Sat.Solver.conflicts > 0);
+  check "propagations happened" true (st.Sat.Solver.propagations > 0)
+
+let test_dpll_budget () =
+  let p = Sat.Gen.pigeonhole 7 in
+  check "budget exhausts" true
+    (Sat.Dpll.solve_with_limit ~max_decisions:5 p = None)
+
+(* qcheck: random instances keep CDCL/DPLL agreement *)
+let qcheck_cdcl_vs_dpll =
+  QCheck.Test.make ~count:60 ~name:"cdcl agrees with dpll on random 3-sat"
+    QCheck.(pair (int_range 1 10_000) (int_range 5 14))
+    (fun (seed, nvars) ->
+      let p =
+        Sat.Gen.random_ksat ~seed ~k:3 ~num_vars:nvars
+          ~num_clauses:(nvars * 4)
+      in
+      let tag = function Sat.Solver.Sat _ -> true | Sat.Solver.Unsat -> false in
+      tag (Sat.Solver.solve_problem p) = tag (Sat.Dpll.solve p))
+
+let qcheck_luby_like_restart_progress =
+  QCheck.Test.make ~count:30 ~name:"solver decides quickly at low ratio"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let p = Sat.Gen.random_ksat ~seed ~k:3 ~num_vars:30 ~num_clauses:60 in
+      match Sat.Solver.solve_problem p with
+      | Sat.Solver.Sat m -> Sat.Cnf.check_model m p.Sat.Cnf.clauses
+      | Sat.Solver.Unsat -> false (* ratio 2.0 is essentially always sat *))
+
+let suite =
+  [
+    Alcotest.test_case "literal encoding" `Quick test_literal_encoding;
+    Alcotest.test_case "zero literal rejected" `Quick test_lit_of_int_zero;
+    Alcotest.test_case "problem building" `Quick test_problem_building;
+    Alcotest.test_case "check_model" `Quick test_check_model;
+    Alcotest.test_case "vec push/pop/shrink" `Quick test_vec_push_pop;
+    Alcotest.test_case "vec swap_remove" `Quick test_vec_swap_remove;
+    Alcotest.test_case "vec sort" `Quick test_vec_sort;
+    Alcotest.test_case "vec bounds checked" `Quick test_vec_bounds;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap rescale" `Quick test_heap_rescale;
+    Alcotest.test_case "heap grow" `Quick test_heap_grow;
+    Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs comments/header" `Quick test_dimacs_comments_and_header;
+    Alcotest.test_case "dimacs malformed" `Quick test_dimacs_malformed;
+    Alcotest.test_case "formula simplification" `Quick test_formula_simplification;
+    Alcotest.test_case "tseitin equisatisfiable" `Quick test_tseitin_equisatisfiable;
+    Alcotest.test_case "tseitin models evaluate true" `Quick test_tseitin_model_evaluates_true;
+    Alcotest.test_case "at_most_one / exactly_one" `Quick test_at_most_one;
+    Alcotest.test_case "cdcl vs dpll on random 3-sat" `Quick test_solver_matches_dpll;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+    Alcotest.test_case "pigeonhole sat variant" `Quick test_pigeonhole_sat_variant;
+    Alcotest.test_case "graph coloring" `Quick test_graph_coloring;
+    Alcotest.test_case "incremental assumptions" `Quick test_assumptions;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause_unsat;
+    Alcotest.test_case "unit conflict" `Quick test_unit_conflict;
+    Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+    Alcotest.test_case "stats reported" `Quick test_stats_reported;
+    Alcotest.test_case "dpll budget" `Quick test_dpll_budget;
+    QCheck_alcotest.to_alcotest qcheck_cdcl_vs_dpll;
+    QCheck_alcotest.to_alcotest qcheck_luby_like_restart_progress;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the virtual-network-mapping case study: capacitated network
+   construction, MCA-driven embedding validity, baselines and the
+   approximation quality of the sub-modular utility. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let triangle = Netsim.Graph.create 3 [ (0, 1); (1, 2); (0, 2) ]
+
+let test_vnet_construction () =
+  let v =
+    Vnm.Vnet.create triangle ~node_cap:[| 4; 5; 6 |]
+      ~link_cap:[ ((0, 1), 3); ((2, 1), 2); ((0, 2), 1) ]
+  in
+  check_int "normalized lookup" 2 (Vnm.Vnet.link_capacity v 1 2);
+  check_int "reverse lookup" 2 (Vnm.Vnet.link_capacity v 2 1)
+
+let test_vnet_validation () =
+  Alcotest.check_raises "node caps must match"
+    (Invalid_argument "Vnet.create: one node capacity per node required")
+    (fun () ->
+      ignore (Vnm.Vnet.create triangle ~node_cap:[| 1 |] ~link_cap:[]));
+  Alcotest.check_raises "all edges need capacity"
+    (Invalid_argument "Vnet.create: edge (0,1) has no capacity") (fun () ->
+      ignore (Vnm.Vnet.create triangle ~node_cap:[| 1; 1; 1 |] ~link_cap:[]))
+
+let test_uniform () =
+  let v = Vnm.Vnet.uniform triangle ~node:7 ~link:3 in
+  check "uniform node caps" true (Array.for_all (( = ) 7) v.Vnm.Vnet.node_cap);
+  check_int "uniform link caps" 3 (Vnm.Vnet.link_capacity v 0 1)
+
+let small_instance seed =
+  let rng = Netsim.Rng.create seed in
+  let physical = Vnm.Vnet.random_physical rng ~nodes:5 ~edge_prob:0.6 ~max_cpu:16 ~max_bw:16 in
+  let virtual_net = Vnm.Vnet.random_virtual rng ~nodes:3 ~edge_prob:0.6 ~max_cpu:4 ~max_bw:4 in
+  (physical, virtual_net)
+
+let test_mca_embedding_valid () =
+  for seed = 1 to 25 do
+    let physical, virtual_net = small_instance seed in
+    let r = Vnm.Embed.mca ~physical ~virtual_net () in
+    if r.Vnm.Embed.accepted then begin
+      check "mapping valid" true
+        (Vnm.Embed.is_valid ~physical ~virtual_net r.Vnm.Embed.mapping);
+      check "revenue positive" true (r.Vnm.Embed.revenue > 0);
+      check "messages spent" true (r.Vnm.Embed.messages > 0)
+    end
+  done
+
+let test_greedy_embedding_valid () =
+  for seed = 1 to 25 do
+    let physical, virtual_net = small_instance seed in
+    let r = Vnm.Embed.greedy ~physical ~virtual_net () in
+    if r.Vnm.Embed.accepted then
+      check "greedy mapping valid" true
+        (Vnm.Embed.is_valid ~physical ~virtual_net r.Vnm.Embed.mapping)
+  done
+
+let test_mca_close_to_optimal () =
+  (* the (1 - 1/e) guarantee of sub-modular MCA, on brute-forceable
+     instances; we assert the conservative bound *)
+  let accepted = ref 0 in
+  for seed = 1 to 20 do
+    let physical, virtual_net = small_instance seed in
+    let r = Vnm.Embed.mca ~physical ~virtual_net () in
+    if r.Vnm.Embed.accepted then begin
+      incr accepted;
+      match Vnm.Embed.optimal_node_map ~physical ~virtual_net with
+      | Some opt ->
+          let u_mca =
+            Vnm.Embed.total_residual ~physical ~virtual_net
+              r.Vnm.Embed.mapping.Vnm.Embed.node_map
+          in
+          let u_opt = Vnm.Embed.total_residual ~physical ~virtual_net opt in
+          check
+            (Printf.sprintf "seed %d: mca %d within 0.63 of optimal %d" seed u_mca u_opt)
+            true
+            (float_of_int u_mca >= 0.632 *. float_of_int u_opt)
+      | None -> Alcotest.fail "optimum must exist when MCA embeds"
+    end
+  done;
+  check "some instances accepted" true (!accepted > 10)
+
+let test_rejection_when_infeasible () =
+  (* virtual demand exceeding total capacity must be rejected *)
+  let physical = Vnm.Vnet.uniform triangle ~node:2 ~link:10 in
+  let virtual_net = Vnm.Vnet.uniform triangle ~node:3 ~link:1 in
+  let r = Vnm.Embed.mca ~physical ~virtual_net () in
+  check "rejected" false r.Vnm.Embed.accepted;
+  check_int "zero revenue" 0 r.Vnm.Embed.revenue
+
+let test_link_capacity_respected () =
+  (* two virtual links, physical bandwidth only fits them on disjoint
+     paths: validity must enforce the sum *)
+  let physical_graph = Netsim.Graph.create 4 [ (0, 1); (1, 2); (0, 3); (3, 2) ] in
+  let physical =
+    Vnm.Vnet.create physical_graph ~node_cap:[| 10; 10; 10; 10 |]
+      ~link_cap:[ ((0, 1), 2); ((1, 2), 2); ((0, 3), 2); ((3, 2), 2) ]
+  in
+  let vgraph = Netsim.Graph.create 2 [ (0, 1) ] in
+  let virtual_net =
+    Vnm.Vnet.create vgraph ~node_cap:[| 2; 2 |] ~link_cap:[ ((0, 1), 3) ]
+  in
+  (* demand 3 exceeds every single path's bandwidth 2 *)
+  let r = Vnm.Embed.mca ~physical ~virtual_net () in
+  if r.Vnm.Embed.accepted then
+    (* only acceptable if both endpoints share a host *)
+    check "colocated endpoints" true
+      (r.Vnm.Embed.mapping.Vnm.Embed.node_map.(0)
+      = r.Vnm.Embed.mapping.Vnm.Embed.node_map.(1))
+
+let test_is_valid_rejects_broken_mappings () =
+  let physical = Vnm.Vnet.uniform triangle ~node:10 ~link:10 in
+  let vgraph = Netsim.Graph.create 2 [ (0, 1) ] in
+  let virtual_net =
+    Vnm.Vnet.create vgraph ~node_cap:[| 2; 2 |] ~link_cap:[ ((0, 1), 1) ]
+  in
+  (* unmapped node *)
+  check "unmapped node invalid" false
+    (Vnm.Embed.is_valid ~physical ~virtual_net
+       { Vnm.Embed.node_map = [| -1; 0 |]; link_map = [] });
+  (* missing link path *)
+  check "missing link invalid" false
+    (Vnm.Embed.is_valid ~physical ~virtual_net
+       { Vnm.Embed.node_map = [| 0; 1 |]; link_map = [] });
+  (* disconnected path *)
+  check "broken path invalid" false
+    (Vnm.Embed.is_valid ~physical ~virtual_net
+       { Vnm.Embed.node_map = [| 0; 1 |]; link_map = [ ((0, 1), [ 0; 2 ]) ] });
+  (* correct mapping accepted *)
+  check "good mapping valid" true
+    (Vnm.Embed.is_valid ~physical ~virtual_net
+       { Vnm.Embed.node_map = [| 0; 1 |]; link_map = [ ((0, 1), [ 0; 1 ]) ] })
+
+let test_total_residual () =
+  let physical = Vnm.Vnet.uniform triangle ~node:10 ~link:1 in
+  let vgraph = Netsim.Graph.create 2 [ (0, 1) ] in
+  let virtual_net =
+    Vnm.Vnet.create vgraph ~node_cap:[| 3; 4 |] ~link_cap:[ ((0, 1), 1) ]
+  in
+  check_int "residual after hosting" 23
+    (Vnm.Embed.total_residual ~physical ~virtual_net [| 0; 1 |]);
+  check_int "colocated residual" 23
+    (Vnm.Embed.total_residual ~physical ~virtual_net [| 0; 0 |])
+
+let qcheck_embedding_validity =
+  QCheck.Test.make ~count:25 ~name:"accepted MCA embeddings are always valid"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let physical =
+        Vnm.Vnet.random_physical rng ~nodes:6 ~edge_prob:0.5 ~max_cpu:20 ~max_bw:12
+      in
+      let virtual_net =
+        Vnm.Vnet.random_virtual rng ~nodes:3 ~edge_prob:0.5 ~max_cpu:5 ~max_bw:4
+      in
+      let r = Vnm.Embed.mca ~physical ~virtual_net () in
+      (not r.Vnm.Embed.accepted)
+      || Vnm.Embed.is_valid ~physical ~virtual_net r.Vnm.Embed.mapping)
+
+let qcheck_greedy_never_beats_optimum =
+  QCheck.Test.make ~count:20 ~name:"optimum dominates greedy and MCA residuals"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Netsim.Rng.create seed in
+      let physical =
+        Vnm.Vnet.random_physical rng ~nodes:5 ~edge_prob:0.7 ~max_cpu:15 ~max_bw:20
+      in
+      let virtual_net =
+        Vnm.Vnet.random_virtual rng ~nodes:3 ~edge_prob:0.4 ~max_cpu:4 ~max_bw:3
+      in
+      match Vnm.Embed.optimal_node_map ~physical ~virtual_net with
+      | None -> true
+      | Some opt ->
+          let u_opt = Vnm.Embed.total_residual ~physical ~virtual_net opt in
+          let dominates (r : Vnm.Embed.result) =
+            (not r.Vnm.Embed.accepted)
+            || u_opt
+               >= Vnm.Embed.total_residual ~physical ~virtual_net
+                    r.Vnm.Embed.mapping.Vnm.Embed.node_map
+          in
+          dominates (Vnm.Embed.mca ~physical ~virtual_net ())
+          && dominates (Vnm.Embed.greedy ~physical ~virtual_net ()))
+
+let suite =
+  [
+    Alcotest.test_case "vnet construction" `Quick test_vnet_construction;
+    Alcotest.test_case "vnet validation" `Quick test_vnet_validation;
+    Alcotest.test_case "uniform networks" `Quick test_uniform;
+    Alcotest.test_case "mca embedding valid" `Quick test_mca_embedding_valid;
+    Alcotest.test_case "greedy embedding valid" `Quick test_greedy_embedding_valid;
+    Alcotest.test_case "mca close to optimal" `Quick test_mca_close_to_optimal;
+    Alcotest.test_case "infeasible rejected" `Quick test_rejection_when_infeasible;
+    Alcotest.test_case "link capacity respected" `Quick test_link_capacity_respected;
+    Alcotest.test_case "is_valid rejects broken mappings" `Quick test_is_valid_rejects_broken_mappings;
+    Alcotest.test_case "total residual" `Quick test_total_residual;
+    QCheck_alcotest.to_alcotest qcheck_embedding_validity;
+    QCheck_alcotest.to_alcotest qcheck_greedy_never_beats_optimum;
+  ]
