@@ -7,7 +7,12 @@
      --backend sat       the Alloy-lite relational model compiled to SAT
 
    Policy flags mirror the paper: --non-submodular, --release-outbid,
-   --rebid-attack, --target N. *)
+   --rebid-attack, --target N.
+
+   --certify (sat backend) re-validates the verdict with the
+   independent Sat.Proof checker: a HOLDS answer must come with an
+   accepted DRUP refutation, a VIOLATED answer with a model that
+   satisfies every translated clause. *)
 
 open Cmdliner
 
@@ -25,8 +30,8 @@ let topology_of name n rng =
   | "random" -> Netsim.Topology.erdos_renyi_connected rng n 0.5
   | other -> failwith (Printf.sprintf "unknown topology %s" other)
 
-let run backend encoding symmetry non_submodular release_outbid rebid_attack
-    target agents items topology seed =
+let run backend encoding symmetry certify non_submodular release_outbid
+    rebid_attack target agents items topology seed =
   let rng = Netsim.Rng.create seed in
   let policy =
     Mca.Policy.make
@@ -63,7 +68,22 @@ let run backend encoding symmetry non_submodular release_outbid rebid_attack
       in
       let m = Core.Mca_model.build enc mpolicy scope in
       Format.printf "model: %s@." (Core.Mca_model.describe m);
-      (match Core.Mca_model.check_consensus ~symmetry m with
+      let outcome =
+        if certify then begin
+          let { Relalg.Translate.outcome; certification } =
+            Core.Mca_model.check_consensus_certified ~symmetry m
+          in
+          (match certification with
+          | Some report ->
+              Format.printf "certificate: %a@." Sat.Proof.pp_report report
+          | None ->
+              Format.printf
+                "certificate: trivial (formula constant-folded, no SAT call)@.");
+          outcome
+        end
+        else Core.Mca_model.check_consensus ~symmetry m
+      in
+      (match outcome with
       | Alloylite.Compile.Unsat ->
           Format.printf "consensus assertion HOLDS within scope@.";
           0
@@ -97,15 +117,19 @@ let run backend encoding symmetry non_submodular release_outbid rebid_attack
         match verdict with Checker.Explore.Converges _ -> 0 | _ -> 1
       end
 
-let run_safe backend encoding symmetry ns ro ra target agents items topology
-    seed =
+let run_safe backend encoding symmetry certify ns ro ra target agents items
+    topology seed =
   match
-    run backend encoding symmetry ns ro ra target agents items topology seed
+    run backend encoding symmetry certify ns ro ra target agents items
+      topology seed
   with
   | code -> code
   | exception Failure msg ->
       Printf.eprintf "error: %s\n" msg;
       2
+  | exception Sat.Proof.Certification_failed msg ->
+      Printf.eprintf "error: certificate REJECTED: %s\n" msg;
+      3
 
 let term =
   let backend =
@@ -136,9 +160,15 @@ let term =
   let symmetry =
     Arg.(value & flag & info [ "symmetry" ] ~doc:"add symmetry-breaking predicates (sat backend)")
   in
+  let certify =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"independently certify the SAT-backend verdict (DRUP proof \
+                   check for HOLDS, strict model check for VIOLATED)")
+  in
   Term.(
-    const run_safe $ backend $ encoding $ symmetry $ non_submodular $ release
-    $ attack $ target $ agents $ items $ topology $ seed)
+    const run_safe $ backend $ encoding $ symmetry $ certify $ non_submodular
+    $ release $ attack $ target $ agents $ items $ topology $ seed)
 
 let cmd =
   Cmd.v

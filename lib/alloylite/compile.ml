@@ -237,6 +237,16 @@ let check ?symmetry c name =
   | None -> invalid_arg (Printf.sprintf "Compile.check: unknown assertion %s" name)
   | Some f -> check_formula ?symmetry c f
 
+let check_formula_certified ?symmetry c f =
+  Translate.check_certified ?symmetry c.bounds ~assertion:f ~facts:c.facts
+
+let check_certified ?symmetry c name =
+  match Model.find_assert c.model name with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Compile.check_certified: unknown assertion %s" name)
+  | Some f -> check_formula_certified ?symmetry c f
+
 let enumerate ?symmetry ?limit c f =
   Translate.enumerate ?symmetry ?limit c.bounds (Ast.and_ [ c.facts; f ])
 

@@ -46,6 +46,17 @@ val check : ?symmetry:bool -> t -> string -> outcome
     [symmetry] enables Kodkod-style symmetry-breaking predicates (see
     {!Relalg.Translate.translate}). *)
 
+val check_formula_certified :
+  ?symmetry:bool -> t -> Relalg.Ast.formula -> Relalg.Translate.certified_outcome
+(** Certified variant of {!check_formula}: the verdict carries the
+    {!Sat.Proof} certification report (DRUP refutation for [Unsat],
+    strict model check for [Sat]). *)
+
+val check_certified :
+  ?symmetry:bool -> t -> string -> Relalg.Translate.certified_outcome
+(** Certified variant of {!check} — Alloy's [check a], with an
+    independently machine-checked certificate for the verdict. *)
+
 val enumerate : ?symmetry:bool -> ?limit:int -> t -> Relalg.Ast.formula -> Relalg.Instance.t list
 (** Up to [limit] distinct instances satisfying facts plus the formula —
     Alloy's instance iteration. *)

@@ -684,6 +684,9 @@ let build encoding policy scope =
   { compiled; encoding; policy; scope; consensus_pred }
 
 let check_consensus ?symmetry t = Compile.check ?symmetry t.compiled "consensus"
+
+let check_consensus_certified ?symmetry t =
+  Compile.check_certified ?symmetry t.compiled "consensus"
 let run_instance t = Compile.run_formula t.compiled tt
 
 let translation_stats t =

@@ -79,6 +79,14 @@ val check_consensus : ?symmetry:bool -> t -> Alloylite.Compile.outcome
     [symmetry] (default false) adds Kodkod-style symmetry-breaking
     predicates — the ablation of experiment E5b. *)
 
+val check_consensus_certified :
+  ?symmetry:bool -> t -> Relalg.Translate.certified_outcome
+(** Like {!check_consensus}, but the verdict is independently certified:
+    an [Unsat] ("consensus holds in scope" — the paper's Result-1
+    positive rows) carries a DRUP refutation accepted by the
+    {!Sat.Proof} checker, and a [Sat] counterexample carries a
+    model re-validated against every CNF clause. *)
+
 val run_instance : t -> Alloylite.Compile.outcome
 (** [run {}]: any instance of the model (sanity: the facts are
     satisfiable, so [check] verdicts are not vacuous). *)

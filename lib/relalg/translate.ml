@@ -327,6 +327,30 @@ let solve ?symmetry bounds formula =
 let check ?symmetry bounds ~assertion ~facts =
   solve ?symmetry bounds (Ast.and_ [ facts; Ast.not_ assertion ])
 
+type certified_outcome = {
+  outcome : outcome;
+  certification : Sat.Proof.report option;
+}
+
+let solve_certified ?symmetry bounds formula =
+  let tr = translate ?symmetry bounds formula in
+  match tr.cnf.constant with
+  | Some false -> { outcome = Unsat; certification = None }
+  | Some true ->
+      let model = Array.make (tr.num_primary + 1) false in
+      { outcome = Sat (instance_of_model tr model); certification = None }
+  | None ->
+      let solver = Sat.Solver.of_problem ~proof:true tr.cnf.problem in
+      let outcome =
+        match Sat.Solver.solve ~certify:true solver with
+        | Sat.Solver.Unsat -> Unsat
+        | Sat.Solver.Sat model -> Sat (instance_of_model tr model)
+      in
+      { outcome; certification = Sat.Solver.last_certification solver }
+
+let check_certified ?symmetry bounds ~assertion ~facts =
+  solve_certified ?symmetry bounds (Ast.and_ [ facts; Ast.not_ assertion ])
+
 let enumerate ?symmetry ?(limit = 100) bounds formula =
   if limit <= 0 then []
   else

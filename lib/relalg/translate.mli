@@ -39,6 +39,27 @@ val check : ?symmetry:bool -> Bounds.t -> assertion:Ast.formula -> facts:Ast.for
     satisfying [facts && !assertion]. [Sat ce] means the assertion does
     not hold; [Unsat] means it holds within the bounds. *)
 
+(** An outcome paired with its certification evidence: the DRUP/model
+    report from {!Sat.Proof}, or [None] when the formula constant-folded
+    and no SAT call was made (the verdict is then trivially right). *)
+type certified_outcome = {
+  outcome : outcome;
+  certification : Sat.Proof.report option;
+}
+
+val solve_certified : ?symmetry:bool -> Bounds.t -> Ast.formula -> certified_outcome
+(** Like {!solve}, but every verdict is independently certified: a [Sat]
+    model is re-checked against all CNF clauses and an [Unsat] answer
+    must produce a DRUP proof accepted by {!Sat.Proof.check_refutation}.
+    Raises {!Sat.Proof.Certification_failed} if the engine's certificate
+    is rejected. *)
+
+val check_certified :
+  ?symmetry:bool -> Bounds.t -> assertion:Ast.formula -> facts:Ast.formula -> certified_outcome
+(** Certified counterexample search: an [Unsat] ("assertion holds")
+    verdict comes with a machine-checked refutation — the direction the
+    paper's Result 1 rests on. *)
+
 val enumerate : ?symmetry:bool -> ?limit:int -> Bounds.t -> Ast.formula -> Instance.t list
 (** All satisfying instances, up to [limit] (default 100): Alloy's
     "Next" button. Each found model is blocked on the primary variables

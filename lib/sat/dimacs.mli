@@ -16,6 +16,20 @@ val print : Format.formatter -> Cnf.problem -> unit
 val to_string : Cnf.problem -> string
 val write_file : string -> Cnf.problem -> unit
 
+val print_drup : Format.formatter -> Proof.step list -> unit
+(** Writes a proof trail in textual DRUP format (one clause per line,
+    deletions prefixed with [d]), the lingua franca of external checkers
+    such as drup-trim — so a paper run can be re-validated outside this
+    codebase entirely. *)
+
+val drup_to_string : Proof.step list -> string
+val write_drup_file : string -> Proof.step list -> unit
+
+val parse_drup : string -> Proof.step list
+(** Parses textual DRUP back into a step list (round-trip inverse of
+    {!print_drup}). Raises [Failure] with a line-located message on
+    malformed input. *)
+
 val print_result : Format.formatter -> Solver.result -> unit
 (** Prints an [s SATISFIABLE] / [s UNSATISFIABLE] answer with a [v] model
     line, SAT-competition style. *)

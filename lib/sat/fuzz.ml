@@ -1,0 +1,95 @@
+type failure = { index : int; detail : string; dimacs : string }
+
+type outcome = {
+  instances : int;
+  sat_instances : int;
+  unsat_instances : int;
+  proof_additions : int;
+  proof_deletions : int;
+  certification_time : float;
+  failures : failure list;
+}
+
+let random_problem rng ~k ~num_vars ~num_clauses =
+  if k > num_vars then invalid_arg "Fuzz.random_problem: k > num_vars";
+  let problem = ref { Cnf.num_vars; clauses = [] } in
+  for _ = 1 to num_clauses do
+    let rec draw acc n =
+      if n = 0 then acc
+      else
+        let v = 1 + Netsim.Rng.int rng num_vars in
+        if List.mem v acc then draw acc n else draw (v :: acc) (n - 1)
+    in
+    let lits =
+      List.map
+        (fun v -> if Netsim.Rng.bool rng then Cnf.pos v else Cnf.neg v)
+        (draw [] k)
+    in
+    problem := Cnf.add_clause !problem lits
+  done;
+  !problem
+
+let default_ratios = [ 1.5; 3.0; 4.26; 6.0 ]
+
+let run ?(ks = [ 2; 3 ]) ?(min_vars = 8) ?(max_vars = 20)
+    ?(ratios = default_ratios) ~count ~seed () =
+  if ks = [] || ratios = [] then invalid_arg "Fuzz.run: empty ks or ratios";
+  let rng = Netsim.Rng.create seed in
+  let sat_instances = ref 0 in
+  let unsat_instances = ref 0 in
+  let proof_additions = ref 0 in
+  let proof_deletions = ref 0 in
+  let certification_time = ref 0.0 in
+  let failures = ref [] in
+  for index = 0 to count - 1 do
+    let k = Netsim.Rng.pick rng ks in
+    let num_vars = Netsim.Rng.int_in rng (max k min_vars) max_vars in
+    let ratio = Netsim.Rng.pick rng ratios in
+    let num_clauses =
+      max 1 (int_of_float ((float_of_int num_vars *. ratio) +. 0.5))
+    in
+    let p = random_problem rng ~k ~num_vars ~num_clauses in
+    let fail detail =
+      failures :=
+        { index; detail; dimacs = Dimacs.to_string p } :: !failures
+    in
+    let solver = Solver.of_problem ~proof:true p in
+    match Solver.solve ~certify:true solver with
+    | exception Proof.Certification_failed msg ->
+        fail (Printf.sprintf "certification failed: %s" msg)
+    | cdcl -> (
+        (match Solver.last_certification solver with
+        | Some r ->
+            proof_additions := !proof_additions + r.Proof.additions;
+            proof_deletions := !proof_deletions + r.Proof.deletions;
+            certification_time := !certification_time +. r.Proof.check_time
+        | None -> fail "certified solve produced no report");
+        let dpll = Dpll.solve p in
+        match (cdcl, dpll) with
+        | Solver.Sat _, Solver.Sat _ -> incr sat_instances
+        | Solver.Unsat, Solver.Unsat -> incr unsat_instances
+        | Solver.Sat _, Solver.Unsat ->
+            fail "disagreement: CDCL says SAT, DPLL says UNSAT"
+        | Solver.Unsat, Solver.Sat _ ->
+            fail "disagreement: CDCL says UNSAT, DPLL says SAT")
+  done;
+  {
+    instances = count;
+    sat_instances = !sat_instances;
+    unsat_instances = !unsat_instances;
+    proof_additions = !proof_additions;
+    proof_deletions = !proof_deletions;
+    certification_time = !certification_time;
+    failures = List.rev !failures;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%d instances (%d sat, %d unsat), %d proof additions, %d deletions, \
+     certified in %.3fs, %d failure%s"
+    o.instances o.sat_instances o.unsat_instances o.proof_additions
+    o.proof_deletions o.certification_time (List.length o.failures)
+    (if List.length o.failures = 1 then "" else "s");
+  List.iter
+    (fun f -> Format.fprintf ppf "@.  instance %d: %s" f.index f.detail)
+    o.failures

@@ -1,0 +1,48 @@
+(** Differential fuzzing of the SAT engines with certified verdicts.
+
+    Generates seeded random k-CNF instances across a spread of
+    clause/variable ratios (straddling the k=3 phase transition at
+    ~4.26), then runs every instance through both the CDCL solver
+    ({!Solver}, with [~certify:true]) and the DPLL reference oracle
+    ({!Dpll}), recording any disagreement or certification failure.
+    Seeding goes through {!Netsim.Rng}, the library-wide splittable
+    PRNG, so a run is reproducible from a single integer. *)
+
+type failure = {
+  index : int;  (** which instance of the run (0-based) *)
+  detail : string;  (** what went wrong *)
+  dimacs : string;  (** the offending instance, for replay *)
+}
+
+type outcome = {
+  instances : int;
+  sat_instances : int;
+  unsat_instances : int;
+  proof_additions : int;
+      (** total DRUP additions across all certified [Unsat] verdicts *)
+  proof_deletions : int;
+  certification_time : float;  (** total seconds in the independent checker *)
+  failures : failure list;
+}
+
+val random_problem :
+  Netsim.Rng.t -> k:int -> num_vars:int -> num_clauses:int -> Cnf.problem
+(** Uniform random k-CNF with distinct variables per clause, drawn from
+    the given stream. *)
+
+val run :
+  ?ks:int list ->
+  ?min_vars:int ->
+  ?max_vars:int ->
+  ?ratios:float list ->
+  count:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** [run ~count ~seed ()] fuzzes [count] instances. Defaults:
+    [ks = [2; 3]], [min_vars = 8], [max_vars = 20],
+    [ratios = [1.5; 3.0; 4.26; 6.0]]. An empty [failures] list means
+    CDCL and DPLL agreed everywhere and every verdict carried a valid
+    certificate. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

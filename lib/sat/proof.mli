@@ -1,0 +1,75 @@
+(** Verdict certification: DRUP proof trails, an independent proof
+    checker and a strict model certifier.
+
+    The solver's [Unsat] answers are the load-bearing direction of every
+    Alloy-lite [check] (an unsatisfiable counterexample query means the
+    assertion holds in scope), yet without a certificate they rest
+    entirely on the CDCL implementation being bug-free. This module
+    closes that gap: {!Solver} can log every learnt and deleted clause
+    as a DRUP (Delete Reverse Unit Propagation) trail, and
+    {!check_refutation} re-validates the trail against the original CNF
+    using nothing but naive occurrence-list unit propagation — no code
+    is shared with the solver's watched-literal loop, so a bug must be
+    present in two independent implementations to go unnoticed. The
+    [Sat] direction is covered by {!check_model}, which re-evaluates
+    every original clause under the returned assignment. *)
+
+(** One DRUP proof event, in solver order: [Add] for a learnt clause
+    (the empty array closes the refutation), [Delete] for a clause
+    dropped from the learnt database. *)
+type step = Add of Cnf.lit array | Delete of Cnf.lit array
+
+(** A mutable in-memory proof trail, appended to by the solver. *)
+type trail
+
+exception Certification_failed of string
+(** Raised by certifying entry points ({!Solver.solve} with
+    [~certify:true]) when a verdict's certificate is rejected — i.e. a
+    solver bug was caught in the act. *)
+
+val create : unit -> trail
+
+val log_add : trail -> Cnf.lit array -> unit
+(** Appends an addition step (the array is copied). *)
+
+val log_delete : trail -> Cnf.lit array -> unit
+(** Appends a deletion step (the array is copied). *)
+
+val steps : trail -> step list
+(** The trail in chronological order. *)
+
+val num_additions : trail -> int
+val num_deletions : trail -> int
+
+val check_model : Cnf.problem -> Cnf.model -> (unit, string) result
+(** [check_model p m] is the strict [Sat] certifier: every clause of [p]
+    must contain a literal true under [m], and [m] must cover every
+    variable. The error message names the first falsified clause. *)
+
+val check_refutation : Cnf.problem -> step list -> (unit, string) result
+(** [check_refutation p steps] validates a DRUP refutation: each added
+    clause must be derivable by reverse unit propagation from the
+    original clauses plus the previously added (and not yet deleted)
+    ones, and the trail must derive the empty clause. Steps after the
+    empty clause are ignored. Deletions of clauses not present are
+    ignored, as in standard DRUP checkers (they can only make checking
+    harder, never unsound). *)
+
+(** What a verdict is certified by: a satisfying assignment or a DRUP
+    refutation trail. *)
+type certificate = Model of Cnf.model | Refutation of step list
+
+(** Outcome of a successful certification, for reporting: proof size
+    and the time the independent check took. *)
+type report = {
+  kind : [ `Model | `Refutation ];
+  additions : int;  (** clause additions in the trail (0 for models) *)
+  deletions : int;  (** clause deletions in the trail (0 for models) *)
+  check_time : float;  (** seconds spent in the independent checker *)
+}
+
+val certify : Cnf.problem -> certificate -> (report, string) result
+(** Runs the appropriate checker and times it. *)
+
+val pp_step : Format.formatter -> step -> unit
+val pp_report : Format.formatter -> report -> unit

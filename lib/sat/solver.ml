@@ -44,6 +44,10 @@ type t = {
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable ok : bool; (* false once root-level unsat *)
+  (* certification *)
+  mutable proof : Proof.trail option; (* DRUP trail, when logging is on *)
+  mutable originals : Cnf.clause list; (* pre-simplification clauses, reversed *)
+  mutable last_certification : Proof.report option;
   (* statistics *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -74,6 +78,9 @@ let create () =
     var_inc = 1.0;
     cla_inc = 1.0;
     ok = true;
+    proof = None;
+    originals = [];
+    last_certification = None;
     n_decisions = 0;
     n_propagations = 0;
     n_conflicts = 0;
@@ -83,6 +90,27 @@ let create () =
   }
 
 let num_vars s = s.nvars
+
+let enable_proof s =
+  if s.proof = None then begin
+    if s.n_clauses_added > 0 then
+      invalid_arg "Solver.enable_proof: clauses were already added";
+    s.proof <- Some (Proof.create ())
+  end
+
+let proof_enabled s = s.proof <> None
+let proof_steps s = match s.proof with Some t -> Proof.steps t | None -> []
+let last_certification s = s.last_certification
+
+let original_problem s =
+  if s.proof = None then
+    invalid_arg "Solver.original_problem: proof logging is not enabled";
+  { Cnf.num_vars = s.nvars; clauses = s.originals }
+
+(* Record the derivation of the empty clause (root-level unsat). Only
+   meaningful for assumption-free refutations; callers guard. *)
+let log_empty s =
+  match s.proof with Some t -> Proof.log_add t [||] | None -> ()
 
 let resize_arrays s n =
   let grow a fill =
@@ -293,6 +321,9 @@ let attach s c =
   watch s (Cnf.negate c.lits.(1)) c
 
 let record_learnt s lits =
+  (match s.proof with
+  | Some t -> Proof.log_add t (Array.of_list lits)
+  | None -> ());
   match lits with
   | [] -> s.ok <- false
   | [ l ] ->
@@ -320,6 +351,7 @@ let add_clause s lits =
   if s.ok then begin
     s.n_clauses_added <- s.n_clauses_added + 1;
     List.iter (fun l -> ensure_vars s (Cnf.var_of l)) lits;
+    if s.proof <> None then s.originals <- Array.of_list lits :: s.originals;
     (* root-level simplification: drop false lits, detect tautology *)
     let lits = List.sort_uniq compare lits in
     let tauto =
@@ -329,10 +361,15 @@ let add_clause s lits =
     if not tauto then begin
       let lits = List.filter (fun l -> value_lit s l <> Cnf.False) lits in
       match lits with
-      | [] -> s.ok <- false
+      | [] ->
+          s.ok <- false;
+          log_empty s
       | [ l ] ->
           enqueue s l None;
-          if propagate s <> None then s.ok <- false
+          if propagate s <> None then begin
+            s.ok <- false;
+            log_empty s
+          end
       | _ ->
           let arr = Array.of_list lits in
           let c = { lits = arr; activity = 0.0; learnt = false; deleted = false } in
@@ -356,8 +393,12 @@ let reduce_db s =
   let keep = Vec.create ~dummy:dummy_clause () in
   Vec.iteri
     (fun i c ->
-      if i < n / 2 && (not (locked c)) && Array.length c.lits > 2 then
-        c.deleted <- true
+      if i < n / 2 && (not (locked c)) && Array.length c.lits > 2 then begin
+        c.deleted <- true;
+        match s.proof with
+        | Some t -> Proof.log_delete t c.lits
+        | None -> ()
+      end
       else Vec.push keep c)
     s.learnts;
   s.learnts <- keep
@@ -392,7 +433,7 @@ let luby i =
   let sz, seq = expand 1 0 in
   reduce i sz seq
 
-let solve ?(assumptions = []) s =
+let solve_core ~assumptions s =
   if not s.ok then Unsat
   else begin
     (* make sure assumption variables exist *)
@@ -400,6 +441,7 @@ let solve ?(assumptions = []) s =
     cancel_until s 0;
     if propagate s <> None then begin
       s.ok <- false;
+      log_empty s;
       Unsat
     end
     else begin
@@ -434,7 +476,10 @@ let solve ?(assumptions = []) s =
               s.n_conflicts <- s.n_conflicts + 1;
               incr conflicts_since_restart;
               if decision_level s <= assumption_level then begin
-                (* conflict under assumptions only: unsat *)
+                (* conflict under assumptions only: unsat. Without
+                   assumptions this is a root-level conflict, i.e. a
+                   genuine refutation — close the DRUP trail. *)
+                if assumptions = [] then log_empty s;
                 cancel_until s 0;
                 result := Some Unsat
               end
@@ -481,13 +526,36 @@ let solve ?(assumptions = []) s =
     end
   end
 
-let of_problem (p : Cnf.problem) =
+let solve ?(assumptions = []) ?(certify = false) s =
+  if certify && assumptions <> [] then
+    invalid_arg "Solver.solve: ~certify does not support assumptions";
+  if certify && s.proof = None then
+    invalid_arg
+      "Solver.solve: ~certify requires proof logging (enable_proof or \
+       of_problem ~proof:true)";
+  let r = solve_core ~assumptions s in
+  if certify then begin
+    let p = original_problem s in
+    let cert =
+      match r with
+      | Sat m -> Proof.Model m
+      | Unsat -> Proof.Refutation (proof_steps s)
+    in
+    match Proof.certify p cert with
+    | Ok report -> s.last_certification <- Some report
+    | Error msg -> raise (Proof.Certification_failed msg)
+  end;
+  r
+
+let of_problem ?(proof = false) (p : Cnf.problem) =
   let s = create () in
+  if proof then enable_proof s;
   ensure_vars s p.num_vars;
   List.iter (fun c -> add_clause s (Array.to_list c)) (List.rev p.clauses);
   s
 
-let solve_problem p = solve (of_problem p)
+let solve_problem ?(certify = false) p =
+  solve ~certify (of_problem ~proof:certify p)
 
 let stats s =
   {

@@ -40,16 +40,48 @@ val add_clause : t -> Cnf.lit list -> unit
     automatically). Tautologies are dropped; duplicate literals merged.
     Adding the empty clause marks the instance unsatisfiable. *)
 
-val solve : ?assumptions:Cnf.lit list -> t -> result
+val solve : ?assumptions:Cnf.lit list -> ?certify:bool -> t -> result
 (** Decides the instance. With [assumptions], decides satisfiability under
     the given temporary unit hypotheses; the solver can be reused with
-    different assumptions afterwards. *)
+    different assumptions afterwards.
 
-val of_problem : Cnf.problem -> t
-(** Loads a {!Cnf.problem} into a fresh solver. *)
+    With [~certify:true] (default false) the verdict is independently
+    certified before being returned: a [Sat] model is re-checked against
+    every original clause by {!Proof.check_model}, and an [Unsat] answer
+    must come with a DRUP trail accepted by {!Proof.check_refutation}.
+    Requires proof logging ({!enable_proof} or [of_problem ~proof:true])
+    and no assumptions; raises [Invalid_argument] otherwise, and
+    {!Proof.Certification_failed} if a certificate is rejected (i.e. a
+    solver bug was caught). *)
 
-val solve_problem : Cnf.problem -> result
-(** One-shot convenience wrapper. *)
+val enable_proof : t -> unit
+(** Turns on DRUP proof logging and original-clause capture. Must be
+    called before any clause is added (raises [Invalid_argument]
+    otherwise), so that the logged trail is checkable against the full
+    original CNF. *)
+
+val proof_enabled : t -> bool
+
+val proof_steps : t -> Proof.step list
+(** The DRUP trail logged so far, in chronological order ([[]] when
+    logging is off). After an assumption-free [Unsat] answer the trail
+    ends with the empty clause and is a complete refutation of
+    {!original_problem}. *)
+
+val original_problem : t -> Cnf.problem
+(** The clauses as passed to {!add_clause}, before any root-level
+    simplification — the CNF that certificates are checked against.
+    Raises [Invalid_argument] when proof logging is off. *)
+
+val last_certification : t -> Proof.report option
+(** Report of the most recent successful [~certify:true] solve. *)
+
+val of_problem : ?proof:bool -> Cnf.problem -> t
+(** Loads a {!Cnf.problem} into a fresh solver. [~proof:true] (default
+    false) enables proof logging before loading. *)
+
+val solve_problem : ?certify:bool -> Cnf.problem -> result
+(** One-shot convenience wrapper; [~certify] as in {!solve}. *)
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit

@@ -105,6 +105,47 @@ let test_replay_produces_witness () =
       check "lasso closes" true (List.mem final earlier)
   | v -> Alcotest.failf "expected nonconvergence: %a" Checker.Explore.pp_verdict v
 
+let test_replay_states_consistent () =
+  (* the Figure-2 nonconvergence witness, step by step: every transition
+     in the trace must be enabled in its predecessor state, replaying it
+     must give exactly the next state of [replay], and the final state
+     must revisit an earlier canonical configuration *)
+  let p = List.assoc "nonsubmod+release" Mca.Policy.paper_grid in
+  let cfg = contended p in
+  match Checker.Explore.run cfg with
+  | Checker.Explore.Nonconvergence { trace; _ } ->
+      let states = Checker.Explore.replay cfg trace in
+      check_int "one state per step plus initial" (List.length trace + 1)
+        (List.length states);
+      let states_prefix =
+        List.filteri (fun i _ -> i < List.length states - 1) states
+      in
+      let rec walk i states trace =
+        match (states, trace) with
+        | s :: (s' :: _ as rest), t :: ts ->
+            check
+              (Printf.sprintf "step %d transition enabled" i)
+              true
+              (List.mem t (Checker.State.enabled s));
+            check
+              (Printf.sprintf "step %d state matches apply" i)
+              true
+              (Checker.State.canonical_key (Checker.State.apply cfg s t)
+              = Checker.State.canonical_key s');
+            check
+              (Printf.sprintf "step %d not terminal mid-trace" i)
+              false
+              (Checker.State.is_terminal cfg s);
+            walk (i + 1) rest ts
+        | [ final ], [] ->
+            let keys = List.map Checker.State.canonical_key states_prefix in
+            check "final state revisits an earlier configuration" true
+              (List.mem (Checker.State.canonical_key final) keys)
+        | _ -> Alcotest.fail "replay and trace lengths disagree"
+      in
+      walk 0 states trace
+  | v -> Alcotest.failf "expected nonconvergence: %a" Checker.Explore.pp_verdict v
+
 let test_terminal_states_conflict_free () =
   (* walk a converging exploration manually and validate terminals *)
   let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 2) ~target_items:2 ()) in
@@ -158,6 +199,7 @@ let suite =
     Alcotest.test_case "explore three agents" `Quick test_explore_three_agents;
     Alcotest.test_case "explore budget" `Quick test_explore_budget;
     Alcotest.test_case "replay closes the lasso" `Quick test_replay_produces_witness;
+    Alcotest.test_case "replay states consistent" `Quick test_replay_states_consistent;
     Alcotest.test_case "terminals conflict-free" `Quick test_terminal_states_conflict_free;
     QCheck_alcotest.to_alcotest qcheck_explicit_matches_simulation;
   ]

@@ -308,6 +308,192 @@ let qcheck_luby_like_restart_progress =
       | Sat.Solver.Sat m -> Sat.Cnf.check_model m p.Sat.Cnf.clauses
       | Sat.Solver.Unsat -> false (* ratio 2.0 is essentially always sat *))
 
+(* ---- Proof logging + independent certification ---- *)
+
+let refutation_of problem =
+  let s = Sat.Solver.of_problem ~proof:true problem in
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "expected an unsat instance");
+  Sat.Solver.proof_steps s
+
+let test_certified_unsat_refutation () =
+  let s = Sat.Solver.of_problem ~proof:true (Sat.Gen.pigeonhole 5) in
+  (match Sat.Solver.solve ~certify:true s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "php5 must be unsat");
+  match Sat.Solver.last_certification s with
+  | Some r ->
+      check "refutation kind" true (r.Sat.Proof.kind = `Refutation);
+      check "proof has additions" true (r.Sat.Proof.additions > 0)
+  | None -> Alcotest.fail "certification report missing"
+
+let test_certified_sat_model () =
+  let s = Sat.Solver.of_problem ~proof:true (Sat.Gen.php_sat 5) in
+  (match Sat.Solver.solve ~certify:true s with
+  | Sat.Solver.Sat _ -> ()
+  | Sat.Solver.Unsat -> Alcotest.fail "php_sat5 must be sat");
+  match Sat.Solver.last_certification s with
+  | Some r -> check "model kind" true (r.Sat.Proof.kind = `Model)
+  | None -> Alcotest.fail "certification report missing"
+
+let test_certified_with_deletions () =
+  (* big enough to trigger reduce_db, so the Delete path is exercised *)
+  let s = Sat.Solver.of_problem ~proof:true (Sat.Gen.pigeonhole 6) in
+  (match Sat.Solver.solve ~certify:true s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "php6 must be unsat");
+  match Sat.Solver.last_certification s with
+  | Some r -> check "substantial proof" true (r.Sat.Proof.additions > 100)
+  | None -> Alcotest.fail "certification report missing"
+
+let test_corrupted_proof_rejected () =
+  let problem = Sat.Gen.pigeonhole 4 in
+  let steps = refutation_of problem in
+  (match Sat.Proof.check_refutation problem steps with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "honest proof rejected: %s" e);
+  (* dropping the empty clause leaves the refutation unfinished *)
+  let truncated =
+    List.filter
+      (function Sat.Proof.Add [||] -> false | _ -> true)
+      steps
+  in
+  (match Sat.Proof.check_refutation problem truncated with
+  | Error msg ->
+      check "unfinished proof diagnosed" true
+        (msg = "proof ends without deriving the empty clause")
+  | Ok () -> Alcotest.fail "truncated proof must be rejected");
+  (* injecting a clause with no RUP derivation is caught at its step *)
+  let bogus = Sat.Proof.Add [| Sat.Cnf.pos 1 |] in
+  match Sat.Proof.check_refutation problem (bogus :: steps) with
+  | Error msg ->
+      check "non-RUP step located" true (String.sub msg 0 7 = "step 1:")
+  | Ok () -> Alcotest.fail "non-RUP step must be rejected"
+
+let test_corrupted_model_rejected () =
+  let problem = Sat.Gen.php_sat 4 in
+  let m =
+    match Sat.Solver.solve_problem problem with
+    | Sat.Solver.Sat m -> m
+    | Sat.Solver.Unsat -> Alcotest.fail "php_sat4 must be sat"
+  in
+  (match Sat.Proof.check_model problem m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "honest model rejected: %s" e);
+  (* flipping every assignment violates some at-most-one constraint *)
+  (match Sat.Proof.check_model problem (Array.map not m) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "corrupted model accepted");
+  (* a model that does not cover all variables is rejected outright *)
+  match Sat.Proof.check_model problem [| false; true |] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "truncated model accepted"
+
+let test_duplicate_literals_in_originals () =
+  (* Tseitin translation can repeat a literal inside one clause.
+     Regression: the checker's two watches both landed on copies of the
+     same literal, so falsifying the other literals never triggered a
+     watcher visit and the clause silently failed to propagate. *)
+  let pos = Sat.Cnf.pos and neg = Sat.Cnf.neg in
+  let p =
+    List.fold_left Sat.Cnf.add_clause Sat.Cnf.empty
+      [
+        [ pos 1; pos 1; pos 2; pos 3 ];
+        [ neg 2 ];
+        [ neg 3 ];
+        [ neg 1; pos 4 ];
+        [ neg 1; neg 4 ];
+      ]
+  in
+  match Sat.Solver.solve_problem ~certify:true p with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "duplicate-literal instance is unsat"
+
+let test_certify_guards () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ Sat.Cnf.pos 1 ];
+  Alcotest.check_raises "proof logging must precede clauses"
+    (Invalid_argument "Solver.enable_proof: clauses were already added")
+    (fun () -> Sat.Solver.enable_proof s);
+  Alcotest.check_raises "certify needs proof logging"
+    (Invalid_argument
+       "Solver.solve: ~certify requires proof logging (enable_proof or \
+        of_problem ~proof:true)")
+    (fun () -> ignore (Sat.Solver.solve ~certify:true s));
+  let s' = Sat.Solver.create () in
+  Sat.Solver.enable_proof s';
+  Sat.Solver.add_clause s' [ Sat.Cnf.pos 1; Sat.Cnf.pos 2 ];
+  Alcotest.check_raises "certify excludes assumptions"
+    (Invalid_argument "Solver.solve: ~certify does not support assumptions")
+    (fun () ->
+      ignore (Sat.Solver.solve ~assumptions:[ Sat.Cnf.pos 1 ] ~certify:true s'))
+
+(* ---- DRUP text format ---- *)
+
+let test_drup_roundtrip () =
+  let steps = refutation_of (Sat.Gen.pigeonhole 4) in
+  check "proof is nonempty" true (steps <> []);
+  let steps' = Sat.Dimacs.parse_drup (Sat.Dimacs.drup_to_string steps) in
+  check "drup text round trip" true (steps = steps')
+
+let test_drup_parse () =
+  let steps = Sat.Dimacs.parse_drup "c comment\n\n1 -2 0\nd 1 -2 0\n0\n" in
+  check "add, delete, empty" true
+    (match steps with
+    | [ Sat.Proof.Add a; Sat.Proof.Delete d; Sat.Proof.Add e ] ->
+        Array.length a = 2 && Array.length d = 2 && Array.length e = 0
+    | _ -> false);
+  Alcotest.check_raises "missing terminating zero"
+    (Failure "drup: line 1: missing terminating 0") (fun () ->
+      ignore (Sat.Dimacs.parse_drup "1 2"));
+  Alcotest.check_raises "literals after zero"
+    (Failure "drup: line 2: literals after terminating 0") (fun () ->
+      ignore (Sat.Dimacs.parse_drup "1 0\nd 2 0 3"))
+
+let test_dimacs_edge_cases () =
+  (* blank lines, a clause spanning two lines, an empty clause on its
+     own line, and a header whose clause count disagrees with the body
+     (accepted loosely, as most tools do) *)
+  let p = Sat.Dimacs.parse_string "c hdr\np cnf 4 9\n\n1 -2\n3 0\n0\n-4 0\n" in
+  check_int "vars from header" 4 p.Sat.Cnf.num_vars;
+  check_int "clauses from body" 3 (Sat.Cnf.num_clauses p);
+  check "empty clause parsed" true
+    (List.exists (fun c -> Array.length c = 0) p.Sat.Cnf.clauses);
+  check "empty clause makes it unsat" true
+    (Sat.Solver.solve_problem p = Sat.Solver.Unsat)
+
+let qcheck_dimacs_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"dimacs parse/print round trip"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let p = Sat.Gen.random_ksat ~seed ~k:3 ~num_vars:12 ~num_clauses:30 in
+      let p' = Sat.Dimacs.parse_string (Sat.Dimacs.to_string p) in
+      let p'' = Sat.Dimacs.parse_string (Sat.Dimacs.to_string p') in
+      p'.Sat.Cnf.num_vars = p.Sat.Cnf.num_vars
+      && p'.Sat.Cnf.clauses = p.Sat.Cnf.clauses
+      && p'' = p')
+
+(* ---- differential fuzzing with certified verdicts ---- *)
+
+let test_differential_fuzz () =
+  let o = Sat.Fuzz.run ~count:250 ~seed:20250806 () in
+  check_int "all instances ran" 250 o.Sat.Fuzz.instances;
+  check "both polarities exercised" true
+    (o.Sat.Fuzz.sat_instances > 0 && o.Sat.Fuzz.unsat_instances > 0);
+  check "refutations were logged" true (o.Sat.Fuzz.proof_additions > 0);
+  (match o.Sat.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "fuzz failure at instance %d: %s\n%s" f.Sat.Fuzz.index
+        f.Sat.Fuzz.detail f.Sat.Fuzz.dimacs);
+  (* the run is reproducible from its seed *)
+  let o2 = Sat.Fuzz.run ~count:250 ~seed:20250806 () in
+  check_int "sat count reproducible" o.Sat.Fuzz.sat_instances
+    o2.Sat.Fuzz.sat_instances;
+  check_int "proof sizes reproducible" o.Sat.Fuzz.proof_additions
+    o2.Sat.Fuzz.proof_additions
+
 let suite =
   [
     Alcotest.test_case "literal encoding" `Quick test_literal_encoding;
@@ -338,6 +524,18 @@ let suite =
     Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
     Alcotest.test_case "stats reported" `Quick test_stats_reported;
     Alcotest.test_case "dpll budget" `Quick test_dpll_budget;
+    Alcotest.test_case "certified unsat refutation" `Quick test_certified_unsat_refutation;
+    Alcotest.test_case "certified sat model" `Quick test_certified_sat_model;
+    Alcotest.test_case "certified proof with deletions" `Quick test_certified_with_deletions;
+    Alcotest.test_case "corrupted proof rejected" `Quick test_corrupted_proof_rejected;
+    Alcotest.test_case "corrupted model rejected" `Quick test_corrupted_model_rejected;
+    Alcotest.test_case "duplicate literals certified" `Quick test_duplicate_literals_in_originals;
+    Alcotest.test_case "certify guards" `Quick test_certify_guards;
+    Alcotest.test_case "drup round trip" `Quick test_drup_roundtrip;
+    Alcotest.test_case "drup parsing" `Quick test_drup_parse;
+    Alcotest.test_case "dimacs edge cases" `Quick test_dimacs_edge_cases;
+    Alcotest.test_case "differential fuzz, certified" `Quick test_differential_fuzz;
     QCheck_alcotest.to_alcotest qcheck_cdcl_vs_dpll;
     QCheck_alcotest.to_alcotest qcheck_luby_like_restart_progress;
+    QCheck_alcotest.to_alcotest qcheck_dimacs_roundtrip;
   ]
