@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (experiments E1-E8; see DESIGN.md for the index), then
+   evaluation (experiments E1-E10; see DESIGN.md for the index), then
    times the computational kernels behind them with Bechamel.
 
    Run with: dune exec bench/main.exe
@@ -49,6 +49,69 @@ let run_experiments () =
 
   section "E8 - Section III listings";
   ignore (Core.Experiments.paper_listings ppf)
+
+(* ------------------------------------------------------------------ *)
+(* E10: graceful degradation — convergence under message loss.
+   Sweeps i.i.d. loss rates over the fixed topologies and scopes, runs
+   the retransmitting protocol in the fault-injected scheduler, and
+   reports rounds-to-quiescence against the reliable-network D*|J|
+   bound. The bound does not hold under loss (each lost broadcast can
+   cost a retransmission interval), so the interesting column is the
+   inflation factor. *)
+
+let run_loss_sweep () =
+  section "E10 - Convergence under message loss (fault injection)";
+  Format.printf "  %-7s %-5s %3s %3s %6s %7s %6s %8s %9s@." "topo" "loss"
+    "n" "j" "D*|J|" "rounds" "msgs" "lost" "verdict";
+  let topos = [ ("line", Netsim.Topology.line); ("ring", Netsim.Topology.ring);
+                ("clique", Netsim.Topology.clique) ] in
+  let losses = [ 0.0; 0.05; 0.1; 0.2 ] in
+  let converged = ref 0 and total = ref 0 in
+  List.iter
+    (fun (tname, topo) ->
+      List.iter
+        (fun loss ->
+          List.iter
+            (fun (n, j) ->
+              (* a 2-ring is not a simple graph; fall back to the line *)
+              let topo = if tname = "ring" && n < 3 then Netsim.Topology.line else topo in
+              let rng = Netsim.Rng.create (Hashtbl.hash (tname, loss, n, j)) in
+              let graph = topo n in
+              let base_utilities =
+                Array.init n (fun _ ->
+                    Array.init j (fun _ -> 5 + Netsim.Rng.int rng 25))
+              in
+              let cfg =
+                Mca.Protocol.uniform_config ~graph ~num_items:j ~base_utilities
+                  ~policy:
+                    (Mca.Policy.make ~utility:(Mca.Policy.Submodular 2)
+                       ~target_items:j ())
+              in
+              let plan =
+                if loss = 0.0 then Netsim.Faults.no_faults
+                else
+                  Netsim.Faults.plan
+                    ~default_link:(Netsim.Faults.lossy ~drop:loss ())
+                    ~seed:(Hashtbl.hash (tname, loss, n, j, "plan")) ()
+              in
+              let verdict, faults = Mca.Protocol.run_faulty ~faults:plan cfg in
+              let bound = Netsim.Graph.diameter graph * j in
+              let sent, lost, _, _ = Netsim.Faults.totals faults in
+              incr total;
+              (match verdict with
+              | Mca.Protocol.Converged { rounds; messages; _ } ->
+                  incr converged;
+                  Format.printf "  %-7s %-5.2f %3d %3d %6d %7d %6d %3d/%-4d %9s@."
+                    tname loss n j bound rounds messages lost sent "ok"
+              | v ->
+                  Format.printf "  %-7s %-5.2f %3d %3d %6d %7s %6s %3d/%-4d %a@."
+                    tname loss n j bound "-" "-" lost sent
+                    Mca.Protocol.pp_verdict v))
+            [ (2, 2); (3, 3); (4, 4) ])
+        losses)
+    topos;
+  Format.printf "  %d/%d runs converged (honest sub-modular, retransmission)@."
+    !converged !total
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: certified verdicts — DRUP proof size and re-check cost      *)
@@ -223,5 +286,6 @@ let () =
   Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
   run_experiments ();
   run_certification ();
+  run_loss_sweep ();
   run_benchmarks ();
   Format.printf "@.done.@."

@@ -1,13 +1,21 @@
 (* Push-button MCA convergence checking, the paper's headline tool.
 
    Three backends over the same policy knobs:
-     --backend sim       protocol simulation (sync or async schedule)
+     --backend sim       protocol simulation (sync or async schedule);
+                         with --faults/--crash, an adversarial run with
+                         unreliable channels and crash-restart agents
      --backend explicit  exhaustive explicit-state checking of all
-                         message interleavings (bounded, canonicalized)
+                         message interleavings (bounded, canonicalized);
+                         with --max-drops/--max-dups, against a budgeted
+                         message adversary — the verdict then *decides*
+                         fault tolerance for the scope
      --backend sat       the Alloy-lite relational model compiled to SAT
 
    Policy flags mirror the paper: --non-submodular, --release-outbid,
    --rebid-attack, --target N.
+
+   --timeout SECS arms a wall-clock budget on every backend: instead of
+   hanging, the tool reports UNKNOWN and exits with code 10.
 
    --certify (sat backend) re-validates the verdict with the
    independent Sat.Proof checker: a HOLDS answer must come with an
@@ -21,18 +29,64 @@ type backend = Sim | Explicit | Sat_model
 let backend_conv =
   Arg.enum [ ("sim", Sim); ("explicit", Explicit); ("sat", Sat_model) ]
 
-let topology_of name n rng =
-  match name with
-  | "clique" -> Netsim.Topology.clique n
-  | "line" -> Netsim.Topology.line n
-  | "ring" -> Netsim.Topology.ring n
-  | "star" -> Netsim.Topology.star n
-  | "random" -> Netsim.Topology.erdos_renyi_connected rng n 0.5
-  | other -> failwith (Printf.sprintf "unknown topology %s" other)
+type topo = Clique | Line | Ring | Star | Grid | Random
+
+let topo_conv =
+  Arg.enum
+    [
+      ("clique", Clique); ("line", Line); ("ring", Ring); ("star", Star);
+      ("grid", Grid); ("random", Random);
+    ]
+
+(* near-square factorization: the tallest grid no wider than square *)
+let grid_dims n =
+  let r = ref (int_of_float (sqrt (float_of_int n))) in
+  while n mod !r <> 0 do decr r done;
+  (!r, n / !r)
+
+let graph_of topo n rng =
+  match topo with
+  | Clique -> Netsim.Topology.clique n
+  | Line -> Netsim.Topology.line n
+  | Ring -> Netsim.Topology.ring n
+  | Star -> Netsim.Topology.star n
+  | Grid ->
+      let rows, cols = grid_dims n in
+      Netsim.Topology.grid rows cols
+  | Random -> Netsim.Topology.erdos_renyi_connected rng n 0.5
+
+let crash_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid crash spec %S, expected AGENT:AT or AGENT:AT:RESTART" s))
+    in
+    match List.map int_of_string_opt (String.split_on_char ':' s) with
+    | [ Some agent; Some at ] -> Ok (Netsim.Faults.crash ~agent ~at ())
+    | [ Some agent; Some at; Some restart_at ] ->
+        Ok (Netsim.Faults.crash ~restart_at ~agent ~at ())
+    | _ -> fail ()
+  in
+  let print ppf (c : Netsim.Faults.crash) =
+    match c.restart_at with
+    | None -> Format.fprintf ppf "%d:%d" c.agent c.crash_at
+    | Some r -> Format.fprintf ppf "%d:%d:%d" c.agent c.crash_at r
+  in
+  Arg.conv (parse, print)
+
+let exit_unknown = 10
+
+let budget_of_timeout = function
+  | None -> Netsim.Budget.unlimited
+  | Some wall_s -> Netsim.Budget.create ~wall_s ()
 
 let run backend encoding symmetry certify non_submodular release_outbid
-    rebid_attack target agents items topology seed =
+    rebid_attack target agents items topology seed drop duplicate max_delay
+    crashes max_drops max_dups timeout =
   let rng = Netsim.Rng.create seed in
+  let budget = budget_of_timeout timeout in
   let policy =
     Mca.Policy.make
       ~utility:
@@ -66,6 +120,9 @@ let run backend encoding symmetry certify non_submodular release_outbid
         | "buffered" -> Core.Mca_model.Buffered
         | _ -> Core.Mca_model.Efficient
       in
+      if certify && timeout <> None then
+        failwith "--certify cannot be combined with --timeout (the bounded \
+                  SAT path produces no certificate)";
       let m = Core.Mca_model.build enc mpolicy scope in
       Format.printf "model: %s@." (Core.Mca_model.describe m);
       let outcome =
@@ -79,20 +136,23 @@ let run backend encoding symmetry certify non_submodular release_outbid
           | None ->
               Format.printf
                 "certificate: trivial (formula constant-folded, no SAT call)@.");
-          outcome
+          Relalg.Translate.Decided outcome
         end
-        else Core.Mca_model.check_consensus ~symmetry m
+        else Core.Mca_model.check_consensus_bounded ~symmetry ~budget m
       in
       (match outcome with
-      | Alloylite.Compile.Unsat ->
+      | Relalg.Translate.Decided Relalg.Translate.Unsat ->
           Format.printf "consensus assertion HOLDS within scope@.";
           0
-      | Alloylite.Compile.Sat inst ->
+      | Relalg.Translate.Decided (Relalg.Translate.Sat inst) ->
           Format.printf "consensus VIOLATED — counterexample trace:@.%a@."
             Relalg.Instance.pp inst;
-          1)
+          1
+      | Relalg.Translate.Unknown reason ->
+          Format.printf "UNKNOWN: budget exhausted (%s)@." reason;
+          exit_unknown)
   | Explicit | Sim ->
-      let graph = topology_of topology agents rng in
+      let graph = graph_of topology agents rng in
       let base_utilities =
         Array.init agents (fun _ ->
             Array.init items (fun _ -> 5 + Netsim.Rng.int rng 25))
@@ -102,29 +162,71 @@ let run backend encoding symmetry certify non_submodular release_outbid
           ~policy
       in
       if backend = Sim then begin
-        let verdict = Mca.Protocol.run_sync ~max_rounds:500 cfg in
-        Format.printf "simulation (sync): %a@." Mca.Protocol.pp_verdict verdict;
-        let verdict_async = Mca.Protocol.run_async ~max_steps:50_000 cfg in
-        Format.printf "simulation (async fifo): %a@." Mca.Protocol.pp_verdict
-          verdict_async;
-        match (verdict, verdict_async) with
-        | Mca.Protocol.Converged _, Mca.Protocol.Converged _ -> 0
-        | _ -> 1
+        let faulty =
+          drop > 0.0 || duplicate > 0.0 || max_delay > 0 || crashes <> []
+        in
+        if faulty then begin
+          let plan =
+            Netsim.Faults.plan
+              ~default_link:
+                (Netsim.Faults.lossy ~drop ~duplicate ~max_delay ())
+              ~crashes ~seed ()
+          in
+          let verdict, faults = Mca.Protocol.run_faulty ~budget ~faults:plan cfg in
+          Format.printf "simulation (faulty async): %a@."
+            Mca.Protocol.pp_verdict verdict;
+          Format.printf "%a@." Netsim.Faults.pp_ledger faults;
+          match verdict with
+          | Mca.Protocol.Converged _ -> 0
+          | Mca.Protocol.Exhausted _ ->
+              Format.printf
+                "UNKNOWN: step/time budget exhausted before quiescence@.";
+              exit_unknown
+          | Mca.Protocol.Oscillating _ -> 1
+        end
+        else begin
+          let verdict = Mca.Protocol.run_sync ~max_rounds:500 ~budget cfg in
+          Format.printf "simulation (sync): %a@." Mca.Protocol.pp_verdict
+            verdict;
+          let verdict_async =
+            Mca.Protocol.run_async ~max_steps:50_000 ~budget cfg
+          in
+          Format.printf "simulation (async fifo): %a@." Mca.Protocol.pp_verdict
+            verdict_async;
+          match (verdict, verdict_async) with
+          | Mca.Protocol.Converged _, Mca.Protocol.Converged _ -> 0
+          | (Mca.Protocol.Exhausted _, _ | _, Mca.Protocol.Exhausted _)
+            when timeout <> None ->
+              Format.printf "UNKNOWN: budget exhausted@.";
+              exit_unknown
+          | _ -> 1
+        end
       end
       else begin
-        let verdict = Checker.Explore.run ~max_states:1_000_000 cfg in
+        let verdict =
+          Checker.Explore.run ~max_states:1_000_000 ~max_drops ~max_dups
+            ~budget cfg
+        in
         Format.printf "explicit-state: %a@." Checker.Explore.pp_verdict verdict;
-        match verdict with Checker.Explore.Converges _ -> 0 | _ -> 1
+        if max_drops > 0 || max_dups > 0 then
+          Format.printf
+            "adversary budget: up to %d drop(s), %d duplication(s) per \
+             execution@."
+            max_drops max_dups;
+        match verdict with
+        | Checker.Explore.Converges _ -> 0
+        | Checker.Explore.Unknown _ -> exit_unknown
+        | _ -> 1
       end
 
 let run_safe backend encoding symmetry certify ns ro ra target agents items
-    topology seed =
+    topology seed drop duplicate max_delay crashes max_drops max_dups timeout =
   match
     run backend encoding symmetry certify ns ro ra target agents items
-      topology seed
+      topology seed drop duplicate max_delay crashes max_drops max_dups timeout
   with
   | code -> code
-  | exception Failure msg ->
+  | exception (Failure msg | Invalid_argument msg) ->
       Printf.eprintf "error: %s\n" msg;
       2
   | exception Sat.Proof.Certification_failed msg ->
@@ -150,9 +252,13 @@ let term =
   let agents = Arg.(value & opt int 2 & info [ "agents"; "n" ] ~doc:"number of agents") in
   let items = Arg.(value & opt int 2 & info [ "items"; "j" ] ~doc:"number of items") in
   let topology =
-    Arg.(value & opt string "clique" & info [ "topology" ] ~doc:"clique, line, ring, star or random")
+    Arg.(value & opt topo_conv Clique
+         & info [ "topology" ]
+             ~doc:"network topology: $(b,clique), $(b,line), $(b,ring), \
+                   $(b,star), $(b,grid) (near-square) or $(b,random) \
+                   (connected Erdős–Rényi)")
   in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"utility/topology seed") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"utility/topology/fault seed") in
   let encoding =
     Arg.(value & opt string "efficient"
          & info [ "encoding" ] ~doc:"SAT-model encoding: efficient, buffered or naive")
@@ -164,15 +270,75 @@ let term =
     Arg.(value & flag
          & info [ "certify" ]
              ~doc:"independently certify the SAT-backend verdict (DRUP proof \
-                   check for HOLDS, strict model check for VIOLATED)")
+                   check for HOLDS, strict model check for VIOLATED); not \
+                   compatible with --timeout")
+  in
+  let drop =
+    Arg.(value & opt float 0.0
+         & info [ "faults" ]
+             ~doc:"sim backend: i.i.d. per-message drop probability on every \
+                   link (enables the fault-injection run with \
+                   retransmission)" ~docv:"RATE")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ]
+             ~doc:"sim backend: i.i.d. per-message duplication probability"
+             ~docv:"RATE")
+  in
+  let max_delay =
+    Arg.(value & opt int 0
+         & info [ "max-delay" ]
+             ~doc:"sim backend: maximum random in-flight delay, in scheduler \
+                   steps" ~docv:"STEPS")
+  in
+  let crashes =
+    Arg.(value & opt_all crash_conv []
+         & info [ "crash" ]
+             ~doc:"sim backend: crash agent $(b,A) at step $(b,T), optionally \
+                   restarting (with empty state) at step $(b,R); repeatable"
+             ~docv:"A:T[:R]")
+  in
+  let max_drops =
+    Arg.(value & opt int 0
+         & info [ "max-drops" ]
+             ~doc:"explicit backend: arm a message adversary that may lose up \
+                   to $(docv) in-flight messages per execution — a CONVERGES \
+                   verdict then decides drop tolerance" ~docv:"K")
+  in
+  let max_dups =
+    Arg.(value & opt int 0
+         & info [ "max-dups" ]
+             ~doc:"explicit backend: the adversary may duplicate up to \
+                   $(docv) in-flight messages per execution" ~docv:"K")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ]
+             ~doc:"wall-clock budget in seconds for any backend; on expiry \
+                   the verdict is UNKNOWN and the exit code is 10"
+             ~docv:"SECS")
   in
   Term.(
     const run_safe $ backend $ encoding $ symmetry $ certify $ non_submodular
-    $ release $ attack $ target $ agents $ items $ topology $ seed)
+    $ release $ attack $ target $ agents $ items $ topology $ seed $ drop
+    $ duplicate $ max_delay $ crashes $ max_drops $ max_dups $ timeout)
 
 let cmd =
+  let exits =
+    Cmd.Exit.info 0 ~doc:"consensus holds / the run converged"
+    :: Cmd.Exit.info 1
+         ~doc:"consensus violated: a counterexample, oscillation or \
+               conflicting allocation was found"
+    :: Cmd.Exit.info 2 ~doc:"invalid arguments or runtime error"
+    :: Cmd.Exit.info 3 ~doc:"certificate rejected (solver bug caught)"
+    :: Cmd.Exit.info exit_unknown
+         ~doc:"UNKNOWN: a state, step or wall-clock budget expired before \
+               the backend could decide"
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "mca_check"
+    (Cmd.info "mca_check" ~exits
        ~doc:"Check Max-Consensus Auction convergence under policy instantiations")
     term
 

@@ -46,6 +46,18 @@ val check : ?symmetry:bool -> t -> string -> outcome
     [symmetry] enables Kodkod-style symmetry-breaking predicates (see
     {!Relalg.Translate.translate}). *)
 
+val check_formula_bounded :
+  ?symmetry:bool -> budget:Netsim.Budget.t -> t -> Relalg.Ast.formula ->
+  Relalg.Translate.bounded_outcome
+(** Budgeted variant of {!check_formula}: returns [Unknown reason]
+    instead of hanging once the {!Netsim.Budget} expires. *)
+
+val check_bounded :
+  ?symmetry:bool -> budget:Netsim.Budget.t -> t -> string ->
+  Relalg.Translate.bounded_outcome
+(** Budgeted variant of {!check} — Alloy's [check a] with graceful
+    degradation under a deadline or conflict cap. *)
+
 val check_formula_certified :
   ?symmetry:bool -> t -> Relalg.Ast.formula -> Relalg.Translate.certified_outcome
 (** Certified variant of {!check_formula}: the verdict carries the

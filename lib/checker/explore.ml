@@ -2,14 +2,17 @@ type verdict =
   | Converges of { states : int; terminals : int }
   | Nonconvergence of { trace : State.transition list; states : int }
   | Bad_terminal of { trace : State.transition list; states : int }
-  | Unknown of { states : int }
+  | Unknown of { states : int; reason : string }
 
 type color = Gray | Black
 
 (* Iterative DFS over the reachable configuration graph. A back edge to
    a gray (on-stack) state is an oscillation witness: the cycle is
-   reachable and can be taken forever. *)
-let run ?(max_states = 200_000) cfg =
+   reachable and can be taken forever. With an armed adversary budget
+   the graph additionally branches on Drop/Duplicate transitions, so a
+   [Converges] answer decides drop/duplicate tolerance for the scope. *)
+let run ?(max_states = 200_000) ?(max_drops = 0) ?(max_dups = 0)
+    ?(budget = Netsim.Budget.unlimited) cfg =
   let exception Found of verdict in
   let colors : (string, color) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 in
@@ -24,7 +27,17 @@ let run ?(max_states = 200_000) cfg =
     | None ->
         incr states;
         if !states > max_states then
-          raise (Found (Unknown { states = !states }));
+          raise
+            (Found
+               (Unknown
+                  {
+                    states = !states;
+                    reason = Printf.sprintf "state cap %d" max_states;
+                  }));
+        (match Netsim.Budget.check ~steps:!states budget with
+        | Netsim.Budget.Expired reason ->
+            raise (Found (Unknown { states = !states; reason }))
+        | Netsim.Budget.Within -> ());
         Hashtbl.replace colors key Gray;
         (match State.enabled state with
         | [] ->
@@ -39,20 +52,38 @@ let run ?(max_states = 200_000) cfg =
         Hashtbl.replace colors key Black
   in
   try
-    dfs [] (State.initial cfg);
+    dfs [] (State.initial ~drops:max_drops ~dups:max_dups cfg);
     Converges { states = !states; terminals = !terminals }
   with Found v -> v
 
-let replay cfg trace =
+let replay ?(max_drops = 0) ?(max_dups = 0) cfg trace =
   let rec go state acc = function
     | [] -> List.rev (state :: acc)
     | tr :: rest -> go (State.apply cfg state tr) (state :: acc) rest
   in
-  go (State.initial cfg) [] trace
+  go (State.initial ~drops:max_drops ~dups:max_dups cfg) [] trace
+
+let faults_used trace =
+  List.fold_left
+    (fun (drops, dups) tr ->
+      match tr with
+      | State.Drop _ -> (drops + 1, dups)
+      | State.Duplicate _ -> (drops, dups + 1)
+      | State.Deliver _ | State.Quiesce -> (drops, dups))
+    (0, 0) trace
 
 let pp_transition ppf = function
   | State.Deliver i -> Format.fprintf ppf "deliver#%d" i
+  | State.Drop i -> Format.fprintf ppf "drop#%d" i
+  | State.Duplicate i -> Format.fprintf ppf "dup#%d" i
   | State.Quiesce -> Format.pp_print_string ppf "quiesce"
+
+let pp_faults_used ppf trace =
+  match faults_used trace with
+  | 0, 0 -> ()
+  | drops, dups ->
+      Format.fprintf ppf " (adversary spent %d drop(s), %d duplication(s))"
+        drops dups
 
 let pp_verdict ppf = function
   | Converges { states; terminals } ->
@@ -61,11 +92,12 @@ let pp_verdict ppf = function
         states terminals
   | Nonconvergence { trace; states } ->
       Format.fprintf ppf
-        "NONCONVERGENCE: oscillation after %d steps (%d states explored)"
-        (List.length trace) states
+        "NONCONVERGENCE: oscillation after %d steps (%d states explored)%a"
+        (List.length trace) states pp_faults_used trace
   | Bad_terminal { trace; states } ->
       Format.fprintf ppf
-        "CONFLICTING terminal allocation after %d steps (%d states explored)"
-        (List.length trace) states
-  | Unknown { states } ->
-      Format.fprintf ppf "unknown: state budget exhausted (%d states)" states
+        "CONFLICTING terminal allocation after %d steps (%d states explored)%a"
+        (List.length trace) states pp_faults_used trace
+  | Unknown { states; reason } ->
+      Format.fprintf ppf "unknown: budget exhausted (%s, %d states explored)"
+        reason states

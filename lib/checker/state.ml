@@ -4,10 +4,16 @@ type pending = {
   view : Mca.Types.view;
 }
 
-type t = { agents : Mca.Agent.t array; buffer : pending list }
+type t = {
+  agents : Mca.Agent.t array;
+  buffer : pending list;
+  drops_left : int;
+  dups_left : int;
+}
 
 let clone s =
   {
+    s with
     agents = Array.map Mca.Agent.clone s.agents;
     buffer = s.buffer (* pendings are immutable snapshots *);
   }
@@ -19,7 +25,9 @@ let broadcast cfg agents buffer i =
     buffer
     (Netsim.Graph.neighbors cfg.Mca.Protocol.graph i)
 
-let initial (cfg : Mca.Protocol.config) =
+let initial ?(drops = 0) ?(dups = 0) (cfg : Mca.Protocol.config) =
+  if drops < 0 || dups < 0 then
+    invalid_arg "State.initial: negative adversary budget";
   let n = Netsim.Graph.num_nodes cfg.Mca.Protocol.graph in
   let agents =
     Array.init n (fun i ->
@@ -33,9 +41,9 @@ let initial (cfg : Mca.Protocol.config) =
       ignore (Mca.Agent.bid_phase a);
       buffer := broadcast cfg agents !buffer i)
     agents;
-  { agents; buffer = !buffer }
+  { agents; buffer = !buffer; drops_left = drops; dups_left = dups }
 
-type transition = Deliver of int | Quiesce
+type transition = Deliver of int | Drop of int | Duplicate of int | Quiesce
 
 let consensus s = Mca.Protocol.consensus_reached s.agents
 let conflict_free s = Mca.Protocol.conflict_free s.agents
@@ -49,19 +57,31 @@ let is_terminal _cfg s = s.buffer = [] && (not (can_bid s)) && consensus s
 let enabled s =
   match s.buffer with
   | [] -> if (not (can_bid s)) && consensus s then [] else [ Quiesce ]
-  | msgs -> List.mapi (fun i _ -> Deliver i) msgs
+  | msgs ->
+      let n = List.length msgs in
+      let delivers = List.init n (fun i -> Deliver i) in
+      let drops =
+        if s.drops_left > 0 then List.init n (fun i -> Drop i) else []
+      in
+      let dups =
+        if s.dups_left > 0 then List.init n (fun i -> Duplicate i) else []
+      in
+      delivers @ drops @ dups
+
+let take_nth i buffer =
+  let rec take k acc = function
+    | [] -> invalid_arg "State.apply: no such message"
+    | m :: rest ->
+        if k = i then (m, List.rev_append acc rest)
+        else take (k + 1) (m :: acc) rest
+  in
+  take 0 [] buffer
 
 let apply cfg s tr =
   let s = clone s in
   match tr with
   | Deliver i ->
-      let rec take k acc = function
-        | [] -> invalid_arg "State.apply: no such message"
-        | m :: rest ->
-            if k = i then (m, List.rev_append acc rest)
-            else take (k + 1) (m :: acc) rest
-      in
-      let m, rest = take 0 [] s.buffer in
+      let m, rest = take_nth i s.buffer in
       let changed =
         Mca.Agent.receive s.agents.(m.dst)
           { Mca.Types.sender = m.src; view = m.view }
@@ -71,6 +91,15 @@ let apply cfg s tr =
         if changed || rebid then broadcast cfg s.agents rest m.dst else rest
       in
       { s with buffer }
+  | Drop i ->
+      if s.drops_left <= 0 then invalid_arg "State.apply: drop budget spent";
+      let _, rest = take_nth i s.buffer in
+      { s with buffer = rest; drops_left = s.drops_left - 1 }
+  | Duplicate i ->
+      if s.dups_left <= 0 then
+        invalid_arg "State.apply: duplication budget spent";
+      let m, _ = take_nth i s.buffer in
+      { s with buffer = s.buffer @ [ m ]; dups_left = s.dups_left - 1 }
   | Quiesce ->
       let buffer = ref s.buffer in
       let any_bid = ref false in
@@ -90,7 +119,9 @@ let apply cfg s tr =
 
 (* Canonical key: serialize agents and the (order-insensitive) buffer,
    with every timestamp replaced by its rank among the timestamps
-   occurring anywhere in the configuration. *)
+   occurring anywhere in the configuration. The remaining adversary
+   budgets are part of the key: the same protocol state with more drops
+   available has strictly more behaviors ahead of it. *)
 let canonical_key s =
   let times = Hashtbl.create 64 in
   let note t = Hashtbl.replace times t () in
@@ -107,6 +138,10 @@ let canonical_key s =
   List.iteri (fun i t -> Hashtbl.replace rank t i) sorted;
   let r t = Hashtbl.find rank t in
   let buf = Buffer.create 512 in
+  Buffer.add_string buf (string_of_int s.drops_left);
+  Buffer.add_char buf '/';
+  Buffer.add_string buf (string_of_int s.dups_left);
+  Buffer.add_char buf '!';
   let add_view view =
     Array.iter
       (fun (e : Mca.Types.entry) ->
@@ -172,4 +207,8 @@ let canonical_key s =
 let pp ppf s =
   Format.fprintf ppf "@[<v>";
   Array.iter (fun a -> Format.fprintf ppf "%a@," Mca.Agent.pp a) s.agents;
-  Format.fprintf ppf "in flight: %d message(s)@]" (List.length s.buffer)
+  Format.fprintf ppf "in flight: %d message(s)" (List.length s.buffer);
+  if s.drops_left > 0 || s.dups_left > 0 then
+    Format.fprintf ppf "; adversary budget: %d drop(s), %d dup(s)"
+      s.drops_left s.dups_left;
+  Format.fprintf ppf "@]"

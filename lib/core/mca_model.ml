@@ -685,6 +685,9 @@ let build encoding policy scope =
 
 let check_consensus ?symmetry t = Compile.check ?symmetry t.compiled "consensus"
 
+let check_consensus_bounded ?symmetry ~budget t =
+  Compile.check_bounded ?symmetry ~budget t.compiled "consensus"
+
 let check_consensus_certified ?symmetry t =
   Compile.check_certified ?symmetry t.compiled "consensus"
 let run_instance t = Compile.run_formula t.compiled tt

@@ -79,6 +79,13 @@ val check_consensus : ?symmetry:bool -> t -> Alloylite.Compile.outcome
     [symmetry] (default false) adds Kodkod-style symmetry-breaking
     predicates — the ablation of experiment E5b. *)
 
+val check_consensus_bounded :
+  ?symmetry:bool -> budget:Netsim.Budget.t -> t ->
+  Relalg.Translate.bounded_outcome
+(** Like {!check_consensus}, but gives up with [Unknown reason] once the
+    {!Netsim.Budget} (wall-clock deadline and/or conflict cap) expires —
+    the SAT backend's graceful-degradation path. *)
+
 val check_consensus_certified :
   ?symmetry:bool -> t -> Relalg.Translate.certified_outcome
 (** Like {!check_consensus}, but the verdict is independently certified:

@@ -33,15 +33,39 @@ type verdict =
   | Oscillating of { rounds : int; messages : int; cycle_length : int }
   | Exhausted of { rounds : int; messages : int }
 
-val run_sync : ?max_rounds:int -> ?record:Trace.t -> config -> verdict
+val run_sync :
+  ?max_rounds:int -> ?budget:Netsim.Budget.t -> ?record:Trace.t -> config ->
+  verdict
 (** Synchronous rounds until a round changes nothing (converged), a
     global state repeats (oscillating), or [max_rounds] (default 200)
-    elapse. *)
+    elapse. An expiring [?budget] (checked once per round, rounds
+    counted as budget steps) also yields [Exhausted]. *)
 
 val run_async :
-  ?max_steps:int -> ?sched:Netsim.Sched.policy -> ?record:Trace.t -> config -> verdict
+  ?max_steps:int -> ?sched:Netsim.Sched.policy -> ?budget:Netsim.Budget.t ->
+  ?record:Trace.t -> config -> verdict
 (** Single-message steps under the given delivery policy (default FIFO).
-    [rounds] in the verdict counts delivered messages. *)
+    [rounds] in the verdict counts delivered messages. [?budget] as in
+    {!run_sync}, checked once per step. *)
+
+val run_faulty :
+  ?max_steps:int -> ?sched:Netsim.Sched.policy -> ?budget:Netsim.Budget.t ->
+  ?record:Trace.t -> ?retx_base:int -> ?retx_cap:int ->
+  faults:Netsim.Faults.plan -> config -> verdict * Netsim.Faults.t
+(** Asynchronous execution in the adversarial environment described by
+    the fault plan: sends may be dropped, duplicated, delayed or blocked
+    by partition windows, and agents crash/restart on schedule. Liveness
+    under loss comes from retransmission: each agent re-broadcasts its
+    view on a deterministic binary-backoff timer ([retx_base], default
+    8 scheduler steps, doubling to [retx_cap], default 128; reset on any
+    local change). A restarted agent rejoins with empty state and must
+    re-converge; [Converged] means all {e live} agents agree and nothing
+    is in flight or scheduled. Cycle detection is disabled (the verdict
+    is never [Oscillating]) because the randomized environment makes
+    state revisits benign. The whole run is a deterministic function of
+    the config, schedule policy and plan seed — replaying the same plan
+    yields a byte-identical trace and fault ledger. The returned
+    {!Netsim.Faults.t} carries that ledger and the event log. *)
 
 val consensus_reached : Agent.t array -> bool
 (** All agents hold entry-equal views — Definition 1's fixed point. *)

@@ -3,9 +3,13 @@ type snapshot = {
   agents : (Types.view * Types.item_id list * Types.item_id list) array;
 }
 
-type t = { mutable rev_snaps : snapshot list; mutable n : int }
+type t = {
+  mutable rev_snaps : snapshot list;
+  mutable n : int;
+  mutable rev_faults : Netsim.Faults.event list;
+}
 
-let create () = { rev_snaps = []; n = 0 }
+let create () = { rev_snaps = []; n = 0; rev_faults = [] }
 
 let record t agents =
   let snap =
@@ -23,6 +27,12 @@ let record t agents =
 let snapshots t = List.rev t.rev_snaps
 let length t = t.n
 let last t = match t.rev_snaps with [] -> None | s :: _ -> Some s
+let record_fault t e = t.rev_faults <- e :: t.rev_faults
+let fault_events t = List.rev t.rev_faults
+
+let faults_at t step =
+  List.filter (fun (e : Netsim.Faults.event) -> e.Netsim.Faults.time = step)
+    (fault_events t)
 
 let add_view_fp buf view =
   Array.iter
@@ -87,4 +97,12 @@ let pp_snapshot ppf s =
 let pp ppf t =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
-    pp_snapshot ppf (snapshots t)
+    pp_snapshot ppf (snapshots t);
+  match fault_events t with
+  | [] -> ()
+  | events ->
+      Format.fprintf ppf "@,@[<v 2>fault events:";
+      List.iter
+        (fun e -> Format.fprintf ppf "@,%a" Netsim.Faults.pp_event e)
+        events;
+      Format.fprintf ppf "@]"

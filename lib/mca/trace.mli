@@ -24,6 +24,18 @@ val snapshots : t -> snapshot list
 val length : t -> int
 val last : t -> snapshot option
 
+val record_fault : t -> Netsim.Faults.event -> unit
+(** Appends a time-stamped environment fault (drop, duplicate, delay,
+    partition block, crash, restart). The fault log makes a trace of a
+    faulty run replayable: the event times refer to the same scheduler
+    clock the snapshots were taken under. *)
+
+val fault_events : t -> Netsim.Faults.event list
+(** In chronological order. *)
+
+val faults_at : t -> int -> Netsim.Faults.event list
+(** Fault events stamped with the given scheduler step. *)
+
 val fingerprint : Agent.t array -> string
 (** Canonical digest of the agents' joint state (views, bundles,
     lost-sets — timestamps excluded, they grow monotonically). Equal

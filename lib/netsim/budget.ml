@@ -1,0 +1,67 @@
+type t = {
+  wall_s : float option;
+  steps : int option;
+  conflicts : int option;
+  propagations : int option;
+  started : float;
+}
+
+let create ?wall_s ?steps ?conflicts ?propagations () =
+  (match wall_s with
+  | Some w when w < 0.0 -> invalid_arg "Budget.create: negative wall_s"
+  | _ -> ());
+  let nonneg name = function
+    | Some n when n < 0 -> invalid_arg ("Budget.create: negative " ^ name)
+    | _ -> ()
+  in
+  nonneg "steps" steps;
+  nonneg "conflicts" conflicts;
+  nonneg "propagations" propagations;
+  { wall_s; steps; conflicts; propagations; started = Unix.gettimeofday () }
+
+let unlimited =
+  { wall_s = None; steps = None; conflicts = None; propagations = None;
+    started = 0.0 }
+
+let is_unlimited t =
+  t.wall_s = None && t.steps = None && t.conflicts = None
+  && t.propagations = None
+
+let restarted t = { t with started = Unix.gettimeofday () }
+let elapsed t = Unix.gettimeofday () -. t.started
+
+type status = Within | Expired of string
+
+let check ?(steps = 0) ?(conflicts = 0) ?(propagations = 0) t =
+  let over cap used label =
+    match cap with
+    | Some c when used >= c -> Some (Printf.sprintf "%s cap %d" label c)
+    | _ -> None
+  in
+  match over t.steps steps "step" with
+  | Some r -> Expired r
+  | None -> (
+      match over t.conflicts conflicts "conflict" with
+      | Some r -> Expired r
+      | None -> (
+          match over t.propagations propagations "propagation" with
+          | Some r -> Expired r
+          | None -> (
+              match t.wall_s with
+              | Some w when elapsed t >= w ->
+                  Expired (Printf.sprintf "deadline %.3gs" w)
+              | _ -> Within)))
+
+let pp ppf t =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "wall=%.3gs") t.wall_s;
+        Option.map (Printf.sprintf "steps=%d") t.steps;
+        Option.map (Printf.sprintf "conflicts=%d") t.conflicts;
+        Option.map (Printf.sprintf "propagations=%d") t.propagations;
+      ]
+  in
+  match parts with
+  | [] -> Format.pp_print_string ppf "unlimited"
+  | ps -> Format.pp_print_string ppf (String.concat " " ps)

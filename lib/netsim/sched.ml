@@ -1,46 +1,166 @@
 type 'm delivery = { src : int; dst : int; payload : 'm }
 type policy = Fifo | Lifo | Random_order of Rng.t
 
+type 'm item = { seq : int; d : 'm delivery }
+
+(* One store per policy, each with O(1) amortized insert/remove:
+   - Fifo: two-stack functional queue (front oldest-first, back newest-first)
+   - Lifo: plain stack
+   - Random_order: growable array with swap-removal *)
+type 'm store =
+  | Queue of { mutable front : 'm item list; mutable back : 'm item list }
+  | Stack of { mutable items : 'm item list }
+  | Bag of { rng : Rng.t; mutable arr : 'm item option array; mutable n : int }
+
 type 'm t = {
-  policy : policy;
-  mutable buffer : 'm delivery list; (* newest first *)
+  store : 'm store;
+  mutable delayed : (int * 'm item) list; (* (ready_at, item), sorted *)
+  mutable now : int; (* deliver calls so far — the fault-plan clock *)
   mutable sent : int;
+  mutable next_seq : int;
+  mutable size : int; (* items in store (excludes delayed) *)
+  faults : Faults.t option;
 }
 
-let create policy = { policy; buffer = []; sent = 0 }
+let create ?faults policy =
+  let store =
+    match policy with
+    | Fifo -> Queue { front = []; back = [] }
+    | Lifo -> Stack { items = [] }
+    | Random_order rng -> Bag { rng; arr = Array.make 16 None; n = 0 }
+  in
+  { store; delayed = []; now = 0; sent = 0; next_seq = 0; size = 0; faults }
+
+let time t = t.now
+let faults t = t.faults
+
+let push t item =
+  (match t.store with
+  | Queue q -> q.back <- item :: q.back
+  | Stack s -> s.items <- item :: s.items
+  | Bag b ->
+      if b.n = Array.length b.arr then begin
+        let bigger = Array.make (2 * b.n) None in
+        Array.blit b.arr 0 bigger 0 b.n;
+        b.arr <- bigger
+      end;
+      b.arr.(b.n) <- Some item;
+      b.n <- b.n + 1);
+  t.size <- t.size + 1
+
+let pop t =
+  let taken =
+    match t.store with
+    | Queue q -> (
+        (match q.front with
+        | [] ->
+            q.front <- List.rev q.back;
+            q.back <- []
+        | _ -> ());
+        match q.front with
+        | [] -> None
+        | x :: rest ->
+            q.front <- rest;
+            Some x)
+    | Stack s -> (
+        match s.items with
+        | [] -> None
+        | x :: rest ->
+            s.items <- rest;
+            Some x)
+    | Bag b ->
+        if b.n = 0 then None
+        else begin
+          let i = Rng.int b.rng b.n in
+          let x = b.arr.(i) in
+          b.arr.(i) <- b.arr.(b.n - 1);
+          b.arr.(b.n - 1) <- None;
+          b.n <- b.n - 1;
+          x
+        end
+  in
+  (match taken with Some _ -> t.size <- t.size - 1 | None -> ());
+  taken
+
+let fresh_item t d =
+  let item = { seq = t.next_seq; d } in
+  t.next_seq <- t.next_seq + 1;
+  item
+
+(* keep [delayed] sorted by (ready_at, seq) so releases are deterministic *)
+let insert_delayed t ready_at item =
+  let rec ins = function
+    | [] -> [ (ready_at, item) ]
+    | ((ra, it) as hd) :: rest ->
+        if (ra, it.seq) <= (ready_at, item.seq) then hd :: ins rest
+        else (ready_at, item) :: hd :: rest
+  in
+  t.delayed <- ins t.delayed
+
+let release_ready t =
+  let rec go = function
+    | (ra, item) :: rest when ra <= t.now ->
+        push t item;
+        go rest
+    | remaining -> t.delayed <- remaining
+  in
+  go t.delayed
 
 let send t ~src ~dst payload =
-  t.buffer <- { src; dst; payload } :: t.buffer;
-  t.sent <- t.sent + 1
-
-let remove_nth n xs =
-  let rec go i acc = function
-    | [] -> invalid_arg "Sched.remove_nth"
-    | x :: rest ->
-        if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
-  in
-  go 0 [] xs
+  t.sent <- t.sent + 1;
+  let d = { src; dst; payload } in
+  match t.faults with
+  | None -> push t (fresh_item t d)
+  | Some f -> (
+      match Faults.on_send f ~time:t.now ~src ~dst with
+      | Faults.Lost -> ()
+      | Faults.Pass { delays } ->
+          List.iter
+            (fun delay ->
+              let item = fresh_item t d in
+              if delay = 0 then push t item
+              else insert_delayed t (t.now + delay) item)
+            delays)
 
 let deliver t =
-  match t.buffer with
-  | [] -> None
-  | newest :: older -> (
-      match t.policy with
-      | Lifo ->
-          t.buffer <- older;
-          Some newest
-      | Fifo ->
-          let n = List.length t.buffer in
-          let oldest, rest = remove_nth (n - 1) t.buffer in
-          t.buffer <- rest;
-          Some oldest
-      | Random_order rng ->
-          let n = List.length t.buffer in
-          let chosen, rest = remove_nth (Rng.int rng n) t.buffer in
-          t.buffer <- rest;
-          Some chosen)
+  t.now <- t.now + 1;
+  release_ready t;
+  match pop t with
+  | Some item -> Some item.d
+  | None -> (
+      (* nothing ready: fast-forward to the earliest delayed message so
+         delays can never deadlock a drain loop *)
+      match t.delayed with
+      | [] -> None
+      | (ready_at, _) :: _ ->
+          t.now <- max t.now ready_at;
+          release_ready t;
+          (match pop t with
+          | Some item -> Some item.d
+          | None -> None))
 
-let pending t = List.length t.buffer
-let pending_list t = List.rev t.buffer
-let clear t = t.buffer <- []
+let pending t = t.size + List.length t.delayed
+
+let pending_list t =
+  let stored =
+    match t.store with
+    | Queue q -> q.front @ List.rev q.back
+    | Stack s -> s.items
+    | Bag b -> List.filter_map Fun.id (Array.to_list (Array.sub b.arr 0 b.n))
+  in
+  let all = stored @ List.map snd t.delayed in
+  List.map (fun it -> it.d) (List.sort (fun a b -> compare a.seq b.seq) all)
+
+let clear t =
+  (match t.store with
+  | Queue q ->
+      q.front <- [];
+      q.back <- []
+  | Stack s -> s.items <- []
+  | Bag b ->
+      Array.fill b.arr 0 b.n None;
+      b.n <- 0);
+  t.delayed <- [];
+  t.size <- 0
+
 let total_sent t = t.sent

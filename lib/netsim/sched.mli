@@ -1,11 +1,23 @@
-(** In-flight message buffer with pluggable delivery order.
+(** In-flight message buffer with pluggable delivery order and an
+    optional fault layer.
 
     Models the paper's [buffMsgs] relation: the network state includes a
     set of unprocessed messages, and a protocol step consumes one of
     them. The delivery policy determines which — FIFO approximates a
     well-behaved network, [Random_order] exercises the asynchronous
     reordering the MCA conflict-resolution rules must survive, and
-    [Lifo] is a cheap adversarial ordering. *)
+    [Lifo] is a cheap adversarial ordering. All three policies run in
+    O(1) amortized per operation (two-stack queue / stack / swap-remove
+    bag).
+
+    A scheduler created with [~faults] applies the started
+    {!Faults.plan} at [send] time: messages may be dropped, duplicated,
+    delayed by a bounded number of scheduler steps, or blocked by a
+    link-down window, every decision drawn from the plan's own seeded
+    Rng and recorded in its ledger. The scheduler clock ticks once per
+    {!deliver} call; delayed messages become deliverable when their
+    release step is reached (the clock fast-forwards over idle gaps, so
+    delays never deadlock a drain loop). *)
 
 type 'm delivery = { src : int; dst : int; payload : 'm }
 
@@ -17,17 +29,29 @@ type policy =
 
 type 'm t
 
-val create : policy -> 'm t
+val create : ?faults:Faults.t -> policy -> 'm t
+(** Without [~faults] the buffer is a reliable exactly-once channel. *)
+
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
 val deliver : 'm t -> 'm delivery option
-(** Removes and returns the next message per the policy; [None] when the
-    buffer is empty. *)
+(** Removes and returns the next deliverable message per the policy;
+    [None] when nothing is in flight (not even delayed copies). *)
 
 val pending : 'm t -> int
+(** In-flight messages, including delayed copies not yet deliverable. *)
+
 val pending_list : 'm t -> 'm delivery list
 (** Snapshot in arrival order (for checkers and traces). *)
 
 val clear : 'm t -> unit
+
 val total_sent : 'm t -> int
-(** Messages ever sent through this buffer — the protocol's message
-    complexity counter. *)
+(** Messages ever passed to [send] through this buffer — the protocol's
+    message complexity counter (network-level duplicates excluded). *)
+
+val time : 'm t -> int
+(** The scheduler clock: number of {!deliver} calls so far (plus any
+    fast-forwarding over delay gaps). Fault windows are keyed on it. *)
+
+val faults : 'm t -> Faults.t option
+(** The fault runtime this scheduler feeds, for ledger inspection. *)

@@ -327,6 +327,27 @@ let solve ?symmetry bounds formula =
 let check ?symmetry bounds ~assertion ~facts =
   solve ?symmetry bounds (Ast.and_ [ facts; Ast.not_ assertion ])
 
+type bounded_outcome = Decided of outcome | Unknown of string
+
+let solve_bounded ?symmetry ~budget bounds formula =
+  let tr = translate ?symmetry bounds formula in
+  match tr.cnf.constant with
+  | Some false -> Decided Unsat
+  | Some true ->
+      let model = Array.make (tr.num_primary + 1) false in
+      Decided (Sat (instance_of_model tr model))
+  | None -> (
+      let solver = Sat.Solver.of_problem tr.cnf.problem in
+      match Sat.Solver.solve_bounded ~budget solver with
+      | Sat.Solver.Unknown { reason; _ } -> Unknown reason
+      | Sat.Solver.Decided Sat.Solver.Unsat -> Decided Unsat
+      | Sat.Solver.Decided (Sat.Solver.Sat model) ->
+          Decided (Sat (instance_of_model tr model)))
+
+let check_bounded ?symmetry ~budget bounds ~assertion ~facts =
+  solve_bounded ?symmetry ~budget bounds
+    (Ast.and_ [ facts; Ast.not_ assertion ])
+
 type certified_outcome = {
   outcome : outcome;
   certification : Sat.Proof.report option;

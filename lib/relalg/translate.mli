@@ -39,6 +39,22 @@ val check : ?symmetry:bool -> Bounds.t -> assertion:Ast.formula -> facts:Ast.for
     satisfying [facts && !assertion]. [Sat ce] means the assertion does
     not hold; [Unsat] means it holds within the bounds. *)
 
+(** A {!outcome} that may also be [Unknown reason] when a
+    {!Netsim.Budget} expired before the SAT solver decided. *)
+type bounded_outcome = Decided of outcome | Unknown of string
+
+val solve_bounded :
+  ?symmetry:bool -> budget:Netsim.Budget.t -> Bounds.t -> Ast.formula ->
+  bounded_outcome
+(** Like {!solve}, under a budget. Formulas that constant-fold during
+    translation are decided without consulting the solver, so they never
+    return [Unknown]. *)
+
+val check_bounded :
+  ?symmetry:bool -> budget:Netsim.Budget.t -> Bounds.t ->
+  assertion:Ast.formula -> facts:Ast.formula -> bounded_outcome
+(** Like {!check}, under a budget. *)
+
 (** An outcome paired with its certification evidence: the DRUP/model
     report from {!Sat.Proof}, or [None] when the formula constant-folded
     and no SAT call was made (the verdict is then trivially right). *)

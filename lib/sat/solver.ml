@@ -15,6 +15,10 @@ type clause = {
 
 type result = Sat of Cnf.model | Unsat
 
+type bounded_result =
+  | Decided of result
+  | Unknown of { reason : string; conflicts : int; propagations : int }
+
 type stats = {
   decisions : int;
   propagations : int;
@@ -433,8 +437,8 @@ let luby i =
   let sz, seq = expand 1 0 in
   reduce i sz seq
 
-let solve_core ~assumptions s =
-  if not s.ok then Unsat
+let solve_core ~assumptions ~budget s =
+  if not s.ok then Decided Unsat
   else begin
     (* make sure assumption variables exist *)
     List.iter (fun l -> ensure_vars s (Cnf.var_of l)) assumptions;
@@ -442,13 +446,15 @@ let solve_core ~assumptions s =
     if propagate s <> None then begin
       s.ok <- false;
       log_empty s;
-      Unsat
+      Decided Unsat
     end
     else begin
       let result = ref None in
       let restart_num = ref 0 in
       let conflicts_since_restart = ref 0 in
       let max_learnts = ref (max 1000 (Vec.size s.clauses / 3)) in
+      (* budget accounting is per solve call, not per solver lifetime *)
+      let conflicts0 = s.n_conflicts and propagations0 = s.n_propagations in
       (* push assumptions as pseudo-decisions *)
       let rec push_assumptions = function
         | [] -> true
@@ -464,67 +470,77 @@ let solve_core ~assumptions s =
       let n_assumptions = List.length assumptions in
       if not (push_assumptions assumptions) then begin
         cancel_until s 0;
-        Unsat
+        Decided Unsat
       end
       else begin
         let assumption_level = decision_level s in
         ignore n_assumptions;
         let restart_limit () = 100.0 *. luby !restart_num in
         while !result = None do
-          match propagate s with
-          | Some confl ->
-              s.n_conflicts <- s.n_conflicts + 1;
-              incr conflicts_since_restart;
-              if decision_level s <= assumption_level then begin
-                (* conflict under assumptions only: unsat. Without
-                   assumptions this is a root-level conflict, i.e. a
-                   genuine refutation — close the DRUP trail. *)
-                if assumptions = [] then log_empty s;
-                cancel_until s 0;
-                result := Some Unsat
-              end
-              else begin
-                let learnt, btlevel = analyze s confl in
-                let btlevel = max btlevel assumption_level in
-                cancel_until s btlevel;
-                record_learnt s learnt;
-                if not s.ok then result := Some Unsat
-                else begin
-                  s.var_inc <- s.var_inc *. var_decay;
-                  s.cla_inc <- s.cla_inc *. clause_decay
-                end
-              end
-          | None ->
-              if
-                float_of_int !conflicts_since_restart >= restart_limit ()
-                && decision_level s > assumption_level
-              then begin
-                s.n_restarts <- s.n_restarts + 1;
-                incr restart_num;
-                conflicts_since_restart := 0;
-                cancel_until s assumption_level
-              end
-              else begin
-                if Vec.size s.learnts >= !max_learnts then begin
-                  reduce_db s;
-                  max_learnts := !max_learnts + (!max_learnts / 10)
-                end;
-                match pick_branch_lit s with
-                | None ->
-                    let m = extract_model s in
+          let conflicts = s.n_conflicts - conflicts0 in
+          let propagations = s.n_propagations - propagations0 in
+          match Netsim.Budget.check ~conflicts ~propagations budget with
+          | Netsim.Budget.Expired reason ->
+              cancel_until s 0;
+              result := Some (Unknown { reason; conflicts; propagations })
+          | Netsim.Budget.Within -> (
+              match propagate s with
+              | Some confl ->
+                  s.n_conflicts <- s.n_conflicts + 1;
+                  incr conflicts_since_restart;
+                  if decision_level s <= assumption_level then begin
+                    (* conflict under assumptions only: unsat. Without
+                       assumptions this is a root-level conflict, i.e. a
+                       genuine refutation — close the DRUP trail. *)
+                    if assumptions = [] then log_empty s;
                     cancel_until s 0;
-                    assert (Cnf.check_model m (Vec.fold (fun acc c -> c.lits :: acc) [] s.clauses));
-                    result := Some (Sat m)
-                | Some l ->
-                    s.n_decisions <- s.n_decisions + 1;
-                    Vec.push s.trail_lim (Vec.size s.trail);
-                    enqueue s l None
-              end
+                    result := Some (Decided Unsat)
+                  end
+                  else begin
+                    let learnt, btlevel = analyze s confl in
+                    let btlevel = max btlevel assumption_level in
+                    cancel_until s btlevel;
+                    record_learnt s learnt;
+                    if not s.ok then result := Some (Decided Unsat)
+                    else begin
+                      s.var_inc <- s.var_inc *. var_decay;
+                      s.cla_inc <- s.cla_inc *. clause_decay
+                    end
+                  end
+              | None ->
+                  if
+                    float_of_int !conflicts_since_restart >= restart_limit ()
+                    && decision_level s > assumption_level
+                  then begin
+                    s.n_restarts <- s.n_restarts + 1;
+                    incr restart_num;
+                    conflicts_since_restart := 0;
+                    cancel_until s assumption_level
+                  end
+                  else begin
+                    if Vec.size s.learnts >= !max_learnts then begin
+                      reduce_db s;
+                      max_learnts := !max_learnts + (!max_learnts / 10)
+                    end;
+                    match pick_branch_lit s with
+                    | None ->
+                        let m = extract_model s in
+                        cancel_until s 0;
+                        assert (Cnf.check_model m (Vec.fold (fun acc c -> c.lits :: acc) [] s.clauses));
+                        result := Some (Decided (Sat m))
+                    | Some l ->
+                        s.n_decisions <- s.n_decisions + 1;
+                        Vec.push s.trail_lim (Vec.size s.trail);
+                        enqueue s l None
+                  end)
         done;
         match !result with Some r -> r | None -> assert false
       end
     end
   end
+
+let solve_bounded ?(assumptions = []) ~budget s =
+  solve_core ~assumptions ~budget s
 
 let solve ?(assumptions = []) ?(certify = false) s =
   if certify && assumptions <> [] then
@@ -533,7 +549,11 @@ let solve ?(assumptions = []) ?(certify = false) s =
     invalid_arg
       "Solver.solve: ~certify requires proof logging (enable_proof or \
        of_problem ~proof:true)";
-  let r = solve_core ~assumptions s in
+  let r =
+    match solve_core ~assumptions ~budget:Netsim.Budget.unlimited s with
+    | Decided r -> r
+    | Unknown _ -> assert false (* unlimited budgets never expire *)
+  in
   if certify then begin
     let p = original_problem s in
     let cert =

@@ -14,6 +14,14 @@ type t
     before being returned. *)
 type result = Sat of Cnf.model | Unsat
 
+(** Outcome of a budgeted {!solve_bounded} call: either the instance was
+    decided, or the {!Netsim.Budget} expired first. [conflicts] and
+    [propagations] count work done by this call (not the solver's
+    lifetime totals). *)
+type bounded_result =
+  | Decided of result
+  | Unknown of { reason : string; conflicts : int; propagations : int }
+
 (** Solver counters, for the benchmark harness and tests. *)
 type stats = {
   decisions : int;
@@ -53,6 +61,15 @@ val solve : ?assumptions:Cnf.lit list -> ?certify:bool -> t -> result
     and no assumptions; raises [Invalid_argument] otherwise, and
     {!Proof.Certification_failed} if a certificate is rejected (i.e. a
     solver bug was caught). *)
+
+val solve_bounded :
+  ?assumptions:Cnf.lit list -> budget:Netsim.Budget.t -> t -> bounded_result
+(** Like {!solve}, but gives up with [Unknown] once [budget] expires
+    (checked against this call's conflict/propagation counts and the
+    wall clock). On [Unknown] the solver backtracks to the root level
+    and stays reusable — learnt clauses are kept, so a retry with a
+    larger budget resumes warm. Certification is not supported on the
+    bounded path. *)
 
 val enable_proof : t -> unit
 (** Turns on DRUP proof logging and original-clause capture. Must be

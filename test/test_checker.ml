@@ -46,7 +46,7 @@ let test_canonical_key_time_rank () =
            { Mca.Types.sender = 1;
              view = [| { Mca.Types.winner = Mca.Types.Nobody; bid = 0; time = 50 } |] });
     ignore (Mca.Agent.bid_phase a);
-    { Checker.State.agents = [| a |]; buffer = [] }
+    { Checker.State.agents = [| a |]; buffer = []; drops_left = 0; dups_left = 0 }
   in
   check "time ranks equalize shifted clocks" true
     (Checker.State.canonical_key (mk false) = Checker.State.canonical_key (mk true))
@@ -86,7 +86,8 @@ let test_explore_three_agents () =
 let test_explore_budget () =
   let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 0) ~target_items:2 ()) in
   match Checker.Explore.run ~max_states:1 cfg with
-  | Checker.Explore.Unknown { states } -> check "budget respected" true (states >= 1)
+  | Checker.Explore.Unknown { states; _ } ->
+      check "budget respected" true (states >= 1)
   | v -> Alcotest.failf "tiny budget must exhaust: %a" Checker.Explore.pp_verdict v
 
 let test_replay_produces_witness () =
@@ -189,6 +190,67 @@ let qcheck_explicit_matches_simulation =
       in
       explicit && sim)
 
+(* ---- bounded message adversary ---- *)
+
+let test_adversary_enabled_transitions () =
+  let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 0) ~target_items:2 ()) in
+  let s = Checker.State.initial ~drops:1 ~dups:1 cfg in
+  let trs = Checker.State.enabled s in
+  check "drop enabled" true (List.mem (Checker.State.Drop 0) trs);
+  check "duplicate enabled" true (List.mem (Checker.State.Duplicate 0) trs);
+  let dropped = Checker.State.apply cfg s (Checker.State.Drop 0) in
+  check_int "drop consumes message" 1 (List.length dropped.Checker.State.buffer);
+  check_int "drop spends budget" 0 dropped.Checker.State.drops_left;
+  let duped = Checker.State.apply cfg s (Checker.State.Duplicate 1) in
+  check_int "duplicate adds a copy" 3 (List.length duped.Checker.State.buffer);
+  check_int "duplicate spends budget" 0 duped.Checker.State.dups_left;
+  (* spent budgets: the transitions disappear and forcing them raises *)
+  check "no drop when spent" false
+    (List.exists (function Checker.State.Drop _ -> true | _ -> false)
+       (Checker.State.enabled dropped));
+  Alcotest.check_raises "apply past budget raises"
+    (Invalid_argument "State.apply: drop budget spent") (fun () ->
+      ignore (Checker.State.apply cfg dropped (Checker.State.Drop 0)))
+
+let test_adversary_budget_in_canonical_key () =
+  let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 0) ~target_items:2 ()) in
+  let s0 = Checker.State.initial cfg in
+  let s1 = Checker.State.initial ~drops:1 cfg in
+  check "budget distinguishes states" false
+    (Checker.State.canonical_key s0 = Checker.State.canonical_key s1)
+
+let test_adversary_decides_2x2 () =
+  (* sub-modular 2x2 survives any 2 drops + 1 duplication: the verdict
+     is a decision over every adversarial schedule, not a sample *)
+  let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 2) ~target_items:2 ()) in
+  let plain =
+    match Checker.Explore.run cfg with
+    | Checker.Explore.Converges { states; _ } -> states
+    | v -> Alcotest.failf "plain: %a" Checker.Explore.pp_verdict v
+  in
+  match Checker.Explore.run ~max_drops:2 ~max_dups:1 cfg with
+  | Checker.Explore.Converges { states; _ } ->
+      check "adversary strictly enlarges the state space" true (states > plain)
+  | v -> Alcotest.failf "adversarial: %a" Checker.Explore.pp_verdict v
+
+let test_adversary_replay () =
+  let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 2) ~target_items:2 ()) in
+  let trace = [ Checker.State.Drop 0; Checker.State.Duplicate 0 ] in
+  let states = Checker.Explore.replay ~max_drops:1 ~max_dups:1 cfg trace in
+  check_int "replay length" 3 (List.length states);
+  check "faults_used counts the spend" true
+    (Checker.Explore.faults_used trace = (1, 1))
+
+let test_unknown_reason_deadline () =
+  let cfg = contended (Mca.Policy.make ~utility:(Mca.Policy.Submodular 0) ~target_items:2 ()) in
+  let budget = Netsim.Budget.create ~wall_s:0.0 () in
+  match Checker.Explore.run ~budget cfg with
+  | Checker.Explore.Unknown { reason; _ } ->
+      check "reason names the deadline" true
+        (String.length reason > 0
+        && String.sub reason 0 8 = "deadline")
+  | v -> Alcotest.failf "zero deadline must exhaust: %a" Checker.Explore.pp_verdict v
+
 let suite =
   [
     Alcotest.test_case "initial state" `Quick test_initial_state;
@@ -201,5 +263,10 @@ let suite =
     Alcotest.test_case "replay closes the lasso" `Quick test_replay_produces_witness;
     Alcotest.test_case "replay states consistent" `Quick test_replay_states_consistent;
     Alcotest.test_case "terminals conflict-free" `Quick test_terminal_states_conflict_free;
+    Alcotest.test_case "adversary transitions" `Quick test_adversary_enabled_transitions;
+    Alcotest.test_case "adversary budget in canonical key" `Quick test_adversary_budget_in_canonical_key;
+    Alcotest.test_case "adversary decides 2x2" `Quick test_adversary_decides_2x2;
+    Alcotest.test_case "adversary replay" `Quick test_adversary_replay;
+    Alcotest.test_case "unknown carries deadline reason" `Quick test_unknown_reason_deadline;
     QCheck_alcotest.to_alcotest qcheck_explicit_matches_simulation;
   ]

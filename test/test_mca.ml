@@ -488,6 +488,113 @@ let test_lifo_and_random_schedules_on_grid () =
     Mca.Policy.paper_grid
     [ true; true; true; false; false; false ]
 
+(* ---- fault injection ---- *)
+
+let faulty_cfg ~n ~items ~seed =
+  let rng = Netsim.Rng.create seed in
+  let graph = Netsim.Topology.ring (max 3 n) in
+  let base_utilities =
+    Array.init (max 3 n) (fun _ ->
+        Array.init items (fun _ -> 5 + Netsim.Rng.int rng 25))
+  in
+  Mca.Protocol.uniform_config ~graph ~num_items:items ~base_utilities
+    ~policy:(Mca.Policy.make ~utility:(Mca.Policy.Submodular 2) ~target_items:items ())
+
+let qcheck_faulty_converges_under_loss =
+  QCheck.Test.make ~count:40
+    ~name:"run_faulty converges under <=20% i.i.d. loss (honest sub-modular)"
+    QCheck.(triple (int_range 1 1_000_000) (int_range 3 4) (int_range 2 4))
+    (fun (seed, n, items) ->
+      let cfg = faulty_cfg ~n ~items ~seed in
+      let plan =
+        Netsim.Faults.plan
+          ~default_link:(Netsim.Faults.lossy ~drop:0.2 ())
+          ~seed ()
+      in
+      match Mca.Protocol.run_faulty ~faults:plan cfg with
+      | Mca.Protocol.Converged _, _ -> true
+      | _ -> false)
+
+let qcheck_faulty_replay_deterministic =
+  QCheck.Test.make ~count:20
+    ~name:"run_faulty replays bit-identically from the same seed"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let run () =
+        let cfg = faulty_cfg ~n:3 ~items:3 ~seed in
+        let plan =
+          Netsim.Faults.plan
+            ~default_link:
+              (Netsim.Faults.lossy ~drop:0.15 ~duplicate:0.05 ~max_delay:2 ())
+            ~seed ()
+        in
+        let trace = Mca.Trace.create () in
+        let v, f = Mca.Protocol.run_faulty ~record:trace ~faults:plan cfg in
+        let vs = Format.asprintf "%a" Mca.Protocol.pp_verdict v in
+        let ts = Format.asprintf "%a" Mca.Trace.pp trace in
+        (vs, ts, Netsim.Faults.ledger_digest f)
+      in
+      run () = run ())
+
+let test_faulty_reliable_matches_async () =
+  (* with a no-fault plan, run_faulty must still converge to a
+     conflict-free allocation like the plain async runner *)
+  let cfg = faulty_cfg ~n:4 ~items:3 ~seed:9 in
+  match Mca.Protocol.run_faulty ~faults:Netsim.Faults.no_faults cfg with
+  | Mca.Protocol.Converged { allocation; _ }, f ->
+      let _, lost, dup, delayed = Netsim.Faults.totals f in
+      Alcotest.(check int) "no losses" 0 lost;
+      Alcotest.(check int) "no duplicates" 0 dup;
+      Alcotest.(check int) "no delays" 0 delayed;
+      (match Mca.Protocol.run_async cfg with
+      | Mca.Protocol.Converged { allocation = a2; _ } ->
+          Alcotest.(check bool) "same winners" true (allocation = a2)
+      | v -> Alcotest.failf "async: %a" Mca.Protocol.pp_verdict v)
+  | v, _ -> Alcotest.failf "faulty: %a" Mca.Protocol.pp_verdict v
+
+let test_crash_restart_reconverges () =
+  (* agent 1 crashes early and restarts with empty state; the network
+     must re-converge and the trace must show both fault events *)
+  let cfg = faulty_cfg ~n:3 ~items:3 ~seed:4 in
+  let plan =
+    Netsim.Faults.plan
+      ~crashes:[ Netsim.Faults.crash ~restart_at:30 ~agent:1 ~at:5 () ]
+      ~seed:4 ()
+  in
+  let trace = Mca.Trace.create () in
+  (match Mca.Protocol.run_faulty ~record:trace ~faults:plan cfg with
+  | Mca.Protocol.Converged { rounds; _ }, _ ->
+      Alcotest.(check bool) "converged after restart" true (rounds >= 30)
+  | v, _ -> Alcotest.failf "crash-restart: %a" Mca.Protocol.pp_verdict v);
+  let kinds =
+    List.map (fun e -> e.Netsim.Faults.kind) (Mca.Trace.fault_events trace)
+  in
+  Alcotest.(check bool) "crash recorded" true
+    (List.mem Netsim.Faults.Crashed kinds);
+  Alcotest.(check bool) "restart recorded" true
+    (List.mem Netsim.Faults.Restarted kinds)
+
+let test_permanent_crash_converges_among_live () =
+  (* an agent that never restarts: the survivors still reach consensus *)
+  let cfg = faulty_cfg ~n:4 ~items:2 ~seed:6 in
+  let plan =
+    Netsim.Faults.plan ~crashes:[ Netsim.Faults.crash ~agent:0 ~at:3 () ] ~seed:6 ()
+  in
+  match Mca.Protocol.run_faulty ~faults:plan cfg with
+  | Mca.Protocol.Converged _, f ->
+      let events = Netsim.Faults.events f in
+      Alcotest.(check bool) "crash in ledger" true
+        (List.exists (fun e -> e.Netsim.Faults.kind = Netsim.Faults.Crashed) events)
+  | v, _ -> Alcotest.failf "permanent crash: %a" Mca.Protocol.pp_verdict v
+
+let test_run_faulty_budget_exhausts () =
+  let cfg = faulty_cfg ~n:3 ~items:3 ~seed:2 in
+  match
+    Mca.Protocol.run_faulty ~max_steps:3 ~faults:Netsim.Faults.no_faults cfg
+  with
+  | Mca.Protocol.Exhausted _, _ -> ()
+  | v, _ -> Alcotest.failf "tiny step budget: %a" Mca.Protocol.pp_verdict v
+
 let suite =
   [
     Alcotest.test_case "policy marginal" `Quick test_policy_marginal;
@@ -518,6 +625,12 @@ let suite =
     Alcotest.test_case "config validation" `Quick test_config_validation;
     Alcotest.test_case "network utility" `Quick test_network_utility;
     Alcotest.test_case "result 1 under LIFO/random schedules" `Quick test_lifo_and_random_schedules_on_grid;
+    Alcotest.test_case "faulty runner, reliable plan" `Quick test_faulty_reliable_matches_async;
+    Alcotest.test_case "crash-restart re-converges" `Quick test_crash_restart_reconverges;
+    Alcotest.test_case "permanent crash, live agents converge" `Quick test_permanent_crash_converges_among_live;
+    Alcotest.test_case "faulty runner exhausts step budget" `Quick test_run_faulty_budget_exhausts;
     QCheck_alcotest.to_alcotest qcheck_submodular_always_converges;
     QCheck_alcotest.to_alcotest qcheck_sync_async_same_winners;
+    QCheck_alcotest.to_alcotest qcheck_faulty_converges_under_loss;
+    QCheck_alcotest.to_alcotest qcheck_faulty_replay_deterministic;
   ]

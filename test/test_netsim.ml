@@ -245,6 +245,137 @@ let test_sched_clear () =
   Netsim.Sched.clear s;
   check "cleared" true (Netsim.Sched.deliver s = None)
 
+let drain sched =
+  let rec go acc =
+    match Netsim.Sched.deliver sched with
+    | Some d -> go (d.Netsim.Sched.payload :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let qcheck_sched_fifo_order =
+  QCheck.Test.make ~count:100 ~name:"sched fifo delivers in send order"
+    QCheck.(small_list small_int)
+    (fun msgs ->
+      let s = Netsim.Sched.create Netsim.Sched.Fifo in
+      List.iter (fun m -> Netsim.Sched.send s ~src:0 ~dst:1 m) msgs;
+      drain s = msgs)
+
+let qcheck_sched_lifo_order =
+  QCheck.Test.make ~count:100 ~name:"sched lifo delivers in reverse order"
+    QCheck.(small_list small_int)
+    (fun msgs ->
+      let s = Netsim.Sched.create Netsim.Sched.Lifo in
+      List.iter (fun m -> Netsim.Sched.send s ~src:0 ~dst:1 m) msgs;
+      drain s = List.rev msgs)
+
+let qcheck_sched_random_permutation =
+  QCheck.Test.make ~count:100
+    ~name:"sched random is a seed-deterministic permutation"
+    QCheck.(pair (int_range 1 1_000_000) (small_list small_int))
+    (fun (seed, msgs) ->
+      let order_of () =
+        let s =
+          Netsim.Sched.create
+            (Netsim.Sched.Random_order (Netsim.Rng.create seed))
+        in
+        List.iter (fun m -> Netsim.Sched.send s ~src:0 ~dst:1 m) msgs;
+        drain s
+      in
+      let o1 = order_of () and o2 = order_of () in
+      o1 = o2 && List.sort compare o1 = List.sort compare msgs)
+
+let qcheck_sched_counters_consistent =
+  QCheck.Test.make ~count:100
+    ~name:"sched total_sent and pending stay consistent"
+    QCheck.(pair (int_range 0 30) (int_range 0 40))
+    (fun (n, k) ->
+      let s = Netsim.Sched.create Netsim.Sched.Fifo in
+      for i = 1 to n do Netsim.Sched.send s ~src:0 ~dst:1 i done;
+      let delivered = ref 0 in
+      for _ = 1 to k do
+        match Netsim.Sched.deliver s with
+        | Some _ -> incr delivered
+        | None -> ()
+      done;
+      Netsim.Sched.total_sent s = n
+      && !delivered = min n k
+      && Netsim.Sched.pending s = n - !delivered)
+
+(* ---- Faults ---- *)
+
+let lossy_plan seed =
+  Netsim.Faults.plan
+    ~default_link:
+      (Netsim.Faults.lossy ~drop:0.3 ~duplicate:0.2 ~max_delay:3 ())
+    ~seed ()
+
+let drive_plan plan =
+  let f = Netsim.Faults.start plan in
+  for t = 0 to 199 do
+    ignore (Netsim.Faults.on_send f ~time:t ~src:(t mod 3) ~dst:((t + 1) mod 3))
+  done;
+  f
+
+let qcheck_fault_plan_deterministic =
+  QCheck.Test.make ~count:50
+    ~name:"same fault plan and seed give an identical ledger"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let f1 = drive_plan (lossy_plan seed) in
+      let f2 = drive_plan (lossy_plan seed) in
+      Netsim.Faults.ledger_digest f1 = Netsim.Faults.ledger_digest f2
+      && Netsim.Faults.events f1 = Netsim.Faults.events f2)
+
+let test_fault_ledger_counts () =
+  let f = drive_plan (lossy_plan 7) in
+  let sent, lost, dup, delayed = Netsim.Faults.totals f in
+  check_int "every send accounted" 200 sent;
+  check "some losses at 30%" true (lost > 0);
+  check "some duplicates at 20%" true (dup > 0);
+  check "some delays" true (delayed > 0);
+  check "losses bounded by sends" true (lost <= sent)
+
+let test_fault_window_blocks () =
+  let plan =
+    Netsim.Faults.plan
+      ~windows:(Netsim.Faults.link_down ~src:0 ~dst:1 ~from_t:10 ~until_t:20)
+      ~seed:1 ()
+  in
+  let f = Netsim.Faults.start plan in
+  let verdict_at t = Netsim.Faults.on_send f ~time:t ~src:0 ~dst:1 in
+  check "before window passes" true (verdict_at 9 <> Netsim.Faults.Lost);
+  check "inside window lost" true (verdict_at 10 = Netsim.Faults.Lost);
+  check "inside window lost (end-1)" true (verdict_at 19 = Netsim.Faults.Lost);
+  check "after window passes" true (verdict_at 20 <> Netsim.Faults.Lost);
+  (* link_down covers both directions of the link *)
+  check "reverse direction also down" true
+    (Netsim.Faults.on_send f ~time:15 ~src:1 ~dst:0 = Netsim.Faults.Lost);
+  check "other links unaffected" true
+    (Netsim.Faults.on_send f ~time:15 ~src:0 ~dst:2 <> Netsim.Faults.Lost)
+
+let test_budget_caps () =
+  let b = Netsim.Budget.create ~steps:10 ~conflicts:5 () in
+  check "within" true (Netsim.Budget.check ~steps:9 ~conflicts:4 b = Netsim.Budget.Within);
+  check "step cap" true (Netsim.Budget.check ~steps:10 b <> Netsim.Budget.Within);
+  check "conflict cap" true (Netsim.Budget.check ~conflicts:5 b <> Netsim.Budget.Within);
+  check "unlimited never expires" true
+    (Netsim.Budget.check ~steps:max_int ~conflicts:max_int
+       Netsim.Budget.unlimited = Netsim.Budget.Within)
+
+let test_sched_delay_fast_forward () =
+  (* a plan that delays every message still drains: the clock
+     fast-forwards to the earliest ready_at instead of deadlocking *)
+  let plan =
+    Netsim.Faults.plan
+      ~default_link:(Netsim.Faults.lossy ~max_delay:5 ())
+      ~seed:3 ()
+  in
+  let s = Netsim.Sched.create ~faults:(Netsim.Faults.start plan) Netsim.Sched.Fifo in
+  for i = 1 to 20 do Netsim.Sched.send s ~src:0 ~dst:1 i done;
+  let got = drain s in
+  check_int "all eventually delivered" 20 (List.length got)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -267,6 +398,15 @@ let suite =
     Alcotest.test_case "sched lifo" `Quick test_sched_lifo;
     Alcotest.test_case "sched random drains" `Quick test_sched_random_drains;
     Alcotest.test_case "sched clear" `Quick test_sched_clear;
+    Alcotest.test_case "sched delayed messages drain" `Quick test_sched_delay_fast_forward;
+    Alcotest.test_case "fault ledger counts" `Quick test_fault_ledger_counts;
+    Alcotest.test_case "fault window blocks link" `Quick test_fault_window_blocks;
+    Alcotest.test_case "budget caps" `Quick test_budget_caps;
+    QCheck_alcotest.to_alcotest qcheck_sched_fifo_order;
+    QCheck_alcotest.to_alcotest qcheck_sched_lifo_order;
+    QCheck_alcotest.to_alcotest qcheck_sched_random_permutation;
+    QCheck_alcotest.to_alcotest qcheck_sched_counters_consistent;
+    QCheck_alcotest.to_alcotest qcheck_fault_plan_deterministic;
     QCheck_alcotest.to_alcotest qcheck_er_connected;
     QCheck_alcotest.to_alcotest qcheck_ba_connected;
     QCheck_alcotest.to_alcotest qcheck_ws_degree;

@@ -494,6 +494,49 @@ let test_differential_fuzz () =
   check_int "proof sizes reproducible" o.Sat.Fuzz.proof_additions
     o2.Sat.Fuzz.proof_additions
 
+(* ---- budgeted solving ---- *)
+
+let test_solve_bounded_unknown () =
+  let s = Sat.Solver.of_problem (Sat.Gen.pigeonhole 6) in
+  match
+    Sat.Solver.solve_bounded ~budget:(Netsim.Budget.create ~conflicts:2 ()) s
+  with
+  | Sat.Solver.Unknown { conflicts; _ } ->
+      Alcotest.(check bool) "stopped at the cap" true (conflicts >= 2)
+  | Sat.Solver.Decided _ ->
+      Alcotest.fail "pigeonhole-7-into-6 cannot be decided in 2 conflicts"
+
+let test_solve_bounded_resumes () =
+  (* an Unknown leaves the solver reusable: a generous retry decides,
+     and agrees with the unbounded path on a fresh solver *)
+  let p = Sat.Gen.pigeonhole 5 in
+  let s = Sat.Solver.of_problem p in
+  (match
+     Sat.Solver.solve_bounded ~budget:(Netsim.Budget.create ~conflicts:1 ()) s
+   with
+  | Sat.Solver.Unknown _ -> ()
+  | Sat.Solver.Decided _ -> Alcotest.fail "1 conflict cannot decide php-6-5");
+  (match Sat.Solver.solve_bounded ~budget:Netsim.Budget.unlimited s with
+  | Sat.Solver.Decided Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "retry with unlimited budget must refute");
+  Alcotest.(check bool) "matches solve_problem" true
+    (Sat.Solver.solve_problem p = Sat.Solver.Unsat)
+
+let qcheck_solve_bounded_agrees =
+  QCheck.Test.make ~count:30
+    ~name:"generous solve_bounded verdict agrees with solve"
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let p = Sat.Gen.random_ksat ~seed ~k:3 ~num_vars:18 ~num_clauses:76 in
+      let bounded =
+        Sat.Solver.solve_bounded ~budget:Netsim.Budget.unlimited
+          (Sat.Solver.of_problem p)
+      in
+      match (bounded, Sat.Solver.solve_problem p) with
+      | Sat.Solver.Decided (Sat.Solver.Sat _), Sat.Solver.Sat _
+      | Sat.Solver.Decided Sat.Solver.Unsat, Sat.Solver.Unsat -> true
+      | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "literal encoding" `Quick test_literal_encoding;
@@ -535,6 +578,9 @@ let suite =
     Alcotest.test_case "drup parsing" `Quick test_drup_parse;
     Alcotest.test_case "dimacs edge cases" `Quick test_dimacs_edge_cases;
     Alcotest.test_case "differential fuzz, certified" `Quick test_differential_fuzz;
+    Alcotest.test_case "solve_bounded gives up at the cap" `Quick test_solve_bounded_unknown;
+    Alcotest.test_case "solve_bounded resumes after Unknown" `Quick test_solve_bounded_resumes;
+    QCheck_alcotest.to_alcotest qcheck_solve_bounded_agrees;
     QCheck_alcotest.to_alcotest qcheck_cdcl_vs_dpll;
     QCheck_alcotest.to_alcotest qcheck_luby_like_restart_progress;
     QCheck_alcotest.to_alcotest qcheck_dimacs_roundtrip;
