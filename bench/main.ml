@@ -114,6 +114,100 @@ let run_loss_sweep () =
     !converged !total
 
 (* ------------------------------------------------------------------ *)
+(* E11: the multicore driver — the Result-1/Result-2 policy matrix
+   sharded over a Parallel.Pool, at --jobs 1/2/4, plus a certified
+   portfolio race. Wall-clock speedup only materialises on a machine
+   with that many cores, so the trajectory point records the core count
+   alongside the timings; what is unconditional — and asserted here —
+   is that the verdict table is byte-identical at every job count, and
+   that the portfolio winner's proof survives the independent checker. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_parallel_sweep () =
+  section "E11 - Multicore sweep (policy matrix over a worker pool)";
+  let cores = Parallel.Pool.available_jobs () in
+  let scope =
+    if fast_mode then
+      { Core.Mca_model.small_scope with Core.Mca_model.states = 4;
+        Core.Mca_model.values = 5 }
+    else Core.Mca_model.small_scope
+  in
+  let scopes =
+    [ (Printf.sprintf "2p2v/%dst" scope.Core.Mca_model.states, scope) ]
+  in
+  let budget () = Netsim.Budget.create ~wall_s:300.0 () in
+  let job_counts = [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun jobs ->
+        let report =
+          Core.Experiments.run_sweep ~jobs ~seed:1 ~budget:(budget ()) ~scopes ()
+        in
+        Format.printf "  --jobs %d: wall %.2fs@." jobs
+          report.Core.Experiments.sweep_wall;
+        (jobs, report))
+      job_counts
+  in
+  let canonical (_, r) = Core.Experiments.render_sweep r in
+  let reference = canonical (List.hd runs) in
+  let identical = List.for_all (fun run -> canonical run = reference) runs in
+  if not identical then failwith "E11: sweep verdicts differ across job counts";
+  let wall jobs = (List.assoc jobs (List.map (fun (j, r) ->
+      (j, r.Core.Experiments.sweep_wall)) runs)) in
+  let speedup = wall 1 /. wall 4 in
+  Format.printf "  verdicts identical across job counts: true@.";
+  Format.printf "  speedup (jobs 1 -> 4): %.2fx on %d core(s)@." speedup cores;
+  (* certified portfolio: the race winner's DRUP trail must pass the
+     independent checker, exactly as in sequential --certify runs *)
+  let verdict =
+    Sat.Portfolio.solve ~jobs:(min 4 (max 2 cores)) ~certify:true
+      (Sat.Gen.pigeonhole 6)
+  in
+  let cert_ok =
+    match (verdict.Sat.Portfolio.result, verdict.Sat.Portfolio.certification) with
+    | Sat.Solver.Decided Sat.Solver.Unsat, Some _ -> true
+    | _ -> false
+  in
+  if not cert_ok then failwith "E11: portfolio certification failed";
+  Format.printf "  portfolio winner %s certified: true@."
+    (match verdict.Sat.Portfolio.winner with Some w -> w | None -> "?");
+  (* the BENCH trajectory point *)
+  let oc = open_out "BENCH_E11.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E11-multicore-sweep\",\n";
+  p "  \"cores\": %d,\n" cores;
+  p "  \"scope\": \"%s\",\n" (json_escape (fst (List.hd scopes)));
+  p "  \"cells\": %d,\n"
+    (List.length (snd (List.hd runs)).Core.Experiments.cells);
+  p "  \"wall_seconds\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (j, r) ->
+            Printf.sprintf "\"jobs_%d\": %.3f" j r.Core.Experiments.sweep_wall)
+          runs));
+  p "  \"speedup_jobs1_over_jobs4\": %.3f,\n" speedup;
+  p "  \"verdicts_identical_across_jobs\": %b,\n" identical;
+  p "  \"portfolio_winner\": \"%s\",\n"
+    (json_escape
+       (match verdict.Sat.Portfolio.winner with Some w -> w | None -> ""));
+  p "  \"portfolio_certified\": %b\n" cert_ok;
+  p "}\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_E11.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: certified verdicts — DRUP proof size and re-check cost      *)
 
 let run_certification () =
@@ -285,6 +379,7 @@ let () =
   Format.printf "MCA verification library — benchmark & experiment harness@.";
   Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
   run_experiments ();
+  run_parallel_sweep ();
   run_certification ();
   run_loss_sweep ();
   run_benchmarks ();

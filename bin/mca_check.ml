@@ -82,6 +82,23 @@ let budget_of_timeout = function
   | None -> Netsim.Budget.unlimited
   | Some wall_s -> Netsim.Budget.create ~wall_s ()
 
+(* --sweep: the whole policy matrix at the requested scope, sharded over
+   a worker pool. Exit codes are the same as sequential runs: --jobs
+   changes wall-clock time, never the verdicts or the exit code. *)
+let run_sweep jobs seed agents items states timeout =
+  let jobs = if jobs = 0 then Parallel.Pool.available_jobs () else jobs in
+  let scope =
+    { Core.Mca_model.pnodes = agents; vnodes = items; states; values = 6;
+      bitwidth = 4 }
+  in
+  let scope_tag = Printf.sprintf "%dp%dv/%dst" agents items states in
+  let report =
+    Core.Experiments.run_sweep ~jobs ~seed ~budget:(budget_of_timeout timeout)
+      ~scopes:[ (scope_tag, scope) ] ()
+  in
+  Format.printf "%a" (Core.Experiments.pp_sweep ~timings:true) report;
+  if Core.Experiments.sweep_decided report then 0 else exit_unknown
+
 let run backend encoding symmetry certify non_submodular release_outbid
     rebid_attack target agents items topology seed drop duplicate max_delay
     crashes max_drops max_dups timeout =
@@ -219,11 +236,15 @@ let run backend encoding symmetry certify non_submodular release_outbid
         | _ -> 1
       end
 
-let run_safe backend encoding symmetry certify ns ro ra target agents items
-    topology seed drop duplicate max_delay crashes max_drops max_dups timeout =
+let run_safe sweep jobs sweep_states backend encoding symmetry certify ns ro ra
+    target agents items topology seed drop duplicate max_delay crashes
+    max_drops max_dups timeout =
   match
-    run backend encoding symmetry certify ns ro ra target agents items
-      topology seed drop duplicate max_delay crashes max_drops max_dups timeout
+    if sweep then run_sweep jobs seed agents items sweep_states timeout
+    else
+      run backend encoding symmetry certify ns ro ra target agents items
+        topology seed drop duplicate max_delay crashes max_drops max_dups
+        timeout
   with
   | code -> code
   | exception (Failure msg | Invalid_argument msg) ->
@@ -316,13 +337,35 @@ let term =
     Arg.(value & opt (some float) None
          & info [ "timeout" ]
              ~doc:"wall-clock budget in seconds for any backend; on expiry \
-                   the verdict is UNKNOWN and the exit code is 10"
+                   the verdict is UNKNOWN and the exit code is 10. Under \
+                   --sweep the budget is re-armed per cell"
              ~docv:"SECS")
   in
+  let sweep =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"run the whole Result-1/Result-2 policy matrix at the \
+                   $(b,-n)x$(b,-j) scope across all three backends, sharded \
+                   over $(b,--jobs) worker domains; verdicts and exit codes \
+                   are independent of the job count")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ]
+             ~doc:"worker domains for --sweep (1 = run inline; 0 = one per \
+                   available core)" ~docv:"N")
+  in
+  let sweep_states =
+    Arg.(value & opt int 5
+         & info [ "sweep-states" ]
+             ~doc:"trace length (netState scope) used by --sweep"
+             ~docv:"K")
+  in
   Term.(
-    const run_safe $ backend $ encoding $ symmetry $ certify $ non_submodular
-    $ release $ attack $ target $ agents $ items $ topology $ seed $ drop
-    $ duplicate $ max_delay $ crashes $ max_drops $ max_dups $ timeout)
+    const run_safe $ sweep $ jobs $ sweep_states $ backend $ encoding
+    $ symmetry $ certify $ non_submodular $ release $ attack $ target $ agents
+    $ items $ topology $ seed $ drop $ duplicate $ max_delay $ crashes
+    $ max_drops $ max_dups $ timeout)
 
 let cmd =
   let exits =

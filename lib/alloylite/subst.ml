@@ -1,10 +1,10 @@
 open Relalg
 
-let counter = ref 0
+(* atomic: elaborations may run concurrently in the worker pool, and a
+   duplicated fresh name would silently capture a binder *)
+let counter = Atomic.make 0
 
-let fresh_name x =
-  incr counter;
-  Printf.sprintf "%s#%d" x !counter
+let fresh_name x = Printf.sprintf "%s#%d" x (Atomic.fetch_and_add counter 1 + 1)
 
 let rec expr_free (e : Ast.expr) : string list =
   match e with

@@ -12,7 +12,7 @@ type color = Gray | Black
    the graph additionally branches on Drop/Duplicate transitions, so a
    [Converges] answer decides drop/duplicate tolerance for the scope. *)
 let run ?(max_states = 200_000) ?(max_drops = 0) ?(max_dups = 0)
-    ?(budget = Netsim.Budget.unlimited) cfg =
+    ?(budget = Netsim.Budget.unlimited) ?(stop = fun () -> false) cfg =
   let exception Found of verdict in
   let colors : (string, color) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 in
@@ -34,7 +34,13 @@ let run ?(max_states = 200_000) ?(max_drops = 0) ?(max_dups = 0)
                     states = !states;
                     reason = Printf.sprintf "state cap %d" max_states;
                   }));
-        (match Netsim.Budget.check ~steps:!states budget with
+        (* the budget and the cancellation hook are both polled per
+           expanded state, mirroring the solver's conflict-boundary poll *)
+        let status =
+          if stop () then Netsim.Budget.Expired "cancelled"
+          else Netsim.Budget.check ~steps:!states budget
+        in
+        (match status with
         | Netsim.Budget.Expired reason ->
             raise (Found (Unknown { states = !states; reason }))
         | Netsim.Budget.Within -> ());

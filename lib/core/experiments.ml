@@ -86,6 +86,148 @@ let policy_matrix ?(include_sat = true) ppf =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* E11 — the parallel policy-matrix / scope sweep                      *)
+
+type sweep_verdict = Holds | Violated | Undecided of string
+
+type sweep_cell = {
+  policy_label : string;
+  scope_tag : string;
+  sat_verdict : sweep_verdict;
+  sim_ok : bool;
+  exhaustive : sweep_verdict;
+  cell_seconds : float;
+}
+
+type sweep_report = {
+  sweep_jobs : int;
+  sweep_seed : int;
+  cells : sweep_cell list;  (** in task order, whatever the scheduling *)
+  sweep_wall : float;
+}
+
+let sweep_scopes =
+  [ ("2p2v", Mca_model.small_scope) ]
+
+(* Deterministic per-cell instance: at the canonical 2×2 scope the
+   paper's contended utilities, elsewhere utilities seeded from
+   (seed, policy, scope) — independent of worker scheduling. *)
+let sweep_config ~seed ~policy_label ~scope_tag (p : Mca.Policy.t)
+    (scope : Mca_model.scope_spec) =
+  let n = scope.Mca_model.pnodes and j = scope.Mca_model.vnodes in
+  let p = { p with Mca.Policy.target_items = min p.Mca.Policy.target_items j } in
+  if n = 2 && j = 2 then contended p
+  else begin
+    let rng = Netsim.Rng.create (Hashtbl.hash (seed, policy_label, scope_tag)) in
+    let base_utilities =
+      Array.init n (fun _ ->
+          Array.init j (fun _ -> 1 + Netsim.Rng.int rng (scope.Mca_model.values - 1)))
+    in
+    Mca.Protocol.uniform_config ~graph:(Netsim.Topology.clique n) ~num_items:j
+      ~base_utilities ~policy:p
+  end
+
+let sweep_cell ~budget ~seed
+    ((policy_label, p, mp, scope_tag, scope) :
+      string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) =
+  let t0 = Unix.gettimeofday () in
+  let cfg = sweep_config ~seed ~policy_label ~scope_tag p scope in
+  let sim_ok =
+    match Mca.Protocol.run_sync ~max_rounds:200 ~budget cfg with
+    | Mca.Protocol.Converged _ -> true
+    | _ -> false
+  in
+  let exhaustive =
+    match Checker.Explore.run ~budget cfg with
+    | Checker.Explore.Converges _ -> Holds
+    | Checker.Explore.Unknown { reason; _ } -> Undecided reason
+    | Checker.Explore.Nonconvergence _ | Checker.Explore.Bad_terminal _ ->
+        Violated
+  in
+  let mp = { mp with Mca_model.target = min mp.Mca_model.target scope.Mca_model.vnodes } in
+  let sat_verdict =
+    match
+      Mca_model.check_consensus_bounded ~symmetry:true ~budget
+        (Mca_model.build Mca_model.Efficient mp scope)
+    with
+    | Relalg.Translate.Decided Alloylite.Compile.Unsat -> Holds
+    | Relalg.Translate.Decided (Alloylite.Compile.Sat _) -> Violated
+    | Relalg.Translate.Unknown reason -> Undecided reason
+  in
+  {
+    policy_label;
+    scope_tag;
+    sat_verdict;
+    sim_ok;
+    exhaustive;
+    cell_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let sweep_tasks ?(scopes = sweep_scopes) () =
+  Array.of_list
+    (List.concat_map
+       (fun (scope_tag, scope) ->
+         List.map2
+           (fun (policy_label, p) (_, mp) -> (policy_label, p, mp, scope_tag, scope))
+           Mca.Policy.paper_grid Mca_model.paper_policies)
+       scopes)
+
+let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
+    ?scopes () =
+  let tasks = sweep_tasks ?scopes () in
+  let t0 = Unix.gettimeofday () in
+  let cells =
+    Parallel.Pool.map_budgeted ~jobs ~budget
+      (fun ~budget task -> sweep_cell ~budget ~seed task)
+      tasks
+  in
+  {
+    sweep_jobs = jobs;
+    sweep_seed = seed;
+    cells = Array.to_list cells;
+    sweep_wall = Unix.gettimeofday () -. t0;
+  }
+
+let verdict_string = function
+  | Holds -> "holds"
+  | Violated -> "violated"
+  | Undecided reason -> Printf.sprintf "unknown(%s)" reason
+
+(* The canonical rendering deliberately excludes every timing: identical
+   verdicts => byte-identical text, whatever --jobs was. *)
+let render_sweep ?(timings = false) r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "E11 sweep: %d cell(s), seed %d — consensus? (SAT model / exhaustive \
+        / sim)\n"
+       (List.length r.cells) r.sweep_seed);
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-8s %-26s %-10s %-10s %-6s%s\n" c.scope_tag
+           c.policy_label
+           (verdict_string c.sat_verdict)
+           (verdict_string c.exhaustive)
+           (if c.sim_ok then "true" else "false")
+           (if timings then Printf.sprintf "  %6.2fs" c.cell_seconds else "")))
+    r.cells;
+  if timings then
+    Buffer.add_string b
+      (Printf.sprintf "  wall %.2fs with %d job(s)\n" r.sweep_wall r.sweep_jobs);
+  Buffer.contents b
+
+let pp_sweep ?timings ppf r =
+  Format.pp_print_string ppf (render_sweep ?timings r)
+
+let sweep_decided r =
+  List.for_all
+    (fun c ->
+      (match c.sat_verdict with Undecided _ -> false | _ -> true)
+      && match c.exhaustive with Undecided _ -> false | _ -> true)
+    r.cells
+
+(* ------------------------------------------------------------------ *)
 (* E4 — Result 2                                                       *)
 
 type attack_row = {

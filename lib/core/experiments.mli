@@ -28,6 +28,72 @@ val policy_matrix : ?include_sat:bool -> Format.formatter -> matrix_row list
 (** Prints the Result-1 table. [include_sat] (default true) also runs the
     SAT-model checks (tens of seconds for the UNSAT rows). *)
 
+(** E11 — the multicore driver: the Result-1/Result-2 policy matrix,
+    optionally crossed with several scopes, sharded over a
+    {!Parallel.Pool} of domains. Every cell is an independent
+    verification problem (one SAT check, one exhaustive exploration,
+    one simulation), which is exactly the shape of the paper's
+    evaluation table — the sweep turns the paper's sequential
+    hours-long matrix into an embarrassingly parallel one. *)
+
+type sweep_verdict =
+  | Holds  (** consensus holds (SAT: Unsat; exhaustive: converges) *)
+  | Violated
+  | Undecided of string  (** a budget expired; the reason names the cap *)
+
+type sweep_cell = {
+  policy_label : string;
+  scope_tag : string;
+  sat_verdict : sweep_verdict;
+  sim_ok : bool;  (** the synchronous simulation converged *)
+  exhaustive : sweep_verdict;
+  cell_seconds : float;
+}
+
+type sweep_report = {
+  sweep_jobs : int;
+  sweep_seed : int;
+  cells : sweep_cell list;
+      (** always in task order — result collection is keyed by task
+          index, so scheduling never reorders the report *)
+  sweep_wall : float;
+}
+
+val sweep_scopes : (string * Mca_model.scope_spec) list
+(** Default scope column: the 2p/2v small scope. *)
+
+val sweep_tasks :
+  ?scopes:(string * Mca_model.scope_spec) list ->
+  unit ->
+  (string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec)
+  array
+(** The sweep's work list: policy grid × scopes, in report order. *)
+
+val run_sweep :
+  ?jobs:int ->
+  ?seed:int ->
+  ?budget:Netsim.Budget.t ->
+  ?scopes:(string * Mca_model.scope_spec) list ->
+  unit ->
+  sweep_report
+(** Runs the matrix with at most [jobs] (default 1) worker domains;
+    [jobs = 1] runs inline with no domain spawned. Each cell gets
+    [Netsim.Budget.restarted budget], so a global [--timeout] bounds
+    every cell individually. Same [seed], same task list ⇒ identical
+    verdicts for any [jobs] (see {!render_sweep}). *)
+
+val render_sweep : ?timings:bool -> sweep_report -> string
+(** Canonical text of the report. Without [timings] (the default) the
+    rendering contains no clocks: equal verdicts give byte-identical
+    strings whatever [jobs] was — the determinism contract the test
+    suite pins. *)
+
+val pp_sweep : ?timings:bool -> Format.formatter -> sweep_report -> unit
+
+val sweep_decided : sweep_report -> bool
+(** [true] when no cell is [Undecided] — the CLI maps [false] to the
+    UNKNOWN exit code (10), exactly as in sequential runs. *)
+
 (** E4 — Result 2: the rebidding attack with a single attacker, plus the
     footnote-7 detection. *)
 type attack_row = {

@@ -696,6 +696,9 @@ let translation_stats t =
   Relalg.Translate.translation_stats
     (Compile.translation t.compiled (not_ t.consensus_pred))
 
+let consensus_cnf t =
+  (Compile.translation t.compiled (not_ t.consensus_pred)).Relalg.Translate.cnf
+
 let describe t =
   Printf.sprintf "%s encoding, %s%s%s, T=%d, scope %dp/%dv/%d states"
     (match t.encoding with

@@ -101,4 +101,10 @@ val run_instance : t -> Alloylite.Compile.outcome
 val translation_stats : t -> Relalg.Translate.stats
 (** Size of the [check consensus] SAT translation (experiment E5). *)
 
+val consensus_cnf : t -> Sat.Formula.cnf_result
+(** The raw CNF of the [check consensus] query (facts ∧ ¬consensus) —
+    the common input the cross-engine differential harness feeds to
+    both DPLL and CDCL: [constant = Some false] or an unsatisfiable
+    [problem] means consensus holds in scope. *)
+
 val describe : t -> string

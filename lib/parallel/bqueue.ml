@@ -1,0 +1,58 @@
+type 'a t = {
+  buf : 'a option array; (* ring buffer; None marks an empty slot *)
+  mutable head : int; (* next pop position *)
+  mutable len : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let with_lock q f =
+  Mutex.lock q.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.lock) f
+
+let push q x =
+  with_lock q (fun () ->
+      while q.len = Array.length q.buf && not q.closed do
+        Condition.wait q.not_full q.lock
+      done;
+      if q.closed then invalid_arg "Bqueue.push: closed queue";
+      q.buf.((q.head + q.len) mod Array.length q.buf) <- Some x;
+      q.len <- q.len + 1;
+      Condition.signal q.not_empty)
+
+let pop q =
+  with_lock q (fun () ->
+      while q.len = 0 && not q.closed do
+        Condition.wait q.not_empty q.lock
+      done;
+      if q.len = 0 then None (* closed and drained *)
+      else begin
+        let x = q.buf.(q.head) in
+        q.buf.(q.head) <- None;
+        q.head <- (q.head + 1) mod Array.length q.buf;
+        q.len <- q.len - 1;
+        Condition.signal q.not_full;
+        x
+      end)
+
+let close q =
+  with_lock q (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.not_empty;
+      Condition.broadcast q.not_full)
+
+let length q = with_lock q (fun () -> q.len)

@@ -1,0 +1,40 @@
+let available_jobs () = Domain.recommended_domain_count ()
+
+(* A task travels as (index, thunk); results land in a slot array keyed
+   by index, so collection order is deterministic regardless of which
+   worker finishes first. *)
+let map ?(jobs = 1) f tasks =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  let n = Array.length tasks in
+  if jobs = 1 || n <= 1 then Array.map f tasks
+  else begin
+    let workers = min jobs n in
+    let queue = Bqueue.create ~capacity:(2 * workers) in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let worker () =
+      let rec loop () =
+        match Bqueue.pop queue with
+        | None -> ()
+        | Some i ->
+            (match f tasks.(i) with
+            | r -> results.(i) <- Some r
+            | exception e -> errors.(i) <- Some e);
+            loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    for i = 0 to n - 1 do
+      Bqueue.push queue i
+    done;
+    Bqueue.close queue;
+    Array.iter Domain.join domains;
+    Array.iteri
+      (fun i e -> match e with Some exn -> raise exn | None -> ignore i)
+      errors;
+    Array.map Option.get results
+  end
+
+let map_budgeted ?jobs ~budget f tasks =
+  map ?jobs (fun x -> f ~budget:(Netsim.Budget.restarted budget) x) tasks

@@ -1,0 +1,38 @@
+(** Domain-based worker pool with deterministic result collection.
+
+    The multicore driver for the verification matrix: independent tasks
+    (one policy/scope cell of the paper's evaluation each) are fanned
+    out over OCaml 5 domains through a bounded {!Bqueue} and the results
+    are collected {e keyed by task index}, so the output of [map] is the
+    same array whatever the scheduling — parallelism never changes a
+    report, only its wall-clock time.
+
+    [jobs = 1] (the default) runs every task inline in the calling
+    domain without spawning: the sequential path and the 1-job parallel
+    path are the same code by construction.
+
+    Tasks must not share mutable state: per-domain state in the
+    libraries (e.g. the {!Sat.Formula} hash-consing tables) makes a full
+    build→translate→solve pipeline safe per task. If a task raises, the
+    pool still joins every worker, then re-raises the exception of the
+    lowest-indexed failing task (deterministic again). *)
+
+val available_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism cap
+    that [--jobs 0] resolves to in the CLI drivers. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] evaluates [f] on every element using at most
+    [jobs] domains (clamped to the task count). [map ~jobs:1] is
+    [Array.map f]. Raises [Invalid_argument] when [jobs < 1]. *)
+
+val map_budgeted :
+  ?jobs:int ->
+  budget:Netsim.Budget.t ->
+  (budget:Netsim.Budget.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** Like {!map}, but every task receives [Netsim.Budget.restarted
+    budget]: its wall-clock window opens when the task is picked up, not
+    when the sweep was launched, so queueing behind other tasks never
+    eats a task's own deadline. Step/conflict caps are per task. *)

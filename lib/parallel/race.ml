@@ -1,0 +1,50 @@
+let run ?(jobs = 1) racers =
+  if jobs < 1 then invalid_arg "Race.run: jobs < 1";
+  let n = Array.length racers in
+  if n = 0 then None
+  else if jobs = 1 then begin
+    let rec try_from i =
+      if i >= n then None
+      else
+        match racers.(i) ~stop:(fun () -> false) with
+        | Some v -> Some (i, v)
+        | None -> try_from (i + 1)
+    in
+    try_from 0
+  end
+  else begin
+    let winner = Atomic.make (-1) in
+    let values = Array.make n None in
+    let next = Atomic.make 0 in
+    let stop () = Atomic.get winner >= 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && not (stop ()) then begin
+          (match racers.(i) ~stop with
+          | Some v ->
+              values.(i) <- Some v;
+              (* publish the value before competing for the win, so the
+                 collector below always finds it set *)
+              ignore (Atomic.compare_and_set winner (-1) i)
+          | None -> ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    let errors = ref [] in
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> errors := e :: !errors)
+      domains;
+    (match !errors with e :: _ -> raise e | [] -> ());
+    match Atomic.get winner with
+    | -1 -> None
+    | i -> Some (i, Option.get values.(i))
+  end

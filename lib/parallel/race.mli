@@ -1,0 +1,20 @@
+(** First-result-wins racing — the portfolio combinator.
+
+    Runs competitors concurrently; the first to return [Some _] wins and
+    every other competitor is asked to stop through the [stop] polling
+    function handed to it (the bounded-solve cancellation hook: engines
+    poll it on conflict/decision boundaries, so cancellation latency is
+    bounded by one conflict). Competitors that return [None] (budget
+    expired, no verdict) never win.
+
+    With [jobs = 1] the competitors run sequentially in order until one
+    returns [Some _] — deterministic, and equivalent to trying the
+    engines one by one. *)
+
+val run :
+  ?jobs:int -> (stop:(unit -> bool) -> 'a option) array -> (int * 'a) option
+(** [run ~jobs racers] returns [(index, value)] of the winner, or [None]
+    when every racer finished without a result. At most [jobs] racers
+    run concurrently; queued racers whose turn comes after a win are not
+    started. Raises [Invalid_argument] when [jobs < 1] or a racer
+    raises. *)

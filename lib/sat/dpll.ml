@@ -1,4 +1,5 @@
 exception Out_of_budget
+exception Stopped of string * int (* reason, decisions so far *)
 
 (* Assignment: Cnf.value array, var-indexed. Clauses as lit lists. *)
 
@@ -47,7 +48,8 @@ let pick_unassigned assigns n =
   let rec loop v = if v > n then None else if assigns.(v) = Cnf.Unknown then Some v else loop (v + 1) in
   loop 1
 
-let solve_internal budget (p : Cnf.problem) =
+let solve_internal ?(stop = fun () -> false) ?(wall = Netsim.Budget.unlimited)
+    budget (p : Cnf.problem) =
   let assigns = Array.make (p.num_vars + 1) Cnf.Unknown in
   let decisions = ref 0 in
   let rec search () =
@@ -61,6 +63,13 @@ let solve_internal budget (p : Cnf.problem) =
             (match budget with
             | Some b when !decisions > b -> raise Out_of_budget
             | _ -> ());
+            (* cancellation and wall budget polled per decision, the
+               DPLL analogue of the CDCL conflict-boundary poll *)
+            if stop () then raise (Stopped ("cancelled", !decisions));
+            (match Netsim.Budget.check ~steps:!decisions wall with
+            | Netsim.Budget.Expired reason ->
+                raise (Stopped (reason, !decisions))
+            | Netsim.Budget.Within -> ());
             let try_value value =
               assigns.(v) <- value;
               let ok = search () in
@@ -90,3 +99,9 @@ let solve_with_limit ~max_decisions p =
   match solve_internal (Some max_decisions) p with
   | r -> Some r
   | exception Out_of_budget -> None
+
+let solve_bounded ?stop ~budget p =
+  match solve_internal ?stop ~wall:budget None p with
+  | r -> Solver.Decided r
+  | exception Stopped (reason, decisions) ->
+      Solver.Unknown { reason; conflicts = decisions; propagations = 0 }

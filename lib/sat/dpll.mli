@@ -10,3 +10,15 @@ val solve : Cnf.problem -> Solver.result
 val solve_with_limit : max_decisions:int -> Cnf.problem -> Solver.result option
 (** Same, but gives up (returns [None]) after [max_decisions] branching
     steps. *)
+
+val solve_bounded :
+  ?stop:(unit -> bool) ->
+  budget:Netsim.Budget.t ->
+  Cnf.problem ->
+  Solver.bounded_result
+(** The portfolio entry point: decisions count against the budget's
+    step cap, the wall clock is polled per decision, and [stop] is the
+    same cooperative-cancellation hook as
+    {!Solver.solve_bounded} — when it flips to [true] the search
+    returns [Unknown {reason = "cancelled"; _}] within one decision.
+    [Unknown.conflicts] reports decisions (DPLL learns no clauses). *)

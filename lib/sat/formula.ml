@@ -33,34 +33,49 @@ type key =
   | Kiff of int * int
   | Kite of int * int * int
 
-let intern_tbl : (key, t) Hashtbl.t = Hashtbl.create 4096
-let id_tbl : int Phys.t = Phys.create 4096
-let next_id = ref 2 (* 0 and 1 are the constants *)
+(* The interning tables are domain-local (Domain.DLS): each domain of
+   the parallel worker pool hash-conses independently, so concurrent
+   translations never contend on — or corrupt — a shared table. The
+   price is that sharing is per-domain: a formula must be built and
+   translated within one domain, which is exactly how the pool shards
+   its tasks. *)
+type sharing = {
+  intern_tbl : (key, t) Hashtbl.t;
+  id_tbl : int Phys.t;
+  mutable next_id : int; (* 0 and 1 are the constants *)
+}
+
+let sharing_key =
+  Domain.DLS.new_key (fun () ->
+      { intern_tbl = Hashtbl.create 4096; id_tbl = Phys.create 4096; next_id = 2 })
 
 let node_id f =
   match f with
   | True -> 0
   | False -> 1
-  | _ -> (
-      match Phys.find_opt id_tbl f with
+  | _ ->
+      let s = Domain.DLS.get sharing_key in
+      (match Phys.find_opt s.id_tbl f with
       | Some i -> i
       | None ->
-          incr next_id;
-          Phys.replace id_tbl f !next_id;
-          !next_id)
+          s.next_id <- s.next_id + 1;
+          Phys.replace s.id_tbl f s.next_id;
+          s.next_id)
 
 let intern key node =
-  match Hashtbl.find_opt intern_tbl key with
+  let s = Domain.DLS.get sharing_key in
+  match Hashtbl.find_opt s.intern_tbl key with
   | Some canonical -> canonical
   | None ->
       ignore (node_id node);
-      Hashtbl.replace intern_tbl key node;
+      Hashtbl.replace s.intern_tbl key node;
       node
 
 let clear_sharing () =
   (* ids stay monotone so stale formulas can never alias fresh ones *)
-  Hashtbl.reset intern_tbl;
-  Phys.reset id_tbl
+  let s = Domain.DLS.get sharing_key in
+  Hashtbl.reset s.intern_tbl;
+  Phys.reset s.id_tbl
 
 let tt = True
 let ff = False

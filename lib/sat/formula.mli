@@ -26,11 +26,17 @@ val not_ : t -> t
 (** Negation with constant folding and double-negation elimination. *)
 
 val clear_sharing : unit -> unit
-(** Drops the hash-consing tables. The smart constructors intern nodes so
-    that structurally equal formulas are physically equal (which keeps
-    every traversal linear in the circuit DAG); call this between
-    independent translations to release the tables. Existing formulas
-    remain valid — only future sharing with them is lost. *)
+(** Drops the hash-consing tables of the calling domain. The smart
+    constructors intern nodes so that structurally equal formulas are
+    physically equal (which keeps every traversal linear in the circuit
+    DAG); call this between independent translations to release the
+    tables. Existing formulas remain valid — only future sharing with
+    them is lost.
+
+    Interning is domain-local ({!Domain.DLS}): domains hash-cons
+    independently and never contend, so translations may run in
+    parallel, but a formula must be built and consumed within a single
+    domain for sharing to apply. *)
 
 val and_ : t list -> t
 (** N-ary conjunction; folds constants, flattens nested [And]s. *)

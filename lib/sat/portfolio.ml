@@ -1,0 +1,83 @@
+type engine = Cdcl of Solver.config | Dpll_baseline
+
+let label = function
+  | Cdcl c ->
+      if c = Solver.default_config then "cdcl:0"
+      else
+        Printf.sprintf "cdcl:%d(r%.0f%s)" c.Solver.seed c.Solver.restart_base
+          (if c.Solver.invert_polarity then ",pol+" else "")
+  | Dpll_baseline -> "dpll"
+
+type verdict = {
+  result : Solver.bounded_result;
+  winner : string option;
+  engines : string list;
+  certification : Proof.report option;
+}
+
+let default_engines ?(certify = false) ~jobs () =
+  let n = max 2 jobs in
+  if certify then List.init n (fun k -> Cdcl (Solver.diversified k))
+  else List.init (n - 1) (fun k -> Cdcl (Solver.diversified k)) @ [ Dpll_baseline ]
+
+let solve ?(jobs = 1) ?(certify = false) ?(budget = Netsim.Budget.unlimited)
+    ?engines (p : Cnf.problem) =
+  if jobs < 1 then invalid_arg "Portfolio.solve: jobs < 1";
+  let engines =
+    match engines with Some es -> es | None -> default_engines ~certify ~jobs ()
+  in
+  if engines = [] then invalid_arg "Portfolio.solve: empty engine list";
+  if certify && List.mem Dpll_baseline engines then
+    invalid_arg
+      "Portfolio.solve: ~certify requires a CDCL-only portfolio (DPLL \
+       produces no DRUP trail)";
+  let labels = List.map label engines in
+  let racers =
+    Array.of_list
+      (List.map
+         (fun engine ~stop ->
+           let budget = Netsim.Budget.restarted budget in
+           match engine with
+           | Cdcl config -> (
+               let s = Solver.of_problem ~proof:certify p in
+               match Solver.solve_bounded ~config ~stop ~budget s with
+               | Solver.Decided r -> Some (r, Some s)
+               | Solver.Unknown _ -> None)
+           | Dpll_baseline -> (
+               match Dpll.solve_bounded ~stop ~budget p with
+               | Solver.Decided r -> Some (r, None)
+               | Solver.Unknown _ -> None))
+         engines)
+  in
+  match Parallel.Race.run ~jobs racers with
+  | None ->
+      {
+        result =
+          Solver.Unknown
+            { reason = "portfolio budget exhausted"; conflicts = 0;
+              propagations = 0 };
+        winner = None;
+        engines = labels;
+        certification = None;
+      }
+  | Some (i, (r, solver)) ->
+      let certification =
+        match (certify, solver) with
+        | false, _ | _, None -> None
+        | true, Some s -> (
+            let original = Solver.original_problem s in
+            let certificate =
+              match r with
+              | Solver.Sat m -> Proof.Model m
+              | Solver.Unsat -> Proof.Refutation (Solver.proof_steps s)
+            in
+            match Proof.certify original certificate with
+            | Ok report -> Some report
+            | Error msg -> raise (Proof.Certification_failed msg))
+      in
+      {
+        result = Solver.Decided r;
+        winner = Some (List.nth labels i);
+        engines = labels;
+        certification;
+      }

@@ -1,0 +1,47 @@
+(** Solver portfolio: race diversified engines, first verdict wins.
+
+    The portfolio runs several differently-configured copies of the
+    CDCL solver ({!Solver.diversified}: restart interval, initial
+    polarity, seeded VSIDS perturbation) — plus the DPLL baseline as a
+    wildcard on small instances — on the {e same} CNF across domains
+    ({!Parallel.Race}). SAT/UNSAT verdicts are mutually exclusive and
+    every engine is sound, so whichever engine answers first determines
+    the result; the rest are cancelled through the engines'
+    conflict-boundary [stop] hook.
+
+    With [~certify:true] the race is restricted to CDCL members (DPLL
+    logs no DRUP trail) and the winner's verdict is validated by the
+    independent {!Proof} checker before being returned — racing never
+    weakens the certification story. *)
+
+type engine = Cdcl of Solver.config | Dpll_baseline
+
+val label : engine -> string
+
+type verdict = {
+  result : Solver.bounded_result;
+      (** [Unknown] only when every engine exhausted its budget *)
+  winner : string option;  (** label of the engine that answered *)
+  engines : string list;  (** labels of the racing engines, in order *)
+  certification : Proof.report option;
+      (** present iff [~certify:true] and a SAT call was won *)
+}
+
+val default_engines : ?certify:bool -> jobs:int -> unit -> engine list
+(** [max 2 jobs] members: diversified CDCL configurations, the last
+    slot given to DPLL unless [certify]. *)
+
+val solve :
+  ?jobs:int ->
+  ?certify:bool ->
+  ?budget:Netsim.Budget.t ->
+  ?engines:engine list ->
+  Cnf.problem ->
+  verdict
+(** Races the engines with at most [jobs] (default 1) concurrent
+    domains; each engine's budget window opens when it starts. With
+    [jobs = 1] engines run sequentially in list order until one
+    decides. Raises [Invalid_argument] on [jobs < 1], an empty engine
+    list, or a [~certify] race containing [Dpll_baseline]; raises
+    {!Proof.Certification_failed} when the winner's certificate is
+    rejected (a solver bug was caught). *)

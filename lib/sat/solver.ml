@@ -29,6 +29,23 @@ type stats = {
   clauses_added : int;
 }
 
+type config = {
+  restart_base : float;
+  invert_polarity : bool;
+  seed : int;
+}
+
+let default_config = { restart_base = 100.0; invert_polarity = false; seed = 0 }
+
+let diversified k =
+  if k <= 0 then default_config
+  else
+    {
+      restart_base = [| 100.0; 50.0; 200.0; 70.0; 150.0 |].(k mod 5);
+      invert_polarity = k land 1 = 1;
+      seed = k;
+    }
+
 let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = false }
 
 type t = {
@@ -437,12 +454,31 @@ let luby i =
   let sz, seq = expand 1 0 in
   reduce i sz seq
 
-let solve_core ~assumptions ~budget s =
+(* Portfolio diversification: nudge the VSIDS tie-breaking order with
+   tiny seeded activity offsets (real conflict bumps dwarf them within a
+   few conflicts) and scramble the initial saved phases. Distinct seeds
+   steer otherwise-identical solvers into different parts of the search
+   tree, which is what makes racing them worthwhile. *)
+let diversify s (config : config) =
+  if config.invert_polarity then
+    for v = 1 to s.nvars do
+      s.polarity.(v) <- true
+    done;
+  if config.seed <> 0 then begin
+    let rng = Netsim.Rng.create config.seed in
+    for v = 1 to s.nvars do
+      Heap.bump s.order v (1e-6 *. Netsim.Rng.float rng 1.0);
+      if Netsim.Rng.bool rng then s.polarity.(v) <- not s.polarity.(v)
+    done
+  end
+
+let solve_core ~assumptions ~budget ~config ~stop s =
   if not s.ok then Decided Unsat
   else begin
     (* make sure assumption variables exist *)
     List.iter (fun l -> ensure_vars s (Cnf.var_of l)) assumptions;
     cancel_until s 0;
+    if config <> default_config then diversify s config;
     if propagate s <> None then begin
       s.ok <- false;
       log_empty s;
@@ -475,11 +511,19 @@ let solve_core ~assumptions ~budget s =
       else begin
         let assumption_level = decision_level s in
         ignore n_assumptions;
-        let restart_limit () = 100.0 *. luby !restart_num in
+        let restart_limit () = config.restart_base *. luby !restart_num in
+        (* the budget AND the cancellation hook are polled here, at every
+           conflict/decision boundary — not just at restarts — so a
+           portfolio loser stops within one conflict of the winner's
+           verdict *)
         while !result = None do
           let conflicts = s.n_conflicts - conflicts0 in
           let propagations = s.n_propagations - propagations0 in
-          match Netsim.Budget.check ~conflicts ~propagations budget with
+          let status =
+            if stop () then Netsim.Budget.Expired "cancelled"
+            else Netsim.Budget.check ~conflicts ~propagations budget
+          in
+          match status with
           | Netsim.Budget.Expired reason ->
               cancel_until s 0;
               result := Some (Unknown { reason; conflicts; propagations })
@@ -539,8 +583,11 @@ let solve_core ~assumptions ~budget s =
     end
   end
 
-let solve_bounded ?(assumptions = []) ~budget s =
-  solve_core ~assumptions ~budget s
+let never_stop () = false
+
+let solve_bounded ?(assumptions = []) ?(config = default_config)
+    ?(stop = never_stop) ~budget s =
+  solve_core ~assumptions ~budget ~config ~stop s
 
 let solve ?(assumptions = []) ?(certify = false) s =
   if certify && assumptions <> [] then
@@ -550,7 +597,10 @@ let solve ?(assumptions = []) ?(certify = false) s =
       "Solver.solve: ~certify requires proof logging (enable_proof or \
        of_problem ~proof:true)";
   let r =
-    match solve_core ~assumptions ~budget:Netsim.Budget.unlimited s with
+    match
+      solve_core ~assumptions ~budget:Netsim.Budget.unlimited
+        ~config:default_config ~stop:never_stop s
+    with
     | Decided r -> r
     | Unknown _ -> assert false (* unlimited budgets never expire *)
   in

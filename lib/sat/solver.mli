@@ -33,6 +33,25 @@ type stats = {
   clauses_added : int;
 }
 
+(** Search-strategy knobs, the diversification axes of the solver
+    portfolio ({!Portfolio}). The default reproduces the solver's
+    historical behaviour exactly. *)
+type config = {
+  restart_base : float;  (** Luby restart unit interval (default 100) *)
+  invert_polarity : bool;
+      (** start saved phases at [true] instead of [false] *)
+  seed : int;
+      (** when nonzero: seeded tiny VSIDS activity offsets and scrambled
+          initial phases — different seeds explore different subtrees *)
+}
+
+val default_config : config
+
+val diversified : int -> config
+(** [diversified k] is the [k]-th member of the portfolio family
+    ([diversified 0 = default_config]): restart interval, polarity and
+    seed vary together so that members rarely duplicate work. *)
+
 val create : unit -> t
 
 val new_var : t -> Cnf.var
@@ -63,13 +82,25 @@ val solve : ?assumptions:Cnf.lit list -> ?certify:bool -> t -> result
     solver bug was caught). *)
 
 val solve_bounded :
-  ?assumptions:Cnf.lit list -> budget:Netsim.Budget.t -> t -> bounded_result
+  ?assumptions:Cnf.lit list ->
+  ?config:config ->
+  ?stop:(unit -> bool) ->
+  budget:Netsim.Budget.t ->
+  t ->
+  bounded_result
 (** Like {!solve}, but gives up with [Unknown] once [budget] expires
     (checked against this call's conflict/propagation counts and the
     wall clock). On [Unknown] the solver backtracks to the root level
     and stays reusable — learnt clauses are kept, so a retry with a
     larger budget resumes warm. Certification is not supported on the
-    bounded path. *)
+    bounded path.
+
+    [config] selects a diversified search strategy (default: the
+    canonical one). [stop] is the cooperative-cancellation hook: it is
+    polled together with the budget at {e every} conflict/decision
+    boundary — not merely at restarts — so when it flips to [true]
+    (e.g. a portfolio rival won) the call returns
+    [Unknown {reason = "cancelled"; _}] within one conflict. *)
 
 val enable_proof : t -> unit
 (** Turns on DRUP proof logging and original-clause capture. Must be

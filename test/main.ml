@@ -9,4 +9,6 @@ let () =
       ("checker", Test_checker.suite);
       ("vnm", Test_vnm.suite);
       ("core", Test_core.suite);
+      ("parallel", Test_parallel.suite);
+      ("differential", Test_differential.suite);
     ]
