@@ -208,6 +208,93 @@ let run_parallel_sweep () =
   Format.printf "  wrote BENCH_E11.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E12: crash-safe sweeps — what the write-ahead journal costs (every
+   completed cell is framed, CRC'd and fsync'd) and what resuming from
+   it saves (a fully journaled matrix reloads with zero verification
+   work). The verdict table must stay byte-identical across plain,
+   journaled and resumed runs — the journal is pure bookkeeping. *)
+
+let run_crashsafe_sweep () =
+  section "E12 - Crash-safe sweep (journal overhead, resume savings)";
+  let scope =
+    if fast_mode then
+      { Core.Mca_model.small_scope with Core.Mca_model.states = 4;
+        Core.Mca_model.values = 5 }
+    else Core.Mca_model.small_scope
+  in
+  let scopes =
+    [ (Printf.sprintf "2p2v/%dst" scope.Core.Mca_model.states, scope) ]
+  in
+  let budget () = Netsim.Budget.create ~wall_s:300.0 () in
+  let journal = Filename.temp_file "bench_e12" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+    (fun () ->
+      let job_counts = [ 1; 2 ] in
+      let rows =
+        List.map
+          (fun jobs ->
+            let plain =
+              Core.Experiments.run_sweep ~jobs ~seed:1 ~budget:(budget ())
+                ~scopes ()
+            in
+            (try Sys.remove journal with Sys_error _ -> ());
+            let journaled =
+              Core.Experiments.run_sweep ~jobs ~seed:1 ~budget:(budget ())
+                ~scopes ~journal ()
+            in
+            let resumed =
+              Core.Experiments.run_sweep ~jobs ~seed:1 ~budget:(budget ())
+                ~scopes ~journal ~resume:true ()
+            in
+            if
+              Core.Experiments.render_sweep plain
+              <> Core.Experiments.render_sweep journaled
+              || Core.Experiments.render_sweep plain
+                 <> Core.Experiments.render_sweep resumed
+            then failwith "E12: journaling changed the verdict table";
+            if
+              resumed.Core.Experiments.sweep_resumed
+              <> List.length plain.Core.Experiments.cells
+            then failwith "E12: resume re-ran journaled cells";
+            let wp = plain.Core.Experiments.sweep_wall
+            and wj = journaled.Core.Experiments.sweep_wall
+            and wr = resumed.Core.Experiments.sweep_wall in
+            Format.printf
+              "  --jobs %d: plain %.2fs, journaled %.2fs (overhead %+.1f%%), \
+               resumed %.3fs@."
+              jobs wp wj
+              (100.0 *. (wj -. wp) /. Float.max wp 1e-9)
+              wr;
+            (jobs, wp, wj, wr))
+          job_counts
+      in
+      Format.printf "  verdicts identical across plain/journaled/resumed: true@.";
+      let oc = open_out "BENCH_E12.json" in
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n";
+      p "  \"experiment\": \"E12-crashsafe-sweep\",\n";
+      p "  \"scope\": \"%s\",\n" (json_escape (fst (List.hd scopes)));
+      p "  \"runs\": [\n";
+      List.iteri
+        (fun i (jobs, wp, wj, wr) ->
+          p
+            "    {\"jobs\": %d, \"plain_s\": %.3f, \"journaled_s\": %.3f, \
+             \"journal_overhead_pct\": %.2f, \"resume_s\": %.3f, \
+             \"resume_speedup\": %.1f}%s\n"
+            jobs wp wj
+            (100.0 *. (wj -. wp) /. Float.max wp 1e-9)
+            wr
+            (wp /. Float.max wr 1e-9)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      p "  ],\n";
+      p "  \"verdicts_identical\": true\n";
+      p "}\n";
+      close_out oc;
+      Format.printf "  wrote BENCH_E12.json@.")
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: certified verdicts — DRUP proof size and re-check cost      *)
 
 let run_certification () =
@@ -380,6 +467,7 @@ let () =
   Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
   run_experiments ();
   run_parallel_sweep ();
+  run_crashsafe_sweep ();
   run_certification ();
   run_loss_sweep ();
   run_benchmarks ();

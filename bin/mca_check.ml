@@ -77,6 +77,7 @@ let crash_conv =
   Arg.conv (parse, print)
 
 let exit_unknown = 10
+let exit_partial = 11
 
 let budget_of_timeout = function
   | None -> Netsim.Budget.unlimited
@@ -84,20 +85,49 @@ let budget_of_timeout = function
 
 (* --sweep: the whole policy matrix at the requested scope, sharded over
    a worker pool. Exit codes are the same as sequential runs: --jobs
-   changes wall-clock time, never the verdicts or the exit code. *)
-let run_sweep jobs seed agents items states timeout =
+   changes wall-clock time, never the verdicts or the exit code.
+
+   With --journal, completed cells are persisted as they finish;
+   Ctrl-C/SIGTERM requests a graceful drain (finish in-flight cells,
+   flush the journal, print the partial report, exit 11) and a second
+   run with --resume picks up exactly where the first one stopped. *)
+let run_sweep jobs seed agents items states timeout journal resume
+    task_deadline retries =
   let jobs = if jobs = 0 then Parallel.Pool.available_jobs () else jobs in
   let scope =
     { Core.Mca_model.pnodes = agents; vnodes = items; states; values = 6;
       bitwidth = 4 }
   in
   let scope_tag = Printf.sprintf "%dp%dv/%dst" agents items states in
+  let supervision =
+    { Parallel.Supervise.default_policy with
+      max_attempts = retries; deadline_s = task_deadline; seed }
+  in
+  (* Atomic.set is async-signal-safe; everything else (journal flush,
+     partial report) happens on the normal path once workers notice the
+     flag through their ?stop hook. *)
+  let drain_on signal =
+    try
+      Sys.set_signal signal
+        (Sys.Signal_handle (fun _ -> Parallel.Supervise.request_drain ()))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  drain_on Sys.sigint;
+  drain_on Sys.sigterm;
   let report =
     Core.Experiments.run_sweep ~jobs ~seed ~budget:(budget_of_timeout timeout)
-      ~scopes:[ (scope_tag, scope) ] ()
+      ~scopes:[ (scope_tag, scope) ] ?journal ~resume ~supervision ()
   in
   Format.printf "%a" (Core.Experiments.pp_sweep ~timings:true) report;
-  if Core.Experiments.sweep_decided report then 0 else exit_unknown
+  if report.Core.Experiments.sweep_partial then begin
+    (match journal with
+    | Some path ->
+        Format.printf "partial sweep: resume with --journal %s --resume@." path
+    | None -> Format.printf "partial sweep: interrupted before completion@.");
+    exit_partial
+  end
+  else if Core.Experiments.sweep_decided report then 0
+  else exit_unknown
 
 let run backend encoding symmetry certify non_submodular release_outbid
     rebid_attack target agents items topology seed drop duplicate max_delay
@@ -236,11 +266,13 @@ let run backend encoding symmetry certify non_submodular release_outbid
         | _ -> 1
       end
 
-let run_safe sweep jobs sweep_states backend encoding symmetry certify ns ro ra
-    target agents items topology seed drop duplicate max_delay crashes
-    max_drops max_dups timeout =
+let run_safe sweep jobs sweep_states journal resume task_deadline retries
+    backend encoding symmetry certify ns ro ra target agents items topology
+    seed drop duplicate max_delay crashes max_drops max_dups timeout =
   match
-    if sweep then run_sweep jobs seed agents items sweep_states timeout
+    if sweep then
+      run_sweep jobs seed agents items sweep_states timeout journal resume
+        task_deadline retries
     else
       run backend encoding symmetry certify ns ro ra target agents items
         topology seed drop duplicate max_delay crashes max_drops max_dups
@@ -361,11 +393,42 @@ let term =
              ~doc:"trace length (netState scope) used by --sweep"
              ~docv:"K")
   in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ]
+             ~doc:"--sweep: append every completed cell to a crash-safe \
+                   (CRC-framed, fsync'd) journal at $(docv); interrupting \
+                   the sweep (Ctrl-C, SIGTERM, or even SIGKILL) loses at \
+                   most the in-flight cells" ~docv:"FILE")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"--sweep: skip cells already recorded in --journal under \
+                   the same seed (each record's content digest is \
+                   re-validated first; tampered records are re-run)")
+  in
+  let task_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "task-deadline" ]
+             ~doc:"--sweep: cancel any cell attempt still running after \
+                   $(docv) seconds; the cell is retried with backoff and \
+                   quarantined as UNKNOWN after --retries attempts"
+             ~docv:"SECS")
+  in
+  let retries =
+    Arg.(value & opt int 3
+         & info [ "retries" ]
+             ~doc:"--sweep: supervised attempts per cell before it is \
+                   quarantined (crashing or stalled cells never poison the \
+                   rest of the matrix)" ~docv:"N")
+  in
   Term.(
-    const run_safe $ sweep $ jobs $ sweep_states $ backend $ encoding
-    $ symmetry $ certify $ non_submodular $ release $ attack $ target $ agents
-    $ items $ topology $ seed $ drop $ duplicate $ max_delay $ crashes
-    $ max_drops $ max_dups $ timeout)
+    const run_safe $ sweep $ jobs $ sweep_states $ journal $ resume
+    $ task_deadline $ retries $ backend $ encoding $ symmetry $ certify
+    $ non_submodular $ release $ attack $ target $ agents $ items $ topology
+    $ seed $ drop $ duplicate $ max_delay $ crashes $ max_drops $ max_dups
+    $ timeout)
 
 let cmd =
   let exits =
@@ -378,6 +441,9 @@ let cmd =
     :: Cmd.Exit.info exit_unknown
          ~doc:"UNKNOWN: a state, step or wall-clock budget expired before \
                the backend could decide"
+    :: Cmd.Exit.info exit_partial
+         ~doc:"partial sweep: a drain request (SIGINT/SIGTERM) stopped the \
+               sweep early; the --journal file is resumable with --resume"
     :: Cmd.Exit.defaults
   in
   Cmd.v

@@ -237,16 +237,16 @@ let check ?symmetry c name =
   | None -> invalid_arg (Printf.sprintf "Compile.check: unknown assertion %s" name)
   | Some f -> check_formula ?symmetry c f
 
-let check_formula_bounded ?symmetry ~budget c f =
-  Translate.check_bounded ?symmetry ~budget c.bounds ~assertion:f
+let check_formula_bounded ?symmetry ?stop ~budget c f =
+  Translate.check_bounded ?symmetry ?stop ~budget c.bounds ~assertion:f
     ~facts:c.facts
 
-let check_bounded ?symmetry ~budget c name =
+let check_bounded ?symmetry ?stop ~budget c name =
   match Model.find_assert c.model name with
   | None ->
       invalid_arg
         (Printf.sprintf "Compile.check_bounded: unknown assertion %s" name)
-  | Some f -> check_formula_bounded ?symmetry ~budget c f
+  | Some f -> check_formula_bounded ?symmetry ?stop ~budget c f
 
 let check_formula_certified ?symmetry c f =
   Translate.check_certified ?symmetry c.bounds ~assertion:f ~facts:c.facts

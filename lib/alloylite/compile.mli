@@ -47,16 +47,17 @@ val check : ?symmetry:bool -> t -> string -> outcome
     {!Relalg.Translate.translate}). *)
 
 val check_formula_bounded :
-  ?symmetry:bool -> budget:Netsim.Budget.t -> t -> Relalg.Ast.formula ->
-  Relalg.Translate.bounded_outcome
+  ?symmetry:bool -> ?stop:(unit -> bool) -> budget:Netsim.Budget.t -> t ->
+  Relalg.Ast.formula -> Relalg.Translate.bounded_outcome
 (** Budgeted variant of {!check_formula}: returns [Unknown reason]
-    instead of hanging once the {!Netsim.Budget} expires. *)
+    instead of hanging once the {!Netsim.Budget} expires, or within one
+    conflict of the cooperative [stop] hook flipping to [true]. *)
 
 val check_bounded :
-  ?symmetry:bool -> budget:Netsim.Budget.t -> t -> string ->
-  Relalg.Translate.bounded_outcome
+  ?symmetry:bool -> ?stop:(unit -> bool) -> budget:Netsim.Budget.t -> t ->
+  string -> Relalg.Translate.bounded_outcome
 (** Budgeted variant of {!check} — Alloy's [check a] with graceful
-    degradation under a deadline or conflict cap. *)
+    degradation under a deadline, conflict cap or cancellation hook. *)
 
 val check_formula_certified :
   ?symmetry:bool -> t -> Relalg.Ast.formula -> Relalg.Translate.certified_outcome

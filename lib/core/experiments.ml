@@ -90,6 +90,8 @@ let policy_matrix ?(include_sat = true) ppf =
 
 type sweep_verdict = Holds | Violated | Undecided of string
 
+type cell_origin = Computed | Resumed | Quarantined | Skipped
+
 type sweep_cell = {
   policy_label : string;
   scope_tag : string;
@@ -97,6 +99,7 @@ type sweep_cell = {
   sim_ok : bool;
   exhaustive : sweep_verdict;
   cell_seconds : float;
+  origin : cell_origin;
 }
 
 type sweep_report = {
@@ -104,6 +107,8 @@ type sweep_report = {
   sweep_seed : int;
   cells : sweep_cell list;  (** in task order, whatever the scheduling *)
   sweep_wall : float;
+  sweep_resumed : int;  (** cells loaded from the journal *)
+  sweep_partial : bool;  (** a drain interrupted the run before all cells *)
 }
 
 let sweep_scopes =
@@ -127,7 +132,7 @@ let sweep_config ~seed ~policy_label ~scope_tag (p : Mca.Policy.t)
       ~base_utilities ~policy:p
   end
 
-let sweep_cell ~budget ~seed
+let sweep_cell ?stop ~budget ~seed
     ((policy_label, p, mp, scope_tag, scope) :
       string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) =
   let t0 = Unix.gettimeofday () in
@@ -138,7 +143,7 @@ let sweep_cell ~budget ~seed
     | _ -> false
   in
   let exhaustive =
-    match Checker.Explore.run ~budget cfg with
+    match Checker.Explore.run ?stop ~budget cfg with
     | Checker.Explore.Converges _ -> Holds
     | Checker.Explore.Unknown { reason; _ } -> Undecided reason
     | Checker.Explore.Nonconvergence _ | Checker.Explore.Bad_terminal _ ->
@@ -147,7 +152,7 @@ let sweep_cell ~budget ~seed
   let mp = { mp with Mca_model.target = min mp.Mca_model.target scope.Mca_model.vnodes } in
   let sat_verdict =
     match
-      Mca_model.check_consensus_bounded ~symmetry:true ~budget
+      Mca_model.check_consensus_bounded ~symmetry:true ?stop ~budget
         (Mca_model.build Mca_model.Efficient mp scope)
     with
     | Relalg.Translate.Decided Alloylite.Compile.Unsat -> Holds
@@ -161,6 +166,7 @@ let sweep_cell ~budget ~seed
     sim_ok;
     exhaustive;
     cell_seconds = Unix.gettimeofday () -. t0;
+    origin = Computed;
   }
 
 let sweep_tasks ?(scopes = sweep_scopes) () =
@@ -172,20 +178,219 @@ let sweep_tasks ?(scopes = sweep_scopes) () =
            Mca.Policy.paper_grid Mca_model.paper_policies)
        scopes)
 
+(* -- journal cell records ------------------------------------------- *)
+(* One journal entry per completed cell, pipe-separated key=value
+   fields with percent-escaping, e.g.
+
+     cell|1|seed=1|scope=2p2v|policy=submod|sat=holds|exh=holds|
+     sim=true|secs=0.41|cert=1a2b3c4d
+
+   [cert] is a CRC-32 fingerprint of the *semantic* fields (seed,
+   scope, policy and the three verdicts). The journal's frame CRC only
+   protects against torn/corrupted writes; the cert digest is
+   re-computed on load, so a record whose verdict was tampered with
+   (with a re-framed, valid CRC) is rejected and its cell re-runs. *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '|' -> Buffer.add_string b "%7c"
+      | '=' -> Buffer.add_string b "%3d"
+      | '\n' -> Buffer.add_string b "%0a"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' && !i + 2 < n then begin
+       (match String.sub s (!i + 1) 2 with
+       | "25" -> Buffer.add_char b '%'
+       | "7c" -> Buffer.add_char b '|'
+       | "3d" -> Buffer.add_char b '='
+       | "0a" -> Buffer.add_char b '\n'
+       | other -> Buffer.add_char b '%'; Buffer.add_string b other);
+       i := !i + 3
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let verdict_enc = function
+  | Holds -> "holds"
+  | Violated -> "violated"
+  | Undecided reason -> "unknown:" ^ escape reason
+
+let verdict_dec s =
+  match s with
+  | "holds" -> Some Holds
+  | "violated" -> Some Violated
+  | s when String.length s >= 8 && String.sub s 0 8 = "unknown:" ->
+      Some (Undecided (unescape (String.sub s 8 (String.length s - 8))))
+  | _ -> None
+
+let cell_fingerprint ~seed c =
+  Parallel.Journal.crc32_hex
+    (String.concat "|"
+       [
+         string_of_int seed; escape c.scope_tag; escape c.policy_label;
+         verdict_enc c.sat_verdict; verdict_enc c.exhaustive;
+         string_of_bool c.sim_ok;
+       ])
+
+let cell_record ~seed c =
+  Printf.sprintf
+    "cell|1|seed=%d|scope=%s|policy=%s|sat=%s|exh=%s|sim=%b|secs=%.6f|cert=%s"
+    seed (escape c.scope_tag) (escape c.policy_label)
+    (verdict_enc c.sat_verdict) (verdict_enc c.exhaustive) c.sim_ok
+    c.cell_seconds
+    (cell_fingerprint ~seed c)
+
+let cell_of_record line =
+  match String.split_on_char '|' line with
+  | "cell" :: "1" :: fields ->
+      let assoc =
+        List.filter_map
+          (fun f ->
+            match String.index_opt f '=' with
+            | Some i ->
+                Some
+                  ( String.sub f 0 i,
+                    String.sub f (i + 1) (String.length f - i - 1) )
+            | None -> None)
+          fields
+      in
+      let ( let* ) = Option.bind in
+      let* seed = Option.bind (List.assoc_opt "seed" assoc) int_of_string_opt in
+      let* scope_tag = Option.map unescape (List.assoc_opt "scope" assoc) in
+      let* policy_label = Option.map unescape (List.assoc_opt "policy" assoc) in
+      let* sat_verdict = Option.bind (List.assoc_opt "sat" assoc) verdict_dec in
+      let* exhaustive = Option.bind (List.assoc_opt "exh" assoc) verdict_dec in
+      let* sim_ok = Option.bind (List.assoc_opt "sim" assoc) bool_of_string_opt in
+      let* secs = Option.bind (List.assoc_opt "secs" assoc) float_of_string_opt in
+      let* cert = List.assoc_opt "cert" assoc in
+      let cell =
+        {
+          policy_label; scope_tag; sat_verdict; sim_ok; exhaustive;
+          cell_seconds = secs; origin = Resumed;
+        }
+      in
+      (* the load-time hash check: a tampered verdict or certificate
+         field must force a re-run, not a silent acceptance *)
+      if String.equal cert (cell_fingerprint ~seed cell) then Some (seed, cell)
+      else None
+  | _ -> None
+
+(* -- the crash-safe sweep ------------------------------------------- *)
+
+let undecided_cell ~origin ~reason
+    ((policy_label, _, _, scope_tag, _) :
+      string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) =
+  {
+    policy_label; scope_tag;
+    sat_verdict = Undecided reason;
+    sim_ok = false;
+    exhaustive = Undecided reason;
+    cell_seconds = 0.0;
+    origin;
+  }
+
+let load_journal ~seed path =
+  let loaded = Hashtbl.create 16 in
+  let r = Parallel.Journal.recover path in
+  List.iter
+    (fun entry ->
+      match cell_of_record entry with
+      | Some (s, c) when s = seed ->
+          (* duplicate records resolve last-write-wins: a re-run cell
+             supersedes what an interrupted attempt journaled earlier *)
+          Hashtbl.replace loaded (c.scope_tag, c.policy_label) c
+      | _ -> ())
+    r.entries;
+  loaded
+
 let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
-    ?scopes () =
+    ?scopes ?journal ?(resume = false) ?supervision () =
   let tasks = sweep_tasks ?scopes () in
   let t0 = Unix.gettimeofday () in
+  let loaded =
+    match (resume, journal) with
+    | true, None -> invalid_arg "run_sweep: ~resume requires ~journal"
+    | true, Some path -> load_journal ~seed path
+    | false, _ -> Hashtbl.create 1
+  in
+  let key (_, _, _, tag, _ as task) =
+    let (label, _, _, _, _) = task in
+    (tag, label)
+  in
+  let todo =
+    Array.of_list
+      (List.filter
+         (fun t -> not (Hashtbl.mem loaded (key t)))
+         (Array.to_list tasks))
+  in
+  let writer = Option.map Parallel.Journal.open_append journal in
+  let policy =
+    match supervision with
+    | Some p -> p
+    | None -> Parallel.Supervise.default_policy
+  in
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Parallel.Journal.close writer)
+      (fun () ->
+        Parallel.Supervise.map ~jobs ~policy
+          (fun ~stop task ->
+            let cell =
+              sweep_cell ~stop ~budget:(Netsim.Budget.restarted budget) ~seed
+                task
+            in
+            (* journal at the record boundary — but never an attempt the
+               supervisor is about to discard (stalled or drained): a
+               cancellation artifact in the journal would be resumed as
+               if it were a verdict *)
+            (match writer with
+            | Some w when not (stop ()) ->
+                Parallel.Journal.append w (cell_record ~seed cell)
+            | _ -> ());
+            cell)
+          todo)
+  in
+  let remaining = ref (Array.to_list (Array.map2 (fun t o -> (t, o)) todo outcomes)) in
   let cells =
-    Parallel.Pool.map_budgeted ~jobs ~budget
-      (fun ~budget task -> sweep_cell ~budget ~seed task)
-      tasks
+    Array.to_list tasks
+    |> List.map (fun task ->
+           match Hashtbl.find_opt loaded (key task) with
+           | Some cell -> cell
+           | None -> (
+               match !remaining with
+               | (t, outcome) :: rest when key t = key task ->
+                   remaining := rest;
+                   (match outcome with
+                   | Parallel.Supervise.Done { value; _ } -> value
+                   | Parallel.Supervise.Quarantined _ ->
+                       undecided_cell ~origin:Quarantined ~reason:"quarantined"
+                         task
+                   | Parallel.Supervise.Skipped ->
+                       undecided_cell ~origin:Skipped ~reason:"drained" task)
+               | _ -> assert false))
   in
   {
     sweep_jobs = jobs;
     sweep_seed = seed;
-    cells = Array.to_list cells;
+    cells;
     sweep_wall = Unix.gettimeofday () -. t0;
+    sweep_resumed = Hashtbl.length loaded;
+    sweep_partial = List.exists (fun c -> c.origin = Skipped) cells;
   }
 
 let verdict_string = function
@@ -195,6 +400,12 @@ let verdict_string = function
 
 (* The canonical rendering deliberately excludes every timing: identical
    verdicts => byte-identical text, whatever --jobs was. *)
+let origin_string = function
+  | Computed -> "computed"
+  | Resumed -> "resumed"
+  | Quarantined -> "quarantined"
+  | Skipped -> "skipped"
+
 let render_sweep ?(timings = false) r =
   let b = Buffer.create 1024 in
   Buffer.add_string b
@@ -210,11 +421,21 @@ let render_sweep ?(timings = false) r =
            (verdict_string c.sat_verdict)
            (verdict_string c.exhaustive)
            (if c.sim_ok then "true" else "false")
-           (if timings then Printf.sprintf "  %6.2fs" c.cell_seconds else "")))
+           (if timings then
+              Printf.sprintf "  %6.2fs  [%s]" c.cell_seconds
+                (origin_string c.origin)
+            else "")))
     r.cells;
-  if timings then
+  if timings then begin
     Buffer.add_string b
       (Printf.sprintf "  wall %.2fs with %d job(s)\n" r.sweep_wall r.sweep_jobs);
+    if r.sweep_resumed > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "  resumed %d cell(s) from journal\n" r.sweep_resumed);
+    if r.sweep_partial then
+      Buffer.add_string b
+        "  PARTIAL: drained before completion; journal is resumable\n"
+  end;
   Buffer.contents b
 
 let pp_sweep ?timings ppf r =

@@ -41,6 +41,12 @@ type sweep_verdict =
   | Violated
   | Undecided of string  (** a budget expired; the reason names the cap *)
 
+type cell_origin =
+  | Computed  (** verified in this run *)
+  | Resumed  (** loaded from a journal, digest re-validated *)
+  | Quarantined  (** exhausted its supervised retries *)
+  | Skipped  (** a drain request arrived before the cell started *)
+
 type sweep_cell = {
   policy_label : string;
   scope_tag : string;
@@ -48,6 +54,7 @@ type sweep_cell = {
   sim_ok : bool;  (** the synchronous simulation converged *)
   exhaustive : sweep_verdict;
   cell_seconds : float;
+  origin : cell_origin;
 }
 
 type sweep_report = {
@@ -57,6 +64,10 @@ type sweep_report = {
       (** always in task order — result collection is keyed by task
           index, so scheduling never reorders the report *)
   sweep_wall : float;
+  sweep_resumed : int;  (** cells taken from the journal, not re-run *)
+  sweep_partial : bool;
+      (** a drain left [Skipped] cells; the journal (if any) holds every
+          completed cell, so a [~resume] re-run finishes the matrix *)
 }
 
 val sweep_scopes : (string * Mca_model.scope_spec) list
@@ -74,13 +85,40 @@ val run_sweep :
   ?seed:int ->
   ?budget:Netsim.Budget.t ->
   ?scopes:(string * Mca_model.scope_spec) list ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?supervision:Parallel.Supervise.policy ->
   unit ->
   sweep_report
 (** Runs the matrix with at most [jobs] (default 1) worker domains;
     [jobs = 1] runs inline with no domain spawned. Each cell gets
     [Netsim.Budget.restarted budget], so a global [--timeout] bounds
     every cell individually. Same [seed], same task list ⇒ identical
-    verdicts for any [jobs] (see {!render_sweep}). *)
+    verdicts for any [jobs] (see {!render_sweep}).
+
+    Crash safety: with [~journal:path] every completed cell is appended
+    to a CRC-framed, fsync'd write-ahead journal; with [~resume:true]
+    (requires [~journal], else [Invalid_argument]) cells already
+    journaled under the same [seed] are loaded instead of re-run —
+    after re-validating each record's content digest, so a tampered
+    verdict forces a re-run. Duplicate records resolve last-write-wins.
+    Cells run under {!Parallel.Supervise.map} with [supervision]
+    (default {!Parallel.Supervise.default_policy}): a crashing or
+    stalled cell is retried with backoff and eventually reported as a
+    [Quarantined] [Undecided] cell without poisoning the rest of the
+    matrix, and a {!Parallel.Supervise.request_drain} (e.g. from a
+    SIGINT handler) stops scheduling new cells, flushes the journal and
+    yields a [sweep_partial] report. *)
+
+val cell_record : seed:int -> sweep_cell -> string
+(** The journal line for a completed cell (format ["cell|1|…"], with a
+    CRC-32 content digest in its [cert] field). Exposed for the
+    robustness tests and the crash-recovery smoke job. *)
+
+val cell_of_record : string -> (int * sweep_cell) option
+(** Parses and digest-checks a journal line; [None] for foreign,
+    malformed or tampered records. The cell comes back with
+    [origin = Resumed]. *)
 
 val render_sweep : ?timings:bool -> sweep_report -> string
 (** Canonical text of the report. Without [timings] (the default) the

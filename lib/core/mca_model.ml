@@ -685,8 +685,8 @@ let build encoding policy scope =
 
 let check_consensus ?symmetry t = Compile.check ?symmetry t.compiled "consensus"
 
-let check_consensus_bounded ?symmetry ~budget t =
-  Compile.check_bounded ?symmetry ~budget t.compiled "consensus"
+let check_consensus_bounded ?symmetry ?stop ~budget t =
+  Compile.check_bounded ?symmetry ?stop ~budget t.compiled "consensus"
 
 let check_consensus_certified ?symmetry t =
   Compile.check_certified ?symmetry t.compiled "consensus"

@@ -80,11 +80,13 @@ val check_consensus : ?symmetry:bool -> t -> Alloylite.Compile.outcome
     predicates — the ablation of experiment E5b. *)
 
 val check_consensus_bounded :
-  ?symmetry:bool -> budget:Netsim.Budget.t -> t ->
+  ?symmetry:bool -> ?stop:(unit -> bool) -> budget:Netsim.Budget.t -> t ->
   Relalg.Translate.bounded_outcome
 (** Like {!check_consensus}, but gives up with [Unknown reason] once the
     {!Netsim.Budget} (wall-clock deadline and/or conflict cap) expires —
-    the SAT backend's graceful-degradation path. *)
+    the SAT backend's graceful-degradation path — or within one conflict
+    of the cooperative [stop] hook flipping to [true] (the supervised
+    sweep's stall-cancellation path). *)
 
 val check_consensus_certified :
   ?symmetry:bool -> t -> Relalg.Translate.certified_outcome

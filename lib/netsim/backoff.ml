@@ -1,0 +1,30 @@
+type t = {
+  base_s : float;
+  cap_s : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let make ?(base_s = 0.05) ?(cap_s = 2.0) ?(multiplier = 2.0) ?(jitter = 0.25)
+    () =
+  if base_s < 0.0 then invalid_arg "Backoff.make: negative base_s";
+  if cap_s < 0.0 then invalid_arg "Backoff.make: negative cap_s";
+  if multiplier < 1.0 then invalid_arg "Backoff.make: multiplier < 1";
+  if jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Backoff.make: jitter outside [0, 1]";
+  { base_s; cap_s; multiplier; jitter }
+
+let none = { base_s = 0.0; cap_s = 0.0; multiplier = 1.0; jitter = 0.0 }
+
+let delay p ~rng ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay: attempt < 1";
+  (* one draw regardless of jitter, so a policy change never desyncs the
+     rest of the stream *)
+  let u = Rng.float rng 1.0 in
+  let d = p.base_s *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let d = d *. (1.0 +. (p.jitter *. ((2.0 *. u) -. 1.0))) in
+  Float.min p.cap_s (Float.max 0.0 d)
+
+let pp ppf p =
+  Format.fprintf ppf "base=%.3gs cap=%.3gs x%.3g jitter=%.2f" p.base_s p.cap_s
+    p.multiplier p.jitter

@@ -1,0 +1,38 @@
+(** Exponential-backoff retry policies with seeded jitter.
+
+    The delay schedule every retrying component shares: the protocol
+    driver's retransmission uses a fixed binary schedule, while the
+    verification supervisor ({!Parallel.Supervise}) retries failed or
+    stalled sweep cells under a policy from this module. Delays are a
+    pure function of (policy, rng stream, attempt number) — all
+    randomness flows through {!Rng}, so a retry schedule is reproducible
+    from a single integer seed like every other experiment. *)
+
+type t = private {
+  base_s : float;  (** delay before the first retry (attempt 1) *)
+  cap_s : float;  (** upper bound on any single delay *)
+  multiplier : float;  (** growth factor per attempt (2.0 = binary) *)
+  jitter : float;
+      (** relative jitter amplitude in [0, 1]: the drawn delay is
+          uniform in [d*(1-jitter), d*(1+jitter)], clamped to [cap_s] *)
+}
+
+val make :
+  ?base_s:float -> ?cap_s:float -> ?multiplier:float -> ?jitter:float ->
+  unit -> t
+(** Defaults: base 0.05 s, cap 2 s, multiplier 2.0, jitter 0.25.
+    Raises [Invalid_argument] on a negative base/cap, a multiplier
+    < 1, or jitter outside [0, 1]. *)
+
+val none : t
+(** Zero delays — retry immediately (tests, and callers that only want
+    the attempt-counting side of supervision). *)
+
+val delay : t -> rng:Rng.t -> attempt:int -> float
+(** [delay p ~rng ~attempt] is the sleep before retry number [attempt]
+    (1-based): [base_s * multiplier^(attempt-1)], jittered by [rng],
+    clamped to [cap_s]. Raises [Invalid_argument] when [attempt < 1].
+    Consumes exactly one draw from [rng] (even when the jitter is 0),
+    so schedules stay aligned across policies. *)
+
+val pp : Format.formatter -> t -> unit

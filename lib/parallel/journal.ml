@@ -1,0 +1,167 @@
+(* Frame layout: [u32 len LE][u32 crc LE][payload]; crc is IEEE CRC-32
+   over the 4 length bytes followed by the payload, so a corrupted
+   length field is caught directly instead of by a misaligned payload
+   read. *)
+
+(* ---- CRC-32 (IEEE 802.3, reflected) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_update crc s =
+  let table = Lazy.force crc_table in
+  let crc = ref crc in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  !crc
+
+let crc32 s = Int32.logxor (crc32_update 0xFFFFFFFFl s) 0xFFFFFFFFl
+
+let crc32_frame len_bytes payload =
+  Int32.logxor
+    (crc32_update (crc32_update 0xFFFFFFFFl len_bytes) payload)
+    0xFFFFFFFFl
+
+let crc32_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+(* ---- framing ---- *)
+
+let u32_le n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (n land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 3 ((n lsr 24) land 0xFF);
+  Bytes.unsafe_to_string b
+
+(* unsigned value of an int32 in a 63-bit int — [Int32.to_int] alone
+   sign-extends, which would make any CRC with bit 31 set compare
+   unequal to the (positive) value read back from the file *)
+let int32_unsigned (v : int32) = Int32.to_int v land 0xFFFFFFFF
+
+let u32_le_int32 (v : int32) = u32_le (int32_unsigned v)
+
+let read_u32_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+(* an upper bound on a sane record: a corrupted length field must not
+   make the reader attempt a gigabyte allocation *)
+let max_record_len = 16 * 1024 * 1024
+
+(* ---- writer ---- *)
+
+type writer = {
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  mutable closed : bool;
+}
+
+let open_append path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { fd; lock = Mutex.create (); closed = false }
+
+let write_all fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+let append w record =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if w.closed then invalid_arg "Journal.append: closed writer";
+      if String.length record > max_record_len then
+        invalid_arg "Journal.append: record exceeds 16 MiB";
+      let len_bytes = u32_le (String.length record) in
+      let crc = crc32_frame len_bytes record in
+      (* one write per frame keeps a torn append a pure suffix *)
+      write_all w.fd (len_bytes ^ u32_le_int32 crc ^ record);
+      Unix.fsync w.fd)
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        Unix.close w.fd
+      end)
+
+(* ---- reader ---- *)
+
+type read_result = {
+  entries : string list;
+  valid_bytes : int;
+  corruption : string option;
+}
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let read path =
+  match read_file path with
+  | None -> { entries = []; valid_bytes = 0; corruption = None }
+  | Some data ->
+      let n = String.length data in
+      let entries = ref [] in
+      let pos = ref 0 in
+      let corruption = ref None in
+      let stop reason = corruption := Some reason in
+      let continue () = !corruption = None && !pos < n in
+      while continue () do
+        let off = !pos in
+        if n - off < 8 then
+          stop (Printf.sprintf "torn frame header at byte %d" off)
+        else begin
+          let len = read_u32_le data off in
+          let crc_stored = read_u32_le data (off + 4) in
+          if len < 0 || len > max_record_len then
+            stop (Printf.sprintf "absurd record length %d at byte %d" len off)
+          else if n - off - 8 < len then
+            stop (Printf.sprintf "torn payload at byte %d" off)
+          else begin
+            let payload = String.sub data (off + 8) len in
+            let crc = int32_unsigned (crc32_frame (u32_le len) payload) in
+            if crc <> crc_stored then
+              stop (Printf.sprintf "crc mismatch at byte %d" off)
+            else begin
+              entries := payload :: !entries;
+              pos := off + 8 + len
+            end
+          end
+        end
+      done;
+      { entries = List.rev !entries; valid_bytes = !pos; corruption = !corruption }
+
+let recover path =
+  let r = read path in
+  (match r.corruption with
+  | Some _ -> ( try Unix.truncate path r.valid_bytes with Unix.Unix_error _ -> ())
+  | None -> ());
+  r

@@ -1,0 +1,61 @@
+(** Append-only, CRC32-framed, fsync'd write-ahead journal.
+
+    The crash-safety substrate of the verification service: a long sweep
+    appends one record per completed cell, and a restarted run replays
+    the journal to skip the work already done. The format is built for
+    exactly one failure model — the process (or machine) dies at an
+    arbitrary byte boundary:
+
+    - every record is framed as [length (4 bytes LE) | crc32 (4 bytes
+      LE) | payload], with the CRC computed over length and payload;
+    - {!append} writes the frame and [fsync]s before returning, so a
+      record the caller saw acknowledged survives any later crash;
+    - the reader validates frames in order and stops at the first
+      short or corrupt one — a torn final write loses only itself,
+      never the records before it;
+    - {!recover} additionally truncates the file back to the last valid
+      frame, so a resumed run can keep appending to a clean tail.
+
+    Records are opaque strings (any bytes, including ['\n'] and
+    ['\000']); semantic encoding/decoding belongs to the caller (the
+    sweep's cell records live in {!Core.Experiments}). Writers are
+    serialized by an internal mutex, so worker domains may share one. *)
+
+type writer
+
+val open_append : string -> writer
+(** Opens (creating if needed) for appending. The existing content is
+    not validated here — run {!recover} first when resuming onto a file
+    that may end in a torn frame. *)
+
+val append : writer -> string -> unit
+(** Frames, writes and [fsync]s one record. Thread-safe. Raises
+    [Invalid_argument] on a closed writer and [Unix.Unix_error] on I/O
+    failure (the record is then not acknowledged). *)
+
+val close : writer -> unit
+(** Idempotent. *)
+
+type read_result = {
+  entries : string list;  (** valid records, oldest first *)
+  valid_bytes : int;  (** length of the validated prefix *)
+  corruption : string option;
+      (** [Some reason] when reading stopped before the end of the
+          file: a torn frame, a CRC mismatch, or an absurd length *)
+}
+
+val read : string -> read_result
+(** Validates the file without modifying it. A missing file reads as
+    empty and uncorrupted. *)
+
+val recover : string -> read_result
+(** {!read}, then truncates the file to [valid_bytes] when corruption
+    was found — the resume entry point. *)
+
+val crc32 : string -> int32
+(** The IEEE CRC-32 used for framing, exposed so callers can fingerprint
+    record {e contents} (e.g. a verdict/certificate digest that must be
+    revalidated on load, independently of the frame checksum). *)
+
+val crc32_hex : string -> string
+(** [crc32] as 8 lowercase hex digits. *)

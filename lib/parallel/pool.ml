@@ -2,24 +2,24 @@ let available_jobs () = Domain.recommended_domain_count ()
 
 (* A task travels as (index, thunk); results land in a slot array keyed
    by index, so collection order is deterministic regardless of which
-   worker finishes first. *)
-let map ?(jobs = 1) f tasks =
-  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+   worker finishes first. A task that raises fills its own slot with
+   [Error] — a worker never dies with a slot unfilled, and joiners never
+   wait on a crashed worker. *)
+let map_result ?(jobs = 1) f tasks =
+  if jobs < 1 then invalid_arg "Pool.map_result: jobs < 1";
   let n = Array.length tasks in
-  if jobs = 1 || n <= 1 then Array.map f tasks
+  let protected x = match f x with r -> Ok r | exception e -> Error e in
+  if jobs = 1 || n <= 1 then Array.map protected tasks
   else begin
     let workers = min jobs n in
     let queue = Bqueue.create ~capacity:(2 * workers) in
     let results = Array.make n None in
-    let errors = Array.make n None in
     let worker () =
       let rec loop () =
         match Bqueue.pop queue with
         | None -> ()
         | Some i ->
-            (match f tasks.(i) with
-            | r -> results.(i) <- Some r
-            | exception e -> errors.(i) <- Some e);
+            results.(i) <- Some (protected tasks.(i));
             loop ()
       in
       loop ()
@@ -30,10 +30,17 @@ let map ?(jobs = 1) f tasks =
     done;
     Bqueue.close queue;
     Array.iter Domain.join domains;
-    Array.iteri
-      (fun i e -> match e with Some exn -> raise exn | None -> ignore i)
-      errors;
     Array.map Option.get results
+  end
+
+let map ?(jobs = 1) f tasks =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  if jobs = 1 || Array.length tasks <= 1 then Array.map f tasks
+  else begin
+    let results = map_result ~jobs f tasks in
+    (* deterministic error reporting: the lowest-indexed failure wins *)
+    Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+    Array.map (function Ok r -> r | Error _ -> assert false) results
   end
 
 let map_budgeted ?jobs ~budget f tasks =

@@ -13,13 +13,22 @@
 
     Tasks must not share mutable state: per-domain state in the
     libraries (e.g. the {!Sat.Formula} hash-consing tables) makes a full
-    build→translate→solve pipeline safe per task. If a task raises, the
-    pool still joins every worker, then re-raises the exception of the
-    lowest-indexed failing task (deterministic again). *)
+    build→translate→solve pipeline safe per task. A task that raises
+    fills its own result slot with an explicit [Error] ({!map_result}),
+    so a worker never dies mid-queue and joiners never wait on a lost
+    slot; {!map} re-raises the exception of the lowest-indexed failing
+    task (deterministic again) after every worker has joined. *)
 
 val available_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism cap
     that [--jobs 0] resolves to in the CLI drivers. *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map_result ~jobs f tasks] evaluates every task to completion, even
+    when some raise: slot [i] is [Ok (f tasks.(i))] or [Error exn]. The
+    supervision layer builds on this — one poisoned cell must never
+    discard the rest of a sweep. Raises [Invalid_argument] when
+    [jobs < 1]. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f tasks] evaluates [f] on every element using at most

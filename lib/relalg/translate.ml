@@ -329,7 +329,7 @@ let check ?symmetry bounds ~assertion ~facts =
 
 type bounded_outcome = Decided of outcome | Unknown of string
 
-let solve_bounded ?symmetry ~budget bounds formula =
+let solve_bounded ?symmetry ?stop ~budget bounds formula =
   let tr = translate ?symmetry bounds formula in
   match tr.cnf.constant with
   | Some false -> Decided Unsat
@@ -338,14 +338,14 @@ let solve_bounded ?symmetry ~budget bounds formula =
       Decided (Sat (instance_of_model tr model))
   | None -> (
       let solver = Sat.Solver.of_problem tr.cnf.problem in
-      match Sat.Solver.solve_bounded ~budget solver with
+      match Sat.Solver.solve_bounded ?stop ~budget solver with
       | Sat.Solver.Unknown { reason; _ } -> Unknown reason
       | Sat.Solver.Decided Sat.Solver.Unsat -> Decided Unsat
       | Sat.Solver.Decided (Sat.Solver.Sat model) ->
           Decided (Sat (instance_of_model tr model)))
 
-let check_bounded ?symmetry ~budget bounds ~assertion ~facts =
-  solve_bounded ?symmetry ~budget bounds
+let check_bounded ?symmetry ?stop ~budget bounds ~assertion ~facts =
+  solve_bounded ?symmetry ?stop ~budget bounds
     (Ast.and_ [ facts; Ast.not_ assertion ])
 
 type certified_outcome = {

@@ -44,16 +44,19 @@ val check : ?symmetry:bool -> Bounds.t -> assertion:Ast.formula -> facts:Ast.for
 type bounded_outcome = Decided of outcome | Unknown of string
 
 val solve_bounded :
-  ?symmetry:bool -> budget:Netsim.Budget.t -> Bounds.t -> Ast.formula ->
-  bounded_outcome
+  ?symmetry:bool -> ?stop:(unit -> bool) -> budget:Netsim.Budget.t ->
+  Bounds.t -> Ast.formula -> bounded_outcome
 (** Like {!solve}, under a budget. Formulas that constant-fold during
     translation are decided without consulting the solver, so they never
-    return [Unknown]. *)
+    return [Unknown]. [stop] is the cooperative-cancellation hook of the
+    parallel drivers, forwarded to {!Sat.Solver.solve_bounded}: when it
+    flips to [true] the answer is [Unknown "cancelled"] within one
+    conflict. *)
 
 val check_bounded :
-  ?symmetry:bool -> budget:Netsim.Budget.t -> Bounds.t ->
-  assertion:Ast.formula -> facts:Ast.formula -> bounded_outcome
-(** Like {!check}, under a budget. *)
+  ?symmetry:bool -> ?stop:(unit -> bool) -> budget:Netsim.Budget.t ->
+  Bounds.t -> assertion:Ast.formula -> facts:Ast.formula -> bounded_outcome
+(** Like {!check}, under a budget and the same [stop] hook. *)
 
 (** An outcome paired with its certification evidence: the DRUP/model
     report from {!Sat.Proof}, or [None] when the formula constant-folded

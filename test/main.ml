@@ -10,5 +10,6 @@ let () =
       ("vnm", Test_vnm.suite);
       ("core", Test_core.suite);
       ("parallel", Test_parallel.suite);
+      ("crashsafe", Test_crashsafe.suite);
       ("differential", Test_differential.suite);
     ]

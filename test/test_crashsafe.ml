@@ -1,0 +1,453 @@
+(* Tests for the crash-safe verification service: the CRC-framed
+   write-ahead journal (torn frames, bit flips, duplicate records,
+   tampered digests), the supervisor (retry, quarantine, deadline,
+   drain), the pool's per-task error isolation, the backoff schedule,
+   and the headline round trip — an interrupted journaled sweep,
+   resumed, must render byte-identically to an uninterrupted run. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_path () = Filename.temp_file "mca_journal" ".wal"
+
+let with_temp f =
+  let path = temp_path () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let write_records path records =
+  let w = Parallel.Journal.open_append path in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Journal.close w)
+    (fun () -> List.iter (Parallel.Journal.append w) records)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* ---- backoff ---- *)
+
+let test_backoff_deterministic () =
+  let p = Netsim.Backoff.make () in
+  let draw () =
+    let rng = Netsim.Rng.create 42 in
+    List.init 6 (fun i -> Netsim.Backoff.delay p ~rng ~attempt:(i + 1))
+  in
+  check "same seed, same schedule" true (draw () = draw ())
+
+let test_backoff_bounds () =
+  let p = Netsim.Backoff.make ~base_s:0.1 ~cap_s:1.0 ~multiplier:2.0 ~jitter:0.25 () in
+  let rng = Netsim.Rng.create 7 in
+  for attempt = 1 to 10 do
+    let d = Netsim.Backoff.delay p ~rng ~attempt in
+    let nominal = 0.1 *. (2.0 ** float_of_int (attempt - 1)) in
+    check "within jitter band or cap" true
+      (d >= Float.min 1.0 (nominal *. 0.75) -. 1e-9 && d <= 1.0 +. 1e-9)
+  done;
+  (* deep attempts saturate at the cap's jitter band *)
+  let d = Netsim.Backoff.delay p ~rng ~attempt:30 in
+  check "clamped to cap" true (d <= 1.0 +. 1e-9 && d >= 0.75 -. 1e-9)
+
+let test_backoff_none_and_validation () =
+  let rng = Netsim.Rng.create 1 in
+  check "none is immediate" true
+    (Netsim.Backoff.delay Netsim.Backoff.none ~rng ~attempt:5 = 0.0);
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check "negative base rejected" true (raises (fun () -> Netsim.Backoff.make ~base_s:(-1.0) ()));
+  check "multiplier < 1 rejected" true (raises (fun () -> Netsim.Backoff.make ~multiplier:0.5 ()));
+  check "jitter > 1 rejected" true (raises (fun () -> Netsim.Backoff.make ~jitter:1.5 ()));
+  check "attempt 0 rejected" true
+    (raises (fun () -> Netsim.Backoff.delay Netsim.Backoff.none ~rng ~attempt:0))
+
+(* ---- journal framing ---- *)
+
+let test_journal_roundtrip () =
+  with_temp (fun path ->
+      write_records path [ "alpha"; "beta"; "gamma" ];
+      let r = Parallel.Journal.read path in
+      check "all entries back" true (r.Parallel.Journal.entries = [ "alpha"; "beta"; "gamma" ]);
+      check "no corruption" true (r.Parallel.Journal.corruption = None);
+      check_int "valid_bytes is whole file" (file_size path) r.Parallel.Journal.valid_bytes)
+
+let test_journal_empty_and_missing () =
+  with_temp (fun path ->
+      let r = Parallel.Journal.read path in
+      check "empty file, no entries" true
+        (r.Parallel.Journal.entries = [] && r.Parallel.Journal.corruption = None));
+  let r = Parallel.Journal.read "/nonexistent/mca.wal" in
+  check "missing file reads as empty" true
+    (r.Parallel.Journal.entries = [] && r.Parallel.Journal.corruption = None)
+
+let test_journal_torn_final_frame () =
+  with_temp (fun path ->
+      write_records path [ "alpha"; "beta"; "gamma" ];
+      let full = file_size path in
+      (* chop 3 bytes off the last frame's payload: a torn append *)
+      Unix.truncate path (full - 3);
+      let r = Parallel.Journal.read path in
+      check "prefix survives" true (r.Parallel.Journal.entries = [ "alpha"; "beta" ]);
+      check "torn payload reported" true
+        (match r.Parallel.Journal.corruption with
+        | Some reason -> String.length reason > 0
+        | None -> false);
+      (* recover truncates to the valid prefix; the journal is clean and
+         appendable again *)
+      let r2 = Parallel.Journal.recover path in
+      check_int "recover keeps valid prefix" 2 (List.length r2.Parallel.Journal.entries);
+      check_int "file truncated to valid bytes" r2.Parallel.Journal.valid_bytes (file_size path);
+      write_records path [ "delta" ];
+      let r3 = Parallel.Journal.read path in
+      check "append after recover" true
+        (r3.Parallel.Journal.entries = [ "alpha"; "beta"; "delta" ]
+        && r3.Parallel.Journal.corruption = None))
+
+let test_journal_bitflip_crc () =
+  with_temp (fun path ->
+      write_records path [ "alpha"; "beta"; "gamma" ];
+      (* flip one bit inside frame 2's payload: frame 1 is 8+5 bytes, so
+         frame 2's payload starts at byte 21 *)
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let b = Bytes.of_string data in
+      Bytes.set b 22 (Char.chr (Char.code (Bytes.get b 22) lxor 0x10));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let r = Parallel.Journal.read path in
+      check "entries before the flip survive" true (r.Parallel.Journal.entries = [ "alpha" ]);
+      check "crc mismatch reported" true
+        (match r.Parallel.Journal.corruption with
+        | Some reason ->
+            (* everything after the corrupt frame is discarded, even the
+               intact frame 3: resynchronization is impossible *)
+            String.length reason > 0
+        | None -> false);
+      check_int "valid prefix is exactly frame 1" 13 r.Parallel.Journal.valid_bytes)
+
+let test_journal_rejects_oversized_and_closed () =
+  with_temp (fun path ->
+      let w = Parallel.Journal.open_append path in
+      Parallel.Journal.append w "ok";
+      Parallel.Journal.close w;
+      Parallel.Journal.close w (* idempotent *);
+      check "append on closed raises" true
+        (match Parallel.Journal.append w "nope" with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+
+(* ---- cell record codec ---- *)
+
+let mk_cell ?(policy_label = "submod") ?(scope_tag = "2p2v/4st")
+    ?(sat = Core.Experiments.Holds) ?(exh = Core.Experiments.Holds)
+    ?(sim = true) () =
+  {
+    Core.Experiments.policy_label;
+    scope_tag;
+    sat_verdict = sat;
+    sim_ok = sim;
+    exhaustive = exh;
+    cell_seconds = 0.25;
+    origin = Core.Experiments.Computed;
+  }
+
+let test_cell_record_roundtrip () =
+  (* hostile labels and reasons: every byte the record syntax uses *)
+  let cell =
+    mk_cell ~policy_label:"we|ird=la%bel" ~scope_tag:"2p2v\n4st"
+      ~sat:(Core.Experiments.Undecided "bud|get=ex%pired")
+      ~exh:Core.Experiments.Violated ~sim:false ()
+  in
+  let record = Core.Experiments.cell_record ~seed:9 cell in
+  match Core.Experiments.cell_of_record record with
+  | None -> Alcotest.fail "round trip lost the record"
+  | Some (seed, back) ->
+      check_int "seed" 9 seed;
+      check_string "policy label" cell.Core.Experiments.policy_label
+        back.Core.Experiments.policy_label;
+      check_string "scope tag" cell.Core.Experiments.scope_tag
+        back.Core.Experiments.scope_tag;
+      check "verdicts" true
+        (back.Core.Experiments.sat_verdict = cell.Core.Experiments.sat_verdict
+        && back.Core.Experiments.exhaustive = cell.Core.Experiments.exhaustive
+        && back.Core.Experiments.sim_ok = false);
+      check "resumed origin" true
+        (back.Core.Experiments.origin = Core.Experiments.Resumed)
+
+let replace ~sub ~by s =
+  match String.index_opt s sub.[0] with
+  | _ ->
+      let n = String.length s and m = String.length sub in
+      let b = Buffer.create n in
+      let i = ref 0 in
+      while !i < n do
+        if !i + m <= n && String.sub s !i m = sub then begin
+          Buffer.add_string b by;
+          i := !i + m
+        end
+        else begin
+          Buffer.add_char b s.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents b
+
+let test_cell_record_tamper () =
+  let record = Core.Experiments.cell_record ~seed:1 (mk_cell ()) in
+  check "pristine record parses" true (Core.Experiments.cell_of_record record <> None);
+  (* flip the verdict but keep the (valid) frame: the content digest
+     must catch it *)
+  let flipped = replace ~sub:"sat=holds" ~by:"sat=violated" record in
+  check "tampered verdict rejected" true (Core.Experiments.cell_of_record flipped = None);
+  let forged = replace ~sub:"cert=" ~by:"cert=0" record in
+  check "tampered digest rejected" true (Core.Experiments.cell_of_record forged = None);
+  check "foreign record rejected" true (Core.Experiments.cell_of_record "gc|oldgen|37" = None)
+
+(* ---- resume semantics, without any verification work: a journal that
+   already covers the whole matrix makes run_sweep a pure load *)
+
+let tiny_scopes =
+  [ ("2p2v", { Core.Mca_model.pnodes = 2; vnodes = 2; states = 3; values = 4; bitwidth = 4 }) ]
+
+let test_resume_loads_lww_and_filters_seed () =
+  with_temp (fun path ->
+      let tasks = Core.Experiments.sweep_tasks ~scopes:tiny_scopes () in
+      let synth i (label, _, _, tag, _) =
+        mk_cell ~policy_label:label ~scope_tag:tag
+          ~sat:(if i mod 2 = 0 then Core.Experiments.Holds else Core.Experiments.Violated)
+          ~exh:Core.Experiments.Holds ~sim:(i mod 2 = 0) ()
+      in
+      let cells = Array.to_list (Array.mapi synth tasks) in
+      let records = List.map (Core.Experiments.cell_record ~seed:1) cells in
+      (* a stale duplicate of cell 0 written first: last write wins *)
+      let stale =
+        Core.Experiments.cell_record ~seed:1
+          (mk_cell
+             ~policy_label:(let l, _, _, _, _ = tasks.(0) in l)
+             ~scope_tag:(let _, _, _, t, _ = tasks.(0) in t)
+             ~sat:Core.Experiments.Violated ~exh:Core.Experiments.Violated
+             ~sim:false ())
+      in
+      (* a foreign-seed record for cell 1 written last: must be ignored,
+         not win by recency *)
+      let foreign =
+        Core.Experiments.cell_record ~seed:2
+          (mk_cell
+             ~policy_label:(let l, _, _, _, _ = tasks.(1) in l)
+             ~scope_tag:(let _, _, _, t, _ = tasks.(1) in t)
+             ~sat:Core.Experiments.Violated ~exh:Core.Experiments.Violated
+             ~sim:false ())
+      in
+      write_records path ((stale :: records) @ [ foreign ]);
+      let report =
+        Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes:tiny_scopes
+          ~journal:path ~resume:true ()
+      in
+      check_int "every cell resumed" (Array.length tasks)
+        report.Core.Experiments.sweep_resumed;
+      check "nothing partial" true (not report.Core.Experiments.sweep_partial);
+      List.iteri
+        (fun i (c : Core.Experiments.sweep_cell) ->
+          check "origin resumed" true (c.Core.Experiments.origin = Core.Experiments.Resumed);
+          let expected = List.nth cells i in
+          check "fresh record beat the stale duplicate, same-seed beat foreign" true
+            (c.Core.Experiments.sat_verdict = expected.Core.Experiments.sat_verdict
+            && c.Core.Experiments.sim_ok = expected.Core.Experiments.sim_ok))
+        report.Core.Experiments.cells)
+
+let test_resume_requires_journal () =
+  check "resume without journal rejected" true
+    (match Core.Experiments.run_sweep ~resume:true ~scopes:tiny_scopes () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---- the headline round trip: interrupt, resume, byte-identical ---- *)
+
+let small_scopes =
+  [ ("2p2v", { Core.Mca_model.pnodes = 2; vnodes = 2; states = 4; values = 5; bitwidth = 4 }) ]
+
+let test_kill_resume_byte_identical () =
+  with_temp (fun journal_a ->
+      with_temp (fun journal_b ->
+          (* run A: full journaled sweep — this is also the uninterrupted
+             reference *)
+          let full =
+            Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes:small_scopes
+              ~journal:journal_a ()
+          in
+          let ra = Parallel.Journal.read journal_a in
+          check_int "one record per cell"
+            (List.length full.Core.Experiments.cells)
+            (List.length ra.Parallel.Journal.entries);
+          (* simulate the crash: only the first 3 records survived *)
+          let survivors =
+            List.filteri (fun i _ -> i < 3) ra.Parallel.Journal.entries
+          in
+          write_records journal_b survivors;
+          let resumed =
+            Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes:small_scopes
+              ~journal:journal_b ~resume:true ()
+          in
+          check_int "three cells loaded, not re-run" 3
+            resumed.Core.Experiments.sweep_resumed;
+          check_string "resumed render byte-identical to uninterrupted run"
+            (Core.Experiments.render_sweep full)
+            (Core.Experiments.render_sweep resumed);
+          (* after the resumed run, journal B covers the whole matrix *)
+          let rb = Parallel.Journal.read journal_b in
+          check_int "journal B completed"
+            (List.length full.Core.Experiments.cells)
+            (List.length rb.Parallel.Journal.entries)))
+
+(* ---- pool error isolation ---- *)
+
+let test_pool_map_result_isolates () =
+  List.iter
+    (fun jobs ->
+      let results =
+        Parallel.Pool.map_result ~jobs
+          (fun i -> if i = 2 then failwith "boom" else i * 10)
+          [| 0; 1; 2; 3; 4 |]
+      in
+      Array.iteri
+        (fun i r ->
+          match (i, r) with
+          | 2, Error (Failure msg) when msg = "boom" -> ()
+          | 2, _ -> Alcotest.fail "slot 2 should hold the exception"
+          | i, Ok v -> check_int "healthy slot" (i * 10) v
+          | _, Error _ -> Alcotest.fail "healthy slot errored")
+        results)
+    [ 1; 3 ]
+
+(* ---- supervision ---- *)
+
+let quick = { Parallel.Supervise.default_policy with backoff = Netsim.Backoff.none }
+
+let test_supervise_quarantines_raiser () =
+  let attempts = Atomic.make 0 in
+  let outcomes =
+    Parallel.Supervise.map ~jobs:1 ~policy:{ quick with max_attempts = 3 }
+      (fun ~stop:_ i ->
+        if i = 1 then begin
+          Atomic.incr attempts;
+          failwith "injected"
+        end
+        else i + 100)
+      [| 0; 1; 2 |]
+  in
+  (match outcomes.(1) with
+  | Parallel.Supervise.Quarantined { attempts = n; reason } ->
+      check_int "all retries consumed" 3 n;
+      check "reason names the exception" true
+        (String.length reason > 0
+        && String.exists (fun _ -> true) reason
+        &&
+        let re = "injected" in
+        let rec find i =
+          i + String.length re <= String.length reason
+          && (String.sub reason i (String.length re) = re || find (i + 1))
+        in
+        find 0)
+  | _ -> Alcotest.fail "always-raising task must be quarantined");
+  check_int "exactly max_attempts tries" 3 (Atomic.get attempts);
+  check "neighbours unaffected" true
+    (outcomes.(0) = Parallel.Supervise.Done { value = 100; attempts = 1 }
+    && outcomes.(2) = Parallel.Supervise.Done { value = 102; attempts = 1 })
+
+let test_supervise_retry_then_done () =
+  let tries = Atomic.make 0 in
+  let outcomes =
+    Parallel.Supervise.map ~jobs:1 ~policy:{ quick with max_attempts = 3 }
+      (fun ~stop:_ () ->
+        if Atomic.fetch_and_add tries 1 = 0 then failwith "first try flakes"
+        else "ok")
+      [| () |]
+  in
+  check "flaky task recovers on retry" true
+    (outcomes.(0) = Parallel.Supervise.Done { value = "ok"; attempts = 2 })
+
+let test_supervise_deadline_stalls () =
+  (* a task that never terminates on its own but honestly polls [stop]:
+     the supervisor's deadline cancels each attempt, then quarantines *)
+  let outcomes =
+    Parallel.Supervise.map ~jobs:1
+      ~policy:{ quick with max_attempts = 2; deadline_s = Some 0.02 }
+      (fun ~stop i ->
+        if i = 0 then begin
+          while not (stop ()) do
+            ignore (Sys.opaque_identity (ref 0))
+          done;
+          -1 (* the cancelled attempt's value must be discarded *)
+        end
+        else i)
+      [| 0; 1 |]
+  in
+  (match outcomes.(0) with
+  | Parallel.Supervise.Quarantined { attempts = 2; reason } ->
+      check "classified as stalled" true
+        (String.length reason >= 7 && String.sub reason 0 7 = "stalled")
+  | _ -> Alcotest.fail "non-terminating task must be quarantined as stalled");
+  check "honest task kept" true
+    (outcomes.(1) = Parallel.Supervise.Done { value = 1; attempts = 1 })
+
+let test_supervise_drain () =
+  Fun.protect ~finally:Parallel.Supervise.reset_drain (fun () ->
+      Parallel.Supervise.reset_drain ();
+      (* jobs=1 runs tasks in order: task 0 requests the drain from
+         inside (standing in for a signal handler), so 1 and 2 never
+         start *)
+      let outcomes =
+        Parallel.Supervise.map ~jobs:1 ~policy:quick
+          (fun ~stop:_ i ->
+            if i = 0 then Parallel.Supervise.request_drain ();
+            i)
+          [| 0; 1; 2 |]
+      in
+      check "completed task kept despite drain" true
+        (outcomes.(0) = Parallel.Supervise.Done { value = 0; attempts = 1 });
+      check "queued tasks skipped" true
+        (outcomes.(1) = Parallel.Supervise.Skipped
+        && outcomes.(2) = Parallel.Supervise.Skipped));
+  check "reset clears the flag" true (not (Parallel.Supervise.draining ()))
+
+let test_supervise_validation () =
+  check "max_attempts < 1 rejected" true
+    (match
+       Parallel.Supervise.map ~policy:{ quick with max_attempts = 0 }
+         (fun ~stop:_ x -> x)
+         [| 1 |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "backoff: deterministic schedule" `Quick test_backoff_deterministic;
+    Alcotest.test_case "backoff: bounds and cap clamp" `Quick test_backoff_bounds;
+    Alcotest.test_case "backoff: none + validation" `Quick test_backoff_none_and_validation;
+    Alcotest.test_case "journal: frame round trip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal: empty and missing files" `Quick test_journal_empty_and_missing;
+    Alcotest.test_case "journal: truncated final frame recovers" `Quick
+      test_journal_torn_final_frame;
+    Alcotest.test_case "journal: bit-flipped CRC stops the reader" `Quick
+      test_journal_bitflip_crc;
+    Alcotest.test_case "journal: closed-writer discipline" `Quick
+      test_journal_rejects_oversized_and_closed;
+    Alcotest.test_case "cell record: escaping round trip" `Quick test_cell_record_roundtrip;
+    Alcotest.test_case "cell record: tampered digest rejected" `Quick test_cell_record_tamper;
+    Alcotest.test_case "resume: last-write-wins + seed filter, no re-run" `Quick
+      test_resume_loads_lww_and_filters_seed;
+    Alcotest.test_case "resume: requires a journal" `Quick test_resume_requires_journal;
+    Alcotest.test_case "resume: interrupted sweep byte-identical" `Slow
+      test_kill_resume_byte_identical;
+    Alcotest.test_case "pool: map_result isolates worker exceptions" `Quick
+      test_pool_map_result_isolates;
+    Alcotest.test_case "supervise: always-raising task quarantined" `Quick
+      test_supervise_quarantines_raiser;
+    Alcotest.test_case "supervise: flaky task recovers" `Quick test_supervise_retry_then_done;
+    Alcotest.test_case "supervise: deadline cancels a stalled task" `Quick
+      test_supervise_deadline_stalls;
+    Alcotest.test_case "supervise: drain keeps done, skips queued" `Quick test_supervise_drain;
+    Alcotest.test_case "supervise: policy validation" `Quick test_supervise_validation;
+  ]
