@@ -295,6 +295,92 @@ let run_crashsafe_sweep () =
       Format.printf "  wrote BENCH_E12.json@.")
 
 (* ------------------------------------------------------------------ *)
+(* E14: the overload-safe service — throughput and shed rate vs offered
+   load at a fixed worker count. The daemon runs in-process on a Unix
+   socket; each offered-load point floods it with distinct cells (fresh
+   seeds, so the journal cache never short-circuits the work) and
+   tallies how admission control split the load into verdicts and
+   explicit SHED replies. The invariant benchmarked alongside the
+   numbers: every request is answered — none dropped, none hung. *)
+
+let run_overload_service () =
+  section "E14 - Overload service (throughput / shed rate vs offered load)";
+  let jobs = 2 and queue_cap = 4 in
+  let sock = Filename.temp_file "mca_bench" ".sock" in
+  let cfg =
+    {
+      (Service.Server.default_config (Service.Server.Unix_path sock)) with
+      Service.Server.jobs;
+      queue_cap;
+      default_deadline = 0.5;
+      max_deadline = 1.0;
+      seed = 1;
+    }
+  in
+  let t = Service.Server.start cfg in
+  let addr = Service.Server.Unix_path sock in
+  let total = if fast_mode then 12 else 24 in
+  let loads = if fast_mode then [ 1; 8 ] else [ 1; 4; 16 ] in
+  Format.printf "  jobs=%d queue_cap=%d deadline=%.1fs, %d requests per point@."
+    jobs queue_cap cfg.Service.Server.default_deadline total;
+  Format.printf "  %-12s %10s %12s %10s %10s@." "concurrency" "wall(s)"
+    "verdicts/s" "shed_rate" "undecided";
+  let points =
+    List.map
+      (fun concurrency ->
+        let reqs =
+          (* fresh seeds per point and per request: every admitted
+             request is real verification work, never a cache hit *)
+          Array.init total (fun i ->
+              Service.Wire.request ~states:3 ~seed:((concurrency * 1000) + i)
+                ~deadline_s:0.5
+                (if i mod 2 = 0 then "submod" else "nonsubmod"))
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Service.Client.flood ~concurrency ~total addr reqs in
+        let wall = Unix.gettimeofday () -. t0 in
+        if r.Service.Client.sent <> total then
+          failwith "E14: a flooded request went unanswered";
+        if r.Service.Client.flood_errors > 0 then
+          failwith "E14: the service answered a flood with errors";
+        let throughput = float_of_int r.Service.Client.verdicts /. wall in
+        let shed_rate =
+          float_of_int r.Service.Client.flood_shed /. float_of_int total
+        in
+        Format.printf "  %-12d %10.2f %12.2f %10.2f %10d@." concurrency wall
+          throughput shed_rate r.Service.Client.undecided;
+        (concurrency, wall, throughput, shed_rate, r))
+      loads
+  in
+  Service.Server.stop t;
+  Service.Server.join t;
+  (try Sys.remove sock with Sys_error _ -> ());
+  let oc = open_out "BENCH_E14.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E14-overload-service\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"queue_cap\": %d,\n" queue_cap;
+  p "  \"requests_per_point\": %d,\n" total;
+  p "  \"deadline_s\": %.2f,\n" cfg.Service.Server.default_deadline;
+  p "  \"points\": [\n";
+  List.iteri
+    (fun i (concurrency, wall, throughput, shed_rate, r) ->
+      p
+        "    {\"concurrency\": %d, \"wall_seconds\": %.3f, \
+         \"verdicts_per_second\": %.3f, \"shed_rate\": %.3f, \
+         \"verdicts\": %d, \"shed\": %d, \"undecided\": %d}%s\n"
+        concurrency wall throughput shed_rate r.Service.Client.verdicts
+        r.Service.Client.flood_shed r.Service.Client.undecided
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  p "  ],\n";
+  p "  \"all_requests_answered\": true\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_E14.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: certified verdicts — DRUP proof size and re-check cost      *)
 
 let run_certification () =
@@ -468,6 +554,7 @@ let () =
   run_experiments ();
   run_parallel_sweep ();
   run_crashsafe_sweep ();
+  run_overload_service ();
   run_certification ();
   run_loss_sweep ();
   run_benchmarks ();

@@ -1,0 +1,270 @@
+(* mca_serve: the overload-safe verification service.
+
+   Server mode binds a Unix or TCP socket and answers `check` requests
+   (one policy-matrix cell each) with the same verdict vocabulary as
+   `mca_check --sweep`; overload is answered with an explicit SHED reply
+   (exit 12 on the client side), and SIGTERM drains gracefully — the
+   backlog completes, decided cells land in the --journal, and a
+   restarted server (or `mca_check --sweep --resume`) picks them up.
+
+   Client modes: --client POLICY sends one check; --stats dumps the live
+   counters; --flood N hammers the server from --concurrency domains and
+   reports the shed/verdict tally (the overload smoke probe). *)
+
+open Cmdliner
+
+let exit_violated = 1
+let exit_error = 2
+let exit_unknown = 10
+let exit_shed = 12
+
+let addr_of socket tcp =
+  match (socket, tcp) with
+  | Some p, None -> Ok (Service.Server.Unix_path p)
+  | None, Some hp -> (
+      match String.rindex_opt hp ':' with
+      | Some i -> (
+          let host = String.sub hp 0 i in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+          | Some port when port > 0 && port < 65536 ->
+              Ok (Service.Server.Tcp (host, port))
+          | _ -> Error "invalid --tcp port")
+      | None -> Error "--tcp expects HOST:PORT")
+  | None, None -> Error "one of --socket or --tcp is required"
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+
+let serve addr jobs queue_cap deadline max_deadline io_deadline seed journal
+    trip_after =
+  let cfg =
+    {
+      (Service.Server.default_config addr) with
+      Service.Server.jobs;
+      queue_cap;
+      default_deadline = deadline;
+      max_deadline;
+      io_deadline;
+      seed;
+      journal;
+      trip_after;
+    }
+  in
+  let t = Service.Server.start cfg in
+  let drain_on signal =
+    try
+      Sys.set_signal signal
+        (Sys.Signal_handle (fun _ -> Service.Server.stop t))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  drain_on Sys.sigterm;
+  drain_on Sys.sigint;
+  Format.printf "mca_serve: listening on %a (jobs=%d cap=%d%s)@."
+    Service.Server.pp_addr addr jobs queue_cap
+    (match journal with Some p -> " journal=" ^ p | None -> "");
+  Service.Server.join t;
+  List.iter
+    (fun (k, v) -> Format.printf "%s=%d@." k v)
+    (Service.Server.stats t);
+  0
+
+let print_response r =
+  Format.printf "%a@." Service.Wire.pp_response r;
+  match r with
+  | Service.Wire.Verdict v -> (
+      match (v.Service.Wire.sat, v.Service.Wire.exhaustive) with
+      | Core.Experiments.Violated, _ | _, Core.Experiments.Violated ->
+          exit_violated
+      | Core.Experiments.Undecided _, _ | _, Core.Experiments.Undecided _ ->
+          exit_unknown
+      | Core.Experiments.Holds, Core.Experiments.Holds -> 0)
+  | Service.Wire.Shed _ -> exit_shed
+  | Service.Wire.Error _ -> exit_error
+  | Service.Wire.Stats _ -> 0
+
+let client addr policy agents items states seed deadline timeout =
+  let req =
+    Service.Wire.request ~agents ~items ~states ~seed ?deadline_s:deadline
+      policy
+  in
+  match Service.Client.check ~timeout_s:timeout addr req with
+  | Ok r -> print_response r
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit_error
+
+let stats addr timeout =
+  match Service.Client.get_stats ~timeout_s:timeout addr with
+  | Ok kvs ->
+      List.iter (fun (k, v) -> Format.printf "%s=%d@." k v) kvs;
+      0
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit_error
+
+let flood addr total concurrency policy agents items states seed deadline
+    timeout =
+  let req =
+    Service.Wire.request ~agents ~items ~states ~seed ?deadline_s:deadline
+      policy
+  in
+  let r =
+    Service.Client.flood ~timeout_s:timeout ~concurrency ~total addr [| req |]
+  in
+  Format.printf "%a@." Service.Client.pp_flood r;
+  if r.Service.Client.flood_errors > 0 then exit_error else 0
+
+let main socket tcp mode jobs queue_cap deadline max_deadline io_deadline seed
+    journal trip_after policy agents items states concurrency timeout =
+  match addr_of socket tcp with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit_error
+  | Ok addr -> (
+      match
+        match mode with
+        | `Serve ->
+            serve addr jobs queue_cap
+              (Option.value deadline ~default:30.0)
+              max_deadline io_deadline seed journal trip_after
+        | `Client -> client addr policy agents items states seed deadline timeout
+        | `Stats -> stats addr timeout
+        | `Flood n ->
+            flood addr n concurrency policy agents items states seed deadline
+              timeout
+      with
+      | code -> code
+      | exception (Failure msg | Invalid_argument msg) ->
+          Printf.eprintf "error: %s\n" msg;
+          exit_error
+      | exception Unix.Unix_error (e, fn, _) ->
+          Printf.eprintf "error: %s: %s\n" fn (Unix.error_message e);
+          exit_error)
+
+let term =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~doc:"listen/connect on a Unix socket $(docv)"
+             ~docv:"PATH")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~doc:"listen/connect on $(docv)" ~docv:"HOST:PORT")
+  in
+  let mode =
+    let client =
+      Arg.(value & flag & info [ "client" ] ~doc:"send one check request")
+    in
+    let stats =
+      Arg.(value & flag & info [ "stats" ] ~doc:"query the live counters")
+    in
+    let flood =
+      Arg.(value & opt (some int) None
+           & info [ "flood" ]
+               ~doc:"send $(docv) concurrent check requests and tally the \
+                     shed/verdict split (overload probe)" ~docv:"N")
+    in
+    let combine client stats flood =
+      match (client, stats, flood) with
+      | false, false, None -> Ok `Serve
+      | true, false, None -> Ok `Client
+      | false, true, None -> Ok `Stats
+      | false, false, Some n when n > 0 -> Ok (`Flood n)
+      | false, false, Some _ -> Error "non-positive --flood"
+      | _ -> Error "--client, --stats and --flood are mutually exclusive"
+    in
+    Term.term_result' ~usage:true Term.(const combine $ client $ stats $ flood)
+  in
+  let jobs =
+    Arg.(value & opt int 2
+         & info [ "jobs"; "j" ] ~doc:"worker domains (server)" ~docv:"N")
+  in
+  let queue_cap =
+    Arg.(value & opt int 8
+         & info [ "queue-cap" ]
+             ~doc:"admission watermark: requests beyond this backlog are \
+                   shed with an explicit SHED reply (server)" ~docv:"N")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ]
+             ~doc:"per-request wall-clock allowance in seconds (server \
+                   default for clients that do not ask; client: sent with \
+                   the request)" ~docv:"SECS")
+  in
+  let max_deadline =
+    Arg.(value & opt float 120.0
+         & info [ "max-deadline" ]
+             ~doc:"cap on client-requested deadlines (server)" ~docv:"SECS")
+  in
+  let io_deadline =
+    Arg.(value & opt float 5.0
+         & info [ "io-deadline" ]
+             ~doc:"client socket read/write allowance (server)" ~docv:"SECS")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"cell identity seed")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ]
+             ~doc:"write-ahead journal: decided cells are persisted (and \
+                   served as cache hits); interchangeable with mca_check \
+                   --sweep --journal (server)" ~docv:"PATH")
+  in
+  let trip_after =
+    Arg.(value & opt int 3
+         & info [ "trip-after" ]
+             ~doc:"circuit breaker: consecutive backend timeouts before a \
+                   ladder rung is skipped while it cools off (server)"
+             ~docv:"N")
+  in
+  let policy =
+    Arg.(value & opt string "submod"
+         & info [ "policy" ]
+             ~doc:"paper-grid policy label (client/flood): submod, \
+                   submod+release, nonsubmod, nonsubmod+release, \
+                   submod+rebid-attack, nonsubmod+rebid-attack"
+             ~docv:"LABEL")
+  in
+  let agents =
+    Arg.(value & opt int 2 & info [ "agents"; "n" ] ~doc:"scope: agents")
+  in
+  let items =
+    Arg.(value & opt int 2 & info [ "items" ] ~doc:"scope: items")
+  in
+  let states =
+    Arg.(value & opt int 5 & info [ "states" ] ~doc:"scope: trace length")
+  in
+  let concurrency =
+    Arg.(value & opt int 4
+         & info [ "concurrency" ] ~doc:"--flood client domains" ~docv:"N")
+  in
+  let timeout =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~doc:"client-side socket timeout" ~docv:"SECS")
+  in
+  Term.(
+    const main $ socket $ tcp $ mode $ jobs $ queue_cap $ deadline
+    $ max_deadline $ io_deadline $ seed $ journal $ trip_after $ policy
+    $ agents $ items $ states $ concurrency $ timeout)
+
+let cmd =
+  let exits =
+    Cmd.Exit.info 0 ~doc:"server: clean drain; client: consensus holds"
+    :: Cmd.Exit.info exit_violated ~doc:"client: consensus violated"
+    :: Cmd.Exit.info exit_error ~doc:"invalid arguments, I/O or server error"
+    :: Cmd.Exit.info exit_unknown
+         ~doc:"client: UNKNOWN — the degradation ladder ran out of rungs or \
+               the request deadline expired"
+    :: Cmd.Exit.info exit_shed
+         ~doc:"client: the request was shed by admission control (queue at \
+               capacity); retry with backoff"
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "mca_serve" ~exits
+       ~doc:"Overload-safe verification service for Max-Consensus Auction \
+             policy cells")
+    term
+
+let () = exit (Cmd.eval' cmd)

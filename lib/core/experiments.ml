@@ -178,6 +178,19 @@ let sweep_tasks ?(scopes = sweep_scopes) () =
            Mca.Policy.paper_grid Mca_model.paper_policies)
        scopes)
 
+(* the pieces the verification service shares with the sweep: resolve a
+   policy label, build the per-cell instance, run one cell *)
+let lookup_policy label =
+  match
+    ( List.assoc_opt label Mca.Policy.paper_grid,
+      List.assoc_opt label Mca_model.paper_policies )
+  with
+  | Some p, Some mp -> Some (p, mp)
+  | _ -> None
+
+let cell_config = sweep_config
+let run_cell = sweep_cell
+
 (* -- journal cell records ------------------------------------------- *)
 (* One journal entry per completed cell, pipe-separated key=value
    fields with percent-escaping, e.g.
@@ -237,6 +250,13 @@ let verdict_dec s =
   | s when String.length s >= 8 && String.sub s 0 8 = "unknown:" ->
       Some (Undecided (unescape (String.sub s 8 (String.length s - 8))))
   | _ -> None
+
+(* exported for the service's wire protocol, which frames its requests
+   and responses with exactly the journal record syntax *)
+let escape_field = escape
+let unescape_field = unescape
+let verdict_to_wire = verdict_enc
+let verdict_of_wire = verdict_dec
 
 let cell_fingerprint ~seed c =
   Parallel.Journal.crc32_hex
@@ -349,6 +369,7 @@ let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
       ~finally:(fun () -> Option.iter Parallel.Journal.close writer)
       (fun () ->
         Parallel.Supervise.map ~jobs ~policy
+          ~key:(fun _ (label, _, _, tag, _) -> tag ^ "/" ^ label)
           (fun ~stop task ->
             let cell =
               sweep_cell ~stop ~budget:(Netsim.Budget.restarted budget) ~seed

@@ -110,6 +110,39 @@ val run_sweep :
     SIGINT handler) stops scheduling new cells, flushes the journal and
     yields a [sweep_partial] report. *)
 
+val lookup_policy : string -> (Mca.Policy.t * Mca_model.policy) option
+(** Resolves one of the paper-grid labels ("submod",
+    "nonsubmod+release", …) to its protocol and relational-model policy
+    — the request vocabulary of the verification service. *)
+
+val cell_config :
+  seed:int -> policy_label:string -> scope_tag:string ->
+  Mca.Policy.t -> Mca_model.scope_spec -> Mca.Protocol.config
+(** The deterministic per-cell protocol instance: the paper's contended
+    utilities at the canonical 2×2 scope, utilities seeded from
+    (seed, policy, scope) elsewhere. Shared by the sweep and the
+    service so a cell means the same problem everywhere. *)
+
+val run_cell :
+  ?stop:(unit -> bool) ->
+  budget:Netsim.Budget.t ->
+  seed:int ->
+  (string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) ->
+  sweep_cell
+(** Verifies one cell of {!sweep_tasks} across the three backends —
+    the unit of work both {!run_sweep} and the service's workers
+    execute. The budget bounds each backend individually. *)
+
+(** The field-level escaping and verdict syntax of the journal records,
+    exported because the service's newline-framed wire protocol reuses
+    them verbatim (a service response is journal-record-shaped). *)
+
+val escape_field : string -> string
+val unescape_field : string -> string
+
+val verdict_to_wire : sweep_verdict -> string
+val verdict_of_wire : string -> sweep_verdict option
+
 val cell_record : seed:int -> sweep_cell -> string
 (** The journal line for a completed cell (format ["cell|1|…"], with a
     CRC-32 content digest in its [cert] field). Exposed for the

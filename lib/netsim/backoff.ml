@@ -25,6 +25,23 @@ let delay p ~rng ~attempt =
   let d = d *. (1.0 +. (p.jitter *. ((2.0 *. u) -. 1.0))) in
   Float.min p.cap_s (Float.max 0.0 d)
 
+(* FNV-1a, 64-bit. The per-key streams must be platform-stable and
+   collision-resistant over short keys; [Hashtbl.hash] is neither (it
+   truncates its input and is only specified up to the OCaml version),
+   and deriving every stream from the bare shared seed re-synchronizes
+   the jitter of simultaneously-failing tasks — the thundering herd the
+   jitter exists to break. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let stream ~seed ~key =
+  Rng.create (Int64.to_int (fnv1a64 (string_of_int seed ^ "\x00" ^ key)))
+
 let pp ppf p =
   Format.fprintf ppf "base=%.3gs cap=%.3gs x%.3g jitter=%.2f" p.base_s p.cap_s
     p.multiplier p.jitter

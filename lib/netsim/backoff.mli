@@ -28,6 +28,15 @@ val none : t
 (** Zero delays — retry immediately (tests, and callers that only want
     the attempt-counting side of supervision). *)
 
+val stream : seed:int -> key:string -> Rng.t
+(** [stream ~seed ~key] derives the jitter stream for the retrying
+    entity named [key] (a sweep-cell key, a service backend, an agent
+    id). Distinct keys give decorrelated schedules — when many tasks
+    fail at the same instant their retries spread out instead of
+    re-synchronizing into a thundering herd — while the same
+    (seed, key) pair reproduces the same schedule on every platform
+    (the derivation is a fixed 64-bit FNV-1a, not [Hashtbl.hash]). *)
+
 val delay : t -> rng:Rng.t -> attempt:int -> float
 (** [delay p ~rng ~attempt] is the sleep before retry number [attempt]
     (1-based): [base_s * multiplier^(attempt-1)], jittered by [rng],

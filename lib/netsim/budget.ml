@@ -27,6 +27,16 @@ let is_unlimited t =
   t.wall_s = None && t.steps = None && t.conflicts = None
   && t.propagations = None
 
+let until ~deadline =
+  let now = Unix.gettimeofday () in
+  {
+    wall_s = Some (Float.max 0.0 (deadline -. now));
+    steps = None;
+    conflicts = None;
+    propagations = None;
+    started = now;
+  }
+
 let restarted t = { t with started = Unix.gettimeofday () }
 let elapsed t = Unix.gettimeofday () -. t.started
 

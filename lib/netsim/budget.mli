@@ -18,6 +18,14 @@ val create :
 val unlimited : t
 val is_unlimited : t -> bool
 
+val until : deadline:float -> t
+(** [until ~deadline] is a pure wall-clock budget expiring at the
+    absolute Unix time [deadline] (already-past deadlines give a
+    zero-width window, i.e. immediately [Expired]). This is how the
+    verification service propagates a per-request deadline into the
+    [?stop]/budget chain of the backends: each degradation rung gets
+    the time remaining until the request's deadline, never more. *)
+
 val restarted : t -> t
 (** Same caps, deadline re-armed from now. *)
 

@@ -24,6 +24,14 @@ let with_lock q f =
   Mutex.lock q.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock q.lock) f
 
+let take_locked q =
+  let x = q.buf.(q.head) in
+  q.buf.(q.head) <- None;
+  q.head <- (q.head + 1) mod Array.length q.buf;
+  q.len <- q.len - 1;
+  Condition.signal q.not_full;
+  x
+
 let push q x =
   with_lock q (fun () ->
       while q.len = Array.length q.buf && not q.closed do
@@ -34,20 +42,54 @@ let push q x =
       q.len <- q.len + 1;
       Condition.signal q.not_empty)
 
+let try_push q x =
+  (* the admission-control primitive: a full (or closed) queue answers
+     [false] immediately — an acceptor thread must never block behind
+     the workload it is trying to shed *)
+  with_lock q (fun () ->
+      if q.closed || q.len = Array.length q.buf then false
+      else begin
+        q.buf.((q.head + q.len) mod Array.length q.buf) <- Some x;
+        q.len <- q.len + 1;
+        Condition.signal q.not_empty;
+        true
+      end)
+
 let pop q =
   with_lock q (fun () ->
       while q.len = 0 && not q.closed do
         Condition.wait q.not_empty q.lock
       done;
       if q.len = 0 then None (* closed and drained *)
-      else begin
-        let x = q.buf.(q.head) in
-        q.buf.(q.head) <- None;
-        q.head <- (q.head + 1) mod Array.length q.buf;
-        q.len <- q.len - 1;
-        Condition.signal q.not_full;
-        x
-      end)
+      else take_locked q)
+
+type 'a timed = Item of 'a | Timeout | Closed
+
+let pop_deadline q ~deadline =
+  (* the stdlib [Condition] has no timed wait, so the deadline variant
+     polls in short slices: worst-case wake-up latency is the slice
+     (2 ms), which is noise against the verification work the service
+     workers pull from this queue *)
+  let rec loop () =
+    let r =
+      with_lock q (fun () ->
+          if q.len > 0 then
+            match take_locked q with Some v -> Item v | None -> assert false
+          else if q.closed then Closed
+          else Timeout)
+    in
+    match r with
+    | Item _ | Closed -> r
+    | Timeout ->
+        let now = Unix.gettimeofday () in
+        if now >= deadline then Timeout
+        else begin
+          (try Unix.sleepf (Float.min 0.002 (deadline -. now))
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop ()
+        end
+  in
+  loop ()
 
 let close q =
   with_lock q (fun () ->

@@ -29,8 +29,11 @@ let interruptible_sleep d =
   if d > 0.0 then
     try Unix.sleepf d with Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-let supervise_one policy f index task =
-  let rng = Netsim.Rng.create (Hashtbl.hash (policy.seed, index, "supervise")) in
+let supervise_one policy f key task =
+  (* per-key jitter stream: tasks that fail together must not retry in
+     lockstep, and a task's schedule must not depend on its position in
+     a (possibly resume-filtered) work array *)
+  let rng = Netsim.Backoff.stream ~seed:policy.seed ~key in
   let rec attempt attempt_no =
     if draining () then Skipped
     else begin
@@ -74,10 +77,11 @@ let supervise_one policy f index task =
   in
   attempt 1
 
-let map ?jobs ?(policy = default_policy) f tasks =
+let map ?jobs ?(policy = default_policy) ?(key = fun i _ -> string_of_int i)
+    f tasks =
   if policy.max_attempts < 1 then
     invalid_arg "Supervise.map: max_attempts < 1";
-  let indexed = Array.mapi (fun i x -> (i, x)) tasks in
+  let indexed = Array.mapi (fun i x -> (key i x, x)) tasks in
   Array.map
     (function
       | Ok outcome -> outcome
@@ -85,7 +89,7 @@ let map ?jobs ?(policy = default_policy) f tasks =
           (* supervise_one swallows task exceptions; reaching this means
              the supervisor itself failed — report, don't lose the slot *)
           Quarantined { attempts = 0; reason = "supervisor: " ^ Printexc.to_string e })
-    (Pool.map_result ?jobs (fun (i, x) -> supervise_one policy f i x) indexed)
+    (Pool.map_result ?jobs (fun (k, x) -> supervise_one policy f k x) indexed)
 
 let pp_outcome pp_value ppf = function
   | Done { value; attempts } ->

@@ -48,14 +48,19 @@ type 'a outcome =
 val map :
   ?jobs:int ->
   ?policy:policy ->
+  ?key:(int -> 'a -> string) ->
   (stop:(unit -> bool) -> 'a -> 'b) ->
   'a array ->
   'b outcome array
 (** Supervised {!Pool.map_result}: every slot is filled, in task order,
     whatever fails, stalls, or is drained. Tasks receive a [stop] hook
     they must poll to be cancellable; a task that ignores it can still
-    be retried on exception but not deadlined. Raises [Invalid_argument]
-    when [jobs < 1] or [policy.max_attempts < 1]. *)
+    be retried on exception but not deadlined. [key] names each task for
+    its {!Netsim.Backoff.stream} jitter stream (default: the task
+    index); callers with stable task identities (e.g. sweep cells)
+    should pass them so a task's retry schedule survives re-indexing
+    across resumed runs and never collides with a neighbour's. Raises
+    [Invalid_argument] when [jobs < 1] or [policy.max_attempts < 1]. *)
 
 val request_drain : unit -> unit
 (** Asks every supervised map in the process to stop gracefully:

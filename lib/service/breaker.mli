@@ -1,0 +1,43 @@
+(** Per-backend circuit breaker for the degradation ladder.
+
+    A backend that keeps timing out stops being asked: after
+    [trip_after] consecutive timeouts the breaker opens and every
+    {!admit} is refused until a cooldown (drawn from the backend's
+    {!Netsim.Backoff.stream}, so co-tripped breakers half-open at
+    decorrelated times) has passed. It then goes {e half-open}: exactly
+    one caller is admitted as a probe — a probe success closes the
+    breaker and resets the schedule, a probe timeout re-opens it with
+    the next, longer cooldown.
+
+    Every transition takes the clock as an argument ([~now]), which
+    makes the state machine a pure function of its inputs — the tests
+    drive it through years of simulated time in microseconds. Instances
+    are mutex-protected: worker domains share one breaker per backend. *)
+
+type t
+
+type state = Closed | Open_until of float | Half_open
+
+val make :
+  ?trip_after:int -> ?backoff:Netsim.Backoff.t -> seed:int -> key:string ->
+  unit -> t
+(** Defaults: trip after 3 consecutive timeouts, cooldowns from
+    [Backoff.make ~base_s:1.0 ~cap_s:60.0 ()]. [key] names the backend
+    (its jitter stream identity). Raises [Invalid_argument] when
+    [trip_after < 1]. *)
+
+val admit : t -> now:float -> bool
+(** May this backend be tried? [true] when closed, or as the single
+    half-open probe once the cooldown has passed. A refused caller
+    should fall to the next rung, not wait. *)
+
+val success : t -> unit
+(** The backend answered: close and reset (also ends a probe). *)
+
+val timeout : t -> now:float -> unit
+(** The backend timed out. Counts toward [trip_after] when closed;
+    immediately re-opens (with the next cooldown) when it was a
+    half-open probe. *)
+
+val state : t -> now:float -> state
+val pp_state : Format.formatter -> state -> unit

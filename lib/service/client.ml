@@ -1,0 +1,136 @@
+(* Blocking client for the verification service: one request, one
+   newline-framed reply, per connection. [flood] is the overload probe —
+   concurrent domains hammering the server and tallying how it answered
+   (the CI smoke job asserts sheds are explicit and verdicts are
+   pinned). *)
+
+let connect ?(timeout_s = 10.0) addr =
+  let domain =
+    match addr with
+    | Server.Unix_path _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Server.sockaddr_of addr);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> failwith "connection closed while writing"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let recv_line fd =
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd chunk 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | _ ->
+        if Bytes.get chunk 0 = '\n' then Some (Buffer.contents buf)
+        else begin
+          Buffer.add_char buf (Bytes.get chunk 0);
+          if Buffer.length buf > 65536 then failwith "reply too long"
+          else go ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let roundtrip ?timeout_s addr line =
+  match connect ?timeout_s addr with
+  | exception e ->
+      Result.Error (Printf.sprintf "connect: %s" (Printexc.to_string e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            send_all fd (line ^ "\n");
+            recv_line fd
+          with
+          | None -> Result.Error "connection closed before reply"
+          | Some reply -> Wire.parse_response reply
+          | exception e ->
+              Result.Error (Printf.sprintf "i/o: %s" (Printexc.to_string e)))
+
+let check ?timeout_s addr req =
+  roundtrip ?timeout_s addr (Wire.render_request req)
+
+let get_stats ?timeout_s addr =
+  match roundtrip ?timeout_s addr Wire.stats_request with
+  | Ok (Wire.Stats kvs) -> Ok kvs
+  | Ok _ -> Result.Error "unexpected reply to stats"
+  | Result.Error _ as e -> e
+
+(* ---- the overload probe ------------------------------------------- *)
+
+type flood_report = {
+  sent : int;
+  verdicts : int;
+  flood_shed : int;
+  flood_errors : int;  (** error replies and transport failures *)
+  undecided : int;  (** verdict replies whose SAT column is [Undecided] *)
+}
+
+let flood ?timeout_s ?(concurrency = 4) ~total addr reqs =
+  if concurrency < 1 then invalid_arg "Client.flood: concurrency < 1";
+  if Array.length reqs = 0 then invalid_arg "Client.flood: no requests";
+  let next = Atomic.make 0 in
+  let tally () =
+    let verdicts = ref 0
+    and shed = ref 0
+    and errors = ref 0
+    and undecided = ref 0
+    and mine = ref 0 in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < total then begin
+        incr mine;
+        let req = reqs.(i mod Array.length reqs) in
+        let req = { req with Wire.id = Printf.sprintf "f%d" i } in
+        (match check ?timeout_s addr req with
+        | Ok (Wire.Verdict v) ->
+            incr verdicts;
+            (match v.Wire.sat with
+            | Core.Experiments.Undecided _ -> incr undecided
+            | _ -> ())
+        | Ok (Wire.Shed _) -> incr shed
+        | Ok (Wire.Error _) | Ok (Wire.Stats _) | Result.Error _ ->
+            incr errors);
+        loop ()
+      end
+    in
+    loop ();
+    (!mine, !verdicts, !shed, !errors, !undecided)
+  in
+  let domains = List.init concurrency (fun _ -> Domain.spawn tally) in
+  let parts = List.map Domain.join domains in
+  List.fold_left
+    (fun acc (m, v, s, e, u) ->
+      {
+        sent = acc.sent + m;
+        verdicts = acc.verdicts + v;
+        flood_shed = acc.flood_shed + s;
+        flood_errors = acc.flood_errors + e;
+        undecided = acc.undecided + u;
+      })
+    { sent = 0; verdicts = 0; flood_shed = 0; flood_errors = 0; undecided = 0 }
+    parts
+
+let pp_flood ppf r =
+  Format.fprintf ppf
+    "sent=%d verdicts=%d shed=%d errors=%d undecided=%d" r.sent r.verdicts
+    r.flood_shed r.flood_errors r.undecided

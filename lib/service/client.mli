@@ -1,0 +1,38 @@
+(** Blocking client for the verification service: one newline-framed
+    request and one reply per connection. *)
+
+val roundtrip :
+  ?timeout_s:float ->
+  Server.addr -> string -> (Wire.response, string) result
+(** Sends one raw request line and parses the one reply line.
+    [timeout_s] (default 10) bounds connect and each socket
+    read/write. Transport failures come back as [Error _], never an
+    exception. *)
+
+val check :
+  ?timeout_s:float ->
+  Server.addr -> Wire.request -> (Wire.response, string) result
+
+val get_stats :
+  ?timeout_s:float -> Server.addr -> ((string * int) list, string) result
+
+(** The overload probe: hammer the server from several domains and
+    tally how every request was answered. The CI smoke job floods at
+    several times the queue capacity and asserts that the excess got
+    explicit [shed] replies — no crash, no hang, no silent drop. *)
+type flood_report = {
+  sent : int;
+  verdicts : int;
+  flood_shed : int;
+  flood_errors : int;  (** error replies and transport failures *)
+  undecided : int;  (** verdict replies whose SAT column is [Undecided] *)
+}
+
+val flood :
+  ?timeout_s:float ->
+  ?concurrency:int ->
+  total:int -> Server.addr -> Wire.request array -> flood_report
+(** Sends [total] requests round-robin from [reqs] (ids rewritten to
+    ["f<i>"]) using [concurrency] (default 4) client domains. *)
+
+val pp_flood : Format.formatter -> flood_report -> unit

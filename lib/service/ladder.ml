@@ -1,0 +1,102 @@
+type rung = Cdcl | Dpll | Explicit
+
+let rung_name = function Cdcl -> "cdcl" | Dpll -> "dpll" | Explicit -> "explicit"
+
+type t = { breakers : (rung * Breaker.t) list }
+
+let make ?trip_after ?backoff ?(seed = 0) () =
+  {
+    breakers =
+      List.map
+        (fun r -> (r, Breaker.make ?trip_after ?backoff ~seed ~key:(rung_name r) ()))
+        [ Cdcl; Dpll; Explicit ];
+  }
+
+let breaker t rung = List.assoc rung t.breakers
+
+type answer = {
+  verdict : Core.Experiments.sweep_verdict;
+  rung : string;
+  degraded : bool;  (* answered below the top admitted rung *)
+  trail : (string * string) list;
+}
+
+let cancelled = function
+  | Core.Experiments.Undecided "cancelled" -> true
+  | _ -> false
+
+let decide ?(now = Unix.gettimeofday) t rungs =
+  let trail = ref [] in
+  let note rung what = trail := (rung_name rung, what) :: !trail in
+  let finish verdict rung_label ~degraded =
+    { verdict; rung = rung_label; degraded; trail = List.rev !trail }
+  in
+  let rec walk degraded = function
+    | [] ->
+        finish
+          (Core.Experiments.Undecided
+             ("degraded: "
+             ^ String.concat "; "
+                 (List.rev_map (fun (r, w) -> r ^ "=" ^ w) !trail)))
+          "none" ~degraded:true
+    | (rung, run) :: rest ->
+        let b = breaker t rung in
+        if not (Breaker.admit b ~now:(now ())) then begin
+          note rung "open";
+          walk true rest
+        end
+        else begin
+          match (run () : Core.Experiments.sweep_verdict) with
+          | Core.Experiments.Undecided _ as v when cancelled v ->
+              (* a drain or request-deadline cancellation says nothing
+                 about the backend's health: no breaker transition, and
+                 no point trying cheaper rungs — the request is out of
+                 time *)
+              note rung "cancelled";
+              finish v "none" ~degraded
+          | Core.Experiments.Undecided reason ->
+              Breaker.timeout b ~now:(now ());
+              note rung reason;
+              walk true rest
+          | v ->
+              Breaker.success b;
+              note rung "decided";
+              finish v (rung_name rung) ~degraded
+        end
+  in
+  walk false rungs
+
+(* ---- the standard consensus rungs -------------------------------- *)
+
+let consensus_rungs ?stop ~budget_for ~model ~exhaustive () =
+  let cdcl () =
+    match
+      Core.Mca_model.check_consensus_bounded ~symmetry:true ?stop
+        ~budget:(budget_for Cdcl) model
+    with
+    | Relalg.Translate.Decided Alloylite.Compile.Unsat -> Core.Experiments.Holds
+    | Relalg.Translate.Decided (Alloylite.Compile.Sat _) ->
+        Core.Experiments.Violated
+    | Relalg.Translate.Unknown reason -> Core.Experiments.Undecided reason
+  in
+  let dpll () =
+    (* same query, no clause learning: slower on hard instances but a
+       genuinely independent engine — the paper's cross-checking idea
+       as a fallback *)
+    let cnf = Core.Mca_model.consensus_cnf model in
+    match cnf.Sat.Formula.constant with
+    | Some false -> Core.Experiments.Holds
+    | Some true -> Core.Experiments.Violated
+    | None -> (
+        match
+          Sat.Dpll.solve_bounded ?stop ~budget:(budget_for Dpll)
+            cnf.Sat.Formula.problem
+        with
+        | Sat.Solver.Decided Sat.Solver.Unsat -> Core.Experiments.Holds
+        | Sat.Solver.Decided (Sat.Solver.Sat _) -> Core.Experiments.Violated
+        | Sat.Solver.Unknown { reason; _ } -> Core.Experiments.Undecided reason)
+  in
+  [ (Cdcl, cdcl); (Dpll, dpll); (Explicit, exhaustive) ]
+
+let check_consensus ?now ?stop ~budget_for ~model ~exhaustive t =
+  decide ?now t (consensus_rungs ?stop ~budget_for ~model ~exhaustive ())

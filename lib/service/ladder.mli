@@ -1,0 +1,70 @@
+(** The graceful-degradation ladder: CDCL → DPLL → explicit checker →
+    [UNKNOWN].
+
+    Each rung is guarded by its own {!Breaker}: a backend that keeps
+    timing out is skipped (its breaker is open) until a backoff-drawn
+    cooldown has passed, so an overloaded server stops burning its
+    per-request deadline on a rung that cannot answer in time. A rung
+    that answers [Undecided] within its slice of the deadline counts as
+    a breaker timeout and the request falls to the next rung; only when
+    every rung is refused or undecided does the request resolve to
+    [Undecided "degraded: …"] — the service's honest [UNKNOWN], never a
+    crash or a hang. *)
+
+type rung = Cdcl | Dpll | Explicit
+
+val rung_name : rung -> string
+(** ["cdcl"], ["dpll"], ["explicit"]. *)
+
+type t
+(** One breaker per rung; shared by all worker domains. *)
+
+val make :
+  ?trip_after:int -> ?backoff:Netsim.Backoff.t -> ?seed:int -> unit -> t
+(** Breaker parameters are per {!Breaker.make}; [seed] (default 0)
+    derives each rung's decorrelated cooldown stream. *)
+
+val breaker : t -> rung -> Breaker.t
+(** Exposed for stats reporting and tests. *)
+
+type answer = {
+  verdict : Core.Experiments.sweep_verdict;
+  rung : string;  (** rung that answered, or ["none"] *)
+  degraded : bool;  (** at least one higher rung was skipped or failed *)
+  trail : (string * string) list;
+      (** per-rung disposition, top-down: ["open"], ["decided"],
+          ["cancelled"], or the [Undecided] reason *)
+}
+
+val decide :
+  ?now:(unit -> float) ->
+  t -> (rung * (unit -> Core.Experiments.sweep_verdict)) list -> answer
+(** Walks the rungs top-down. [Holds]/[Violated] records a breaker
+    success and stops; [Undecided "cancelled"] (drain, or the request
+    deadline observed by the [stop] hook) stops {e without} a breaker
+    transition — cancellation says nothing about the backend's health;
+    any other [Undecided] records a breaker timeout and falls through.
+    [now] (default wall clock) is injected for deterministic tests. *)
+
+val consensus_rungs :
+  ?stop:(unit -> bool) ->
+  budget_for:(rung -> Netsim.Budget.t) ->
+  model:Core.Mca_model.t ->
+  exhaustive:(unit -> Core.Experiments.sweep_verdict) ->
+  unit -> (rung * (unit -> Core.Experiments.sweep_verdict)) list
+(** The standard three rungs for a [check consensus] cell: bounded CDCL
+    ({!Core.Mca_model.check_consensus_bounded} with symmetry breaking),
+    bounded DPLL on the same CNF (an independent engine, no clause
+    learning), and the caller's [exhaustive] thunk — in the service this
+    reuses the explicit-state verdict the reply needs anyway, so the
+    bottom rung costs nothing extra. [budget_for] slices the remaining
+    request deadline per rung. *)
+
+val check_consensus :
+  ?now:(unit -> float) ->
+  ?stop:(unit -> bool) ->
+  budget_for:(rung -> Netsim.Budget.t) ->
+  model:Core.Mca_model.t ->
+  exhaustive:(unit -> Core.Experiments.sweep_verdict) ->
+  t -> answer
+(** [decide] over [consensus_rungs]. *)

@@ -1,0 +1,567 @@
+(* The verification daemon: a select-based acceptor feeding a bounded
+   request queue, worker domains running policy-matrix cells through the
+   degradation ladder, and a write-ahead journal that doubles as the
+   verdict cache.
+
+   The overload contract, in code:
+   - the acceptor never blocks on the queue: admission is
+     [Bqueue.try_push], and [false] is answered with an explicit [shed]
+     reply (never a hang, never a crash);
+   - the acceptor never blocks on a client either: sockets are
+     non-blocking, request lines are assembled incrementally under
+     [select], and a client that stalls past [io_deadline] is dropped;
+   - every admitted request carries an absolute deadline; workers thread
+     it into the backends as a [?stop] hook plus per-rung
+     [Netsim.Budget]s, so a hard cell degrades to [UNKNOWN] instead of
+     wedging a worker;
+   - [stop] (the SIGTERM path) drains: the listener closes, queued
+     requests complete and are journaled, then workers exit — a
+     restarted server (or [mca_check --sweep --resume]) picks the
+     verdicts up from the journal. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let pp_addr ppf = function
+  | Unix_path p -> Format.fprintf ppf "unix:%s" p
+  | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
+
+type config = {
+  addr : addr;
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** admission watermark: depth beyond this sheds *)
+  default_deadline : float;  (** per-request seconds when none given *)
+  max_deadline : float;  (** cap on client-requested deadlines *)
+  io_deadline : float;  (** client socket read/write allowance *)
+  seed : int;  (** cell identity seed, as in [mca_check --sweep] *)
+  journal : string option;
+  trip_after : int;  (** breaker: consecutive timeouts before opening *)
+  breaker_base_s : float;
+  breaker_cap_s : float;
+}
+
+let default_config addr =
+  {
+    addr;
+    jobs = 2;
+    queue_cap = 8;
+    default_deadline = 30.0;
+    max_deadline = 120.0;
+    io_deadline = 5.0;
+    seed = 1;
+    journal = None;
+    trip_after = 3;
+    breaker_base_s = 0.5;
+    breaker_cap_s = 30.0;
+  }
+
+type job = { fd : Unix.file_descr; req : Wire.request }
+
+type counters = {
+  conns : int Atomic.t;  (** connections accepted *)
+  requests : int Atomic.t;  (** well-formed check requests *)
+  admitted : int Atomic.t;
+  shed : int Atomic.t;
+  errors : int Atomic.t;  (** malformed/refused requests *)
+  served : int Atomic.t;  (** verdict replies written *)
+  cached : int Atomic.t;  (** served from the journal cache *)
+  degraded : int Atomic.t;  (** answered below the CDCL rung *)
+  drained : int Atomic.t;  (** requests completed during drain *)
+}
+
+let new_counters () =
+  {
+    conns = Atomic.make 0;
+    requests = Atomic.make 0;
+    admitted = Atomic.make 0;
+    shed = Atomic.make 0;
+    errors = Atomic.make 0;
+    served = Atomic.make 0;
+    cached = Atomic.make 0;
+    degraded = Atomic.make 0;
+    drained = Atomic.make 0;
+  }
+
+type t = {
+  cfg : config;
+  queue : job Parallel.Bqueue.t;
+  stopping : bool Atomic.t;  (** drain requested: set from signal handlers *)
+  aborting : bool Atomic.t;  (** hard stop: cancel in-flight work *)
+  counters : counters;
+  ladder : Ladder.t;
+  cache : (int * string * string, Core.Experiments.sweep_cell) Hashtbl.t;
+  cache_lock : Mutex.t;
+  journal_w : Parallel.Journal.writer option;
+  listen_fd : Unix.file_descr;
+  mutable domains : unit Domain.t list;
+}
+
+(* ---- non-blocking, deadline-bounded socket I/O -------------------- *)
+
+let rec select_retry rd wr deadline =
+  let now = Unix.gettimeofday () in
+  let t = Float.max 0.0 (deadline -. now) in
+  match Unix.select rd wr [] t with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Unix.gettimeofday () >= deadline then ([], [], [])
+      else select_retry rd wr deadline
+  | r -> r
+
+(* Best-effort bounded write of [s ^ "\n"]; never raises, never blocks
+   past [deadline]. *)
+let send_line fd ~deadline s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | 0 -> false
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+          match select_retry [] [ fd ] deadline with
+          | _, [ _ ], _ -> go off
+          | _ -> false)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- the journal-backed verdict cache ----------------------------- *)
+
+let cache_key ~seed ~policy ~scope_tag = (seed, policy, scope_tag)
+
+let load_cache cfg cache =
+  match cfg.journal with
+  | None -> None
+  | Some path ->
+      (* recover: truncate a torn tail, then trust only digest-valid
+         records — the PR 4 resume contract *)
+      let { Parallel.Journal.entries; _ } = Parallel.Journal.recover path in
+      List.iter
+        (fun line ->
+          match Core.Experiments.cell_of_record line with
+          | Some (seed, cell) ->
+              Hashtbl.replace cache
+                (cache_key ~seed ~policy:cell.Core.Experiments.policy_label
+                   ~scope_tag:cell.Core.Experiments.scope_tag)
+                cell
+          | None -> ())
+        entries;
+      Some (Parallel.Journal.open_append path)
+
+(* Only decided cells are cacheable: an [Undecided] answer reflects the
+   load/deadline of one moment, not the cell, and must never be replayed
+   as if it were a verdict. *)
+let cell_decided (c : Core.Experiments.sweep_cell) =
+  match (c.sat_verdict, c.exhaustive) with
+  | Core.Experiments.Undecided _, _ | _, Core.Experiments.Undecided _ -> false
+  | _ -> true
+
+(* ---- one request, end to end -------------------------------------- *)
+
+let stats_of t =
+  let c = t.counters in
+  let breaker_open rung =
+    match
+      Breaker.state (Ladder.breaker t.ladder rung) ~now:(Unix.gettimeofday ())
+    with
+    | Breaker.Closed -> 0
+    | Breaker.Open_until _ | Breaker.Half_open -> 1
+  in
+  [
+    ("conns", Atomic.get c.conns);
+    ("requests", Atomic.get c.requests);
+    ("admitted", Atomic.get c.admitted);
+    ("shed", Atomic.get c.shed);
+    ("errors", Atomic.get c.errors);
+    ("served", Atomic.get c.served);
+    ("cached", Atomic.get c.cached);
+    ("degraded", Atomic.get c.degraded);
+    ("drained", Atomic.get c.drained);
+    ("depth", Parallel.Bqueue.length t.queue);
+    ("cap", t.cfg.queue_cap);
+    ("jobs", t.cfg.jobs);
+    ("breaker_cdcl_open", breaker_open Ladder.Cdcl);
+    ("breaker_dpll_open", breaker_open Ladder.Dpll);
+    ("breaker_explicit_open", breaker_open Ladder.Explicit);
+  ]
+
+let compute_cell t (req : Wire.request) ~stop ~abs_deadline =
+  let scope_tag, scope = Wire.scope_of_request req in
+  match Core.Experiments.lookup_policy req.Wire.policy with
+  | None -> Error (Printf.sprintf "unknown policy %S" req.Wire.policy)
+  | Some (p, mp) ->
+      let t0 = Unix.gettimeofday () in
+      let cfg =
+        Core.Experiments.cell_config ~seed:req.Wire.seed
+          ~policy_label:req.Wire.policy ~scope_tag p scope
+      in
+      let remaining_until frac =
+        let now = Unix.gettimeofday () in
+        let rem = Float.max 0.0 (abs_deadline -. now) in
+        Netsim.Budget.until ~deadline:(now +. (rem *. frac))
+      in
+      let sim_ok =
+        match
+          Mca.Protocol.run_sync ~max_rounds:200 ~budget:(remaining_until 0.25)
+            cfg
+        with
+        | Mca.Protocol.Converged _ -> true
+        | _ -> false
+      in
+      (* computed at most once, shared between the ladder's bottom rung
+         and the reply's exhaustive column *)
+      let exhaustive =
+        lazy
+          (match Checker.Explore.run ~stop ~budget:(remaining_until 1.0) cfg with
+          | Checker.Explore.Converges _ -> Core.Experiments.Holds
+          | Checker.Explore.Unknown { reason; _ } ->
+              Core.Experiments.Undecided reason
+          | Checker.Explore.Nonconvergence _ | Checker.Explore.Bad_terminal _ ->
+              Core.Experiments.Violated)
+      in
+      let mp =
+        { mp with
+          Core.Mca_model.target =
+            min mp.Core.Mca_model.target scope.Core.Mca_model.vnodes }
+      in
+      let model = Core.Mca_model.build Core.Mca_model.Efficient mp scope in
+      (* the ladder's deadline split: CDCL gets half the remaining
+         request time, DPLL half of what is left after that, the
+         explicit checker the rest *)
+      let budget_for = function
+        | Ladder.Cdcl -> remaining_until 0.5
+        | Ladder.Dpll -> remaining_until 0.5
+        | Ladder.Explicit -> remaining_until 1.0
+      in
+      let answer =
+        Ladder.check_consensus ~stop ~budget_for ~model
+          ~exhaustive:(fun () -> Lazy.force exhaustive)
+          t.ladder
+      in
+      let cell =
+        {
+          Core.Experiments.policy_label = req.Wire.policy;
+          scope_tag;
+          sat_verdict = answer.Ladder.verdict;
+          sim_ok;
+          exhaustive = Lazy.force exhaustive;
+          cell_seconds = Unix.gettimeofday () -. t0;
+          origin = Core.Experiments.Computed;
+        }
+      in
+      Ok (cell, answer)
+
+let serve_check t (job : job) =
+  let req = job.req in
+  let c = t.counters in
+  let now0 = Unix.gettimeofday () in
+  let deadline_s =
+    Float.min t.cfg.max_deadline
+      (Option.value req.Wire.deadline_s ~default:t.cfg.default_deadline)
+  in
+  let abs_deadline = now0 +. deadline_s in
+  let io_deadline () = Unix.gettimeofday () +. t.cfg.io_deadline in
+  let reply resp =
+    if send_line job.fd ~deadline:(io_deadline ()) (Wire.render_response resp)
+    then Atomic.incr c.served
+  in
+  let scope_tag, _ = Wire.scope_of_request req in
+  let key =
+    cache_key ~seed:req.Wire.seed ~policy:req.Wire.policy ~scope_tag
+  in
+  (* the journal is keyed by (seed, policy, scope tag) with the sweep's
+     fixed bid-level count; other values-scopes bypass the cache *)
+  let cacheable = req.Wire.values = 6 in
+  let cached_cell =
+    if cacheable then begin
+      Mutex.lock t.cache_lock;
+      let r = Hashtbl.find_opt t.cache key in
+      Mutex.unlock t.cache_lock;
+      r
+    end
+    else None
+  in
+  match cached_cell with
+  | Some cell ->
+      Atomic.incr c.cached;
+      reply
+        (Wire.Verdict
+           {
+             Wire.req_id = req.Wire.id;
+             sat = cell.Core.Experiments.sat_verdict;
+             exhaustive = cell.Core.Experiments.exhaustive;
+             sim_ok = cell.Core.Experiments.sim_ok;
+             rung = "journal";
+             cached = true;
+             secs = Unix.gettimeofday () -. now0;
+           })
+  | None -> (
+      let stop () =
+        Atomic.get t.aborting || Unix.gettimeofday () >= abs_deadline
+      in
+      match compute_cell t req ~stop ~abs_deadline with
+      | Error msg ->
+          Atomic.incr c.errors;
+          reply (Wire.Error { req_id = req.Wire.id; msg })
+      | Ok (cell, answer) ->
+          if answer.Ladder.degraded then Atomic.incr c.degraded;
+          if Atomic.get t.stopping then Atomic.incr c.drained;
+          if cacheable && cell_decided cell then begin
+            (match t.journal_w with
+            | Some w ->
+                Parallel.Journal.append w
+                  (Core.Experiments.cell_record ~seed:req.Wire.seed cell)
+            | None -> ());
+            Mutex.lock t.cache_lock;
+            Hashtbl.replace t.cache key cell;
+            Mutex.unlock t.cache_lock
+          end;
+          reply
+            (Wire.Verdict
+               {
+                 Wire.req_id = req.Wire.id;
+                 sat = cell.Core.Experiments.sat_verdict;
+                 exhaustive = cell.Core.Experiments.exhaustive;
+                 sim_ok = cell.Core.Experiments.sim_ok;
+                 rung = answer.Ladder.rung;
+                 cached = false;
+                 secs = cell.Core.Experiments.cell_seconds;
+               }))
+
+let worker t =
+  let rec loop () =
+    match
+      Parallel.Bqueue.pop_deadline t.queue
+        ~deadline:(Unix.gettimeofday () +. 0.25)
+    with
+    | Parallel.Bqueue.Closed -> ()
+    | Parallel.Bqueue.Timeout -> loop ()
+    | Parallel.Bqueue.Item job ->
+        (try serve_check t job
+         with e ->
+           Atomic.incr t.counters.errors;
+           ignore
+             (send_line job.fd
+                ~deadline:(Unix.gettimeofday () +. t.cfg.io_deadline)
+                (Wire.render_response
+                   (Wire.Error
+                      { req_id = job.req.Wire.id;
+                        msg = "internal: " ^ Printexc.to_string e }))));
+        close_quiet job.fd;
+        loop ()
+  in
+  loop ()
+
+(* ---- the acceptor -------------------------------------------------- *)
+
+let max_line = 65536
+
+type pending = {
+  pfd : Unix.file_descr;
+  buf : Buffer.t;
+  expires : float;  (** the slow-loris cutoff *)
+}
+
+let handle_line t fd line =
+  let c = t.counters in
+  let io_deadline = Unix.gettimeofday () +. t.cfg.io_deadline in
+  let refuse resp =
+    ignore (send_line fd ~deadline:io_deadline (Wire.render_response resp));
+    close_quiet fd
+  in
+  match Wire.parse_incoming line with
+  | Result.Error msg ->
+      Atomic.incr c.errors;
+      refuse (Wire.Error { req_id = ""; msg })
+  | Ok Wire.Get_stats -> refuse (Wire.Stats (stats_of t))
+  | Ok (Wire.Check req) ->
+      Atomic.incr c.requests;
+      if Core.Experiments.lookup_policy req.Wire.policy = None then begin
+        Atomic.incr c.errors;
+        refuse
+          (Wire.Error
+             { req_id = req.Wire.id;
+               msg = Printf.sprintf "unknown policy %S" req.Wire.policy })
+      end
+      else if
+        Atomic.get t.stopping
+        (* draining: no new admissions, only the backlog finishes *)
+        || not (Parallel.Bqueue.try_push t.queue { fd; req })
+      then begin
+        Atomic.incr c.shed;
+        refuse
+          (Wire.Shed
+             {
+               req_id = req.Wire.id;
+               depth = Parallel.Bqueue.length t.queue;
+               capacity = t.cfg.queue_cap;
+             })
+      end
+      else Atomic.incr c.admitted
+(* on successful push the worker owns [fd] *)
+
+let acceptor t =
+  let pending = ref [] in
+  let chunk = Bytes.create 4096 in
+  let drop p = close_quiet p.pfd in
+  let rec feed p =
+    (* read what is available; a complete line hands the socket off *)
+    match Unix.read p.pfd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+        drop p;
+        None
+    | n -> (
+        Buffer.add_subbytes p.buf chunk 0 n;
+        let s = Buffer.contents p.buf in
+        match String.index_opt s '\n' with
+        | Some i ->
+            handle_line t p.pfd (String.sub s 0 i);
+            None
+        | None ->
+            if Buffer.length p.buf > max_line then begin
+              Atomic.incr t.counters.errors;
+              ignore
+                (send_line p.pfd
+                   ~deadline:(Unix.gettimeofday () +. t.cfg.io_deadline)
+                   (Wire.render_response
+                      (Wire.Error { req_id = ""; msg = "request too long" })));
+              drop p;
+              None
+            end
+            else feed p)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Some p
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> feed p
+    | exception Unix.Unix_error _ ->
+        drop p;
+        None
+  in
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      let fds = t.listen_fd :: List.map (fun p -> p.pfd) !pending in
+      let ready, _, _ =
+        select_retry fds [] (Unix.gettimeofday () +. 0.2)
+      in
+      if List.mem t.listen_fd ready then begin
+        let rec accept_all () =
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              Atomic.incr t.counters.conns;
+              pending :=
+                {
+                  pfd = fd;
+                  buf = Buffer.create 128;
+                  expires = Unix.gettimeofday () +. t.cfg.io_deadline;
+                }
+                :: !pending;
+              accept_all ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_all ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        accept_all ()
+      end;
+      let now = Unix.gettimeofday () in
+      pending :=
+        List.filter_map
+          (fun p ->
+            if List.mem p.pfd ready then feed p
+            else if now >= p.expires then begin
+              drop p;
+              None
+            end
+            else Some p)
+          !pending;
+      loop ()
+    end
+  in
+  loop ();
+  List.iter drop !pending
+
+(* ---- lifecycle ----------------------------------------------------- *)
+
+let listen cfg =
+  (match cfg.addr with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  let domain =
+    match cfg.addr with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt fd Unix.SO_REUSEADDR true
+   with Unix.Unix_error _ -> ());
+  Unix.bind fd (sockaddr_of cfg.addr);
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+let start cfg =
+  if cfg.jobs < 1 then invalid_arg "Server.start: jobs < 1";
+  if cfg.queue_cap < 1 then invalid_arg "Server.start: queue_cap < 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let cache = Hashtbl.create 64 in
+  let journal_w = load_cache cfg cache in
+  let t =
+    {
+      cfg;
+      queue = Parallel.Bqueue.create ~capacity:cfg.queue_cap;
+      stopping = Atomic.make false;
+      aborting = Atomic.make false;
+      counters = new_counters ();
+      ladder =
+        Ladder.make ~trip_after:cfg.trip_after
+          ~backoff:
+            (Netsim.Backoff.make ~base_s:cfg.breaker_base_s
+               ~cap_s:cfg.breaker_cap_s ())
+          ~seed:cfg.seed ();
+      cache;
+      cache_lock = Mutex.create ();
+      journal_w;
+      listen_fd = listen cfg;
+      domains = [];
+    }
+  in
+  let workers = List.init cfg.jobs (fun _ -> Domain.spawn (fun () -> worker t)) in
+  let acc = Domain.spawn (fun () -> acceptor t) in
+  t.domains <- acc :: workers;
+  t
+
+let stop ?(abort = false) t =
+  (* Atomic.set only: safe from a signal handler. The acceptor notices
+     within its 0.2 s select tick, stops admitting, and the join path
+     closes the queue so workers drain the backlog and exit. *)
+  if abort then Atomic.set t.aborting true;
+  Atomic.set t.stopping true
+
+let stats t = stats_of t
+
+let address t = t.cfg.addr
+
+let join t =
+  (* wait for the drain request, then let the backlog finish *)
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf 0.05
+  done;
+  Parallel.Bqueue.close t.queue;
+  List.iter Domain.join t.domains;
+  close_quiet t.listen_fd;
+  (match t.cfg.addr with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  match t.journal_w with Some w -> Parallel.Journal.close w | None -> ()
+
+let run cfg =
+  let t = start cfg in
+  join t

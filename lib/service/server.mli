@@ -1,0 +1,86 @@
+(** The overload-safe verification daemon.
+
+    Serves {!Wire} [check] requests — one policy-matrix cell each, the
+    same verdict vocabulary as [mca_check --sweep] — over a Unix or TCP
+    socket, one newline-framed request per connection.
+
+    Overload behaviour is explicit, never emergent:
+
+    - {b admission control}: a request is admitted only when
+      {!Parallel.Bqueue.try_push} onto the bounded queue succeeds;
+      otherwise the client gets a [shed] reply immediately. The
+      acceptor never blocks — not on the queue (non-blocking push), not
+      on clients (non-blocking sockets under [select], slow readers
+      dropped after [io_deadline]).
+    - {b deadline propagation}: every admitted request carries an
+      absolute deadline ([default_deadline] unless the client asked,
+      capped by [max_deadline]) threaded into the backends as a [?stop]
+      hook plus per-rung {!Netsim.Budget}s.
+    - {b graceful degradation}: the SAT column is answered by the
+      {!Ladder} (CDCL → DPLL → explicit → [UNKNOWN]), with a per-rung
+      {!Breaker} so a timing-out backend is skipped while it cools off.
+    - {b drain on stop}: {!stop} (the SIGTERM handler's one call —
+      it only flips an [Atomic]) stops admissions; queued requests
+      complete, are answered and journaled, then workers exit and
+      {!join} returns. A restart — or [mca_check --sweep --resume] —
+      picks the completed verdicts up from the journal.
+
+    With [journal = Some path] the server keeps a CRC-framed write-ahead
+    journal of every {e decided} cell ({!Core.Experiments.cell_record}
+    format) and serves repeat requests from it ([rung=journal],
+    [cached=true]); [Undecided] answers are never journaled — they
+    describe one moment's load, not the cell. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val sockaddr_of : addr -> Unix.sockaddr
+val pp_addr : Format.formatter -> addr -> unit
+
+type config = {
+  addr : addr;
+  jobs : int;  (** worker domains *)
+  queue_cap : int;  (** admission watermark: a full queue sheds *)
+  default_deadline : float;  (** seconds per request when none given *)
+  max_deadline : float;  (** cap on client-requested deadlines *)
+  io_deadline : float;  (** client socket read/write allowance *)
+  seed : int;  (** cell identity seed, as in [mca_check --sweep] *)
+  journal : string option;
+  trip_after : int;  (** breaker: consecutive timeouts before opening *)
+  breaker_base_s : float;
+  breaker_cap_s : float;
+}
+
+val default_config : addr -> config
+(** 2 workers, queue of 8, 30 s default / 120 s max deadline, 5 s I/O
+    allowance, seed 1, no journal, breakers trip after 3 with 0.5–30 s
+    cooldowns. *)
+
+type t
+
+val start : config -> t
+(** Binds, listens and spawns the acceptor and worker domains. Ignores
+    SIGPIPE (a dropped client must not kill the server). Raises
+    [Invalid_argument] for non-positive [jobs]/[queue_cap] and
+    [Unix.Unix_error] when the address cannot be bound. *)
+
+val stop : ?abort:bool -> t -> unit
+(** Requests a graceful drain. Only flips atomics — safe to call from a
+    signal handler. With [abort = true], in-flight backends are also
+    cancelled through their [stop] hooks (they answer [UNKNOWN]
+    "cancelled" and are not journaled). *)
+
+val join : t -> unit
+(** Blocks until {!stop} has been called and the drain has finished:
+    backlog served, domains joined, journal closed, socket unlinked. *)
+
+val run : config -> unit
+(** [start] + [join] — the daemon main loop. Install signal handlers
+    calling {!stop} before [run]. *)
+
+val stats : t -> (string * int) list
+(** The live counters of the [stats] wire reply: [conns], [requests],
+    [admitted], [shed], [errors], [served], [cached], [degraded],
+    [drained], [depth], [cap], [jobs], and one [breaker_*_open] flag
+    per ladder rung. *)
+
+val address : t -> addr

@@ -1,0 +1,202 @@
+(* Newline-framed key=value wire protocol, reusing the journal record
+   syntax of Core.Experiments (pipe-separated fields, percent escaping).
+   One line = one message; a check request names a policy-matrix cell
+   and the verdict reply carries the same three-column verdict as a
+   sweep cell, so the service, the sweep and the journal all speak one
+   vocabulary. *)
+
+let escape = Core.Experiments.escape_field
+let unescape = Core.Experiments.unescape_field
+
+type request = {
+  id : string;
+  policy : string;
+  agents : int;
+  items : int;
+  states : int;
+  values : int;
+  seed : int;
+  deadline_s : float option;
+}
+
+let request ?(id = "") ?(agents = 2) ?(items = 2) ?(states = 5) ?(values = 6)
+    ?(seed = 1) ?deadline_s policy =
+  { id; policy; agents; items; states; values; seed; deadline_s }
+
+let scope_of_request r =
+  ( Printf.sprintf "%dp%dv/%dst" r.agents r.items r.states,
+    {
+      Core.Mca_model.pnodes = r.agents;
+      vnodes = r.items;
+      states = r.states;
+      values = r.values;
+      bitwidth = 4;
+    } )
+
+type verdict_reply = {
+  req_id : string;
+  sat : Core.Experiments.sweep_verdict;
+  exhaustive : Core.Experiments.sweep_verdict;
+  sim_ok : bool;
+  rung : string;  (** ladder rung that answered the SAT column *)
+  cached : bool;  (** served from the journal, no verification re-run *)
+  secs : float;
+}
+
+type response =
+  | Verdict of verdict_reply
+  | Shed of { req_id : string; depth : int; capacity : int }
+  | Error of { req_id : string; msg : string }
+  | Stats of (string * int) list
+
+type incoming = Check of request | Get_stats
+
+(* ---- rendering ---- *)
+
+let render_request r =
+  Printf.sprintf "check|1|id=%s|policy=%s|n=%d|j=%d|st=%d|vals=%d|seed=%d%s"
+    (escape r.id) (escape r.policy) r.agents r.items r.states r.values r.seed
+    (match r.deadline_s with
+    | None -> ""
+    | Some d -> Printf.sprintf "|deadline=%.6f" d)
+
+let stats_request = "stats|1"
+
+let render_response = function
+  | Verdict v ->
+      Printf.sprintf "verdict|1|id=%s|sat=%s|exh=%s|sim=%b|rung=%s|cached=%b|secs=%.6f"
+        (escape v.req_id)
+        (Core.Experiments.verdict_to_wire v.sat)
+        (Core.Experiments.verdict_to_wire v.exhaustive)
+        v.sim_ok (escape v.rung) v.cached v.secs
+  | Shed s ->
+      Printf.sprintf "shed|1|id=%s|depth=%d|cap=%d" (escape s.req_id) s.depth
+        s.capacity
+  | Error e ->
+      Printf.sprintf "error|1|id=%s|msg=%s" (escape e.req_id) (escape e.msg)
+  | Stats kvs ->
+      String.concat "|"
+        ("stats" :: "1"
+        :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" (escape k) v) kvs)
+
+(* ---- parsing ---- *)
+
+let fields_of line =
+  match String.split_on_char '|' line with
+  | kind :: "1" :: fields ->
+      Some
+        ( kind,
+          List.filter_map
+            (fun f ->
+              match String.index_opt f '=' with
+              | Some i ->
+                  Some
+                    ( String.sub f 0 i,
+                      String.sub f (i + 1) (String.length f - i - 1) )
+              | None -> None)
+            fields )
+  | _ -> None
+
+let field assoc k = Option.map unescape (List.assoc_opt k assoc)
+
+let int_field assoc k = Option.bind (List.assoc_opt k assoc) int_of_string_opt
+
+let positive name = function
+  | Some n when n >= 1 -> Ok n
+  | Some _ -> Result.Error (Printf.sprintf "non-positive %s" name)
+  | None -> Result.Error (Printf.sprintf "missing %s" name)
+
+let parse_incoming line =
+  match fields_of line with
+  | Some ("stats", _) -> Ok Get_stats
+  | Some ("check", assoc) -> (
+      let ( let* ) = Result.bind in
+      let* policy =
+        Option.to_result ~none:"missing policy" (field assoc "policy")
+      in
+      let* agents = positive "n" (int_field assoc "n") in
+      let* items = positive "j" (int_field assoc "j") in
+      let* states = positive "st" (int_field assoc "st") in
+      let* values = positive "vals" (int_field assoc "vals") in
+      let seed = Option.value (int_field assoc "seed") ~default:1 in
+      let id = Option.value (field assoc "id") ~default:"" in
+      match List.assoc_opt "deadline" assoc with
+      | Some d -> (
+          match float_of_string_opt d with
+          | Some d when d > 0.0 ->
+              Ok
+                (Check
+                   { id; policy; agents; items; states; values; seed;
+                     deadline_s = Some d })
+          | _ -> Result.Error "invalid deadline")
+      | None ->
+          Ok
+            (Check
+               { id; policy; agents; items; states; values; seed;
+                 deadline_s = None }))
+  | Some (kind, _) -> Result.Error (Printf.sprintf "unknown request kind %S" kind)
+  | None -> Result.Error "malformed request line"
+
+let parse_response line =
+  match fields_of line with
+  | Some ("verdict", assoc) -> (
+      let ( let* ) = Result.bind in
+      let* sat =
+        Option.to_result ~none:"missing sat verdict"
+          (Option.bind (List.assoc_opt "sat" assoc)
+             Core.Experiments.verdict_of_wire)
+      in
+      let* exhaustive =
+        Option.to_result ~none:"missing exh verdict"
+          (Option.bind (List.assoc_opt "exh" assoc)
+             Core.Experiments.verdict_of_wire)
+      in
+      let* sim_ok =
+        Option.to_result ~none:"missing sim flag"
+          (Option.bind (List.assoc_opt "sim" assoc) bool_of_string_opt)
+      in
+      let cached =
+        Option.value ~default:false
+          (Option.bind (List.assoc_opt "cached" assoc) bool_of_string_opt)
+      in
+      let secs =
+        Option.value ~default:0.0
+          (Option.bind (List.assoc_opt "secs" assoc) float_of_string_opt)
+      in
+      Ok
+        (Verdict
+           {
+             req_id = Option.value (field assoc "id") ~default:"";
+             sat;
+             exhaustive;
+             sim_ok;
+             rung = Option.value (field assoc "rung") ~default:"";
+             cached;
+             secs;
+           }))
+  | Some ("shed", assoc) ->
+      Ok
+        (Shed
+           {
+             req_id = Option.value (field assoc "id") ~default:"";
+             depth = Option.value (int_field assoc "depth") ~default:0;
+             capacity = Option.value (int_field assoc "cap") ~default:0;
+           })
+  | Some ("error", assoc) ->
+      Ok
+        (Error
+           {
+             req_id = Option.value (field assoc "id") ~default:"";
+             msg = Option.value (field assoc "msg") ~default:"";
+           })
+  | Some ("stats", assoc) ->
+      Ok
+        (Stats
+           (List.filter_map
+              (fun (k, v) ->
+                Option.map (fun n -> (unescape k, n)) (int_of_string_opt v))
+              assoc))
+  | Some (kind, _) -> Result.Error (Printf.sprintf "unknown response kind %S" kind)
+  | None -> Result.Error "malformed response line"
+
+let pp_response ppf r = Format.pp_print_string ppf (render_response r)

@@ -1,0 +1,69 @@
+(** The service's wire protocol: newline-framed, pipe-separated
+    [key=value] messages with the percent-escaping and verdict syntax
+    of the sweep-journal records ({!Core.Experiments.cell_record}) —
+    one vocabulary for requests, replies, and the on-disk journal.
+
+    Frames on the wire:
+
+    {v
+    check|1|id=r1|policy=submod|n=2|j=2|st=5|vals=6|seed=1|deadline=2.5
+    stats|1
+    verdict|1|id=r1|sat=holds|exh=holds|sim=true|rung=cdcl|cached=false|secs=0.41
+    shed|1|id=|depth=8|cap=8
+    error|1|id=r1|msg=unknown policy
+    stats|1|accepted=12|admitted=9|shed=3|...
+    v} *)
+
+type request = {
+  id : string;  (** client-chosen correlation id, echoed in the reply *)
+  policy : string;  (** a paper-grid label, e.g. ["submod+release"] *)
+  agents : int;
+  items : int;
+  states : int;  (** trace length (netState scope) *)
+  values : int;  (** bid levels of the efficient encoding *)
+  seed : int;  (** utility seed — part of the cell identity *)
+  deadline_s : float option;
+      (** wall-clock allowance for this request, from the moment a
+          worker picks it up; capped by the server's [max_deadline] *)
+}
+
+val request :
+  ?id:string -> ?agents:int -> ?items:int -> ?states:int -> ?values:int ->
+  ?seed:int -> ?deadline_s:float -> string -> request
+(** [request policy] with the sweep defaults (2p/2v, 5 states,
+    6 values, seed 1, no deadline). *)
+
+val scope_of_request : request -> string * Core.Mca_model.scope_spec
+(** The (scope tag, scope) pair, tagged exactly as [mca_check --sweep]
+    tags it — so journal records are interchangeable between the two. *)
+
+type verdict_reply = {
+  req_id : string;
+  sat : Core.Experiments.sweep_verdict;
+  exhaustive : Core.Experiments.sweep_verdict;
+  sim_ok : bool;
+  rung : string;
+      (** which ladder rung answered the SAT column: ["cdcl"], ["dpll"],
+          ["explicit"], ["journal"] (cache hit) or ["none"] *)
+  cached : bool;
+  secs : float;
+}
+
+type response =
+  | Verdict of verdict_reply
+  | Shed of { req_id : string; depth : int; capacity : int }
+      (** admission refused: queue depth was at the watermark *)
+  | Error of { req_id : string; msg : string }
+  | Stats of (string * int) list
+
+type incoming = Check of request | Get_stats
+
+val render_request : request -> string
+val stats_request : string
+
+val parse_incoming : string -> (incoming, string) result
+(** Server side; the error string is safe to echo back to the client. *)
+
+val render_response : response -> string
+val parse_response : string -> (response, string) result
+val pp_response : Format.formatter -> response -> unit

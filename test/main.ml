@@ -11,5 +11,6 @@ let () =
       ("core", Test_core.suite);
       ("parallel", Test_parallel.suite);
       ("crashsafe", Test_crashsafe.suite);
+      ("service", Test_service.suite);
       ("differential", Test_differential.suite);
     ]

@@ -57,6 +57,28 @@ let test_backoff_none_and_validation () =
   check "attempt 0 rejected" true
     (raises (fun () -> Netsim.Backoff.delay Netsim.Backoff.none ~rng ~attempt:0))
 
+let test_backoff_stream_per_key () =
+  (* the thundering-herd fix: each task key gets its own jitter stream,
+     derived from (seed, key) with a platform-stable hash — the same
+     key reproduces the same retry schedule run after run (even when a
+     resumed sweep re-indexes its tasks), and distinct keys that trip
+     together back off at decorrelated times *)
+  let p = Netsim.Backoff.make ~base_s:1.0 ~cap_s:600.0 () in
+  let schedule ~seed ~key =
+    let rng = Netsim.Backoff.stream ~seed ~key in
+    List.init 6 (fun i -> Netsim.Backoff.delay p ~rng ~attempt:(i + 1))
+  in
+  check "same (seed, key) reproduces the schedule" true
+    (schedule ~seed:1 ~key:"2p2v/submod" = schedule ~seed:1 ~key:"2p2v/submod");
+  check "distinct keys are decorrelated" true
+    (schedule ~seed:1 ~key:"2p2v/submod" <> schedule ~seed:1 ~key:"2p2v/nonsubmod");
+  check "distinct seeds are decorrelated" true
+    (schedule ~seed:1 ~key:"2p2v/submod" <> schedule ~seed:2 ~key:"2p2v/submod");
+  (* the derivation is a pinned function of (seed, key), not of any
+     process state: a fixed probe must draw a fixed first delay *)
+  let d1 = List.hd (schedule ~seed:42 ~key:"probe") in
+  check "pinned first draw" true (d1 = List.hd (schedule ~seed:42 ~key:"probe"))
+
 (* ---- journal framing ---- *)
 
 let test_journal_roundtrip () =
@@ -426,6 +448,7 @@ let suite =
     Alcotest.test_case "backoff: deterministic schedule" `Quick test_backoff_deterministic;
     Alcotest.test_case "backoff: bounds and cap clamp" `Quick test_backoff_bounds;
     Alcotest.test_case "backoff: none + validation" `Quick test_backoff_none_and_validation;
+    Alcotest.test_case "backoff: per-key jitter streams" `Quick test_backoff_stream_per_key;
     Alcotest.test_case "journal: frame round trip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal: empty and missing files" `Quick test_journal_empty_and_missing;
     Alcotest.test_case "journal: truncated final frame recovers" `Quick

@@ -70,6 +70,84 @@ let test_bqueue_cross_domain () =
   check_int "all elements consumed" n (c1 + c2);
   check_int "sum preserved" (n * (n + 1) / 2) (s1 + s2)
 
+let test_bqueue_try_push () =
+  let q = Parallel.Bqueue.create ~capacity:2 in
+  check "admits while below capacity" true (Parallel.Bqueue.try_push q 1);
+  check "admits at the last slot" true (Parallel.Bqueue.try_push q 2);
+  check "full queue refuses without blocking" false (Parallel.Bqueue.try_push q 3);
+  check "refused element was not enqueued" true (Parallel.Bqueue.pop q = Some 1);
+  check "freed slot admits again" true (Parallel.Bqueue.try_push q 4);
+  Parallel.Bqueue.close q;
+  check "closed queue refuses" false (Parallel.Bqueue.try_push q 5);
+  check "close kept the backlog" true
+    (Parallel.Bqueue.pop q = Some 2 && Parallel.Bqueue.pop q = Some 4)
+
+let test_bqueue_try_push_full_race () =
+  (* many producers race try_push at a full watermark: exactly
+     [capacity] must win, the rest must be refused, and the winners'
+     elements must all be poppable — no slot lost, none duplicated *)
+  let cap = 4 and producers = 8 and per = 50 in
+  let q = Parallel.Bqueue.create ~capacity:cap in
+  let admit t =
+    let ok = ref 0 in
+    for i = 1 to per do
+      if Parallel.Bqueue.try_push q ((t * per) + i) then incr ok
+    done;
+    !ok
+  in
+  let ds = List.init producers (fun t -> Domain.spawn (fun () -> admit t)) in
+  let admitted = List.fold_left (fun a d -> a + Domain.join d) 0 ds in
+  check_int "admissions equal the capacity" cap admitted;
+  let drained = ref [] in
+  let rec drain () =
+    match
+      Parallel.Bqueue.pop_deadline q ~deadline:(Unix.gettimeofday () +. 0.05)
+    with
+    | Parallel.Bqueue.Item x ->
+        drained := x :: !drained;
+        drain ()
+    | Parallel.Bqueue.Timeout | Parallel.Bqueue.Closed -> ()
+  in
+  drain ();
+  check_int "every admitted element poppable once" cap (List.length !drained);
+  check_int "no duplicates" cap
+    (List.length (List.sort_uniq compare !drained))
+
+let test_bqueue_pop_deadline () =
+  let q = Parallel.Bqueue.create ~capacity:2 in
+  let t0 = Unix.gettimeofday () in
+  check "empty queue times out" true
+    (Parallel.Bqueue.pop_deadline q ~deadline:(t0 +. 0.05)
+    = Parallel.Bqueue.Timeout);
+  check "the deadline was honoured" true (Unix.gettimeofday () -. t0 >= 0.05);
+  check "a past deadline returns immediately" true
+    (Parallel.Bqueue.pop_deadline q ~deadline:(t0 -. 1.0)
+    = Parallel.Bqueue.Timeout);
+  Parallel.Bqueue.push q 7;
+  check "queued item beats the deadline" true
+    (Parallel.Bqueue.pop_deadline q ~deadline:(Unix.gettimeofday () -. 1.0)
+    = Parallel.Bqueue.Item 7)
+
+let test_bqueue_pop_deadline_close_wakes () =
+  (* consumers parked in pop_deadline with a far deadline must wake
+     promptly when the queue closes under contention *)
+  let q = Parallel.Bqueue.create ~capacity:2 in
+  let far = Unix.gettimeofday () +. 30.0 in
+  let consumer () = Parallel.Bqueue.pop_deadline q ~deadline:far in
+  let ds = List.init 3 (fun _ -> Domain.spawn consumer) in
+  Unix.sleepf 0.05;
+  Parallel.Bqueue.push q 1;
+  Parallel.Bqueue.close q;
+  let t0 = Unix.gettimeofday () in
+  let rs = List.map Domain.join ds in
+  check "woke well before the deadline" true (Unix.gettimeofday () -. t0 < 5.0);
+  check_int "the backlog element reached exactly one consumer" 1
+    (List.length
+       (List.filter (function Parallel.Bqueue.Item _ -> true | _ -> false) rs));
+  check_int "the others saw the close" 2
+    (List.length
+       (List.filter (function Parallel.Bqueue.Closed -> true | _ -> false) rs))
+
 (* ---- Pool ---- *)
 
 let test_pool_jobs1_is_array_map () =
@@ -357,6 +435,11 @@ let suite =
     Alcotest.test_case "bqueue push after close" `Quick test_bqueue_push_after_close;
     Alcotest.test_case "bqueue bad capacity" `Quick test_bqueue_bad_capacity;
     Alcotest.test_case "bqueue cross-domain transfer" `Quick test_bqueue_cross_domain;
+    Alcotest.test_case "bqueue try_push sheds when full/closed" `Quick test_bqueue_try_push;
+    Alcotest.test_case "bqueue try_push full-queue race" `Quick test_bqueue_try_push_full_race;
+    Alcotest.test_case "bqueue pop_deadline times out" `Quick test_bqueue_pop_deadline;
+    Alcotest.test_case "bqueue pop_deadline wakes on close" `Quick
+      test_bqueue_pop_deadline_close_wakes;
     Alcotest.test_case "pool jobs=1 is Array.map" `Quick test_pool_jobs1_is_array_map;
     Alcotest.test_case "pool results keyed by index" `Quick test_pool_results_keyed_by_index;
     Alcotest.test_case "pool empty/bad jobs" `Quick test_pool_empty_and_bad_jobs;

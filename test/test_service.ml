@@ -1,0 +1,458 @@
+(* Tests for the overload-safe verification service: the wire codec
+   (round trips and hostile input), the per-backend circuit breaker
+   (trip, cooldown, half-open probe — all on an injected clock), the
+   graceful-degradation ladder (a forced CDCL timeout must fall back to
+   the explicit checker and give its standalone verdict), and the daemon
+   end to end over a Unix socket — admission control sheds explicitly
+   under flood, and an aborted server's journal resumes to verdicts
+   byte-identical to an uninterrupted sweep. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_sock () = Filename.temp_file "mca_serve" ".sock"
+
+let with_temp suffix f =
+  let path = Filename.temp_file "mca_service" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ---- wire codec ---- *)
+
+let test_wire_request_roundtrip () =
+  let hostile = "a|b=c%d\ne" in
+  let req =
+    Service.Wire.request ~id:hostile ~agents:3 ~items:2 ~states:4 ~values:5
+      ~seed:9 ~deadline_s:2.5 "submod+release"
+  in
+  let line = Service.Wire.render_request req in
+  check "single line" true (not (String.contains line '\n'));
+  (match Service.Wire.parse_incoming line with
+  | Ok (Service.Wire.Check r) ->
+      check_string "id survives escaping" hostile r.Service.Wire.id;
+      check_string "policy" "submod+release" r.Service.Wire.policy;
+      check_int "agents" 3 r.Service.Wire.agents;
+      check_int "states" 4 r.Service.Wire.states;
+      check_int "values" 5 r.Service.Wire.values;
+      check_int "seed" 9 r.Service.Wire.seed;
+      check "deadline" true (r.Service.Wire.deadline_s = Some 2.5)
+  | _ -> Alcotest.fail "request did not parse");
+  match Service.Wire.parse_incoming Service.Wire.stats_request with
+  | Ok Service.Wire.Get_stats -> ()
+  | _ -> Alcotest.fail "stats request did not parse"
+
+let test_wire_response_roundtrip () =
+  let roundtrip r =
+    match Service.Wire.parse_response (Service.Wire.render_response r) with
+    | Ok r' -> r' = r
+    | Result.Error _ -> false
+  in
+  check "verdict" true
+    (roundtrip
+       (Service.Wire.Verdict
+          {
+            Service.Wire.req_id = "r|1";
+            sat = Core.Experiments.Holds;
+            exhaustive = Core.Experiments.Undecided "deadline 2s";
+            sim_ok = true;
+            rung = "dpll";
+            cached = false;
+            secs = 0.25;
+          }));
+  check "shed" true
+    (roundtrip (Service.Wire.Shed { req_id = "x"; depth = 8; capacity = 8 }));
+  check "error" true
+    (roundtrip (Service.Wire.Error { req_id = ""; msg = "no = such | policy" }));
+  check "stats" true
+    (roundtrip (Service.Wire.Stats [ ("shed", 3); ("admitted", 9) ]))
+
+let test_wire_hostile_input () =
+  let rejected s =
+    match Service.Wire.parse_incoming s with
+    | Result.Error _ -> true
+    | Ok _ -> false
+  in
+  check "garbage" true (rejected "garbage");
+  check "empty" true (rejected "");
+  check "wrong version" true (rejected "check|2|policy=submod|n=2|j=2|st=5|vals=6");
+  check "unknown kind" true (rejected "nuke|1|policy=submod");
+  check "missing policy" true (rejected "check|1|n=2|j=2|st=5|vals=6");
+  check "zero agents" true (rejected "check|1|policy=submod|n=0|j=2|st=5|vals=6");
+  check "bad deadline" true
+    (rejected "check|1|policy=submod|n=2|j=2|st=5|vals=6|deadline=-1");
+  check "bad response" true
+    (match Service.Wire.parse_response "verdict|1|id=x|sat=maybe|exh=holds|sim=true" with
+    | Result.Error _ -> true
+    | Ok _ -> false)
+
+(* ---- circuit breaker (injected clock) ---- *)
+
+let mk_breaker ?(trip_after = 3) ?(key = "cdcl") () =
+  Service.Breaker.make ~trip_after
+    ~backoff:(Netsim.Backoff.make ~base_s:1.0 ~cap_s:60.0 ())
+    ~seed:7 ~key ()
+
+let test_breaker_trips_and_reopens () =
+  let b = mk_breaker () in
+  check "starts closed" true (Service.Breaker.admit b ~now:0.0);
+  Service.Breaker.timeout b ~now:0.0;
+  Service.Breaker.timeout b ~now:0.1;
+  check "still closed below threshold" true (Service.Breaker.admit b ~now:0.2);
+  Service.Breaker.timeout b ~now:0.2;
+  (* third consecutive timeout: open *)
+  check "open refuses" false (Service.Breaker.admit b ~now:0.3);
+  let until =
+    match Service.Breaker.state b ~now:0.3 with
+    | Service.Breaker.Open_until t -> t
+    | s -> Alcotest.failf "expected open, got %a" Service.Breaker.pp_state s
+  in
+  check "cooldown in the backoff band" true (until > 0.2 && until <= 60.3);
+  (* past the cooldown: exactly one half-open probe *)
+  let later = until +. 0.01 in
+  check "probe admitted" true (Service.Breaker.admit b ~now:later);
+  check "second probe refused" false (Service.Breaker.admit b ~now:later);
+  (* probe times out: straight back to open, longer cooldown *)
+  Service.Breaker.timeout b ~now:later;
+  check "re-opened" false (Service.Breaker.admit b ~now:(later +. 0.01));
+  let until2 =
+    match Service.Breaker.state b ~now:later with
+    | Service.Breaker.Open_until t -> t
+    | s -> Alcotest.failf "expected re-open, got %a" Service.Breaker.pp_state s
+  in
+  check "cooldown grows" true (until2 -. later > until -. 0.2 -. 1e-9)
+
+let test_breaker_success_resets () =
+  let b = mk_breaker () in
+  Service.Breaker.timeout b ~now:0.0;
+  Service.Breaker.timeout b ~now:0.1;
+  Service.Breaker.success b;
+  Service.Breaker.timeout b ~now:0.2;
+  Service.Breaker.timeout b ~now:0.3;
+  check "success cleared the streak" true (Service.Breaker.admit b ~now:0.4);
+  (* probe success closes fully *)
+  Service.Breaker.timeout b ~now:0.4;
+  check "tripped" false (Service.Breaker.admit b ~now:0.5);
+  (match Service.Breaker.state b ~now:1e9 with
+  | Service.Breaker.Half_open -> ()
+  | s -> Alcotest.failf "expected half-open, got %a" Service.Breaker.pp_state s);
+  check "probe" true (Service.Breaker.admit b ~now:1e9);
+  Service.Breaker.success b;
+  check "closed again" true (Service.Breaker.admit b ~now:1e9);
+  check "and the next timeout does not trip alone" true
+    (Service.Breaker.timeout b ~now:1e9;
+     Service.Breaker.admit b ~now:1e9)
+
+let test_breaker_streams_decorrelated () =
+  let open_until key =
+    let b = mk_breaker ~key () in
+    Service.Breaker.timeout b ~now:0.0;
+    Service.Breaker.timeout b ~now:0.0;
+    Service.Breaker.timeout b ~now:0.0;
+    match Service.Breaker.state b ~now:0.0 with
+    | Service.Breaker.Open_until t -> t
+    | _ -> Alcotest.fail "breaker did not open"
+  in
+  check "same key reproduces the cooldown" true
+    (open_until "cdcl" = open_until "cdcl");
+  check "distinct keys draw distinct cooldowns" true
+    (open_until "cdcl" <> open_until "dpll")
+
+(* ---- degradation ladder ---- *)
+
+let v_holds () = Core.Experiments.Holds
+let v_timeout () = Core.Experiments.Undecided "deadline 0s"
+let v_cancel () = Core.Experiments.Undecided "cancelled"
+
+let mk_ladder () =
+  Service.Ladder.make ~trip_after:2
+    ~backoff:(Netsim.Backoff.make ~base_s:10.0 ~cap_s:10.0 ~jitter:0.0 ())
+    ~seed:3 ()
+
+let test_ladder_top_rung_answers () =
+  let l = mk_ladder () in
+  let a =
+    Service.Ladder.decide ~now:(fun () -> 0.0) l
+      [ (Service.Ladder.Cdcl, v_holds); (Service.Ladder.Dpll, v_timeout) ]
+  in
+  check "verdict" true (a.Service.Ladder.verdict = Core.Experiments.Holds);
+  check_string "rung" "cdcl" a.Service.Ladder.rung;
+  check "not degraded" false a.Service.Ladder.degraded
+
+let test_ladder_falls_through_and_trips () =
+  let l = mk_ladder () in
+  let decide () =
+    Service.Ladder.decide ~now:(fun () -> 0.0) l
+      [ (Service.Ladder.Cdcl, v_timeout); (Service.Ladder.Dpll, v_holds) ]
+  in
+  let a = decide () in
+  check_string "fell to dpll" "dpll" a.Service.Ladder.rung;
+  check "degraded" true a.Service.Ladder.degraded;
+  check "trail records the reason" true
+    (List.mem_assoc "cdcl" a.Service.Ladder.trail);
+  (* second timeout trips the cdcl breaker (trip_after = 2): the third
+     decide skips the rung without running it *)
+  let _ = decide () in
+  let ran = ref false in
+  let a3 =
+    Service.Ladder.decide ~now:(fun () -> 0.0) l
+      [
+        (Service.Ladder.Cdcl, fun () -> ran := true; Core.Experiments.Holds);
+        (Service.Ladder.Dpll, v_holds);
+      ]
+  in
+  check "open rung not run" false !ran;
+  check "open rung noted" true
+    (List.assoc_opt "cdcl" a3.Service.Ladder.trail = Some "open");
+  check_string "answered below" "dpll" a3.Service.Ladder.rung
+
+let test_ladder_cancelled_stops_without_tripping () =
+  let l = mk_ladder () in
+  for _ = 1 to 5 do
+    let a =
+      Service.Ladder.decide ~now:(fun () -> 0.0) l
+        [ (Service.Ladder.Cdcl, v_cancel); (Service.Ladder.Dpll, v_holds) ]
+    in
+    check_string "no rung answered" "none" a.Service.Ladder.rung;
+    check "verdict is the cancellation" true
+      (a.Service.Ladder.verdict = Core.Experiments.Undecided "cancelled")
+  done;
+  (* five cancellations later the breaker must still be closed *)
+  check "breaker untouched" true
+    (Service.Breaker.admit (Service.Ladder.breaker l Service.Ladder.Cdcl)
+       ~now:0.0)
+
+let test_ladder_bottom_is_unknown () =
+  let l = mk_ladder () in
+  let a =
+    Service.Ladder.decide ~now:(fun () -> 0.0) l
+      [ (Service.Ladder.Cdcl, v_timeout); (Service.Ladder.Dpll, v_timeout) ]
+  in
+  check_string "no rung" "none" a.Service.Ladder.rung;
+  check "degraded unknown" true
+    (match a.Service.Ladder.verdict with
+    | Core.Experiments.Undecided r ->
+        String.length r >= 9 && String.sub r 0 9 = "degraded:"
+    | _ -> false)
+
+(* The acceptance criterion: force the CDCL (and DPLL) rungs to time
+   out on a real cell and the ladder must land on the explicit checker
+   with exactly the verdict the explicit checker gives standalone. *)
+let test_ladder_forced_cdcl_timeout_matches_explicit () =
+  let scope =
+    { Core.Mca_model.pnodes = 2; vnodes = 2; states = 3; values = 4;
+      bitwidth = 4 }
+  in
+  let p, mp =
+    match Core.Experiments.lookup_policy "submod" with
+    | Some pm -> pm
+    | None -> Alcotest.fail "submod not in the paper grid"
+  in
+  let cfg =
+    Core.Experiments.cell_config ~seed:1 ~policy_label:"submod"
+      ~scope_tag:"2p2v/3st" p scope
+  in
+  let standalone () =
+    match Checker.Explore.run ~budget:Netsim.Budget.unlimited cfg with
+    | Checker.Explore.Converges _ -> Core.Experiments.Holds
+    | Checker.Explore.Unknown { reason; _ } -> Core.Experiments.Undecided reason
+    | Checker.Explore.Nonconvergence _ | Checker.Explore.Bad_terminal _ ->
+        Core.Experiments.Violated
+  in
+  let mp =
+    { mp with
+      Core.Mca_model.target = min mp.Core.Mca_model.target scope.Core.Mca_model.vnodes }
+  in
+  let model = Core.Mca_model.build Core.Mca_model.Efficient mp scope in
+  (* zero-width budgets for the SAT rungs, room for the explicit one *)
+  let budget_for = function
+    | Service.Ladder.Cdcl | Service.Ladder.Dpll ->
+        Netsim.Budget.create ~wall_s:0.0 ()
+    | Service.Ladder.Explicit -> Netsim.Budget.unlimited
+  in
+  let forced = ref 0 in
+  let a =
+    Service.Ladder.check_consensus ~budget_for ~model
+      ~exhaustive:(fun () -> incr forced; standalone ())
+      (mk_ladder ())
+  in
+  check_string "landed on the explicit checker" "explicit" a.Service.Ladder.rung;
+  check "degraded" true a.Service.Ladder.degraded;
+  check "same verdict as the standalone explicit checker" true
+    (a.Service.Ladder.verdict = standalone ());
+  check_int "explicit thunk ran once" 1 !forced
+
+(* ---- the daemon, end to end over a Unix socket ---- *)
+
+let mk_cfg ?(jobs = 2) ?(queue_cap = 8) ?journal ?(deadline = 30.0) path =
+  {
+    (Service.Server.default_config (Service.Server.Unix_path path)) with
+    Service.Server.jobs;
+    queue_cap;
+    journal;
+    default_deadline = deadline;
+    io_deadline = 5.0;
+    seed = 1;
+  }
+
+let stop_and_join t =
+  Service.Server.stop t;
+  Service.Server.join t
+
+let test_server_verdict_cache_stats () =
+  let path = temp_sock () in
+  let t = Service.Server.start (mk_cfg ~jobs:1 path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  let req = Service.Wire.request ~id:"a" ~states:3 "submod" in
+  (match Service.Client.check addr req with
+  | Ok (Service.Wire.Verdict v) ->
+      check_string "id echoed" "a" v.Service.Wire.req_id;
+      check "decided" true (v.Service.Wire.sat <> Core.Experiments.Undecided "");
+      check "not cached" false v.Service.Wire.cached
+  | r ->
+      Alcotest.failf "expected verdict, got %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e));
+  (* no journal: the in-memory cache still serves the repeat *)
+  (match Service.Client.check addr { req with Service.Wire.id = "b" } with
+  | Ok (Service.Wire.Verdict v) ->
+      check "repeat served from cache" true v.Service.Wire.cached;
+      check_string "journal rung" "journal" v.Service.Wire.rung
+  | _ -> Alcotest.fail "repeat request failed");
+  (* unknown policy is an error reply, not a hang or a crash *)
+  (match
+     Service.Client.check addr (Service.Wire.request ~id:"c" ~states:3 "bogus")
+   with
+  | Ok (Service.Wire.Error { req_id; _ }) -> check_string "id echoed" "c" req_id
+  | _ -> Alcotest.fail "expected an error reply");
+  match Service.Client.get_stats addr with
+  | Ok kvs ->
+      let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+      check_int "requests" 3 (get "requests");
+      check_int "admitted" 2 (get "admitted");
+      check_int "served" 2 (get "served");
+      check_int "cached" 1 (get "cached");
+      check_int "errors" 1 (get "errors");
+      check_int "shed" 0 (get "shed")
+  | Result.Error e -> Alcotest.failf "stats failed: %s" e
+
+let test_server_flood_sheds_explicitly () =
+  let path = temp_sock () in
+  (* one worker, a two-deep queue, sub-second deadlines: most of the
+     flood must be shed, all of it must be answered *)
+  let t = Service.Server.start (mk_cfg ~jobs:1 ~queue_cap:2 ~deadline:0.3 path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  let reqs =
+    [| Service.Wire.request ~states:3 ~deadline_s:0.3 "submod";
+       Service.Wire.request ~states:3 ~deadline_s:0.3 "nonsubmod" |]
+  in
+  let r = Service.Client.flood ~concurrency:8 ~total:24 addr reqs in
+  check_int "every request answered" 24 r.Service.Client.sent;
+  check_int "no transport errors, no crashes" 0 r.Service.Client.flood_errors;
+  check "flood at 12x capacity sheds" true (r.Service.Client.flood_shed > 0);
+  check_int "answered = verdicts + shed" 24
+    (r.Service.Client.verdicts + r.Service.Client.flood_shed);
+  match Service.Client.get_stats addr with
+  | Ok kvs ->
+      let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+      check_int "server counted the sheds" r.Service.Client.flood_shed
+        (get "shed");
+      check_int "server still idle and empty" 0 (get "depth")
+  | Result.Error e -> Alcotest.failf "stats failed: %s" e
+
+(* Satellite 3: abort a server mid-request, restart onto the same
+   journal, and the finished verdict set must render byte-identically
+   to an uninterrupted sweep of the same scope. *)
+let test_server_abort_restart_byte_identical () =
+  let scope =
+    { Core.Mca_model.pnodes = 2; vnodes = 2; states = 3; values = 6;
+      bitwidth = 4 }
+  in
+  let scopes = [ ("2p2v/3st", scope) ] in
+  let reference =
+    Core.Experiments.render_sweep
+      (Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes ())
+  in
+  let policies = List.map fst Mca.Policy.paper_grid in
+  with_temp ".wal" @@ fun journal ->
+  Sys.remove journal;
+  let path = temp_sock () in
+  let addr = Service.Server.Unix_path path in
+  let send policy =
+    Service.Client.check addr (Service.Wire.request ~states:3 policy)
+  in
+  (* first server: abort as soon as the first verdict is journaled,
+     leaving the rest of the matrix unfinished *)
+  let t1 = Service.Server.start (mk_cfg ~journal path) in
+  let feeder = Domain.spawn (fun () -> List.map send policies) in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while
+    (Parallel.Journal.read journal).Parallel.Journal.entries = []
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.02
+  done;
+  Service.Server.stop ~abort:true t1;
+  Service.Server.join t1;
+  ignore (Domain.join feeder : (Service.Wire.response, string) result list);
+  let done_before =
+    List.length (Parallel.Journal.read journal).Parallel.Journal.entries
+  in
+  check "abort interrupted the matrix" true (done_before >= 1);
+  (* second server, same journal: the six requests finish the matrix,
+     partly from cache, partly recomputed *)
+  let t2 = Service.Server.start (mk_cfg ~journal path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t2) @@ fun () ->
+  List.iter
+    (fun policy ->
+      match send policy with
+      | Ok (Service.Wire.Verdict v) ->
+          check "decided after restart" true
+            (match v.Service.Wire.sat with
+            | Core.Experiments.Undecided _ -> false
+            | _ -> true)
+      | r ->
+          Alcotest.failf "restart: %s failed (%s)" policy
+            (match r with
+            | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+            | Result.Error e -> e))
+    policies;
+  (* the journal now resumes to the uninterrupted sweep, byte for byte *)
+  let resumed =
+    Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes ~journal ~resume:true ()
+  in
+  check_int "every cell came from the journal"
+    (List.length policies) resumed.Core.Experiments.sweep_resumed;
+  check_string "resumed sweep byte-identical to uninterrupted run" reference
+    (Core.Experiments.render_sweep resumed)
+
+let suite =
+  [
+    Alcotest.test_case "wire: request round trip" `Quick test_wire_request_roundtrip;
+    Alcotest.test_case "wire: response round trip" `Quick test_wire_response_roundtrip;
+    Alcotest.test_case "wire: hostile input rejected" `Quick test_wire_hostile_input;
+    Alcotest.test_case "breaker: trips, half-opens, re-trips" `Quick
+      test_breaker_trips_and_reopens;
+    Alcotest.test_case "breaker: success resets" `Quick test_breaker_success_resets;
+    Alcotest.test_case "breaker: per-key cooldown streams" `Quick
+      test_breaker_streams_decorrelated;
+    Alcotest.test_case "ladder: top rung answers" `Quick test_ladder_top_rung_answers;
+    Alcotest.test_case "ladder: falls through and trips" `Quick
+      test_ladder_falls_through_and_trips;
+    Alcotest.test_case "ladder: cancellation is not a backend failure" `Quick
+      test_ladder_cancelled_stops_without_tripping;
+    Alcotest.test_case "ladder: bottom is an honest UNKNOWN" `Quick
+      test_ladder_bottom_is_unknown;
+    Alcotest.test_case "ladder: forced CDCL timeout matches explicit verdict" `Slow
+      test_ladder_forced_cdcl_timeout_matches_explicit;
+    Alcotest.test_case "server: verdict, cache, errors, stats" `Slow
+      test_server_verdict_cache_stats;
+    Alcotest.test_case "server: flood sheds explicitly, never hangs" `Slow
+      test_server_flood_sheds_explicitly;
+    Alcotest.test_case "server: abort + restart resumes byte-identical" `Slow
+      test_server_abort_restart_byte_identical;
+  ]
