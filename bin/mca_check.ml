@@ -92,7 +92,7 @@ let budget_of_timeout = function
    flush the journal, print the partial report, exit 11) and a second
    run with --resume picks up exactly where the first one stopped. *)
 let run_sweep jobs seed agents items states timeout journal resume
-    task_deadline retries =
+    journal_flush_every journal_flush_interval task_deadline retries =
   let jobs = if jobs = 0 then Parallel.Pool.available_jobs () else jobs in
   let scope =
     { Core.Mca_model.pnodes = agents; vnodes = items; states; values = 6;
@@ -116,7 +116,9 @@ let run_sweep jobs seed agents items states timeout journal resume
   drain_on Sys.sigterm;
   let report =
     Core.Experiments.run_sweep ~jobs ~seed ~budget:(budget_of_timeout timeout)
-      ~scopes:[ (scope_tag, scope) ] ?journal ~resume ~supervision ()
+      ~scopes:[ (scope_tag, scope) ] ?journal ~resume
+      ?journal_flush_every ?journal_flush_interval_s:journal_flush_interval
+      ~supervision ()
   in
   Format.printf "%a" (Core.Experiments.pp_sweep ~timings:true) report;
   if report.Core.Experiments.sweep_partial then begin
@@ -266,13 +268,14 @@ let run backend encoding symmetry certify non_submodular release_outbid
         | _ -> 1
       end
 
-let run_safe sweep jobs sweep_states journal resume task_deadline retries
-    backend encoding symmetry certify ns ro ra target agents items topology
-    seed drop duplicate max_delay crashes max_drops max_dups timeout =
+let run_safe sweep jobs sweep_states journal resume journal_flush_every
+    journal_flush_interval task_deadline retries backend encoding symmetry
+    certify ns ro ra target agents items topology seed drop duplicate
+    max_delay crashes max_drops max_dups timeout =
   match
     if sweep then
       run_sweep jobs seed agents items sweep_states timeout journal resume
-        task_deadline retries
+        journal_flush_every journal_flush_interval task_deadline retries
     else
       run backend encoding symmetry certify ns ro ra target agents items
         topology seed drop duplicate max_delay crashes max_drops max_dups
@@ -408,6 +411,23 @@ let term =
                    the same seed (each record's content digest is \
                    re-validated first; tampered records are re-run)")
   in
+  let journal_flush_every =
+    Arg.(value & opt (some int) None
+         & info [ "journal-flush-every" ]
+             ~doc:"--sweep: group-commit the journal every $(docv) cells \
+                   instead of fsync'ing each one — amortizes fsync cost at \
+                   the price of losing at most $(docv)-1 completed cells on \
+                   a crash (a drain or normal exit always flushes)"
+             ~docv:"N")
+  in
+  let journal_flush_interval =
+    Arg.(value & opt (some float) None
+         & info [ "journal-flush-interval" ]
+             ~doc:"--sweep: with --journal-flush-every, also flush any \
+                   pending journal records older than $(docv) seconds, \
+                   bounding the durability window in time as well as in \
+                   record count" ~docv:"SECS")
+  in
   let task_deadline =
     Arg.(value & opt (some float) None
          & info [ "task-deadline" ]
@@ -425,6 +445,7 @@ let term =
   in
   Term.(
     const run_safe $ sweep $ jobs $ sweep_states $ journal $ resume
+    $ journal_flush_every $ journal_flush_interval
     $ task_deadline $ retries $ backend $ encoding $ symmetry $ certify
     $ non_submodular $ release $ attack $ target $ agents $ items $ topology
     $ seed $ drop $ duplicate $ max_delay $ crashes $ max_drops $ max_dups

@@ -261,7 +261,15 @@ let check_certified ?symmetry c name =
 let enumerate ?symmetry ?limit c f =
   Translate.enumerate ?symmetry ?limit c.bounds (Ast.and_ [ c.facts; f ])
 
-let translation c f = Translate.translate c.bounds (Ast.and_ [ c.facts; f ])
+let translation ?symmetry c f =
+  Translate.translate ?symmetry c.bounds (Ast.and_ [ c.facts; f ])
+
+let check_translation ?symmetry c name =
+  match Model.find_assert c.model name with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Compile.check_translation: unknown assertion %s" name)
+  | Some f -> translation ?symmetry c (Ast.not_ f)
 
 let pp_outcome ppf = function
   | Unsat -> Format.pp_print_string ppf "no instance found (UNSAT in scope)"

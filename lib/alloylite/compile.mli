@@ -74,8 +74,15 @@ val enumerate : ?symmetry:bool -> ?limit:int -> t -> Relalg.Ast.formula -> Relal
 (** Up to [limit] distinct instances satisfying facts plus the formula —
     Alloy's instance iteration. *)
 
-val translation : t -> Relalg.Ast.formula -> Relalg.Translate.translation
+val translation : ?symmetry:bool -> t -> Relalg.Ast.formula -> Relalg.Translate.translation
 (** The raw translation of facts ∧ formula, for size measurements
-    (experiment E5). *)
+    (experiment E5) and for the shared-translation solve path
+    ({!Relalg.Translate.solve_translation_bounded}). *)
+
+val check_translation : ?symmetry:bool -> t -> string -> Relalg.Translate.translation
+(** The counterexample-search translation of the named assertion
+    (facts ∧ ¬assertion) — what {!check_bounded} builds internally.
+    Translate once, then decide repeatedly under different selector
+    assumptions. Raises [Invalid_argument] on an unknown assertion. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

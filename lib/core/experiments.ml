@@ -132,7 +132,7 @@ let sweep_config ~seed ~policy_label ~scope_tag (p : Mca.Policy.t)
       ~base_utilities ~policy:p
   end
 
-let sweep_cell ?stop ~budget ~seed
+let sweep_cell ?stop ?shared ~budget ~seed
     ((policy_label, p, mp, scope_tag, scope) :
       string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) =
   let t0 = Unix.gettimeofday () in
@@ -151,10 +151,20 @@ let sweep_cell ?stop ~budget ~seed
   in
   let mp = { mp with Mca_model.target = min mp.Mca_model.target scope.Mca_model.vnodes } in
   let sat_verdict =
-    match
-      Mca_model.check_consensus_bounded ~symmetry:true ?stop ~budget
-        (Mca_model.build Mca_model.Efficient mp scope)
-    with
+    (* a matching shared translation skips the per-cell
+       build → translate pipeline entirely: same CNF, selector
+       assumptions, fresh solver (differentially pinned equivalent) *)
+    let outcome =
+      match shared with
+      | Some sh
+        when sh.Mca_model.shared_scope = scope
+             && sh.Mca_model.shared_target = mp.Mca_model.target ->
+          Mca_model.check_consensus_shared ?stop ~budget sh mp
+      | _ ->
+          Mca_model.check_consensus_bounded ~symmetry:true ?stop ~budget
+            (Mca_model.build Mca_model.Efficient mp scope)
+    in
+    match outcome with
     | Relalg.Translate.Decided Alloylite.Compile.Unsat -> Holds
     | Relalg.Translate.Decided (Alloylite.Compile.Sat _) -> Violated
     | Relalg.Translate.Unknown reason -> Undecided reason
@@ -339,7 +349,8 @@ let load_journal ~seed path =
   loaded
 
 let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
-    ?scopes ?journal ?(resume = false) ?supervision () =
+    ?scopes ?journal ?(resume = false) ?journal_flush_every
+    ?journal_flush_interval_s ?supervision () =
   let tasks = sweep_tasks ?scopes () in
   let t0 = Unix.gettimeofday () in
   let loaded =
@@ -358,7 +369,25 @@ let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
          (fun t -> not (Hashtbl.mem loaded (key t)))
          (Array.to_list tasks))
   in
-  let writer = Option.map Parallel.Journal.open_append journal in
+  (* One shared translation per (scope, effective target) actually left
+     to compute, built serially in this domain before workers spawn: the
+     policy cells of a scope differ only in their three selector bits,
+     so the expensive relational→CNF translation runs once per scope
+     instead of once per cell. The table is only read after this. *)
+  let shared_tbl = Hashtbl.create 4 in
+  Array.iter
+    (fun (_, _, mp, tag, scope) ->
+      let tgt = min mp.Mca_model.target scope.Mca_model.vnodes in
+      if not (Hashtbl.mem shared_tbl (tag, tgt)) then
+        Hashtbl.add shared_tbl (tag, tgt)
+          (Mca_model.build_shared ~target:tgt Mca_model.Efficient scope))
+    todo;
+  let writer =
+    Option.map
+      (Parallel.Journal.open_append ?flush_every:journal_flush_every
+         ?flush_interval_s:journal_flush_interval_s)
+      journal
+  in
   let policy =
     match supervision with
     | Some p -> p
@@ -371,9 +400,14 @@ let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
         Parallel.Supervise.map ~jobs ~policy
           ~key:(fun _ (label, _, _, tag, _) -> tag ^ "/" ^ label)
           (fun ~stop task ->
+            let (_, _, mp, tag, scope) = task in
+            let shared =
+              Hashtbl.find_opt shared_tbl
+                (tag, min mp.Mca_model.target scope.Mca_model.vnodes)
+            in
             let cell =
-              sweep_cell ~stop ~budget:(Netsim.Budget.restarted budget) ~seed
-                task
+              sweep_cell ~stop ?shared
+                ~budget:(Netsim.Budget.restarted budget) ~seed task
             in
             (* journal at the record boundary — but never an attempt the
                supervisor is about to discard (stalled or drained): a

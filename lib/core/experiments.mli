@@ -87,6 +87,8 @@ val run_sweep :
   ?scopes:(string * Mca_model.scope_spec) list ->
   ?journal:string ->
   ?resume:bool ->
+  ?journal_flush_every:int ->
+  ?journal_flush_interval_s:float ->
   ?supervision:Parallel.Supervise.policy ->
   unit ->
   sweep_report
@@ -96,13 +98,25 @@ val run_sweep :
     every cell individually. Same [seed], same task list ⇒ identical
     verdicts for any [jobs] (see {!render_sweep}).
 
+    Shared translation: before any worker starts, the relational model
+    is translated to CNF {e once per scope} ({!Mca_model.build_shared})
+    and each cell solves that immutable CNF under its three policy
+    selector assumptions — workers no longer rebuild nearly-identical
+    CNF per cell, which is what made [--jobs 4] slower than sequential
+    in BENCH_E11.
+
     Crash safety: with [~journal:path] every completed cell is appended
     to a CRC-framed, fsync'd write-ahead journal; with [~resume:true]
     (requires [~journal], else [Invalid_argument]) cells already
     journaled under the same [seed] are loaded instead of re-run —
     after re-validating each record's content digest, so a tampered
     verdict forces a re-run. Duplicate records resolve last-write-wins.
-    Cells run under {!Parallel.Supervise.map} with [supervision]
+    [journal_flush_every]/[journal_flush_interval_s] tune the journal's
+    group commit (see {!Parallel.Journal.open_append}): the default is
+    one fsync per cell; a larger batch amortizes fsyncs at the price of
+    losing at most the unflushed tail on a crash (a drain or normal
+    completion always flushes). Cells run under
+    {!Parallel.Supervise.map} with [supervision]
     (default {!Parallel.Supervise.default_policy}): a crashing or
     stalled cell is retried with backoff and eventually reported as a
     [Quarantined] [Undecided] cell without poisoning the rest of the
@@ -125,13 +139,18 @@ val cell_config :
 
 val run_cell :
   ?stop:(unit -> bool) ->
+  ?shared:Mca_model.shared ->
   budget:Netsim.Budget.t ->
   seed:int ->
   (string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) ->
   sweep_cell
 (** Verifies one cell of {!sweep_tasks} across the three backends —
     the unit of work both {!run_sweep} and the service's workers
-    execute. The budget bounds each backend individually. *)
+    execute. The budget bounds each backend individually. When [shared]
+    matches the task's scope and effective target, the SAT backend
+    solves the shared translation under selector assumptions instead of
+    rebuilding and re-translating the model; otherwise it falls back to
+    the per-cell pipeline. *)
 
 (** The field-level escaping and verdict syntax of the journal records,
     exported because the service's newline-framed wire protocol reuses

@@ -131,7 +131,15 @@ let efficient_accessors =
 
 (* ------------------------------------------------------------------ *)
 
-let build encoding policy scope =
+(* [selectors = true] builds the policy-generic model for the
+   shared-translation path: instead of specializing the formula to the
+   three policy booleans at build time, each boolean is reified as a
+   selector relation ([cfg_submod]/[cfg_release]/[cfg_attack] on the
+   always-present MCAConf config atom) whose single primary SAT variable
+   is fixed per cell via solver assumptions. One translation then serves
+   all policy cells of a scope. [policy.target] stays a build-time
+   parameter — it shapes quantifier unrollings, not a boolean guard. *)
+let build_with ~selectors encoding policy scope =
   if policy.target < 1 || policy.target > scope.vnodes then
     invalid_arg "Mca_model.build: target outside 1..vnodes";
   if scope.pnodes < 2 || scope.vnodes < 1 || scope.states < 2 then
@@ -214,14 +222,30 @@ let build encoding policy scope =
         m
     | Naive | Efficient -> m
   in
-  (* attacker marker (Result 2): the solver picks a nonempty set *)
+  (* attacker marker (Result 2): the solver picks a nonempty set.
+     In selector mode MCAConf is always present and additionally carries
+     one single-tuple selector relation per policy boolean; each
+     selector costs exactly one primary SAT variable, assumed true or
+     false per cell. *)
   let m =
-    if policy.rebid_attack then
+    if selectors then
+      Model.sig_ "MCAConf" ~mult:Model.One
+        ~fields:
+          [
+            ("attacker", Model.Set, [ "pnode" ]);
+            ("cfg_submod", Model.Set, [ "MCAConf" ]);
+            ("cfg_release", Model.Set, [ "MCAConf" ]);
+            ("cfg_attack", Model.Set, [ "MCAConf" ]);
+          ]
+        m
+    else if policy.rebid_attack then
       Model.sig_ "MCAConf" ~mult:Model.One
         ~fields:[ ("attacker", Model.Set, [ "pnode" ]) ]
         m
     else m
   in
+  (* selector truth value: the single-tuple relation is nonempty *)
+  let sel_on name = some (rel name) in
   (* ---- shorthand ---- *)
   let s = v "s" and s' = v "s'" and a = v "a" and k = v "k" and j = v "j" in
   let first = rel "netState_first" and next = rel "netState_next" in
@@ -231,7 +255,10 @@ let build encoding policy scope =
   let ble x y = or_ [ blt x y; beq x y ] in
   let state_after x y = x <=: join y (closure next) in
   let is_attacker ag =
-    if policy.rebid_attack then ag <=: join (rel "MCAConf") (rel "attacker")
+    if selectors then
+      and_ [ sel_on "cfg_attack"; ag <=: join (rel "MCAConf") (rel "attacker") ]
+    else if policy.rebid_attack then
+      ag <=: join (rel "MCAConf") (rel "attacker")
     else ff
   in
   (* ---- static facts ---- *)
@@ -279,12 +306,29 @@ let build encoding policy scope =
     Model.fact "utility_policy"
       (for_all
          [ ("a", pnode); ("j", vnode) ]
-         (if policy.submodular then ble (ac.u 1 a j) (ac.u 0 a j)
+         (if selectors then
+            and_
+              [
+                sel_on "cfg_submod" ==> ble (ac.u 1 a j) (ac.u 0 a j);
+                not_ (sel_on "cfg_submod") ==> blt (ac.u 0 a j) (ac.u 1 a j);
+              ]
+          else if policy.submodular then ble (ac.u 1 a j) (ac.u 0 a j)
           else blt (ac.u 0 a j) (ac.u 1 a j)))
       m
   in
   let m =
-    if policy.rebid_attack then
+    if selectors then
+      (* attack on: some attacker exists; attack off: the attacker set is
+         pinned empty, matching the build that omits MCAConf entirely *)
+      Model.fact "attacker_policy"
+        (and_
+           [
+             sel_on "cfg_attack" ==> some (join (rel "MCAConf") (rel "attacker"));
+             not_ (sel_on "cfg_attack")
+             ==> no (join (rel "MCAConf") (rel "attacker"));
+           ])
+        m
+    else if policy.rebid_attack then
       Model.fact "some_attacker" (some (join (rel "MCAConf") (rel "attacker"))) m
     else m
   in
@@ -347,8 +391,7 @@ let build encoding policy scope =
     let mt it = ite_e (stronger it) (src_t it) (t s recv it) in
     let outbid it = and_ [ w s recv it =: recv; not_ (mw it =: recv) ] in
     let released it =
-      if not policy.release_outbid then ff
-      else
+      let released_body =
         and_
           [
             mw it =: recv;
@@ -363,6 +406,10 @@ let build encoding policy scope =
                    state_after (t s recv it) (t s recv (v "oj"));
                  ]);
           ]
+      in
+      if selectors then and_ [ sel_on "cfg_release"; released_body ]
+      else if not policy.release_outbid then ff
+      else released_body
     in
     let fw it = ite_e (released it) null (mw it) in
     let fb it = ite_e (released it) ac.bzero (mb it) in
@@ -682,6 +729,71 @@ let build encoding policy scope =
   in
   let compiled = Compile.prepare m sc in
   { compiled; encoding; policy; scope; consensus_pred }
+
+let build encoding policy scope = build_with ~selectors:false encoding policy scope
+
+(* ---- shared translation: one CNF for all policy cells ------------- *)
+
+type shared = {
+  shared_encoding : encoding;
+  shared_scope : scope_spec;
+  shared_target : int;
+  shared_translation : Relalg.Translate.translation;
+  sel_submod : Sat.Cnf.var;
+  sel_release : Sat.Cnf.var;
+  sel_attack : Sat.Cnf.var;
+}
+
+let build_shared ?(symmetry = true) ?(target = 2) encoding scope =
+  let generic =
+    build_with ~selectors:true encoding
+      { submodular = true; release_outbid = false; rebid_attack = false; target }
+      scope
+  in
+  let tr = Compile.check_translation ~symmetry generic.compiled "consensus" in
+  let sel name =
+    match Relalg.Translate.selector_var tr name with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Mca_model.build_shared: selector %s is not a free single-tuple \
+              relation"
+             name)
+  in
+  {
+    shared_encoding = encoding;
+    shared_scope = scope;
+    shared_target = target;
+    shared_translation = tr;
+    sel_submod = sel "cfg_submod";
+    sel_release = sel "cfg_release";
+    sel_attack = sel "cfg_attack";
+  }
+
+let shared_assumptions sh policy =
+  if policy.target <> sh.shared_target then
+    invalid_arg
+      (Printf.sprintf
+         "Mca_model.shared_assumptions: policy target %d, shared translation \
+          built for target %d"
+         policy.target sh.shared_target);
+  let lit var on = if on then Sat.Cnf.pos var else Sat.Cnf.neg var in
+  [
+    lit sh.sel_submod policy.submodular;
+    lit sh.sel_release policy.release_outbid;
+    lit sh.sel_attack policy.rebid_attack;
+  ]
+
+let check_consensus_shared ?stop ~budget sh policy =
+  Relalg.Translate.solve_translation_bounded ?stop
+    ~assumptions:(shared_assumptions sh policy) ~budget sh.shared_translation
+
+let check_consensus_shared_certified sh policy =
+  Relalg.Translate.solve_translation_certified
+    ~assumptions:(shared_assumptions sh policy) sh.shared_translation
+
+let shared_stats sh = Relalg.Translate.translation_stats sh.shared_translation
 
 let check_consensus ?symmetry t = Compile.check ?symmetry t.compiled "consensus"
 

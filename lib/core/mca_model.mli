@@ -72,6 +72,51 @@ val build : encoding -> policy -> scope_spec -> t
 (** Compiles the model. Raises [Invalid_argument] for a [target] outside
     [1..vnodes] or non-positive scopes. *)
 
+(** One translation serving every policy cell of a scope: the three
+    policy booleans are reified as single-tuple selector relations
+    ([cfg_submod]/[cfg_release]/[cfg_attack] on an always-present
+    MCAConf atom), so a cell check is a fresh solve of the {e same}
+    immutable CNF under three unit assumptions instead of a full
+    build → translate pipeline per cell. The translation may safely be
+    shared read-only across worker domains. *)
+type shared = {
+  shared_encoding : encoding;
+  shared_scope : scope_spec;
+  shared_target : int;
+  shared_translation : Relalg.Translate.translation;
+  sel_submod : Sat.Cnf.var;
+  sel_release : Sat.Cnf.var;
+  sel_attack : Sat.Cnf.var;
+}
+
+val build_shared :
+  ?symmetry:bool -> ?target:int -> encoding -> scope_spec -> shared
+(** Builds the policy-generic model and translates [check consensus]
+    once. [symmetry] (default true) and [target] (default 2) are fixed
+    at translation time: only the three booleans vary per cell. Raises
+    [Invalid_argument] like {!build}. *)
+
+val shared_assumptions : shared -> policy -> Sat.Cnf.lit list
+(** The three selector literals encoding [policy]. Raises
+    [Invalid_argument] when [policy.target] differs from the target the
+    shared translation was built for. *)
+
+val check_consensus_shared :
+  ?stop:(unit -> bool) -> budget:Netsim.Budget.t -> shared -> policy ->
+  Relalg.Translate.bounded_outcome
+(** {!check_consensus_bounded} against the shared translation: fresh
+    solver, selector assumptions, no re-translation. Semantically
+    equivalent to checking [build encoding policy scope] (the
+    differential suite pins this). *)
+
+val check_consensus_shared_certified :
+  shared -> policy -> Relalg.Translate.certified_outcome
+(** Certified variant: the selector literals are asserted as unit
+    clauses so the DRUP certificate covers the assumed problem. *)
+
+val shared_stats : shared -> Relalg.Translate.stats
+(** Size of the shared translation. *)
+
 val check_consensus : ?symmetry:bool -> t -> Alloylite.Compile.outcome
 (** The paper's [check consensus]: searches for a trace refuting
     consensus at the horizon. [Sat inst] is an oscillation/instability

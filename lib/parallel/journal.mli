@@ -8,13 +8,22 @@
 
     - every record is framed as [length (4 bytes LE) | crc32 (4 bytes
       LE) | payload], with the CRC computed over length and payload;
-    - {!append} writes the frame and [fsync]s before returning, so a
-      record the caller saw acknowledged survives any later crash;
+    - {!append} either writes-and-[fsync]s the frame before returning
+      (the default, [flush_every = 1]) or buffers it for a later group
+      commit: batches of up to [flush_every] frames go to disk in one
+      write+fsync, amortizing the fsync cost across the batch;
     - the reader validates frames in order and stops at the first
       short or corrupt one — a torn final write loses only itself,
       never the records before it;
     - {!recover} additionally truncates the file back to the last valid
       frame, so a resumed run can keep appending to a clean tail.
+
+    The group-commit durability window: with [flush_every = n] a crash
+    loses at most the [n - 1] records buffered since the last flush.
+    Records acknowledged by {!flush} or {!close} always survive, and a
+    crash never corrupts the flushed prefix — a torn batch is a suffix
+    of whole frames plus at most one torn frame, which recovery
+    truncates.
 
     Records are opaque strings (any bytes, including ['\n'] and
     ['\000']); semantic encoding/decoding belongs to the caller (the
@@ -23,18 +32,35 @@
 
 type writer
 
-val open_append : string -> writer
+val open_append : ?flush_every:int -> ?flush_interval_s:float -> string -> writer
 (** Opens (creating if needed) for appending. The existing content is
     not validated here — run {!recover} first when resuming onto a file
-    that may end in a torn frame. *)
+    that may end in a torn frame.
+
+    [flush_every] (default [1]) is the group-commit batch size: appends
+    are buffered in memory and pushed to disk by a single write+fsync
+    once that many records are pending. [flush_interval_s] additionally
+    bounds how long a record may sit unflushed: an append also flushes
+    when that much wall time has passed since the previous flush. Raises
+    [Invalid_argument] when [flush_every < 1] or
+    [flush_interval_s <= 0]. *)
 
 val append : writer -> string -> unit
-(** Frames, writes and [fsync]s one record. Thread-safe. Raises
-    [Invalid_argument] on a closed writer and [Unix.Unix_error] on I/O
-    failure (the record is then not acknowledged). *)
+(** Frames one record and commits it according to the writer's flush
+    policy (immediately durable when [flush_every = 1]). Thread-safe.
+    Raises [Invalid_argument] on a closed writer and [Unix.Unix_error]
+    on I/O failure (the record is then not acknowledged). *)
+
+val flush : writer -> unit
+(** Forces the pending batch to disk (write + [fsync]). A no-op when
+    nothing is pending. Raises [Invalid_argument] on a closed writer. *)
+
+val pending : writer -> int
+(** Records buffered but not yet flushed — the current durability
+    window. Always [0] when [flush_every = 1]. *)
 
 val close : writer -> unit
-(** Idempotent. *)
+(** Flushes any pending batch, then closes. Idempotent. *)
 
 type read_result = {
   entries : string list;  (** valid records, oldest first *)

@@ -9,9 +9,14 @@ let map_result ?(jobs = 1) f tasks =
   if jobs < 1 then invalid_arg "Pool.map_result: jobs < 1";
   let n = Array.length tasks in
   let protected x = match f x with r -> Ok r | exception e -> Error e in
-  if jobs = 1 || n <= 1 then Array.map protected tasks
+  (* Cap workers at the hardware parallelism: spawning more domains
+     than cores makes OCaml's stop-the-world minor collections wait on
+     descheduled domains, and a CPU-bound sweep runs *slower* than
+     sequentially (the BENCH_E11 0.47× regression). The caller's [jobs]
+     is a ceiling, not a demand. *)
+  let workers = min jobs (min n (available_jobs ())) in
+  if workers <= 1 || n <= 1 then Array.map protected tasks
   else begin
-    let workers = min jobs n in
     let queue = Bqueue.create ~capacity:(2 * workers) in
     let results = Array.make n None in
     let worker () =

@@ -32,8 +32,11 @@ val map_result : ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f tasks] evaluates [f] on every element using at most
-    [jobs] domains (clamped to the task count). [map ~jobs:1] is
-    [Array.map f]. Raises [Invalid_argument] when [jobs < 1]. *)
+    [jobs] domains (clamped to the task count {e and} to
+    {!available_jobs} — oversubscribing cores makes the stop-the-world
+    minor GC serialize the domains and runs slower than sequentially, so
+    [jobs] is a ceiling, not a demand). [map ~jobs:1] is [Array.map f].
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 val map_budgeted :
   ?jobs:int ->

@@ -329,20 +329,39 @@ let check ?symmetry bounds ~assertion ~facts =
 
 type bounded_outcome = Decided of outcome | Unknown of string
 
-let solve_bounded ?symmetry ?stop ~budget bounds formula =
-  let tr = translate ?symmetry bounds formula in
-  match tr.cnf.constant with
+(* The trivial model when the circuit constant-folded to true: lower
+   bounds only — except that assumed literals must still show their
+   assumed polarity, or the instance read back would contradict the
+   assumptions it was solved under. *)
+let trivial_model tr assumptions =
+  let model = Array.make (tr.num_primary + 1) false in
+  List.iter
+    (fun l ->
+      let v = Sat.Cnf.var_of l in
+      if v >= 1 && v <= tr.num_primary then model.(v) <- Sat.Cnf.is_pos l)
+    assumptions;
+  model
+
+let assume tr assumptions =
+  List.fold_left
+    (fun p l -> Sat.Cnf.add_clause p [ l ])
+    tr.cnf.F.problem assumptions
+
+let solve_translation_bounded ?stop ?(assumptions = []) ~budget tr =
+  match tr.cnf.F.constant with
   | Some false -> Decided Unsat
-  | Some true ->
-      let model = Array.make (tr.num_primary + 1) false in
-      Decided (Sat (instance_of_model tr model))
+  | Some true -> Decided (Sat (instance_of_model tr (trivial_model tr assumptions)))
   | None -> (
-      let solver = Sat.Solver.of_problem tr.cnf.problem in
-      match Sat.Solver.solve_bounded ?stop ~budget solver with
+      let solver = Sat.Solver.of_problem tr.cnf.F.problem in
+      match Sat.Solver.solve_bounded ?stop ~assumptions ~budget solver with
       | Sat.Solver.Unknown { reason; _ } -> Unknown reason
       | Sat.Solver.Decided Sat.Solver.Unsat -> Decided Unsat
       | Sat.Solver.Decided (Sat.Solver.Sat model) ->
           Decided (Sat (instance_of_model tr model)))
+
+let solve_bounded ?symmetry ?stop ~budget bounds formula =
+  let tr = translate ?symmetry bounds formula in
+  solve_translation_bounded ?stop ~budget tr
 
 let check_bounded ?symmetry ?stop ~budget bounds ~assertion ~facts =
   solve_bounded ?symmetry ?stop ~budget bounds
@@ -353,21 +372,30 @@ type certified_outcome = {
   certification : Sat.Proof.report option;
 }
 
-let solve_certified ?symmetry bounds formula =
-  let tr = translate ?symmetry bounds formula in
-  match tr.cnf.constant with
+let solve_translation_certified ?(assumptions = []) tr =
+  match tr.cnf.F.constant with
   | Some false -> { outcome = Unsat; certification = None }
   | Some true ->
-      let model = Array.make (tr.num_primary + 1) false in
-      { outcome = Sat (instance_of_model tr model); certification = None }
+      { outcome = Sat (instance_of_model tr (trivial_model tr assumptions));
+        certification = None }
   | None ->
-      let solver = Sat.Solver.of_problem ~proof:true tr.cnf.problem in
+      let solver = Sat.Solver.of_problem ~proof:true tr.cnf.F.problem in
+      (* [solve ~certify] rejects solver assumptions (a DRUP refutation
+         under assumptions would not refute the clause set), so the
+         assumed literals are added as real unit clauses: they then
+         participate in the proof as axioms and the certificate covers
+         exactly the assumed problem *)
+      List.iter (fun l -> Sat.Solver.add_clause solver [ l ]) assumptions;
       let outcome =
         match Sat.Solver.solve ~certify:true solver with
         | Sat.Solver.Unsat -> Unsat
         | Sat.Solver.Sat model -> Sat (instance_of_model tr model)
       in
       { outcome; certification = Sat.Solver.last_certification solver }
+
+let solve_certified ?symmetry bounds formula =
+  let tr = translate ?symmetry bounds formula in
+  solve_translation_certified tr
 
 let check_certified ?symmetry bounds ~assertion ~facts =
   solve_certified ?symmetry bounds (Ast.and_ [ facts; Ast.not_ assertion ])
@@ -409,6 +437,17 @@ let enumerate ?symmetry ?(limit = 100) bounds formula =
                 loop (inst :: acc) (n - 1)
         in
         loop [] limit
+
+(* The single primary variable of a one-free-tuple relation — the
+   handle for selector relations whose truth value is fixed per solve
+   via [assumptions]. *)
+let selector_var tr rel =
+  match List.assoc_opt rel tr.alloc with
+  | Some cells -> (
+      match List.filter_map (fun (_, v) -> v) cells with
+      | [ v ] -> Some v
+      | _ -> None)
+  | None -> None
 
 type stats = { vars : int; clauses : int; primary : int; circuit : int }
 

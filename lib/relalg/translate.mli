@@ -79,6 +79,34 @@ val check_certified :
     verdict comes with a machine-checked refutation — the direction the
     paper's Result 1 rests on. *)
 
+val solve_translation_bounded :
+  ?stop:(unit -> bool) -> ?assumptions:Sat.Cnf.lit list ->
+  budget:Netsim.Budget.t -> translation -> bounded_outcome
+(** Budgeted solve of an already-built {!translation} — the shared-
+    translation hot path: translate once, then decide many nearby
+    problems by fixing selector variables through [assumptions] instead
+    of re-translating. The translation is immutable and may be shared
+    across domains; every call uses a fresh solver. Constant-folded
+    circuits are decided directly (a trivially-[Sat] instance reflects
+    the assumed literal polarities). *)
+
+val solve_translation_certified :
+  ?assumptions:Sat.Cnf.lit list -> translation -> certified_outcome
+(** Certified solve of an already-built {!translation}. Assumed literals
+    are asserted as unit clauses (DRUP certification rejects solver-level
+    assumptions), so the certificate covers exactly the assumed problem.
+    Raises {!Sat.Proof.Certification_failed} like {!solve_certified}. *)
+
+val assume : translation -> Sat.Cnf.lit list -> Sat.Cnf.problem
+(** The translation's CNF problem extended with one unit clause per
+    assumed literal — non-destructive ({!Sat.Cnf.problem} is
+    functional), for feeding alternative engines such as {!Sat.Dpll}. *)
+
+val selector_var : translation -> string -> Sat.Cnf.var option
+(** [selector_var tr rel] is the primary variable of relation [rel] when
+    it has exactly one tuple free between its bounds — the shape of a
+    policy-selector relation — and [None] otherwise. *)
+
 val enumerate : ?symmetry:bool -> ?limit:int -> Bounds.t -> Ast.formula -> Instance.t list
 (** All satisfying instances, up to [limit] (default 100): Alloy's
     "Next" button. Each found model is blocked on the primary variables

@@ -34,11 +34,18 @@ type key =
   | Kite of int * int * int
 
 (* The interning tables are domain-local (Domain.DLS): each domain of
-   the parallel worker pool hash-conses independently, so concurrent
-   translations never contend on — or corrupt — a shared table. The
-   price is that sharing is per-domain: a formula must be built and
-   translated within one domain, which is exactly how the pool shards
-   its tasks. *)
+   the parallel worker pool hash-conses independently — the tables are
+   sharded by construction, so concurrent translations never contend
+   on, serialize through, or corrupt a shared table; there is no lock
+   anywhere on this path. The price is that sharing is per-domain: a
+   formula must be built and translated within one domain, which is
+   exactly how the pool shards its tasks. (The finished translation —
+   the CNF problem — is immutable and freely crosses domains, which is
+   what the shared-translation sweep path relies on.)
+
+   The DLS record is fetched once per smart-constructor call and
+   threaded through [node_id_in]/[intern_in]: interning an n-ary node
+   costs one DLS lookup, not n+1. *)
 type sharing = {
   intern_tbl : (key, t) Hashtbl.t;
   id_tbl : int Phys.t;
@@ -49,27 +56,27 @@ let sharing_key =
   Domain.DLS.new_key (fun () ->
       { intern_tbl = Hashtbl.create 4096; id_tbl = Phys.create 4096; next_id = 2 })
 
-let node_id f =
+let node_id_in s f =
   match f with
   | True -> 0
   | False -> 1
-  | _ ->
-      let s = Domain.DLS.get sharing_key in
-      (match Phys.find_opt s.id_tbl f with
+  | _ -> (
+      match Phys.find_opt s.id_tbl f with
       | Some i -> i
       | None ->
           s.next_id <- s.next_id + 1;
           Phys.replace s.id_tbl f s.next_id;
           s.next_id)
 
-let intern key node =
-  let s = Domain.DLS.get sharing_key in
+let intern_in s key node =
   match Hashtbl.find_opt s.intern_tbl key with
   | Some canonical -> canonical
   | None ->
-      ignore (node_id node);
+      ignore (node_id_in s node);
       Hashtbl.replace s.intern_tbl key node;
       node
+
+let intern key node = intern_in (Domain.DLS.get sharing_key) key node
 
 let clear_sharing () =
   (* ids stay monotone so stale formulas can never alias fresh ones *)
@@ -86,7 +93,9 @@ let not_ f =
   | True -> False
   | False -> True
   | Not g -> g
-  | f -> intern (Knot (node_id f)) (Not f)
+  | f ->
+      let s = Domain.DLS.get sharing_key in
+      intern_in s (Knot (node_id_in s f)) (Not f)
 
 
 let and_ fs =
@@ -104,7 +113,8 @@ let and_ fs =
   | Some [ f ] -> f
   | Some fs ->
       let fs = List.rev fs in
-      intern (Kand (List.map node_id fs)) (And fs)
+      let s = Domain.DLS.get sharing_key in
+      intern_in s (Kand (List.map (node_id_in s) fs)) (And fs)
 
 let or_ fs =
   let rec gather acc = function
@@ -121,7 +131,8 @@ let or_ fs =
   | Some [ f ] -> f
   | Some fs ->
       let fs = List.rev fs in
-      intern (Kor (List.map node_id fs)) (Or fs)
+      let s = Domain.DLS.get sharing_key in
+      intern_in s (Kor (List.map (node_id_in s) fs)) (Or fs)
 
 let and2 a b = and_ [ a; b ]
 let or2 a b = or_ [ a; b ]
@@ -132,7 +143,9 @@ let implies a b =
   | True, b -> b
   | _, True -> True
   | a, False -> not_ a
-  | a, b -> intern (Kimplies (node_id a, node_id b)) (Implies (a, b))
+  | a, b ->
+      let s = Domain.DLS.get sharing_key in
+      intern_in s (Kimplies (node_id_in s a, node_id_in s b)) (Implies (a, b))
 
 let iff a b =
   match (a, b) with
@@ -141,7 +154,10 @@ let iff a b =
   | False, b -> not_ b
   | a, False -> not_ a
   | a, b ->
-      if a == b then True else intern (Kiff (node_id a, node_id b)) (Iff (a, b))
+      if a == b then True
+      else
+        let s = Domain.DLS.get sharing_key in
+        intern_in s (Kiff (node_id_in s a, node_id_in s b)) (Iff (a, b))
 
 let xor a b = not_ (iff a b)
 
@@ -151,7 +167,11 @@ let ite c t e =
   | False -> e
   | c ->
       if t == e then t
-      else intern (Kite (node_id c, node_id t, node_id e)) (Ite (c, t, e))
+      else
+        let s = Domain.DLS.get sharing_key in
+        intern_in s
+          (Kite (node_id_in s c, node_id_in s t, node_id_in s e))
+          (Ite (c, t, e))
 
 let at_most_one fs =
   let rec pairs = function

@@ -68,29 +68,54 @@ let decide ?(now = Unix.gettimeofday) t rungs =
 
 (* ---- the standard consensus rungs -------------------------------- *)
 
-let consensus_rungs ?stop ~budget_for ~model ~exhaustive () =
-  let cdcl () =
-    match
-      Core.Mca_model.check_consensus_bounded ~symmetry:true ?stop
-        ~budget:(budget_for Cdcl) model
-    with
+type backend =
+  | Fresh_model of Core.Mca_model.t
+  | Shared_translation of Core.Mca_model.shared * Core.Mca_model.policy
+
+let consensus_rungs ?stop ~budget_for ~backend ~exhaustive () =
+  let of_bounded = function
     | Relalg.Translate.Decided Alloylite.Compile.Unsat -> Core.Experiments.Holds
     | Relalg.Translate.Decided (Alloylite.Compile.Sat _) ->
         Core.Experiments.Violated
     | Relalg.Translate.Unknown reason -> Core.Experiments.Undecided reason
   in
+  let cdcl () =
+    of_bounded
+      (match backend with
+      | Fresh_model model ->
+          Core.Mca_model.check_consensus_bounded ~symmetry:true ?stop
+            ~budget:(budget_for Cdcl) model
+      | Shared_translation (sh, policy) ->
+          (* the cached translation: no rebuild, no re-translation —
+             just a fresh solve under the cell's selector assumptions *)
+          Core.Mca_model.check_consensus_shared ?stop
+            ~budget:(budget_for Cdcl) sh policy)
+  in
   let dpll () =
     (* same query, no clause learning: slower on hard instances but a
        genuinely independent engine — the paper's cross-checking idea
        as a fallback *)
-    let cnf = Core.Mca_model.consensus_cnf model in
-    match cnf.Sat.Formula.constant with
+    let constant, problem =
+      match backend with
+      | Fresh_model model ->
+          let cnf = Core.Mca_model.consensus_cnf model in
+          (cnf.Sat.Formula.constant, lazy cnf.Sat.Formula.problem)
+      | Shared_translation (sh, policy) ->
+          let tr = sh.Core.Mca_model.shared_translation in
+          ( tr.Relalg.Translate.cnf.Sat.Formula.constant,
+            (* selector bits become unit clauses; the shared problem is
+               functional, so extending it copies nothing *)
+            lazy
+              (Relalg.Translate.assume tr
+                 (Core.Mca_model.shared_assumptions sh policy)) )
+    in
+    match constant with
     | Some false -> Core.Experiments.Holds
     | Some true -> Core.Experiments.Violated
     | None -> (
         match
           Sat.Dpll.solve_bounded ?stop ~budget:(budget_for Dpll)
-            cnf.Sat.Formula.problem
+            (Lazy.force problem)
         with
         | Sat.Solver.Decided Sat.Solver.Unsat -> Core.Experiments.Holds
         | Sat.Solver.Decided (Sat.Solver.Sat _) -> Core.Experiments.Violated
@@ -98,5 +123,5 @@ let consensus_rungs ?stop ~budget_for ~model ~exhaustive () =
   in
   [ (Cdcl, cdcl); (Dpll, dpll); (Explicit, exhaustive) ]
 
-let check_consensus ?now ?stop ~budget_for ~model ~exhaustive t =
-  decide ?now t (consensus_rungs ?stop ~budget_for ~model ~exhaustive ())
+let check_consensus ?now ?stop ~budget_for ~backend ~exhaustive t =
+  decide ?now t (consensus_rungs ?stop ~budget_for ~backend ~exhaustive ())

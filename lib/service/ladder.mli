@@ -46,25 +46,35 @@ val decide :
     any other [Undecided] records a breaker timeout and falls through.
     [now] (default wall clock) is injected for deterministic tests. *)
 
+(** What the SAT rungs solve: a per-request model compiled from scratch,
+    or a cached scope-wide shared translation plus the cell's policy —
+    the latter skips the build → translate pipeline entirely and solves
+    the shared CNF under three selector assumptions
+    ({!Core.Mca_model.check_consensus_shared}). *)
+type backend =
+  | Fresh_model of Core.Mca_model.t
+  | Shared_translation of Core.Mca_model.shared * Core.Mca_model.policy
+
 val consensus_rungs :
   ?stop:(unit -> bool) ->
   budget_for:(rung -> Netsim.Budget.t) ->
-  model:Core.Mca_model.t ->
+  backend:backend ->
   exhaustive:(unit -> Core.Experiments.sweep_verdict) ->
   unit -> (rung * (unit -> Core.Experiments.sweep_verdict)) list
 (** The standard three rungs for a [check consensus] cell: bounded CDCL
-    ({!Core.Mca_model.check_consensus_bounded} with symmetry breaking),
-    bounded DPLL on the same CNF (an independent engine, no clause
-    learning), and the caller's [exhaustive] thunk — in the service this
-    reuses the explicit-state verdict the reply needs anyway, so the
-    bottom rung costs nothing extra. [budget_for] slices the remaining
-    request deadline per rung. *)
+    (with symmetry breaking), bounded DPLL on the same CNF (an
+    independent engine, no clause learning; under
+    [Shared_translation] the selector bits are added as unit clauses),
+    and the caller's [exhaustive] thunk — in the service this reuses the
+    explicit-state verdict the reply needs anyway, so the bottom rung
+    costs nothing extra. [budget_for] slices the remaining request
+    deadline per rung. *)
 
 val check_consensus :
   ?now:(unit -> float) ->
   ?stop:(unit -> bool) ->
   budget_for:(rung -> Netsim.Budget.t) ->
-  model:Core.Mca_model.t ->
+  backend:backend ->
   exhaustive:(unit -> Core.Experiments.sweep_verdict) ->
   t -> answer
 (** [decide] over [consensus_rungs]. *)

@@ -94,6 +94,12 @@ type t = {
   ladder : Ladder.t;
   cache : (int * string * string, Core.Experiments.sweep_cell) Hashtbl.t;
   cache_lock : Mutex.t;
+  shared_cache :
+    (Core.Mca_model.scope_spec * int, Core.Mca_model.shared) Hashtbl.t;
+      (** one scope-wide translation per (scope, target); policy cells of
+          the same scope solve it under selector assumptions instead of
+          rebuilding the model per request *)
+  shared_lock : Mutex.t;
   journal_w : Parallel.Journal.writer option;
   listen_fd : Unix.file_descr;
   mutable domains : unit Domain.t list;
@@ -163,6 +169,38 @@ let cell_decided (c : Core.Experiments.sweep_cell) =
   | Core.Experiments.Undecided _, _ | _, Core.Experiments.Undecided _ -> false
   | _ -> true
 
+(* ---- the shared-translation cache ---------------------------------- *)
+
+(* Bounded so arbitrary client-chosen scopes cannot grow it without
+   limit; a full reset on overflow is crude but keeps the common case
+   (few distinct scopes, hammered repeatedly) at one translation each. *)
+let max_shared_cache = 8
+
+let shared_for t scope target =
+  Mutex.lock t.shared_lock;
+  let hit = Hashtbl.find_opt t.shared_cache (scope, target) in
+  Mutex.unlock t.shared_lock;
+  match hit with
+  | Some sh -> sh
+  | None -> (
+      (* build outside the lock: translation takes long enough that
+         serializing workers on it would defeat the point; a racing
+         duplicate build is wasted work, not a bug *)
+      let sh =
+        Core.Mca_model.build_shared ~target Core.Mca_model.Efficient scope
+      in
+      Mutex.lock t.shared_lock;
+      match Hashtbl.find_opt t.shared_cache (scope, target) with
+      | Some first ->
+          Mutex.unlock t.shared_lock;
+          first
+      | None ->
+          if Hashtbl.length t.shared_cache >= max_shared_cache then
+            Hashtbl.reset t.shared_cache;
+          Hashtbl.replace t.shared_cache (scope, target) sh;
+          Mutex.unlock t.shared_lock;
+          sh)
+
 (* ---- one request, end to end -------------------------------------- *)
 
 let stats_of t =
@@ -231,7 +269,10 @@ let compute_cell t (req : Wire.request) ~stop ~abs_deadline =
           Core.Mca_model.target =
             min mp.Core.Mca_model.target scope.Core.Mca_model.vnodes }
       in
-      let model = Core.Mca_model.build Core.Mca_model.Efficient mp scope in
+      let backend =
+        Ladder.Shared_translation
+          (shared_for t scope mp.Core.Mca_model.target, mp)
+      in
       (* the ladder's deadline split: CDCL gets half the remaining
          request time, DPLL half of what is left after that, the
          explicit checker the rest *)
@@ -241,7 +282,7 @@ let compute_cell t (req : Wire.request) ~stop ~abs_deadline =
         | Ladder.Explicit -> remaining_until 1.0
       in
       let answer =
-        Ladder.check_consensus ~stop ~budget_for ~model
+        Ladder.check_consensus ~stop ~budget_for ~backend
           ~exhaustive:(fun () -> Lazy.force exhaustive)
           t.ladder
       in
@@ -528,6 +569,8 @@ let start cfg =
           ~seed:cfg.seed ();
       cache;
       cache_lock = Mutex.create ();
+      shared_cache = Hashtbl.create 8;
+      shared_lock = Mutex.create ();
       journal_w;
       listen_fd = listen cfg;
       domains = [];

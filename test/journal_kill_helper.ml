@@ -1,0 +1,14 @@
+(* Child process for the group-commit durability test: append three
+   records, flush, buffer two more, then die by SIGKILL without closing
+   — the buffered tail must never reach disk. Runs as a separate
+   executable because Unix.fork is illegal once the test suite has
+   spawned domains. *)
+
+let () =
+  let path = Sys.argv.(1) in
+  let w = Parallel.Journal.open_append ~flush_every:100 path in
+  List.iter (Parallel.Journal.append w) [ "d1"; "d2"; "d3" ];
+  Parallel.Journal.flush w;
+  List.iter (Parallel.Journal.append w) [ "lost1"; "lost2" ];
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  assert false

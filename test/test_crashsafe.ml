@@ -159,6 +159,92 @@ let test_journal_rejects_oversized_and_closed () =
         | () -> false
         | exception Invalid_argument _ -> true))
 
+(* ---- group commit ---- *)
+
+let test_group_commit_batching () =
+  with_temp (fun path ->
+      let w = Parallel.Journal.open_append ~flush_every:3 path in
+      Fun.protect
+        ~finally:(fun () -> Parallel.Journal.close w)
+        (fun () ->
+          Parallel.Journal.append w "a";
+          Parallel.Journal.append w "b";
+          check_int "two records pending, none durable" 2
+            (Parallel.Journal.pending w);
+          check_int "nothing on disk before the batch fills" 0
+            (List.length (Parallel.Journal.read path).Parallel.Journal.entries);
+          Parallel.Journal.append w "c";
+          (* the third append fills the batch: one write, one fsync *)
+          check_int "batch flushed" 0 (Parallel.Journal.pending w);
+          check "all three durable" true
+            ((Parallel.Journal.read path).Parallel.Journal.entries
+            = [ "a"; "b"; "c" ]);
+          Parallel.Journal.append w "d";
+          Parallel.Journal.flush w;
+          check "explicit flush drains a partial batch" true
+            ((Parallel.Journal.read path).Parallel.Journal.entries
+            = [ "a"; "b"; "c"; "d" ]);
+          Parallel.Journal.append w "e");
+      (* close flushed the tail *)
+      let r = Parallel.Journal.read path in
+      check "close flushes the unfilled batch" true
+        (r.Parallel.Journal.entries = [ "a"; "b"; "c"; "d"; "e" ]
+        && r.Parallel.Journal.corruption = None);
+      check "flush_every < 1 rejected" true
+        (match Parallel.Journal.open_append ~flush_every:0 path with
+        | (_ : Parallel.Journal.writer) -> false
+        | exception Invalid_argument _ -> true))
+
+let test_group_commit_kill_loses_only_unflushed_tail () =
+  (* the durability-window contract, demonstrated with a real SIGKILL:
+     records flushed before the kill survive, the buffered tail is lost,
+     and the journal is not corrupt — the crash window is the unflushed
+     suffix, never a torn prefix. The writer runs as a child process
+     (journal_kill_helper.exe) because Unix.fork is illegal once the
+     suite has spawned domains. *)
+  with_temp (fun path ->
+      let helper =
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "journal_kill_helper.exe"
+      in
+      check "helper executable built alongside the suite" true
+        (Sys.file_exists helper);
+      let pid =
+        Unix.create_process helper
+          [| helper; path |]
+          Unix.stdin Unix.stdout Unix.stderr
+      in
+      let _, status = Unix.waitpid [] pid in
+      check "child died by SIGKILL" true (status = Unix.WSIGNALED Sys.sigkill);
+      let r = Parallel.Journal.read path in
+      check "flushed records survive, buffered tail lost" true
+        (r.Parallel.Journal.entries = [ "d1"; "d2"; "d3" ]);
+      check "no corruption: the tail was never on disk" true
+        (r.Parallel.Journal.corruption = None))
+
+let test_group_commit_torn_batch_truncates () =
+  (* a batch is written frame-aligned, so a crash mid-write tears at
+     most the final frame of the batch: recovery keeps every whole
+     frame before the tear *)
+  with_temp (fun path ->
+      let w = Parallel.Journal.open_append ~flush_every:3 path in
+      List.iter (Parallel.Journal.append w) [ "alpha"; "beta"; "gamma" ];
+      Parallel.Journal.close w;
+      Unix.truncate path (file_size path - 3);
+      let r = Parallel.Journal.recover path in
+      check "whole frames of the torn batch survive" true
+        (r.Parallel.Journal.entries = [ "alpha"; "beta" ]);
+      check_int "file truncated to the last whole frame"
+        r.Parallel.Journal.valid_bytes (file_size path);
+      (* and the journal is appendable again, batched or not *)
+      let w2 = Parallel.Journal.open_append ~flush_every:2 path in
+      List.iter (Parallel.Journal.append w2) [ "delta"; "epsilon" ];
+      Parallel.Journal.close w2;
+      check "clean append after recovery" true
+        ((Parallel.Journal.read path).Parallel.Journal.entries
+        = [ "alpha"; "beta"; "delta"; "epsilon" ]))
+
 (* ---- cell record codec ---- *)
 
 let mk_cell ?(policy_label = "submod") ?(scope_tag = "2p2v/4st")
@@ -283,6 +369,41 @@ let test_resume_requires_journal () =
     (match Core.Experiments.run_sweep ~resume:true ~scopes:tiny_scopes () with
     | _ -> false
     | exception Invalid_argument _ -> true)
+
+let test_group_commit_resume_after_midbatch_crash () =
+  (* the sweep-level contract: a crash mid-batch (whole-frame prefix of
+     the batch + one torn frame) resumes to a byte-identical report *)
+  with_temp (fun journal_a ->
+      with_temp (fun journal_b ->
+          let full =
+            Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes:tiny_scopes
+              ~journal:journal_a ()
+          in
+          let ra = Parallel.Journal.read journal_a in
+          let survivors =
+            List.filteri (fun i _ -> i < 2) ra.Parallel.Journal.entries
+          in
+          write_records journal_b survivors;
+          (* the torn frame: a header promising more payload than exists *)
+          let oc =
+            open_out_gen [ Open_append; Open_binary ] 0o644 journal_b
+          in
+          output_string oc "\x40\x00\x00\x00\xAB";
+          close_out oc;
+          let resumed =
+            Core.Experiments.run_sweep ~jobs:1 ~seed:1 ~scopes:tiny_scopes
+              ~journal:journal_b ~resume:true ~journal_flush_every:2 ()
+          in
+          check_int "the two whole frames loaded, not re-run" 2
+            resumed.Core.Experiments.sweep_resumed;
+          check_string "resumed render byte-identical to uninterrupted run"
+            (Core.Experiments.render_sweep full)
+            (Core.Experiments.render_sweep resumed);
+          let rb = Parallel.Journal.read journal_b in
+          check "journal B complete and clean after the batched resume" true
+            (List.length rb.Parallel.Journal.entries
+             = List.length full.Core.Experiments.cells
+            && rb.Parallel.Journal.corruption = None)))
 
 (* ---- the headline round trip: interrupt, resume, byte-identical ---- *)
 
@@ -457,6 +578,14 @@ let suite =
       test_journal_bitflip_crc;
     Alcotest.test_case "journal: closed-writer discipline" `Quick
       test_journal_rejects_oversized_and_closed;
+    Alcotest.test_case "group commit: batching + explicit flush + close" `Quick
+      test_group_commit_batching;
+    Alcotest.test_case "group commit: SIGKILL loses only the unflushed tail"
+      `Quick test_group_commit_kill_loses_only_unflushed_tail;
+    Alcotest.test_case "group commit: torn batch truncates to whole frames"
+      `Quick test_group_commit_torn_batch_truncates;
+    Alcotest.test_case "group commit: resume after a mid-batch crash" `Slow
+      test_group_commit_resume_after_midbatch_crash;
     Alcotest.test_case "cell record: escaping round trip" `Quick test_cell_record_roundtrip;
     Alcotest.test_case "cell record: tampered digest rejected" `Quick test_cell_record_tamper;
     Alcotest.test_case "resume: last-write-wins + seed filter, no re-run" `Quick

@@ -177,6 +177,61 @@ let test_result1_honest_submodular_holds () =
         "honest sub-modular agents must reach consensus in scope (paper \
          Result 1, Section V)"
 
+(* ---- shared translation ≡ per-cell translation ---- *)
+
+let verdict_name = function
+  | Relalg.Translate.Decided Relalg.Translate.Unsat -> "holds"
+  | Relalg.Translate.Decided (Relalg.Translate.Sat _) -> "violated"
+  | Relalg.Translate.Unknown r -> "unknown:" ^ r
+
+(* every policy cell of the paper grid: one translation built once with
+   selector relations must give the cell-for-cell verdicts of the
+   build-per-cell pipeline — and the certified variant must agree while
+   producing a checked DRUP/model certificate for the assumed problem *)
+let shared_matches_per_cell test_scope =
+  let shared =
+    Core.Mca_model.build_shared Core.Mca_model.Efficient test_scope
+  in
+  List.iter
+    (fun (label, mp) ->
+      let mp =
+        { mp with
+          Core.Mca_model.target =
+            min mp.Core.Mca_model.target test_scope.Core.Mca_model.vnodes }
+      in
+      let budget () = Netsim.Budget.create ~wall_s:300.0 () in
+      let per_cell =
+        Core.Mca_model.check_consensus_bounded ~symmetry:true
+          ~budget:(budget ())
+          (Core.Mca_model.build Core.Mca_model.Efficient mp test_scope)
+      in
+      let shared_v =
+        Core.Mca_model.check_consensus_shared ~budget:(budget ()) shared mp
+      in
+      if verdict_name per_cell <> verdict_name shared_v then
+        Alcotest.failf "%s: per-cell says %s, shared translation says %s"
+          label (verdict_name per_cell) (verdict_name shared_v);
+      let cert = Core.Mca_model.check_consensus_shared_certified shared mp in
+      if
+        verdict_name (Relalg.Translate.Decided cert.Relalg.Translate.outcome)
+        <> verdict_name per_cell
+      then
+        Alcotest.failf "%s: certified shared verdict (%s) disagrees" label
+          (verdict_name (Relalg.Translate.Decided cert.Relalg.Translate.outcome));
+      match cert.Relalg.Translate.certification with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "%s: shared verdict came back uncertified" label)
+    Core.Mca_model.paper_policies
+
+let test_shared_translation_2p2v () =
+  shared_matches_per_cell (scope ~states:4 ~values:5)
+
+let test_shared_translation_3p2v () =
+  shared_matches_per_cell
+    { Core.Mca_model.pnodes = 3; vnodes = 2; states = 3; values = 4;
+      bitwidth = 4 }
+
 (* ---- parallel sweep: determinism + the pinned verdict table ---- *)
 
 let sweep_scope = [ ("2p2v/4st", scope ~states:4 ~values:5) ]
@@ -282,6 +337,10 @@ let suite =
       test_result1_honest_submodular_holds;
     Alcotest.test_case "sweep determinism + pinned verdict table" `Slow
       test_sweep_determinism_and_pins;
+    Alcotest.test_case "shared translation = per-cell (2p2v, certified)" `Slow
+      test_shared_translation_2p2v;
+    Alcotest.test_case "shared translation = per-cell (3p2v, certified)" `Slow
+      test_shared_translation_3p2v;
     Alcotest.test_case "sweep deterministic under exhausted budget" `Quick
       test_sweep_exhausted_budget_is_deterministic;
     QCheck_alcotest.to_alcotest qcheck_dpll_cdcl_agree_unsat_family;

@@ -196,6 +196,43 @@ let test_pool_map_budgeted_rearms () =
   let ok = Parallel.Pool.map_budgeted ~jobs:1 ~budget f [| (); () |] in
   check "each task gets a fresh wall-clock window" true (ok = [| true; true |])
 
+(* ---- scaling regression ---- *)
+
+let test_pool_scaling_not_slower () =
+  (* the BENCH_E11 regression: --jobs 4 ran at 0.47× the speed of
+     sequential on a machine with fewer cores than jobs, because every
+     extra domain joins OCaml's stop-the-world minor collections. The
+     pool now caps its worker count at the available cores, so jobs=4
+     must never be materially slower than jobs=1 on the same workload —
+     whatever the machine. The threshold is deliberately generous
+     (1.5× + 50 ms): this pins the pathological regression, not a
+     speedup, which a single-core CI box cannot promise. *)
+  let tasks = Array.init 8 (fun i -> Sat.Gen.pigeonhole (4 + (i mod 2))) in
+  let work p =
+    match Sat.Solver.solve (Sat.Solver.of_problem p) with
+    | Sat.Solver.Sat _ -> 1
+    | Sat.Solver.Unsat -> 0
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let r = Parallel.Pool.map ~jobs work tasks in
+    let dt = Unix.gettimeofday () -. t0 in
+    check_int "pigeonhole tasks all unsat" 0 (Array.fold_left ( + ) 0 r);
+    dt
+  in
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  ignore (time 1) (* warm-up: fault pages, JIT the allocator's free lists *);
+  (* interleave the orderings so clock drift hits both job counts alike *)
+  let w1 = ref [] and w4 = ref [] in
+  for _ = 1 to 3 do
+    w1 := time 1 :: !w1;
+    w4 := time 4 :: !w4
+  done;
+  let m1 = median !w1 and m4 = median !w4 in
+  if not (m4 <= (m1 *. 1.5) +. 0.05) then
+    Alcotest.failf "jobs=4 slower than jobs=1: %.3fs vs %.3fs (median of 3)"
+      m4 m1
+
 (* ---- Race ---- *)
 
 let test_race_sequential_first_some () =
@@ -445,6 +482,8 @@ let suite =
     Alcotest.test_case "pool empty/bad jobs" `Quick test_pool_empty_and_bad_jobs;
     Alcotest.test_case "pool re-raises lowest index" `Quick test_pool_reraises_lowest_index;
     Alcotest.test_case "map_budgeted re-arms per task" `Quick test_pool_map_budgeted_rearms;
+    Alcotest.test_case "pool scaling: jobs=4 not slower than jobs=1" `Quick
+      test_pool_scaling_not_slower;
     Alcotest.test_case "race sequential first-some" `Quick test_race_sequential_first_some;
     Alcotest.test_case "race all none" `Quick test_race_all_none;
     Alcotest.test_case "race cancels rival" `Quick test_race_cancels_rival;

@@ -264,7 +264,10 @@ let test_ladder_forced_cdcl_timeout_matches_explicit () =
     { mp with
       Core.Mca_model.target = min mp.Core.Mca_model.target scope.Core.Mca_model.vnodes }
   in
-  let model = Core.Mca_model.build Core.Mca_model.Efficient mp scope in
+  let backend =
+    Service.Ladder.Fresh_model
+      (Core.Mca_model.build Core.Mca_model.Efficient mp scope)
+  in
   (* zero-width budgets for the SAT rungs, room for the explicit one *)
   let budget_for = function
     | Service.Ladder.Cdcl | Service.Ladder.Dpll ->
@@ -273,7 +276,7 @@ let test_ladder_forced_cdcl_timeout_matches_explicit () =
   in
   let forced = ref 0 in
   let a =
-    Service.Ladder.check_consensus ~budget_for ~model
+    Service.Ladder.check_consensus ~budget_for ~backend
       ~exhaustive:(fun () -> incr forced; standalone ())
       (mk_ladder ())
   in
