@@ -14,6 +14,11 @@ let fast_mode = Array.exists (( = ) "--fast") Sys.argv
    the CI regression gate for the BENCH_E11 0.47x slowdown. *)
 let scaling_smoke = Array.exists (( = ) "--scaling-smoke") Sys.argv
 
+(* --cluster-smoke: run only the E16 sharded-cluster sweep at a reduced
+   scope and exit nonzero if the fleet ever loses or changes a verdict
+   — the CI gate for the coordinator's failover/handoff invariant. *)
+let cluster_smoke = Array.exists (( = ) "--cluster-smoke") Sys.argv
+
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
@@ -586,6 +591,145 @@ let run_overload_service () =
   Format.printf "  wrote BENCH_E14.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E16: the sharded verification cluster — sweep throughput vs fleet
+   size with the coordinator running 8 dispatch domains against
+   workers capped at one solver domain and a two-deep queue each (an
+   8x-overloaded fleet, so shed escalation and failover routing are
+   exercised, not idled past), plus the robustness point: one of three
+   workers aborted mid-sweep must cost zero lost or changed verdicts. *)
+
+let run_cluster_sweep () =
+  section "E16 - Sharded cluster (throughput vs fleet size, kill-a-worker)";
+  let states = if cluster_smoke || fast_mode then 3 else 4 in
+  let tag = Printf.sprintf "2p2v/%dst" states in
+  let scope =
+    { Core.Mca_model.pnodes = 2; vnodes = 2; states; values = 6; bitwidth = 4 }
+  in
+  let scopes = [ (tag, scope) ] in
+  let dispatchers = 8 in
+  let worker_jobs = 1 and worker_cap = 2 in
+  let start_worker () =
+    let sock = Filename.temp_file "mca_clbench" ".sock" in
+    let t =
+      Service.Server.start
+        {
+          (Service.Server.default_config (Service.Server.Unix_path sock)) with
+          Service.Server.jobs = worker_jobs;
+          queue_cap = worker_cap;
+        }
+    in
+    (Service.Server.Unix_path sock, t, sock)
+  in
+  let stop_worker (_, t, sock) =
+    Service.Server.stop t;
+    Service.Server.join t;
+    try Sys.remove sock with Sys_error _ -> ()
+  in
+  let reference =
+    Core.Experiments.render_sweep
+      (Core.Experiments.run_sweep ~jobs:2 ~seed:1 ~scopes ())
+  in
+  let mk_cfg workers =
+    {
+      (Service.Cluster.default_config workers) with
+      Service.Cluster.dispatchers;
+      (* an 8x-overloaded fleet sheds for a long time relative to the
+         backoff band: give each cell enough attempts to outlast a
+         full queue drain instead of quarantining it as UNKNOWN *)
+      max_attempts = 200;
+      backoff = Netsim.Backoff.make ~base_s:0.02 ~cap_s:0.5 ();
+      heartbeat_s = 0.1;
+      steal_after_s = 5.0;
+      (* cells at this scope decide in well under a second: a tight
+         socket timeout keeps a dispatcher blocked on an aborted
+         worker's half-open connection from stalling the final join *)
+      deadline_s = 10.0;
+      timeout_s = 12.0;
+    }
+  in
+  Format.printf
+    "  scope %s, %d dispatchers vs jobs=%d cap=%d workers (8x overload)@." tag
+    dispatchers worker_jobs worker_cap;
+  let sweep_cells = ref 0 in
+  let points =
+    List.map
+      (fun n ->
+        let fleet = List.init n (fun _ -> start_worker ()) in
+        let workers = List.map (fun (a, _, _) -> a) fleet in
+        let t0 = Unix.gettimeofday () in
+        let r = Service.Cluster.run_sweep ~scopes (mk_cfg workers) in
+        let wall = Unix.gettimeofday () -. t0 in
+        List.iter stop_worker fleet;
+        if Core.Experiments.render_sweep r.Service.Cluster.sweep <> reference
+        then failwith "E16: cluster verdicts differ from the reference sweep";
+        let cells = List.length r.Service.Cluster.sweep.Core.Experiments.cells in
+        sweep_cells := cells;
+        let throughput = float_of_int cells /. wall in
+        let shed = List.assoc "shed_retries" r.Service.Cluster.cluster_stats in
+        Format.printf
+          "  %d worker(s): wall %.2fs, %.2f verdicts/s, shed_retries=%d@." n
+          wall throughput shed;
+        (n, wall, throughput, shed))
+      [ 1; 2; 3 ]
+  in
+  (* kill-a-worker: abort one of three workers once the sweep is in
+     flight; every verdict must still land, byte-identical *)
+  let fleet = List.init 3 (fun _ -> start_worker ()) in
+  let workers = List.map (fun (a, _, _) -> a) fleet in
+  let _, victim, _ = List.nth fleet 1 in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        Service.Server.stop ~abort:true victim)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Service.Cluster.run_sweep ~scopes (mk_cfg workers) in
+  let kill_wall = Unix.gettimeofday () -. t0 in
+  Domain.join killer;
+  List.iter stop_worker fleet;
+  let kill_identical =
+    Core.Experiments.render_sweep r.Service.Cluster.sweep = reference
+  in
+  let stat k = List.assoc k r.Service.Cluster.cluster_stats in
+  Format.printf
+    "  killed-worker run: wall %.2fs, identical=%b, failovers=%d \
+     relocated=%d recertified=%d@."
+    kill_wall kill_identical (stat "failovers") (stat "relocated")
+    (stat "recertified");
+  let oc = open_out "BENCH_E16.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E16-sharded-cluster\",\n";
+  p "  \"mode\": \"%s\",\n"
+    (if cluster_smoke then "smoke" else if fast_mode then "fast" else "full");
+  p "  \"scope\": \"%s\",\n" (json_escape tag);
+  p "  \"cells\": %d,\n" !sweep_cells;
+  p "  \"dispatchers\": %d,\n" dispatchers;
+  p "  \"worker_jobs\": %d,\n" worker_jobs;
+  p "  \"worker_queue_cap\": %d,\n" worker_cap;
+  p "  \"points\": [\n";
+  List.iteri
+    (fun i (n, wall, throughput, shed) ->
+      p
+        "    {\"workers\": %d, \"wall_seconds\": %.3f, \
+         \"verdicts_per_second\": %.3f, \"shed_retries\": %d}%s\n"
+        n wall throughput shed
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  p "  ],\n";
+  p
+    "  \"killed_worker\": {\"workers\": 3, \"wall_seconds\": %.3f, \
+     \"failovers\": %d, \"relocated\": %d, \"recertified\": %d, \
+     \"verdicts_identical\": %b},\n"
+    kill_wall (stat "failovers") (stat "relocated") (stat "recertified")
+    kill_identical;
+  p "  \"verdicts_identical\": %b\n" kill_identical;
+  p "}\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_E16.json@.";
+  kill_identical
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: certified verdicts — DRUP proof size and re-check cost      *)
 
 let run_certification () =
@@ -765,6 +909,16 @@ let () =
     end;
     Format.printf "@.scaling smoke passed.@."
   end
+  else if cluster_smoke then begin
+    Format.printf "MCA verification library — cluster smoke (E16 only)@.";
+    let ok = run_cluster_sweep () in
+    if not ok then begin
+      Format.eprintf
+        "cluster smoke FAILED: a killed worker lost or changed verdicts@.";
+      exit 1
+    end;
+    Format.printf "@.cluster smoke passed.@."
+  end
   else begin
     Format.printf "MCA verification library — benchmark & experiment harness@.";
     Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
@@ -773,6 +927,7 @@ let () =
     run_crashsafe_sweep ();
     ignore (run_scaling_sweep () : bool);
     run_overload_service ();
+    ignore (run_cluster_sweep () : bool);
     run_certification ();
     run_loss_sweep ();
     run_benchmarks ();

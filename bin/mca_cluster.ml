@@ -1,0 +1,259 @@
+(* mca_cluster: the sharded verification cluster coordinator.
+
+   Consistent-hashes the policy-matrix cell space over a fleet of
+   mca_serve workers (named with repeatable --worker flags) and runs
+   the full sweep through them: failover on worker death, shed
+   escalation onto siblings, work stealing for stragglers, DRUP
+   re-certification of relocated verdicts, and a journal whose records
+   are interchangeable with mca_check --sweep --journal/--resume.
+
+   The verdict grid it prints is the same canonical rendering as
+   mca_check --sweep — byte-identical verdicts whatever the fleet did —
+   followed by the cluster's own counters. Exit codes match mca_check:
+   0 decided, 10 UNKNOWN cells, 11 partial (drained; resumable). *)
+
+open Cmdliner
+
+let exit_error = 2
+let exit_unknown = 10
+let exit_partial = 11
+
+let worker_of s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      Ok (Service.Server.Unix_path (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let hp = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt hp ':' with
+      | Some j -> (
+          let host = String.sub hp 0 j in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt (String.sub hp (j + 1) (String.length hp - j - 1)) with
+          | Some port when port > 0 && port < 65536 ->
+              Ok (Service.Server.Tcp (host, port))
+          | _ -> Error (`Msg ("invalid worker port in " ^ s)))
+      | None -> Error (`Msg ("tcp worker expects tcp:HOST:PORT, got " ^ s)))
+  | _ -> Ok (Service.Server.Unix_path s)
+
+let worker_conv =
+  Arg.conv
+    ( worker_of,
+      fun ppf a ->
+        Format.pp_print_string ppf
+          (match a with
+          | Service.Server.Unix_path p -> "unix:" ^ p
+          | Service.Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p) )
+
+let print_stats workers timeout =
+  List.iter
+    (fun (i, r) ->
+      match r with
+      | Ok kvs ->
+          Format.printf "worker %d: %s@." i
+            (String.concat " "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs))
+      | Error msg -> Format.printf "worker %d: unreachable (%s)@." i msg)
+    (Service.Cluster.fleet_stats ~timeout_s:timeout workers);
+  0
+
+let run_sweep workers jobs seed agents items states deadline timeout retries
+    steal_after down_after heartbeat no_recheck journal resume flush_every
+    ring_points =
+  let scope =
+    { Core.Mca_model.pnodes = agents; vnodes = items; states; values = 6;
+      bitwidth = 4 }
+  in
+  let scope_tag = Printf.sprintf "%dp%dv/%dst" agents items states in
+  (* same drain path as mca_check: the handler only flips an atomic; the
+     coordinator's stop hook polls it between attempts *)
+  let drain_on signal =
+    try
+      Sys.set_signal signal
+        (Sys.Signal_handle (fun _ -> Parallel.Supervise.request_drain ()))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  drain_on Sys.sigint;
+  drain_on Sys.sigterm;
+  let cfg =
+    {
+      (Service.Cluster.default_config workers) with
+      Service.Cluster.dispatchers = jobs;
+      seed;
+      deadline_s = deadline;
+      timeout_s = timeout;
+      max_attempts = retries;
+      steal_after_s = steal_after;
+      down_after;
+      heartbeat_s = heartbeat;
+      verify_relocated = not no_recheck;
+      ring_points;
+      cl_journal = journal;
+      cl_resume = resume;
+      cl_flush_every = flush_every;
+    }
+  in
+  let report = Service.Cluster.run_sweep ~scopes:[ (scope_tag, scope) ] cfg in
+  Format.printf "%a"
+    (Core.Experiments.pp_sweep ~timings:true)
+    report.Service.Cluster.sweep;
+  Format.printf "  cluster: %s@."
+    (String.concat " "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+          report.Service.Cluster.cluster_stats));
+  List.iteri
+    (fun i up ->
+      if not up then Format.printf "  cluster: worker %d down at exit@." i)
+    report.Service.Cluster.worker_up;
+  let sweep = report.Service.Cluster.sweep in
+  if sweep.Core.Experiments.sweep_partial then begin
+    (match journal with
+    | Some path ->
+        Format.printf "partial sweep: resume with --journal %s --resume@." path
+    | None -> Format.printf "partial sweep: interrupted before completion@.");
+    exit_partial
+  end
+  else if Core.Experiments.sweep_decided sweep then 0
+  else exit_unknown
+
+let main workers stats jobs seed agents items states deadline timeout retries
+    steal_after down_after heartbeat no_recheck journal resume flush_every
+    ring_points =
+  if workers = [] then begin
+    Printf.eprintf "error: at least one --worker is required\n";
+    exit_error
+  end
+  else
+    match
+      if stats then print_stats workers timeout
+      else
+        run_sweep workers jobs seed agents items states deadline timeout
+          retries steal_after down_after heartbeat no_recheck journal resume
+          flush_every ring_points
+    with
+    | code -> code
+    | exception (Failure msg | Invalid_argument msg) ->
+        Printf.eprintf "error: %s\n" msg;
+        exit_error
+    | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "error: %s: %s\n" fn (Unix.error_message e);
+        exit_error
+
+let term =
+  let workers =
+    Arg.(value & opt_all worker_conv []
+         & info [ "worker"; "w" ]
+             ~doc:"a worker address: unix:PATH, tcp:HOST:PORT, or a bare \
+                   Unix-socket path (repeatable; order fixes ring identity)"
+             ~docv:"ADDR")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"probe every worker's live counters and exit")
+  in
+  let jobs =
+    Arg.(value & opt int 4
+         & info [ "jobs" ] ~doc:"coordinator dispatch domains" ~docv:"N")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"cell identity seed")
+  in
+  let agents =
+    Arg.(value & opt int 2 & info [ "agents"; "n" ] ~doc:"scope: agents")
+  in
+  let items =
+    Arg.(value & opt int 2 & info [ "items"; "j" ] ~doc:"scope: items")
+  in
+  let states =
+    Arg.(value & opt int 5
+         & info [ "sweep-states"; "states" ] ~doc:"scope: trace length")
+  in
+  let deadline =
+    Arg.(value & opt float 30.0
+         & info [ "deadline" ]
+             ~doc:"per-cell wall-clock allowance sent with each request"
+             ~docv:"SECS")
+  in
+  let timeout =
+    Arg.(value & opt float 35.0
+         & info [ "timeout" ]
+             ~doc:"per-attempt socket timeout (connect and I/O); keep it \
+                   above --deadline or healthy slow cells read as transport \
+                   failures" ~docv:"SECS")
+  in
+  let retries =
+    Arg.(value & opt int 5
+         & info [ "retries" ]
+             ~doc:"attempts per cell across the fleet before its last \
+                   UNKNOWN answer is reported" ~docv:"N")
+  in
+  let steal_after =
+    Arg.(value & opt float 5.0
+         & info [ "steal-after" ]
+             ~doc:"in-flight age before an idle dispatcher duplicates a \
+                   straggling cell onto a sibling" ~docv:"SECS")
+  in
+  let down_after =
+    Arg.(value & opt int 2
+         & info [ "down-after" ]
+             ~doc:"consecutive observed transport failures before a worker \
+                   is routed around" ~docv:"N")
+  in
+  let heartbeat =
+    Arg.(value & opt float 0.5
+         & info [ "heartbeat" ]
+             ~doc:"liveness-probe period (stats request per worker); 0 \
+                   disables" ~docv:"SECS")
+  in
+  let no_recheck =
+    Arg.(value & flag
+         & info [ "no-recheck" ]
+             ~doc:"accept relocated verdicts without the local DRUP \
+                   re-certification")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ]
+             ~doc:"coordinator write-ahead journal: dispatch intents and \
+                   decided cells; interchangeable with mca_check --sweep \
+                   --journal" ~docv:"PATH")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"load cells already decided in --journal instead of \
+                   re-dispatching them")
+  in
+  let flush_every =
+    Arg.(value & opt int 1
+         & info [ "journal-flush-every" ]
+             ~doc:"journal group-commit batch size" ~docv:"N")
+  in
+  let ring_points =
+    Arg.(value & opt int 64
+         & info [ "ring-points" ]
+             ~doc:"virtual nodes per worker on the hash ring" ~docv:"N")
+  in
+  Term.(
+    const main $ workers $ stats $ jobs $ seed $ agents $ items $ states
+    $ deadline $ timeout $ retries $ steal_after $ down_after $ heartbeat
+    $ no_recheck $ journal $ resume $ flush_every $ ring_points)
+
+let cmd =
+  let exits =
+    Cmd.Exit.info 0 ~doc:"every cell decided"
+    :: Cmd.Exit.info exit_error ~doc:"invalid arguments or I/O error"
+    :: Cmd.Exit.info exit_unknown
+         ~doc:"UNKNOWN cells remain (fleet exhausted the per-cell retries)"
+    :: Cmd.Exit.info exit_partial
+         ~doc:"drained before completion; the journal is resumable"
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "mca_cluster" ~exits
+       ~doc:"Sharded verification cluster: consistent-hash a policy-matrix \
+             sweep over mca_serve workers with failover, work stealing and \
+             journal-backed handoff")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -81,12 +81,24 @@ let print_response r =
   | Service.Wire.Error _ -> exit_error
   | Service.Wire.Stats _ -> 0
 
-let client addr policy agents items states seed deadline timeout =
+let client addr policy agents items states seed deadline timeout retries
+    retry_budget =
   let req =
     Service.Wire.request ~agents ~items ~states ~seed ?deadline_s:deadline
       policy
   in
-  match Service.Client.check ~timeout_s:timeout addr req with
+  let reply, report =
+    Service.Client.check_retry ~timeout_s:timeout ~retries
+      ?retry_budget_s:retry_budget ~seed addr req
+  in
+  if report.Service.Client.attempts > 1 then
+    Printf.eprintf "retried: attempts=%d shed=%d transport=%d%s\n"
+      report.Service.Client.attempts report.Service.Client.retried_shed
+      report.Service.Client.retried_transport
+      (match report.Service.Client.gave_up with
+      | Some why -> " gave-up=" ^ why
+      | None -> "");
+  match reply with
   | Ok r -> print_response r
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -114,7 +126,8 @@ let flood addr total concurrency policy agents items states seed deadline
   if r.Service.Client.flood_errors > 0 then exit_error else 0
 
 let main socket tcp mode jobs queue_cap deadline max_deadline io_deadline seed
-    journal trip_after policy agents items states concurrency timeout =
+    journal trip_after policy agents items states concurrency timeout retries
+    retry_budget =
   match addr_of socket tcp with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -126,7 +139,9 @@ let main socket tcp mode jobs queue_cap deadline max_deadline io_deadline seed
             serve addr jobs queue_cap
               (Option.value deadline ~default:30.0)
               max_deadline io_deadline seed journal trip_after
-        | `Client -> client addr policy agents items states seed deadline timeout
+        | `Client ->
+            client addr policy agents items states seed deadline timeout
+              retries retry_budget
         | `Stats -> stats addr timeout
         | `Flood n ->
             flood addr n concurrency policy agents items states seed deadline
@@ -243,10 +258,24 @@ let term =
     Arg.(value & opt float 30.0
          & info [ "timeout" ] ~doc:"client-side socket timeout" ~docv:"SECS")
   in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ]
+             ~doc:"client: retry a shed reply or a transport failure up to \
+                   $(docv) times with jittered exponential backoff (default \
+                   0: a single shed stays terminal, exit 12)" ~docv:"N")
+  in
+  let retry_budget =
+    Arg.(value & opt (some float) None
+         & info [ "retry-budget" ]
+             ~doc:"client: total wall-clock allowance across retries, \
+                   including backoff sleeps" ~docv:"SECS")
+  in
   Term.(
     const main $ socket $ tcp $ mode $ jobs $ queue_cap $ deadline
     $ max_deadline $ io_deadline $ seed $ journal $ trip_after $ policy
-    $ agents $ items $ states $ concurrency $ timeout)
+    $ agents $ items $ states $ concurrency $ timeout $ retries
+    $ retry_budget)
 
 let cmd =
   let exits =

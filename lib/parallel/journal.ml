@@ -90,13 +90,30 @@ type writer = {
   mutable closed : bool;
 }
 
+(* Creating the file makes its *data* durable via the per-batch fsync,
+   but the directory entry pointing at it is only durable once the
+   parent directory itself is fsync'd — without this, a crash right
+   after [open_append] can leave a journal whose records were synced
+   into a file that no longer has a name. Best-effort: some filesystems
+   refuse fsync on directories, which is also the world where the entry
+   is already durable or can't be made so. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+
 let open_append ?(flush_every = 1) ?flush_interval_s path =
   if flush_every < 1 then invalid_arg "Journal.open_append: flush_every < 1";
   (match flush_interval_s with
   | Some s when s <= 0.0 ->
       invalid_arg "Journal.open_append: flush_interval_s <= 0"
   | _ -> ());
+  let existed = Sys.file_exists path in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  if not existed then fsync_dir path;
   {
     fd;
     lock = Mutex.create ();

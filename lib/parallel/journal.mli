@@ -35,7 +35,9 @@ type writer
 val open_append : ?flush_every:int -> ?flush_interval_s:float -> string -> writer
 (** Opens (creating if needed) for appending. The existing content is
     not validated here — run {!recover} first when resuming onto a file
-    that may end in a torn frame.
+    that may end in a torn frame. When the call creates the file, the
+    parent directory is fsync'd too (best-effort), so the new journal's
+    directory entry is durable immediately — not just its contents.
 
     [flush_every] (default [1]) is the group-commit batch size: appends
     are buffered in memory and pushed to disk by a single write+fsync

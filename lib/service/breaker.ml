@@ -57,6 +57,11 @@ let success b =
       b.open_until <- 0.0;
       b.probing <- false)
 
+(* a cancelled attempt (drain, request deadline) says nothing about the
+   backend: release the half-open probe slot without transitioning, or
+   the breaker would stay wedged refusing every future probe *)
+let cancel b = with_lock b (fun () -> b.probing <- false)
+
 let trip_locked b ~now =
   b.trips <- b.trips + 1;
   b.open_until <-

@@ -34,6 +34,12 @@ val admit : t -> now:float -> bool
 val success : t -> unit
 (** The backend answered: close and reset (also ends a probe). *)
 
+val cancel : t -> unit
+(** The attempt was cancelled (drain or request deadline) before the
+    backend could prove anything either way: no state transition, but a
+    half-open probe slot is released — without this, a cancelled probe
+    would leave the breaker refusing every future probe forever. *)
+
 val timeout : t -> now:float -> unit
 (** The backend timed out. Counts toward [trip_after] when closed;
     immediately re-opens (with the next cooldown) when it was a

@@ -75,6 +75,78 @@ let get_stats ?timeout_s addr =
   | Ok _ -> Result.Error "unexpected reply to stats"
   | Result.Error _ as e -> e
 
+(* ---- retrying check ----------------------------------------------- *)
+
+(* A check names a pure verification problem, so re-asking is always
+   safe — there is nothing to double-apply. Two failure shapes are worth
+   a retry: a transport failure (connection refused while the server
+   restarts, or a connection that died before the reply) and an explicit
+   [shed] (the queue was full at that instant; it often drains within
+   milliseconds). Anything the server actually answered — a verdict, an
+   error — is final. *)
+
+type retry_report = {
+  attempts : int;  (** total tries, including the first *)
+  retried_shed : int;
+  retried_transport : int;
+  gave_up : string option;
+      (** why the last failure was returned instead of retried *)
+}
+
+let failed_reply = function
+  | Ok (Wire.Shed _) | Result.Error _ -> true
+  | Ok _ -> false
+
+let check_retry ?timeout_s ?(retries = 0) ?retry_budget_s
+    ?(backoff = Netsim.Backoff.make ()) ?(seed = 0) addr req =
+  if retries < 0 then invalid_arg "Client.check_retry: retries < 0";
+  (match retry_budget_s with
+  | Some b when b < 0.0 -> invalid_arg "Client.check_retry: negative budget"
+  | _ -> ());
+  let rng =
+    Netsim.Backoff.stream ~seed
+      ~key:("client/" ^ req.Wire.policy ^ "/" ^ req.Wire.id)
+  in
+  let started = Unix.gettimeofday () in
+  let shed = ref 0 and transport = ref 0 in
+  let within_budget delay =
+    match retry_budget_s with
+    | None -> true
+    | Some b -> Unix.gettimeofday () -. started +. delay <= b
+  in
+  let rec go attempt =
+    let reply = check ?timeout_s addr req in
+    let failure =
+      match reply with
+      | Ok (Wire.Shed _) -> Some `Shed
+      | Result.Error _ -> Some `Transport
+      | Ok _ -> None
+    in
+    match failure with
+    | None -> (reply, attempt, None)
+    | Some kind ->
+        if attempt > retries then (reply, attempt, Some "retries exhausted")
+        else
+          let delay = Netsim.Backoff.delay backoff ~rng ~attempt in
+          if not (within_budget delay) then
+            (reply, attempt, Some "retry budget exhausted")
+          else begin
+            (match kind with
+            | `Shed -> incr shed
+            | `Transport -> incr transport);
+            Unix.sleepf delay;
+            go (attempt + 1)
+          end
+  in
+  let reply, attempts, gave_up = go 1 in
+  ( reply,
+    {
+      attempts;
+      retried_shed = !shed;
+      retried_transport = !transport;
+      gave_up = (if failed_reply reply then gave_up else None);
+    } )
+
 (* ---- the overload probe ------------------------------------------- *)
 
 type flood_report = {

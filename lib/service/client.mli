@@ -16,6 +16,36 @@ val check :
 val get_stats :
   ?timeout_s:float -> Server.addr -> ((string * int) list, string) result
 
+(** Outcome of a {!check_retry}: how many tries, and why the last
+    failure (if any) was returned instead of retried. *)
+type retry_report = {
+  attempts : int;  (** total tries, including the first *)
+  retried_shed : int;
+  retried_transport : int;
+  gave_up : string option;
+      (** [Some _] only when the returned reply is still a failure:
+          ["retries exhausted"] or ["retry budget exhausted"] *)
+}
+
+val check_retry :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?retry_budget_s:float ->
+  ?backoff:Netsim.Backoff.t ->
+  ?seed:int ->
+  Server.addr -> Wire.request -> (Wire.response, string) result * retry_report
+(** {!check} that retries transport failures (connection refused during
+    a restart, a connection closed before the reply) and explicit [shed]
+    replies — both transient, and a check is a pure verification problem
+    so re-asking is always safe. [retries] (default 0: behave exactly
+    like {!check}) bounds the re-asks; [retry_budget_s] additionally
+    caps the total wall clock including backoff sleeps. Delays come from
+    [backoff] (default {!Netsim.Backoff.make}[ ()]: 50 ms base, 2 s cap,
+    ±25% jitter) drawn from the per-request
+    {!Netsim.Backoff.stream} [~seed ~key:("client/" ^ policy ^ "/" ^ id)],
+    so many clients shed at the same instant spread their retries out
+    instead of re-flooding in lockstep. *)
+
 (** The overload probe: hammer the server from several domains and
     tally how every request was answered. The CI smoke job floods at
     several times the queue capacity and asserts that the excess got

@@ -1,0 +1,95 @@
+(** The sharded verification cluster: a partition-tolerant coordinator
+    driving a fleet of [mca_serve] workers through the existing wire
+    protocol.
+
+    The coordinator runs a policy-matrix sweep ({!Core.Experiments})
+    exactly like [mca_check --sweep] — same task list, same cell
+    identity, same canonical rendering — but instead of verifying cells
+    itself it consistent-hashes them over the fleet ({!Shard}) and
+    survives whatever the fleet does to it:
+
+    - {b failure detection is evidence-based} (the
+      {!Parallel.Supervise} doctrine): a worker is marked down only
+      after [down_after] consecutive {e observed} transport failures —
+      a connection refused, reset, or closed before the reply — never
+      on elapsed time alone. A slow worker gets stolen from, not
+      declared dead. A heartbeat domain probes every worker with the
+      [stats] request (answered inline by the server's acceptor even
+      under full load, so it is a pure liveness signal) and revives a
+      down worker the moment it answers again.
+    - {b shed escalation}: a worker answering [shed] is healthy but
+      full; the cell is retried on the next sibling in its {!Shard}
+      failover route after a {!Netsim.Backoff} delay drawn from the
+      cell's own jitter stream — the cluster never surfaces a SHED for
+      a cell while any sibling has room.
+    - {b work stealing}: once the dispatch queue is empty, idle
+      dispatchers duplicate the oldest in-flight cell older than
+      [steal_after_s] onto a different worker; the first verdict wins a
+      per-cell atomic CAS and the loser is discarded.
+    - {b certified relocation}: a decided SAT verdict produced by any
+      worker other than the cell's ring owner is re-derived locally
+      through {!Core.Mca_model.check_consensus_shared_certified} —
+      DRUP-checked — before the coordinator accepts it; on a mismatch
+      the locally certified answer wins and the event is counted.
+    - {b journal-backed handoff}: with [cl_journal] every dispatch is
+      recorded as a [disp] intent record and every decided cell as a
+      standard {!Core.Experiments.cell_record}, group-committed. The
+      journal is interchangeable with the single-process sweep's: a
+      SIGKILL'd coordinator resumes with [cl_resume] (or hands the file
+      to [mca_check --sweep --resume]) and completes byte-identically
+      to an uninterrupted run.
+
+    A cell still unanswered after [max_attempts] tries across the fleet
+    is reported honestly as its last [Undecided] answer (origin
+    [Quarantined]) — one unreachable cell never wedges the sweep. *)
+
+type config = {
+  workers : Server.addr list;
+  dispatchers : int;  (** coordinator dispatch domains *)
+  seed : int;
+  deadline_s : float;  (** per-cell allowance sent with each request *)
+  timeout_s : float;  (** per-attempt socket timeout (connect + I/O) *)
+  max_attempts : int;  (** tries per cell across the fleet *)
+  backoff : Netsim.Backoff.t;  (** retry delays, per-cell jitter streams *)
+  down_after : int;  (** consecutive failures before a worker is down *)
+  heartbeat_s : float;  (** liveness probe period; [0.] disables *)
+  steal_after_s : float;  (** in-flight age before a cell is stolen *)
+  verify_relocated : bool;  (** DRUP re-check of non-owner verdicts *)
+  ring_points : int;  (** virtual nodes per worker on the ring *)
+  cl_journal : string option;
+  cl_resume : bool;
+  cl_flush_every : int;  (** journal group-commit batch *)
+}
+
+val default_config : Server.addr list -> config
+(** 4 dispatchers, seed 1, 30 s cell deadline, 35 s socket timeout,
+    5 attempts, 20 ms–0.5 s backoff, down after 2, 0.5 s heartbeat,
+    steal after 5 s, relocation re-check on, 64 ring points, no
+    journal. *)
+
+type report = {
+  sweep : Core.Experiments.sweep_report;
+      (** render with {!Core.Experiments.render_sweep} — byte-identical
+          to the single-process sweep when every cell was decided *)
+  cluster_stats : (string * int) list;
+      (** dispatch/failover/steal/relocation/heartbeat counters *)
+  worker_up : bool list;  (** final liveness, in [workers] order *)
+}
+
+val run_sweep :
+  ?stop:(unit -> bool) ->
+  ?scopes:(string * Core.Mca_model.scope_spec) list ->
+  config -> report
+(** Runs the full policy-matrix sweep through the fleet. [stop]
+    (default {!Parallel.Supervise.draining}, so the standard
+    SIGINT/SIGTERM drain handlers work unchanged) drains the cluster:
+    in-flight cells finish, unstarted cells come back [Skipped] and the
+    report is partial. Raises [Invalid_argument] on an empty worker
+    list, non-positive dispatchers/attempts, or [cl_resume] without
+    [cl_journal]. *)
+
+val fleet_stats :
+  ?timeout_s:float ->
+  Server.addr list -> (int * ((string * int) list, string) result) list
+(** One [stats] probe per worker, indexed — the [--stats] mode of the
+    CLI. *)

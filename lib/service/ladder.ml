@@ -51,7 +51,10 @@ let decide ?(now = Unix.gettimeofday) t rungs =
               (* a drain or request-deadline cancellation says nothing
                  about the backend's health: no breaker transition, and
                  no point trying cheaper rungs — the request is out of
-                 time *)
+                 time. The probe slot must still be released: if this
+                 admit was the half-open probe, leaving [probing] set
+                 would wedge the breaker open forever. *)
+              Breaker.cancel b;
               note rung "cancelled";
               finish v "none" ~degraded
           | Core.Experiments.Undecided reason ->

@@ -310,8 +310,14 @@ let serve_check t (job : job) =
   let abs_deadline = now0 +. deadline_s in
   let io_deadline () = Unix.gettimeofday () +. t.cfg.io_deadline in
   let reply resp =
-    if send_line job.fd ~deadline:(io_deadline ()) (Wire.render_response resp)
-    then Atomic.incr c.served
+    (* count before the write lands: a client that reads its reply and
+       immediately asks for stats must see itself in the counter *)
+    Atomic.incr c.served;
+    if
+      not
+        (send_line job.fd ~deadline:(io_deadline ())
+           (Wire.render_response resp))
+    then Atomic.decr c.served
   in
   let scope_tag, _ = Wire.scope_of_request req in
   let key =

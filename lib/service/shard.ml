@@ -1,0 +1,81 @@
+(* Consistent-hash ring with virtual nodes. Placement must be a pure
+   function of (worker count, points, key) — the coordinator, its tests
+   and any future peer must agree on who owns a cell without talking —
+   so the hash is a fixed 64-bit FNV-1a, not Hashtbl.hash.
+
+   Raw FNV-1a is not enough on its own: ring point names differ only in
+   a digit near the end of the string, and the last few FNV rounds
+   barely touch the high bits, so every point of one worker lands on
+   one tight arc and the ring degenerates into n contiguous segments
+   (a real skew: worker 1 of 3 owned 0% of the key space). The murmur3
+   avalanche finalizer after the loop spreads those last-byte
+   differences over all 64 bits. *)
+
+let avalanche h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let hash64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  avalanche !h
+
+type t = {
+  ring : (int64 * int) array;  (** (point hash, worker), sorted unsigned *)
+  n : int;
+}
+
+let make ?(points = 64) n =
+  if n < 1 then invalid_arg "Shard.make: no workers";
+  if points < 1 then invalid_arg "Shard.make: points < 1";
+  let ring =
+    Array.init (n * points) (fun k ->
+        let w = k / points and p = k mod points in
+        (hash64 (Printf.sprintf "worker-%d/point-%d" w p), w))
+  in
+  Array.sort
+    (fun (a, wa) (b, wb) ->
+      match Int64.unsigned_compare a b with 0 -> compare wa wb | c -> c)
+    ring;
+  { ring; n }
+
+let workers t = t.n
+
+(* index of the first ring point clockwise of [h] (wrapping) *)
+let successor t h =
+  let len = Array.length t.ring in
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.ring.(mid)) h < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  if !lo = len then 0 else !lo
+
+let owner t key = snd t.ring.(successor t (hash64 key))
+
+let route t key =
+  let len = Array.length t.ring in
+  let start = successor t (hash64 key) in
+  let seen = Array.make t.n false in
+  let order = ref [] and found = ref 0 and i = ref 0 in
+  (* every worker has ring points, so one full revolution finds them all *)
+  while !found < t.n && !i < len do
+    let w = snd t.ring.((start + !i) mod len) in
+    if not seen.(w) then begin
+      seen.(w) <- true;
+      order := w :: !order;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !order

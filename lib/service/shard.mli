@@ -1,0 +1,40 @@
+(** Consistent-hash sharding of the (policy × scope × seed) cell space
+    across cluster workers.
+
+    A classic hash ring with virtual nodes: every worker owns [points]
+    pseudo-random positions on a 64-bit ring (FNV-1a through a murmur3
+    avalanche finalizer — never [Hashtbl.hash], so placement is
+    identical on every platform and OCaml version), and a
+    cell key is owned by the first worker point clockwise of the key's
+    hash. Virtual nodes keep the load split even for small fleets;
+    consistency keeps re-assignment minimal — growing the fleet from
+    [n] to [n+1] workers only moves keys onto the newcomer, it never
+    shuffles keys between survivors (the stability property the shard
+    tests pin).
+
+    {!route} extends ownership into a {e failover order}: the owner
+    first, then each distinct successor around the ring. The cluster
+    walks that list when the owner is down, sheds, or straggles — so a
+    given cell always fails over to the same sibling, and journal
+    handoff audits stay deterministic. *)
+
+type t
+
+val make : ?points:int -> int -> t
+(** [make n] builds the ring for workers [0 .. n-1] with [points]
+    (default 64) virtual nodes each. Raises [Invalid_argument] when
+    [n < 1] or [points < 1]. *)
+
+val workers : t -> int
+
+val hash64 : string -> int64
+(** The ring's key hash (64-bit FNV-1a + avalanche), exposed for the
+    placement tests. *)
+
+val owner : t -> string -> int
+(** The worker owning [key]. *)
+
+val route : t -> string -> int list
+(** Failover preference order for [key]: the owner first, then every
+    other worker in ring-successor order. Always a permutation of
+    [0 .. workers - 1]. *)

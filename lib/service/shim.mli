@@ -1,0 +1,56 @@
+(** Socket-level fault injection between a cluster coordinator and one
+    worker, driven by a {!Netsim.Faults} plan.
+
+    The shim listens on its own address and proxies each accepted
+    connection to the worker's real address — unless the plan says
+    otherwise. One {e connection} is one logical send on the
+    [src → dst] link, and the shim's logical clock is the accepted
+    connection index, so a plan's windows and crash schedules read as
+    "the 5th through 12th connection attempts", deterministically:
+
+    - {!Netsim.Faults.on_send} returning [Lost] (a drop, or a partition
+      window) closes the client connection without contacting the
+      worker — the coordinator sees a dead connection, exactly what a
+      partitioned network gives it;
+    - [Pass] with a delay holds the connection for
+      [delay × delay_unit_s] before proxying (duplication is meaningless
+      for a connection; an extra copy is ignored);
+    - a plan {e crash window} for agent [dst] refuses connections for
+      its duration ({!Netsim.Faults.note_to_down} is recorded), the
+      connection-refused shape of a crashed worker, with restart at the
+      scheduled time.
+
+    Because the shim sits at the socket layer, the coordinator under
+    test runs completely unmodified — the same evidence-based failure
+    detection, failover and retry paths fire as against a genuinely
+    bad network. *)
+
+type config = {
+  listen : Server.addr;  (** where the coordinator connects *)
+  forward : Server.addr;  (** the real worker *)
+  plan : Netsim.Faults.plan;
+  shim_src : int;  (** coordinator's agent id in the plan (usually 0) *)
+  shim_dst : int;  (** worker's agent id in the plan *)
+  delay_unit_s : float;  (** seconds per plan delay step *)
+}
+
+val config :
+  ?shim_src:int -> ?shim_dst:int -> ?delay_unit_s:float ->
+  listen:Server.addr -> forward:Server.addr -> Netsim.Faults.plan -> config
+(** Defaults: src 0, dst 1, 0.05 s per delay step. *)
+
+type t
+
+val start : config -> t
+(** Binds and starts proxying. Raises [Unix.Unix_error] when [listen]
+    cannot be bound. *)
+
+val stop : t -> unit
+(** Stops accepting, closes the listener, interrupts in-flight proxied
+    connections and joins every domain. Idempotent. *)
+
+val connections : t -> int
+(** Connections accepted so far — the shim's logical clock. *)
+
+val faults : t -> Netsim.Faults.t
+(** The started plan (ledger and event log included), for assertions. *)

@@ -62,21 +62,33 @@ let render_request r =
 
 let stats_request = "stats|1"
 
+(* Every reply names the protocol revision it speaks ([proto=1]).
+   Parsers ignore keys they do not know (and a coordinator may meet
+   workers one revision away in either direction), so the field is
+   advisory today — but it is the hook that lets a future revision be
+   negotiated instead of guessed. Placed right after [id] so the
+   verdict-column runs ([sat=…|exh=…|sim=…], [rung=…|cached=…]) the
+   smoke jobs grep for stay contiguous. *)
+let proto_version = 1
+
 let render_response = function
   | Verdict v ->
-      Printf.sprintf "verdict|1|id=%s|sat=%s|exh=%s|sim=%b|rung=%s|cached=%b|secs=%.6f"
-        (escape v.req_id)
+      Printf.sprintf
+        "verdict|1|id=%s|proto=%d|sat=%s|exh=%s|sim=%b|rung=%s|cached=%b|secs=%.6f"
+        (escape v.req_id) proto_version
         (Core.Experiments.verdict_to_wire v.sat)
         (Core.Experiments.verdict_to_wire v.exhaustive)
         v.sim_ok (escape v.rung) v.cached v.secs
   | Shed s ->
-      Printf.sprintf "shed|1|id=%s|depth=%d|cap=%d" (escape s.req_id) s.depth
-        s.capacity
+      Printf.sprintf "shed|1|id=%s|proto=%d|depth=%d|cap=%d" (escape s.req_id)
+        proto_version s.depth s.capacity
   | Error e ->
-      Printf.sprintf "error|1|id=%s|msg=%s" (escape e.req_id) (escape e.msg)
+      Printf.sprintf "error|1|id=%s|proto=%d|msg=%s" (escape e.req_id)
+        proto_version (escape e.msg)
   | Stats kvs ->
       String.concat "|"
         ("stats" :: "1"
+        :: Printf.sprintf "proto=%d" proto_version
         :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" (escape k) v) kvs)
 
 (* ---- parsing ---- *)
@@ -194,7 +206,10 @@ let parse_response line =
         (Stats
            (List.filter_map
               (fun (k, v) ->
-                Option.map (fun n -> (unescape k, n)) (int_of_string_opt v))
+                (* [proto] is framing metadata, not a counter *)
+                if k = "proto" then None
+                else
+                  Option.map (fun n -> (unescape k, n)) (int_of_string_opt v))
               assoc))
   | Some (kind, _) -> Result.Error (Printf.sprintf "unknown response kind %S" kind)
   | None -> Result.Error "malformed response line"

@@ -8,11 +8,21 @@
     {v
     check|1|id=r1|policy=submod|n=2|j=2|st=5|vals=6|seed=1|deadline=2.5
     stats|1
-    verdict|1|id=r1|sat=holds|exh=holds|sim=true|rung=cdcl|cached=false|secs=0.41
-    shed|1|id=|depth=8|cap=8
-    error|1|id=r1|msg=unknown policy
-    stats|1|accepted=12|admitted=9|shed=3|...
-    v} *)
+    verdict|1|id=r1|proto=1|sat=holds|exh=holds|sim=true|rung=cdcl|cached=false|secs=0.41
+    shed|1|id=|proto=1|depth=8|cap=8
+    error|1|id=r1|proto=1|msg=unknown policy
+    stats|1|proto=1|accepted=12|admitted=9|shed=3|...
+    v}
+
+    Forward compatibility: parsers on both sides ignore [key=value]
+    fields they do not recognize, and every reply carries a
+    [proto={!proto_version}] field — a coordinator and its workers can
+    be upgraded independently, one protocol revision apart, without
+    either side rejecting the other's messages. *)
+
+val proto_version : int
+(** The protocol revision this build speaks (currently [1]), stamped
+    into every rendered reply. *)
 
 type request = {
   id : string;  (** client-chosen correlation id, echoed in the reply *)

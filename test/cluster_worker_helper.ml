@@ -1,0 +1,19 @@
+(* Standalone cluster-worker child for the cluster tests: a full
+   verification server on the given Unix socket, spawned with
+   Unix.create_process so a test can land a genuine SIGKILL on it
+   mid-sweep. argv: SOCKET [JOBS] [QUEUE_CAP]. *)
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: cluster_worker_helper SOCKET [JOBS] [QUEUE_CAP]";
+    exit 2
+  end;
+  let arg i default =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else default
+  in
+  Service.Server.run
+    {
+      (Service.Server.default_config (Service.Server.Unix_path Sys.argv.(1))) with
+      Service.Server.jobs = arg 2 1;
+      queue_cap = arg 3 8;
+    }

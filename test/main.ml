@@ -12,5 +12,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("crashsafe", Test_crashsafe.suite);
       ("service", Test_service.suite);
+      ("cluster", Test_cluster.suite);
       ("differential", Test_differential.suite);
     ]

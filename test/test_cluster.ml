@@ -1,0 +1,737 @@
+(* The sharded verification cluster: ring placement, failover,
+   journal-backed handoff, DRUP re-certification of relocated verdicts,
+   client retries, and the socket-level fault shim.
+
+   Worker fleets come in three flavors here: in-process Service.Server
+   instances (real verdicts, cheap), cluster_worker_helper.exe child
+   processes (so a genuine SIGKILL can land mid-sweep — Unix.fork is
+   off the table once the suite has spawned domains, hence
+   create_process on a prebuilt helper), and hand-rolled "fake" wire
+   responders for scripted shed/undecided/lying replies. *)
+
+module E = Core.Experiments
+module M = Core.Mca_model
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let temp_sock () = Filename.temp_file "mca_cluster" ".sock"
+
+let temp_path suffix =
+  let p = Filename.temp_file "mca_cluster" suffix in
+  Sys.remove p;
+  p
+
+(* ---- the shared small scope: 3 states keeps every cell fast while
+   the grid still contains both Holds and Violated SAT verdicts ---- *)
+
+let scope3 =
+  ( "2p2v/3st",
+    { M.pnodes = 2; vnodes = 2; states = 3; values = 6; bitwidth = 4 } )
+
+let reference3 = lazy (E.run_sweep ~jobs:2 ~seed:1 ~scopes:[ scope3 ] ())
+let canonical r = E.render_sweep ~timings:false r
+let reference_render () = canonical (Lazy.force reference3)
+let task_key (label, _, _, tag, _) = tag ^ "/" ^ label
+let stat r k = List.assoc k r.Service.Cluster.cluster_stats
+
+let cell_decided (c : E.sweep_cell) =
+  match (c.E.sat_verdict, c.E.exhaustive) with
+  | E.Undecided _, _ | _, E.Undecided _ -> false
+  | _ -> true
+
+let mk_ccfg ?(dispatchers = 4) ?(heartbeat = 0.1) ?(max_attempts = 8)
+    ?(down_after = 2) ?(steal_after = 30.0) ?journal ?(resume = false)
+    workers =
+  {
+    (Service.Cluster.default_config workers) with
+    Service.Cluster.dispatchers;
+    heartbeat_s = heartbeat;
+    max_attempts;
+    down_after;
+    steal_after_s = steal_after;
+    backoff = Netsim.Backoff.make ~base_s:0.01 ~cap_s:0.1 ();
+    cl_journal = journal;
+    cl_resume = resume;
+  }
+
+(* ---- real in-process workers ---- *)
+
+let start_worker ?(jobs = 1) ?(queue_cap = 8) () =
+  let path = temp_sock () in
+  let t =
+    Service.Server.start
+      {
+        (Service.Server.default_config (Service.Server.Unix_path path)) with
+        Service.Server.jobs;
+        queue_cap;
+      }
+  in
+  (Service.Server.Unix_path path, t)
+
+let stop_worker t =
+  Service.Server.stop t;
+  Service.Server.join t
+
+(* ---- scripted wire responders ---- *)
+
+type fake = {
+  f_addr : Service.Server.addr;
+  f_stop : bool Atomic.t;
+  f_served : int Atomic.t;
+  f_fd : Unix.file_descr;
+  mutable f_dom : unit Domain.t option;
+}
+
+let read_line_fd fd =
+  let buf = Buffer.create 128 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+        if Bytes.get b 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get b 0);
+          go ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let off = ref 0 in
+  try
+    while !off < Bytes.length b do
+      off := !off + Unix.write fd b !off (Bytes.length b - !off)
+    done
+  with Unix.Unix_error _ -> ()
+
+(* [script n incoming] decides the reply to the [n]-th request *)
+let start_fake ?path script =
+  let path = match path with Some p -> p | None -> temp_sock () in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  let t =
+    {
+      f_addr = Service.Server.Unix_path path;
+      f_stop = Atomic.make false;
+      f_served = Atomic.make 0;
+      f_fd = fd;
+      f_dom = None;
+    }
+  in
+  let serve client =
+    (match Service.Wire.parse_incoming (read_line_fd client) with
+    | Ok incoming ->
+        let n = Atomic.fetch_and_add t.f_served 1 in
+        write_line client (Service.Wire.render_response (script n incoming))
+    | Error msg ->
+        write_line client
+          (Service.Wire.render_response
+             (Service.Wire.Error { req_id = ""; msg })));
+    try Unix.close client with Unix.Unix_error _ -> ()
+  in
+  t.f_dom <-
+    Some
+      (Domain.spawn (fun () ->
+           while not (Atomic.get t.f_stop) do
+             match Unix.select [ fd ] [] [] 0.1 with
+             | [], _, _ -> ()
+             | _ -> (
+                 match Unix.accept ~cloexec:true fd with
+                 | client, _ -> serve client
+                 | exception Unix.Unix_error _ -> ())
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           done));
+  t
+
+let stop_fake t =
+  Atomic.set t.f_stop true;
+  (match t.f_dom with Some d -> Domain.join d | None -> ());
+  (try Unix.close t.f_fd with Unix.Unix_error _ -> ());
+  match t.f_addr with
+  | Service.Server.Unix_path p -> ( try Sys.remove p with Sys_error _ -> ())
+  | Service.Server.Tcp _ -> ()
+
+let incoming_id = function
+  | Service.Wire.Check r -> r.Service.Wire.id
+  | Service.Wire.Get_stats -> ""
+
+let holds_reply inc =
+  Service.Wire.Verdict
+    {
+      Service.Wire.req_id = incoming_id inc;
+      sat = E.Holds;
+      exhaustive = E.Holds;
+      sim_ok = true;
+      rung = "cdcl";
+      cached = false;
+      secs = 0.01;
+    }
+
+let undecided_reply inc =
+  Service.Wire.Verdict
+    {
+      Service.Wire.req_id = incoming_id inc;
+      sat = E.Undecided "fake-budget";
+      exhaustive = E.Undecided "fake-budget";
+      sim_ok = false;
+      rung = "none";
+      cached = false;
+      secs = 0.01;
+    }
+
+let shed_reply inc =
+  Service.Wire.Shed { req_id = incoming_id inc; depth = 9; capacity = 9 }
+
+let always_holds n inc =
+  match inc with
+  | Service.Wire.Get_stats -> Service.Wire.Stats [ ("requests", n) ]
+  | Service.Wire.Check _ -> holds_reply inc
+
+(* ---- helper child processes (SIGKILL targets) ---- *)
+
+let helper_exe name =
+  Filename.concat (Filename.dirname Sys.executable_name) name
+
+let spawn_worker path =
+  let exe = helper_exe "cluster_worker_helper.exe" in
+  Unix.create_process exe [| exe; path; "1"; "2" |] Unix.stdin Unix.stdout
+    Unix.stderr
+
+let wait_worker_up addr =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match Service.Client.get_stats ~timeout_s:1.0 addr with
+    | Ok _ -> ()
+    | Error _ ->
+        if Unix.gettimeofday () -. t0 > 30.0 then
+          Alcotest.fail "worker did not come up"
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+(* ---- shard placement ---- *)
+
+let test_shard_placement () =
+  let t = Service.Shard.make 3 in
+  let t2 = Service.Shard.make 3 in
+  let counts = Array.make 3 0 in
+  for i = 0 to 299 do
+    let k = Printf.sprintf "key-%d" i in
+    let o = Service.Shard.owner t k in
+    check "owner in range" true (o >= 0 && o < 3);
+    check_int "placement is deterministic" o (Service.Shard.owner t2 k);
+    counts.(o) <- counts.(o) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check
+        (Printf.sprintf "worker %d owns a fair share (%d/300)" i c)
+        true (c > 30))
+    counts
+
+let test_shard_route () =
+  List.iter
+    (fun n ->
+      let t = Service.Shard.make n in
+      for i = 0 to 39 do
+        let k = Printf.sprintf "cell/%d" i in
+        let r = Service.Shard.route t k in
+        check_int "route covers the fleet" n (List.length r);
+        check "route starts at the owner" true
+          (List.hd r = Service.Shard.owner t k);
+        check "route is a permutation" true
+          (List.sort compare r = List.init n Fun.id)
+      done)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_shard_stability () =
+  let keys = List.init 200 (Printf.sprintf "stable-%d") in
+  List.iter
+    (fun n ->
+      let a = Service.Shard.make n and b = Service.Shard.make (n + 1) in
+      let moved = ref 0 in
+      List.iter
+        (fun k ->
+          let oa = Service.Shard.owner a k and ob = Service.Shard.owner b k in
+          if oa <> ob then begin
+            incr moved;
+            (* consistency: survivors never trade keys among themselves *)
+            check_int "keys only move to the newcomer" n ob
+          end)
+        keys;
+      check "the newcomer takes some keys" true (!moved > 0))
+    [ 1; 2; 4 ]
+
+(* ---- cluster over real workers ---- *)
+
+let test_cluster_matches_reference () =
+  let a1, s1 = start_worker () and a2, s2 = start_worker () in
+  Fun.protect ~finally:(fun () -> stop_worker s1; stop_worker s2)
+  @@ fun () ->
+  let r = Service.Cluster.run_sweep ~scopes:[ scope3 ] (mk_ccfg [ a1; a2 ]) in
+  check_string "byte-identical to the single-process sweep"
+    (reference_render ())
+    (canonical r.Service.Cluster.sweep);
+  check_int "nothing resumed" 0 r.Service.Cluster.sweep.E.sweep_resumed;
+  check "all workers up at exit" true
+    (List.for_all Fun.id r.Service.Cluster.worker_up)
+
+let test_cluster_dead_primary_failover () =
+  let live, s = start_worker () in
+  Fun.protect ~finally:(fun () -> stop_worker s) @@ fun () ->
+  let dead = Service.Server.Unix_path (temp_path ".sock") in
+  let tasks = E.sweep_tasks ~scopes:[ scope3 ] () in
+  let ring = Service.Shard.make 2 in
+  (* park the dead address on the slot owning the first cell, so at
+     least one relocation is guaranteed whatever the hash says *)
+  let dead_idx = Service.Shard.owner ring (task_key tasks.(0)) in
+  let workers =
+    if dead_idx = 0 then [ dead; live ] else [ live; dead ]
+  in
+  let expected_relocated =
+    Array.fold_left
+      (fun acc t ->
+        if Service.Shard.owner ring (task_key t) = dead_idx then acc + 1
+        else acc)
+      0 tasks
+  in
+  let r = Service.Cluster.run_sweep ~scopes:[ scope3 ] (mk_ccfg workers) in
+  check_string "byte-identical despite a dead primary"
+    (reference_render ())
+    (canonical r.Service.Cluster.sweep);
+  check_int "every dead-owned cell was relocated" expected_relocated
+    (stat r "relocated");
+  check_int "every relocated verdict was DRUP-recertified"
+    expected_relocated (stat r "recertified");
+  check_int "no recertification mismatch" 0 (stat r "recert_mismatch");
+  check "dead worker marked down" true (stat r "marked_down" >= 1);
+  check "dead worker reported down at exit" false
+    (List.nth r.Service.Cluster.worker_up dead_idx)
+
+let test_cluster_recert_overrides_lies () =
+  (* primary = a dead socket, only sibling = a worker that answers
+     Holds for everything. Every cell the dead primary owned is
+     relocated, so its fabricated SAT verdicts must come back
+     DRUP-corrected to the reference answers. *)
+  let ref_cells = (Lazy.force reference3).E.cells in
+  let ref_sat label tag =
+    (List.find
+       (fun c -> c.E.policy_label = label && c.E.scope_tag = tag)
+       ref_cells)
+      .E.sat_verdict
+  in
+  let tasks = E.sweep_tasks ~scopes:[ scope3 ] () in
+  let ring = Service.Shard.make 2 in
+  (* rig the dead slot to own a genuinely-Violated cell, so at least
+     one lie is guaranteed to be caught *)
+  let violated_task =
+    Array.to_list tasks
+    |> List.find (fun (label, _, _, tag, _) -> ref_sat label tag = E.Violated)
+  in
+  let dead_idx = Service.Shard.owner ring (task_key violated_task) in
+  let fake = start_fake always_holds in
+  Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
+  let dead = Service.Server.Unix_path (temp_path ".sock") in
+  let workers =
+    if dead_idx = 0 then [ dead; fake.f_addr ] else [ fake.f_addr; dead ]
+  in
+  let r = Service.Cluster.run_sweep ~scopes:[ scope3 ] (mk_ccfg workers) in
+  let dead_owned =
+    Array.to_list tasks
+    |> List.filter (fun t -> Service.Shard.owner ring (task_key t) = dead_idx)
+  in
+  let expected_mismatch =
+    List.length
+      (List.filter
+         (fun (label, _, _, tag, _) -> ref_sat label tag <> E.Holds)
+         dead_owned)
+  in
+  check "the rigged slot catches at least one lie" true
+    (expected_mismatch >= 1);
+  check_int "every relocated lie was corrected" expected_mismatch
+    (stat r "recert_mismatch");
+  check_int "all dead-owned cells were relocated" (List.length dead_owned)
+    (stat r "relocated");
+  List.iter
+    (fun (c : E.sweep_cell) ->
+      if
+        Service.Shard.owner ring (c.E.scope_tag ^ "/" ^ c.E.policy_label)
+        = dead_idx
+      then
+        check ("relocated SAT verdict certified: " ^ c.E.policy_label) true
+          (c.E.sat_verdict = ref_sat c.E.policy_label c.E.scope_tag))
+    r.Service.Cluster.sweep.E.cells
+
+let test_cluster_sigkill_worker () =
+  let paths = List.init 3 (fun _ -> temp_sock ()) in
+  let pids = List.map spawn_worker paths in
+  let kill_all () =
+    List.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      pids
+  in
+  Fun.protect ~finally:kill_all @@ fun () ->
+  List.iter (fun p -> wait_worker_up (Service.Server.Unix_path p)) paths;
+  let journal = temp_path ".wal" in
+  let workers = List.map (fun p -> Service.Server.Unix_path p) paths in
+  let cfg = mk_ccfg ~dispatchers:4 ~journal workers in
+  let result = Atomic.make None in
+  let d =
+    Domain.spawn (fun () ->
+        Atomic.set result
+          (Some (Service.Cluster.run_sweep ~scopes:[ scope3 ] cfg)))
+  in
+  (* SIGKILL a worker the moment the first verdict hits the journal *)
+  let t0 = Unix.gettimeofday () in
+  while
+    ((not (Sys.file_exists journal))
+    || (Unix.stat journal).Unix.st_size = 0)
+    && Unix.gettimeofday () -. t0 < 60.0
+  do
+    Unix.sleepf 0.01
+  done;
+  let victim = List.nth pids 1 in
+  Unix.kill victim Sys.sigkill;
+  ignore (Unix.waitpid [] victim);
+  Domain.join d;
+  let r =
+    match Atomic.get result with
+    | Some r -> r
+    | None -> Alcotest.fail "no cluster report"
+  in
+  check "sweep completed despite the kill" true
+    (not r.Service.Cluster.sweep.E.sweep_partial);
+  check_string "zero lost or changed verdicts across the kill"
+    (reference_render ())
+    (canonical r.Service.Cluster.sweep);
+  (* journal handoff: the single-process sweep resumes the cluster's
+     journal and finds every cell already decided *)
+  let resumed =
+    E.run_sweep ~jobs:1 ~seed:1 ~scopes:[ scope3 ] ~journal ~resume:true ()
+  in
+  check_int "every cell handed off through the journal"
+    (List.length r.Service.Cluster.sweep.E.cells)
+    resumed.E.sweep_resumed;
+  check_string "handoff is byte-identical" (reference_render ())
+    (canonical resumed);
+  Sys.remove journal
+
+let test_cluster_shed_soft_escalation () =
+  (* first answer sheds, second is an honest UNKNOWN, everything after
+     is decided: the coordinator must retry through both and land on
+     the decided answer for every cell *)
+  let script n inc =
+    match inc with
+    | Service.Wire.Get_stats -> Service.Wire.Stats [ ("requests", n) ]
+    | Service.Wire.Check _ ->
+        if n = 0 then shed_reply inc
+        else if n = 1 then undecided_reply inc
+        else holds_reply inc
+  in
+  let fake = start_fake script in
+  Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
+  (* one dispatcher + no heartbeat keeps the request order scripted *)
+  let cfg = mk_ccfg ~dispatchers:1 ~heartbeat:0.0 [ fake.f_addr ] in
+  let r = Service.Cluster.run_sweep ~scopes:[ scope3 ] cfg in
+  check_int "the shed was retried" 1 (stat r "shed_retries");
+  check_int "the UNKNOWN was retried" 1 (stat r "soft_retries");
+  List.iter
+    (fun c ->
+      check "every cell decided" true (cell_decided c);
+      check "computed, not quarantined" true (c.E.origin = E.Computed))
+    r.Service.Cluster.sweep.E.cells;
+  check_int "worker answered shed + unknown + one verdict per cell" 8
+    (Atomic.get fake.f_served)
+
+let test_cluster_coordinator_resume () =
+  let a1, s1 = start_worker () and a2, s2 = start_worker () in
+  Fun.protect ~finally:(fun () -> stop_worker s1; stop_worker s2)
+  @@ fun () ->
+  let j1 = temp_path ".wal" in
+  let r1 =
+    Service.Cluster.run_sweep ~scopes:[ scope3 ]
+      (mk_ccfg ~journal:j1 [ a1; a2 ])
+  in
+  let full = canonical r1.Service.Cluster.sweep in
+  check_string "journaled run matches the reference" (reference_render ())
+    full;
+  (* a coordinator SIGKILL leaves exactly a valid prefix of the
+     journal: rebuild one with the first three decided cells *)
+  let entries = (Parallel.Journal.read j1).Parallel.Journal.entries in
+  let cells =
+    List.filter
+      (fun l -> String.length l >= 5 && String.sub l 0 5 = "cell|")
+      entries
+  in
+  check "full journal holds every cell" true (List.length cells >= 6);
+  let j2 = temp_path ".wal" in
+  let w = Parallel.Journal.open_append j2 in
+  List.iteri
+    (fun i line -> if i < 3 then Parallel.Journal.append w line)
+    cells;
+  Parallel.Journal.close w;
+  let r2 =
+    Service.Cluster.run_sweep ~scopes:[ scope3 ]
+      (mk_ccfg ~journal:j2 ~resume:true [ a1; a2 ])
+  in
+  check_int "three cells resumed from the handoff journal" 3
+    r2.Service.Cluster.sweep.E.sweep_resumed;
+  check_string "resumed run completes byte-identically" full
+    (canonical r2.Service.Cluster.sweep);
+  Sys.remove j1;
+  Sys.remove j2
+
+(* ---- the socket-level fault shim ---- *)
+
+let test_shim_lossy_link () =
+  let fake = start_fake always_holds in
+  let listen = Service.Server.Unix_path (temp_sock ()) in
+  let plan =
+    Netsim.Faults.plan
+      ~default_link:(Netsim.Faults.lossy ~drop:0.4 ~duplicate:0.0 ~max_delay:1 ())
+      ~seed:11 ()
+  in
+  let shim =
+    Service.Shim.start (Service.Shim.config ~listen ~forward:fake.f_addr plan)
+  in
+  Fun.protect ~finally:(fun () -> Service.Shim.stop shim; stop_fake fake)
+  @@ fun () ->
+  (* the worker must survive being the whole fleet: a big down_after
+     keeps evidence-based detection from writing it off for dropped
+     connections it cannot fail over away from *)
+  let cfg =
+    mk_ccfg ~dispatchers:1 ~heartbeat:0.0 ~max_attempts:12 ~down_after:1000
+      [ listen ]
+  in
+  let r = Service.Cluster.run_sweep ~scopes:[ scope3 ] cfg in
+  List.iter
+    (fun c -> check "every cell decided through the lossy link" true (cell_decided c))
+    r.Service.Cluster.sweep.E.cells;
+  let _, lost, _, _ = Netsim.Faults.totals (Service.Shim.faults shim) in
+  check "the plan actually dropped connections" true (lost >= 1);
+  check_int "every drop surfaced as one coordinator failover" lost
+    (stat r "failovers")
+
+let test_shim_partition_failover () =
+  (* worker 0 sits behind a fully partitioned shim (its fabricated
+     verdicts could never leak through anyway); worker 1 is a real
+     server. Everything must come out of worker 1, byte-identical. *)
+  let fake = start_fake always_holds in
+  let live, s = start_worker () in
+  let listen = Service.Server.Unix_path (temp_sock ()) in
+  let plan =
+    Netsim.Faults.plan
+      ~windows:
+        (Netsim.Faults.link_down ~src:0 ~dst:1 ~from_t:0 ~until_t:1_000_000)
+      ~seed:5 ()
+  in
+  let shim =
+    Service.Shim.start (Service.Shim.config ~listen ~forward:fake.f_addr plan)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Shim.stop shim;
+      stop_fake fake;
+      stop_worker s)
+  @@ fun () ->
+  let tasks = E.sweep_tasks ~scopes:[ scope3 ] () in
+  let ring = Service.Shard.make 2 in
+  let partitioned_owned =
+    Array.fold_left
+      (fun acc t ->
+        if Service.Shard.owner ring (task_key t) = 0 then acc + 1 else acc)
+      0 tasks
+  in
+  let r =
+    Service.Cluster.run_sweep ~scopes:[ scope3 ] (mk_ccfg [ listen; live ])
+  in
+  check_string "byte-identical across a full partition"
+    (reference_render ())
+    (canonical r.Service.Cluster.sweep);
+  check_int "every partitioned-owned cell relocated" partitioned_owned
+    (stat r "relocated");
+  check "partitioned worker marked down" true (stat r "marked_down" >= 1);
+  check "partitioned worker reported down at exit" false
+    (List.hd r.Service.Cluster.worker_up);
+  let _, lost, _, _ = Netsim.Faults.totals (Service.Shim.faults shim) in
+  check "the window blocked real connections" true (lost >= 1)
+
+let test_shim_crash_restart () =
+  (* the plan crashes the worker for logical times 0..2 (= the first
+     three accepted connections) and restarts it: early attempts read
+     as connection-refused, later ones pass, and the whole grid still
+     comes out decided *)
+  let fake = start_fake always_holds in
+  let listen = Service.Server.Unix_path (temp_sock ()) in
+  let plan =
+    Netsim.Faults.plan
+      ~crashes:[ Netsim.Faults.crash ~agent:1 ~at:0 ~restart_at:3 () ]
+      ~seed:3 ()
+  in
+  let shim =
+    Service.Shim.start (Service.Shim.config ~listen ~forward:fake.f_addr plan)
+  in
+  Fun.protect ~finally:(fun () -> Service.Shim.stop shim; stop_fake fake)
+  @@ fun () ->
+  let cfg =
+    mk_ccfg ~dispatchers:1 ~heartbeat:0.0 ~max_attempts:12 ~down_after:1000
+      [ listen ]
+  in
+  let r = Service.Cluster.run_sweep ~scopes:[ scope3 ] cfg in
+  List.iter
+    (fun c -> check "every cell decided after the restart" true (cell_decided c))
+    r.Service.Cluster.sweep.E.cells;
+  check_int "exactly the crash-window connections failed over" 3
+    (stat r "failovers");
+  let to_down =
+    List.filter
+      (fun e -> e.Netsim.Faults.kind = Netsim.Faults.To_down)
+      (Netsim.Faults.events (Service.Shim.faults shim))
+  in
+  check_int "the ledger logged every refused connection" 3
+    (List.length to_down)
+
+(* ---- client retries (satellite: jittered backoff on refuse/shed) ---- *)
+
+let test_client_retry_refused () =
+  let path = temp_path ".sock" in
+  (* nobody listens yet: the first attempts are connection-refused;
+     the responder comes up 0.3 s later *)
+  let starter =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        start_fake ~path always_holds)
+  in
+  let req = Service.Wire.request ~id:"r1" ~states:3 "submod" in
+  let resp, rep =
+    Service.Client.check_retry ~timeout_s:2.0 ~retries:30
+      ~backoff:(Netsim.Backoff.make ~base_s:0.05 ~cap_s:0.2 ())
+      ~seed:3
+      (Service.Server.Unix_path path)
+      req
+  in
+  let fake = Domain.join starter in
+  Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
+  (match resp with
+  | Ok (Service.Wire.Verdict v) ->
+      check_string "id echoed" "r1" v.Service.Wire.req_id
+  | Ok _ -> Alcotest.fail "expected a verdict"
+  | Error e -> Alcotest.fail ("no verdict through retries: " ^ e));
+  check "transport retries recorded" true
+    (rep.Service.Client.retried_transport >= 1);
+  check "success clears gave_up" true
+    (rep.Service.Client.gave_up = None)
+
+let test_client_retry_shed () =
+  let script n inc =
+    match inc with
+    | Service.Wire.Get_stats -> Service.Wire.Stats []
+    | Service.Wire.Check _ -> if n < 2 then shed_reply inc else holds_reply inc
+  in
+  let fake = start_fake script in
+  Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
+  let req = Service.Wire.request ~id:"s1" ~states:3 "submod" in
+  (* a plain check takes the shed at face value *)
+  (match Service.Client.check fake.f_addr req with
+  | Ok (Service.Wire.Shed _) -> ()
+  | _ -> Alcotest.fail "expected the first reply to be a shed");
+  (* check_retry rides it out *)
+  let resp, rep =
+    Service.Client.check_retry ~retries:5
+      ~backoff:(Netsim.Backoff.make ~base_s:0.01 ~cap_s:0.05 ())
+      fake.f_addr req
+  in
+  (match resp with
+  | Ok (Service.Wire.Verdict _) -> ()
+  | _ -> Alcotest.fail "expected the retry to land a verdict");
+  check_int "one shed retried" 1 rep.Service.Client.retried_shed;
+  check_int "two attempts total" 2 rep.Service.Client.attempts
+
+let test_client_retry_budget () =
+  let fake = start_fake (fun _ inc ->
+      match inc with
+      | Service.Wire.Get_stats -> Service.Wire.Stats []
+      | Service.Wire.Check _ -> shed_reply inc)
+  in
+  Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
+  let req = Service.Wire.request ~id:"b1" ~states:3 "submod" in
+  let resp, rep =
+    Service.Client.check_retry ~retries:10_000 ~retry_budget_s:0.3
+      ~backoff:(Netsim.Backoff.make ~base_s:0.02 ~cap_s:0.05 ())
+      fake.f_addr req
+  in
+  (match resp with
+  | Ok (Service.Wire.Shed _) -> ()
+  | _ -> Alcotest.fail "a persistent shed must surface as a shed");
+  check "the budget stopped the retries" true
+    (rep.Service.Client.gave_up = Some "retry budget exhausted");
+  check "several attempts were made" true (rep.Service.Client.attempts >= 2)
+
+(* ---- journal directory durability (satellite) ---- *)
+
+let test_journal_fresh_dir () =
+  let dir = Filename.temp_file "mca_jdir" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "fresh.wal" in
+  (* creating a journal in a brand-new directory fsyncs the directory
+     entry; re-opening the existing file must not re-run that branch *)
+  let w = Parallel.Journal.open_append path in
+  Parallel.Journal.append w "probe|1|x=1";
+  Parallel.Journal.close w;
+  let w2 = Parallel.Journal.open_append path in
+  Parallel.Journal.append w2 "probe|1|x=2";
+  Parallel.Journal.close w2;
+  let r = Parallel.Journal.read path in
+  check "no corruption" true (r.Parallel.Journal.corruption = None);
+  check_int "both records survive" 2
+    (List.length r.Parallel.Journal.entries);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "shard: deterministic, balanced placement" `Quick
+      test_shard_placement;
+    Alcotest.test_case "shard: route is a failover permutation" `Quick
+      test_shard_route;
+    Alcotest.test_case "shard: growth only moves keys to the newcomer"
+      `Quick test_shard_stability;
+    Alcotest.test_case "journal: fresh-directory create is durable" `Quick
+      test_journal_fresh_dir;
+    Alcotest.test_case "client: retries ride out connection-refused" `Quick
+      test_client_retry_refused;
+    Alcotest.test_case "client: retries escalate past shed" `Quick
+      test_client_retry_shed;
+    Alcotest.test_case "client: the retry budget is honored" `Quick
+      test_client_retry_budget;
+    Alcotest.test_case "cluster: shed and UNKNOWN escalate to a verdict"
+      `Quick test_cluster_shed_soft_escalation;
+    Alcotest.test_case "cluster: matches the single-process sweep" `Slow
+      test_cluster_matches_reference;
+    Alcotest.test_case "cluster: dead primary fails over, recertified"
+      `Slow test_cluster_dead_primary_failover;
+    Alcotest.test_case "cluster: recertification overrides a lying sibling"
+      `Slow test_cluster_recert_overrides_lies;
+    Alcotest.test_case "cluster: SIGKILL'd worker loses no verdicts" `Slow
+      test_cluster_sigkill_worker;
+    Alcotest.test_case "cluster: coordinator resumes its own journal" `Slow
+      test_cluster_coordinator_resume;
+    Alcotest.test_case "shim: lossy link is retried through" `Slow
+      test_shim_lossy_link;
+    Alcotest.test_case "shim: full partition forces failover" `Slow
+      test_shim_partition_failover;
+    Alcotest.test_case "shim: crash window refuses, restart recovers" `Slow
+      test_shim_crash_restart;
+  ]

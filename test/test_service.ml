@@ -159,6 +159,106 @@ let test_breaker_streams_decorrelated () =
   check "distinct keys draw distinct cooldowns" true
     (open_until "cdcl" <> open_until "dpll")
 
+let trip b =
+  Service.Breaker.timeout b ~now:0.0;
+  Service.Breaker.timeout b ~now:0.0;
+  Service.Breaker.timeout b ~now:0.0;
+  match Service.Breaker.state b ~now:0.0 with
+  | Service.Breaker.Open_until t -> t +. 0.001
+  | s -> Alcotest.failf "expected open, got %a" Service.Breaker.pp_state s
+
+let test_breaker_half_open_race () =
+  (* two callers race for the half-open slot at the same instant: the
+     mutex must admit exactly one probe, every time *)
+  for round = 1 to 20 do
+    let b = mk_breaker ~key:(Printf.sprintf "race-%d" round) () in
+    let now = trip b in
+    let gate = Atomic.make 0 in
+    let attempt () =
+      Atomic.incr gate;
+      while Atomic.get gate < 2 do
+        Domain.cpu_relax ()
+      done;
+      Service.Breaker.admit b ~now
+    in
+    let d1 = Domain.spawn attempt and d2 = Domain.spawn attempt in
+    let a1 = Domain.join d1 and a2 = Domain.join d2 in
+    check
+      (Printf.sprintf "round %d admits exactly one probe" round)
+      true (a1 <> a2)
+  done
+
+let test_breaker_cancel_releases_probe () =
+  let b = mk_breaker () in
+  let now = trip b in
+  check "probe admitted" true (Service.Breaker.admit b ~now);
+  check "second caller refused during the probe" false
+    (Service.Breaker.admit b ~now);
+  (* the probe is cancelled (drain, request deadline) before the
+     backend proved anything: no transition, but the slot comes back *)
+  Service.Breaker.cancel b;
+  check "cancel does not close the breaker" true
+    (Service.Breaker.state b ~now = Service.Breaker.Half_open);
+  check "the released slot admits a new probe" true
+    (Service.Breaker.admit b ~now);
+  Service.Breaker.success b;
+  check "probe success closes" true
+    (Service.Breaker.state b ~now = Service.Breaker.Closed)
+
+(* ---- wire forward compatibility (proto revision, unknown keys) ---- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_wire_forward_compat () =
+  (* a reply from a one-revision-newer server: unknown keys sprinkled
+     through must be ignored, known ones still read *)
+  (match
+     Service.Wire.parse_response
+       "verdict|1|id=r9|proto=2|lease=42|sat=holds|exh=holds|sim=true|rung=cdcl|cached=false|secs=0.25|zz=1"
+   with
+  | Ok (Service.Wire.Verdict v) ->
+      check_string "id" "r9" v.Service.Wire.req_id;
+      check "sat read through the noise" true
+        (v.Service.Wire.sat = Core.Experiments.Holds)
+  | Ok _ -> Alcotest.fail "expected a verdict"
+  | Result.Error e -> Alcotest.fail e);
+  (* a reply from a pre-proto server: no proto field at all *)
+  (match Service.Wire.parse_response "shed|1|id=a|depth=3|cap=8" with
+  | Ok (Service.Wire.Shed { depth; _ }) -> check_int "depth" 3 depth
+  | _ -> Alcotest.fail "a pre-proto shed must still parse");
+  (* a request from a newer client: unknown keys ignored server-side *)
+  (match
+     Service.Wire.parse_incoming
+       "check|1|id=x|policy=submod|n=2|j=2|st=5|vals=6|lease=9|zz=a"
+   with
+  | Ok (Service.Wire.Check r) ->
+      check_string "policy" "submod" r.Service.Wire.policy
+  | _ -> Alcotest.fail "a future-keyed request must still parse");
+  (* every rendered reply advertises the protocol revision *)
+  let proto = "|proto=" ^ string_of_int Service.Wire.proto_version in
+  List.iter
+    (fun resp ->
+      let line = Service.Wire.render_response resp in
+      check ("proto stamped: " ^ line) true (contains line proto))
+    [
+      Service.Wire.Verdict
+        {
+          Service.Wire.req_id = "r";
+          sat = Core.Experiments.Holds;
+          exhaustive = Core.Experiments.Holds;
+          sim_ok = true;
+          rung = "cdcl";
+          cached = false;
+          secs = 0.1;
+        };
+      Service.Wire.Shed { req_id = "r"; depth = 1; capacity = 1 };
+      Service.Wire.Error { req_id = "r"; msg = "m" };
+      Service.Wire.Stats [ ("accepted", 1) ];
+    ]
+
 (* ---- degradation ladder ---- *)
 
 let v_holds () = Core.Experiments.Holds
@@ -303,6 +403,39 @@ let stop_and_join t =
   Service.Server.stop t;
   Service.Server.join t
 
+(* old-client <-> new-server differential: frames from one protocol
+   revision apart must be served unchanged *)
+let test_wire_cross_revision_server () =
+  let path = temp_sock () in
+  let t = Service.Server.start (mk_cfg ~jobs:1 path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  (* the exact frame a pre-proto client renders *)
+  (match
+     Service.Client.roundtrip addr
+       "check|1|id=old1|policy=submod|n=2|j=2|st=3|vals=6|seed=1|deadline=20"
+   with
+  | Ok (Service.Wire.Verdict v) ->
+      check_string "old frame answered" "old1" v.Service.Wire.req_id;
+      check "old frame decided" true
+        (match v.Service.Wire.sat with
+        | Core.Experiments.Undecided _ -> false
+        | _ -> true)
+  | Ok r ->
+      Alcotest.failf "unexpected reply %a" Service.Wire.pp_response r
+  | Result.Error e -> Alcotest.fail e);
+  (* a one-revision-newer client: its unknown keys must be ignored,
+     and this server's proto-stamped reply parses on any old client
+     because proto is just another ignorable key there *)
+  match
+    Service.Client.roundtrip addr
+      "check|1|id=new1|policy=submod|n=2|j=2|st=3|vals=6|seed=1|lease=7|zz=a"
+  with
+  | Ok (Service.Wire.Verdict v) ->
+      check_string "future frame answered" "new1" v.Service.Wire.req_id
+  | Ok r -> Alcotest.failf "unexpected reply %a" Service.Wire.pp_response r
+  | Result.Error e -> Alcotest.fail e
+
 let test_server_verdict_cache_stats () =
   let path = temp_sock () in
   let t = Service.Server.start (mk_cfg ~jobs:1 path) in
@@ -438,11 +571,17 @@ let suite =
     Alcotest.test_case "wire: request round trip" `Quick test_wire_request_roundtrip;
     Alcotest.test_case "wire: response round trip" `Quick test_wire_response_roundtrip;
     Alcotest.test_case "wire: hostile input rejected" `Quick test_wire_hostile_input;
+    Alcotest.test_case "wire: forward compatibility (proto, unknown keys)"
+      `Quick test_wire_forward_compat;
     Alcotest.test_case "breaker: trips, half-opens, re-trips" `Quick
       test_breaker_trips_and_reopens;
     Alcotest.test_case "breaker: success resets" `Quick test_breaker_success_resets;
     Alcotest.test_case "breaker: per-key cooldown streams" `Quick
       test_breaker_streams_decorrelated;
+    Alcotest.test_case "breaker: half-open admits exactly one racing probe"
+      `Quick test_breaker_half_open_race;
+    Alcotest.test_case "breaker: cancelled probe releases the slot" `Quick
+      test_breaker_cancel_releases_probe;
     Alcotest.test_case "ladder: top rung answers" `Quick test_ladder_top_rung_answers;
     Alcotest.test_case "ladder: falls through and trips" `Quick
       test_ladder_falls_through_and_trips;
@@ -458,4 +597,6 @@ let suite =
       test_server_flood_sheds_explicitly;
     Alcotest.test_case "server: abort + restart resumes byte-identical" `Slow
       test_server_abort_restart_byte_identical;
+    Alcotest.test_case "server: serves clients one protocol revision apart"
+      `Slow test_wire_cross_revision_server;
   ]
