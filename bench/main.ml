@@ -19,6 +19,12 @@ let scaling_smoke = Array.exists (( = ) "--scaling-smoke") Sys.argv
    — the CI gate for the coordinator's failover/handoff invariant. *)
 let cluster_smoke = Array.exists (( = ) "--cluster-smoke") Sys.argv
 
+(* --incremental-smoke: run only the E17 incremental matrix and exit
+   nonzero if the warm session is not materially cheaper than six
+   independent solves, or if the certified 3p2v pin diverges — the CI
+   gate for the incremental-session speedup and soundness claims. *)
+let incremental_smoke = Array.exists (( = ) "--incremental-smoke") Sys.argv
+
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
@@ -505,6 +511,168 @@ let run_scaling_sweep () =
   smoke_ok && overhead_ok
 
 (* ------------------------------------------------------------------ *)
+(* E17: the incremental matrix — one warm session solving all six
+   policy cells of the shared translation, against six independent
+   fresh-solver solves of the same translation. The session amortizes
+   watch-list construction, variable activities and learnt clauses
+   across cells, so the whole matrix should come in under the
+   independent cost (the CI smoke gate asks for <= 0.9x). Alongside
+   the wall clocks: per-cell verdict identity every round, the session
+   solver's lifetime counters, and the certified 3p2v differential pin
+   — the warm certified path must agree with the fresh certified path
+   on every cell and carry a checked DRUP/model certificate, without
+   ever asserting selector units as clauses into the warm solver. *)
+
+let run_incremental_matrix () =
+  section "E17 - Incremental matrix (warm session vs independent solves)";
+  let scope_2p2v =
+    { Core.Mca_model.small_scope with Core.Mca_model.states = 4;
+      Core.Mca_model.values = 5 }
+  in
+  let scope_3p2v =
+    { Core.Mca_model.pnodes = 3; vnodes = 2; states = 3; values = 4;
+      bitwidth = 4 }
+  in
+  let budget () = Netsim.Budget.create ~wall_s:600.0 () in
+  let policies = Core.Mca_model.paper_policies in
+  let tag_of = function
+    | Relalg.Translate.Decided Relalg.Translate.Unsat -> "holds"
+    | Relalg.Translate.Decided (Relalg.Translate.Sat _) -> "violated"
+    | Relalg.Translate.Unknown r -> "unknown:" ^ r
+  in
+  let repeats = 5 in
+  let shared =
+    Core.Mca_model.build_shared Core.Mca_model.Efficient scope_2p2v
+  in
+  let independent_pass () =
+    List.map
+      (fun (name, p) ->
+        ( name,
+          tag_of
+            (Core.Mca_model.check_consensus_shared ~budget:(budget ()) shared
+               p) ))
+      policies
+  in
+  let incremental_pass () =
+    let session = Core.Mca_model.incremental_session shared in
+    let verdicts =
+      List.map
+        (fun (name, p) ->
+          ( name,
+            tag_of
+              (Core.Mca_model.check_consensus_incremental ~budget:(budget ())
+                 session p) ))
+        policies
+    in
+    (verdicts, Core.Mca_model.session_solver_stats session)
+  in
+  (* warm-up: page in both code paths before anything is timed *)
+  ignore (independent_pass ());
+  ignore (incremental_pass ());
+  let indep_walls = ref [] and incr_walls = ref [] in
+  let stats = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let vi = independent_pass () in
+    let t1 = Unix.gettimeofday () in
+    let vw, st = incremental_pass () in
+    let t2 = Unix.gettimeofday () in
+    if vi <> vw then
+      failwith "E17: incremental verdicts differ from independent solves";
+    stats := st;
+    indep_walls := (t1 -. t0) :: !indep_walls;
+    incr_walls := (t2 -. t1) :: !incr_walls
+  done;
+  let wi = median !indep_walls and ww = median !incr_walls in
+  let ratio = ww /. Float.max wi 1e-9 in
+  let ratio_ok = ratio <= 0.9 in
+  Format.printf
+    "  2p2v/4st matrix (%d cells): independent %.3fs, incremental %.3fs \
+     (ratio %.3f, median of %d)@."
+    (List.length policies) wi ww ratio repeats;
+  (match !stats with
+  | Some st ->
+      Format.printf
+        "  session counters: %d conflicts, %d propagations, %d learnt \
+         literals across the matrix@."
+        st.Sat.Solver.conflicts st.Sat.Solver.propagations
+        st.Sat.Solver.learnt_literals
+  | None -> ());
+  (* certified 3p2v pin: warm certified verdicts = fresh certified
+     verdicts, each carrying a checked certificate of the right kind *)
+  let shared_3p2v =
+    Core.Mca_model.build_shared Core.Mca_model.Efficient scope_3p2v
+  in
+  let certified_session =
+    Core.Mca_model.incremental_session ~certify:true shared_3p2v
+  in
+  let cert_ok =
+    List.for_all
+      (fun (_, p) ->
+        let warm =
+          Core.Mca_model.check_consensus_incremental_certified
+            certified_session p
+        in
+        let fresh =
+          Core.Mca_model.check_consensus_shared_certified shared_3p2v p
+        in
+        let verdict_agrees =
+          match
+            (warm.Relalg.Translate.outcome, fresh.Relalg.Translate.outcome)
+          with
+          | Relalg.Translate.Unsat, Relalg.Translate.Unsat -> true
+          | Relalg.Translate.Sat _, Relalg.Translate.Sat _ -> true
+          | _ -> false
+        in
+        let certificate_checks =
+          match
+            (warm.Relalg.Translate.outcome, warm.Relalg.Translate.certification)
+          with
+          | Relalg.Translate.Unsat, Some r -> r.Sat.Proof.kind = `Refutation
+          | Relalg.Translate.Sat _, Some r -> r.Sat.Proof.kind = `Model
+          | _, None -> false
+        in
+        verdict_agrees && certificate_checks)
+      policies
+  in
+  if not cert_ok then
+    failwith "E17: certified 3p2v pin failed (verdict or certificate)";
+  Format.printf
+    "  3p2v certified pin: warm session = fresh certified on all %d cells@."
+    (List.length policies);
+  let oc = open_out "BENCH_E17.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E17-incremental-matrix\",\n";
+  p "  \"mode\": \"%s\",\n"
+    (if incremental_smoke then "smoke"
+     else if fast_mode then "fast"
+     else "full");
+  p "  \"scope\": \"2p2v/4st\",\n";
+  p "  \"cells\": %d,\n" (List.length policies);
+  p "  \"repeats\": %d,\n" repeats;
+  p "  \"independent_s\": %.4f,\n" wi;
+  p "  \"incremental_s\": %.4f,\n" ww;
+  p "  \"incremental_over_independent_ratio\": %.4f,\n" ratio;
+  p "  \"ratio_le_0_9\": %b,\n" ratio_ok;
+  (match !stats with
+  | Some st ->
+      p
+        "  \"session_stats\": {\"conflicts\": %d, \"propagations\": %d, \
+         \"decisions\": %d, \"restarts\": %d, \"learnt_literals\": %d, \
+         \"clauses_added\": %d},\n"
+        st.Sat.Solver.conflicts st.Sat.Solver.propagations
+        st.Sat.Solver.decisions st.Sat.Solver.restarts
+        st.Sat.Solver.learnt_literals st.Sat.Solver.clauses_added
+  | None -> p "  \"session_stats\": null,\n");
+  p "  \"verdicts_identical_to_independent\": true,\n";
+  p "  \"certified_3p2v_pin\": %b\n" cert_ok;
+  p "}\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_E17.json@.";
+  ratio_ok && cert_ok
+
+(* ------------------------------------------------------------------ *)
 (* E14: the overload-safe service — throughput and shed rate vs offered
    load at a fixed worker count. The daemon runs in-process on a Unix
    socket; each offered-load point floods it with distinct cells (fresh
@@ -919,6 +1087,17 @@ let () =
     end;
     Format.printf "@.cluster smoke passed.@."
   end
+  else if incremental_smoke then begin
+    Format.printf "MCA verification library — incremental smoke (E17 only)@.";
+    let ok = run_incremental_matrix () in
+    if not ok then begin
+      Format.eprintf
+        "incremental smoke FAILED: warm session above 0.9x of independent \
+         solves, or certified 3p2v pin diverged@.";
+      exit 1
+    end;
+    Format.printf "@.incremental smoke passed.@."
+  end
   else begin
     Format.printf "MCA verification library — benchmark & experiment harness@.";
     Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
@@ -926,6 +1105,7 @@ let () =
     run_parallel_sweep ();
     run_crashsafe_sweep ();
     ignore (run_scaling_sweep () : bool);
+    ignore (run_incremental_matrix () : bool);
     run_overload_service ();
     ignore (run_cluster_sweep () : bool);
     run_certification ();

@@ -132,7 +132,7 @@ let sweep_config ~seed ~policy_label ~scope_tag (p : Mca.Policy.t)
       ~base_utilities ~policy:p
   end
 
-let sweep_cell ?stop ?shared ~budget ~seed
+let sweep_cell ?stop ?shared ?(incremental = false) ~budget ~seed
     ((policy_label, p, mp, scope_tag, scope) :
       string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) =
   let t0 = Unix.gettimeofday () in
@@ -153,13 +153,18 @@ let sweep_cell ?stop ?shared ~budget ~seed
   let sat_verdict =
     (* a matching shared translation skips the per-cell
        build → translate pipeline entirely: same CNF, selector
-       assumptions, fresh solver (differentially pinned equivalent) *)
+       assumptions, fresh solver (differentially pinned equivalent).
+       [incremental] further reuses this domain's warm session solver
+       across cells, so learnt clauses carry from cell to cell. *)
     let outcome =
       match shared with
       | Some sh
         when sh.Mca_model.shared_scope = scope
              && sh.Mca_model.shared_target = mp.Mca_model.target ->
-          Mca_model.check_consensus_shared ?stop ~budget sh mp
+          if incremental then
+            Mca_model.check_consensus_incremental ?stop ~budget
+              (Mca_model.domain_session sh) mp
+          else Mca_model.check_consensus_shared ?stop ~budget sh mp
       | _ ->
           Mca_model.check_consensus_bounded ~symmetry:true ?stop ~budget
             (Mca_model.build Mca_model.Efficient mp scope)
@@ -350,7 +355,7 @@ let load_journal ~seed path =
 
 let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
     ?scopes ?journal ?(resume = false) ?journal_flush_every
-    ?journal_flush_interval_s ?supervision () =
+    ?journal_flush_interval_s ?supervision ?(incremental = true) () =
   let tasks = sweep_tasks ?scopes () in
   let t0 = Unix.gettimeofday () in
   let loaded =
@@ -406,7 +411,7 @@ let run_sweep ?(jobs = 1) ?(seed = 1) ?(budget = Netsim.Budget.unlimited)
                 (tag, min mp.Mca_model.target scope.Mca_model.vnodes)
             in
             let cell =
-              sweep_cell ~stop ?shared
+              sweep_cell ~stop ?shared ~incremental
                 ~budget:(Netsim.Budget.restarted budget) ~seed task
             in
             (* journal at the record boundary — but never an attempt the

@@ -90,6 +90,7 @@ val run_sweep :
   ?journal_flush_every:int ->
   ?journal_flush_interval_s:float ->
   ?supervision:Parallel.Supervise.policy ->
+  ?incremental:bool ->
   unit ->
   sweep_report
 (** Runs the matrix with at most [jobs] (default 1) worker domains;
@@ -103,7 +104,15 @@ val run_sweep :
     and each cell solves that immutable CNF under its three policy
     selector assumptions — workers no longer rebuild nearly-identical
     CNF per cell, which is what made [--jobs 4] slower than sequential
-    in BENCH_E11.
+    in BENCH_E11. With [~incremental:true] (the default) each worker
+    domain additionally threads {e one warm solver} through its share
+    of cells ({!Mca_model.domain_session}): learnt clauses and
+    heuristic state carry across cells, making the matrix measurably
+    cheaper than independent solves (bench E17). Verdicts — and hence
+    the rendered grid — are byte-identical with [~incremental:false]
+    and at any [jobs]; the differential suite pins all three SAT paths
+    (incremental ≡ shared-translation ≡ per-cell fresh) against each
+    other.
 
     Crash safety: with [~journal:path] every completed cell is appended
     to a CRC-framed, fsync'd write-ahead journal; with [~resume:true]
@@ -140,6 +149,7 @@ val cell_config :
 val run_cell :
   ?stop:(unit -> bool) ->
   ?shared:Mca_model.shared ->
+  ?incremental:bool ->
   budget:Netsim.Budget.t ->
   seed:int ->
   (string * Mca.Policy.t * Mca_model.policy * string * Mca_model.scope_spec) ->
@@ -150,7 +160,9 @@ val run_cell :
     matches the task's scope and effective target, the SAT backend
     solves the shared translation under selector assumptions instead of
     rebuilding and re-translating the model; otherwise it falls back to
-    the per-cell pipeline. *)
+    the per-cell pipeline. [incremental] (default false here — callers
+    opt in) additionally reuses the calling domain's warm session for a
+    matching [shared]. *)
 
 (** The field-level escaping and verdict syntax of the journal records,
     exported because the service's newline-framed wire protocol reuses

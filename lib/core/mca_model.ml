@@ -795,6 +795,58 @@ let check_consensus_shared_certified sh policy =
 
 let shared_stats sh = Relalg.Translate.translation_stats sh.shared_translation
 
+(* ---- incremental session: one warm solver across the matrix ------- *)
+
+type session = {
+  session_shared : shared;
+  session_inner : Relalg.Translate.session;
+}
+
+let incremental_session ?certify sh =
+  {
+    session_shared = sh;
+    session_inner = Relalg.Translate.session ?certify sh.shared_translation;
+  }
+
+let session_shared sn = sn.session_shared
+
+let check_consensus_incremental ?stop ~budget sn policy =
+  Relalg.Translate.solve_cell ?stop ~budget sn.session_inner
+    (shared_assumptions sn.session_shared policy)
+
+let check_consensus_incremental_certified sn policy =
+  Relalg.Translate.solve_cell_certified sn.session_inner
+    (shared_assumptions sn.session_shared policy)
+
+let session_solver_stats sn = Relalg.Translate.session_stats sn.session_inner
+
+(* Per-domain session cache. A session is mutable solver state and must
+   never cross domains, so each domain lazily opens its own session the
+   first time it meets a given shared translation. Keyed by PHYSICAL
+   equality on the shared value — scope tags and even scope records can
+   repeat across unrelated sweeps, but each [build_shared] result is a
+   distinct heap value — and capped so a long-lived domain (the main
+   domain running inline --jobs 1 sweeps, or a service worker serving
+   many scopes) cannot accumulate unbounded warm solvers. *)
+let domain_sessions : (shared * session) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let max_domain_sessions = 4
+
+let domain_session sh =
+  let cache = Domain.DLS.get domain_sessions in
+  match List.find_opt (fun (sh', _) -> sh' == sh) !cache with
+  | Some (_, sn) -> sn
+  | None ->
+      let sn = incremental_session sh in
+      let keep =
+        List.filteri
+          (fun i _ -> Stdlib.( < ) i (Stdlib.( - ) max_domain_sessions 1))
+          !cache
+      in
+      cache := (sh, sn) :: keep;
+      sn
+
 let check_consensus ?symmetry t = Compile.check ?symmetry t.compiled "consensus"
 
 let check_consensus_bounded ?symmetry ?stop ~budget t =

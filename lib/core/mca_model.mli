@@ -117,6 +117,48 @@ val check_consensus_shared_certified :
 val shared_stats : shared -> Relalg.Translate.stats
 (** Size of the shared translation. *)
 
+type session
+(** An incremental solving session over a {!shared} translation: one
+    warm SAT solver threaded through many policy cells, keeping learnt
+    clauses and heuristic state across cells (the cells differ only in
+    three selector assumptions, so most learnt clauses transfer).
+    Mutable solver state — never share a session across domains; the
+    underlying {!shared} value can be shared freely. *)
+
+val incremental_session : ?certify:bool -> shared -> session
+(** Opens a session. [~certify:true] (default false) enables DRUP proof
+    logging so {!check_consensus_incremental_certified} is available. *)
+
+val session_shared : session -> shared
+
+val check_consensus_incremental :
+  ?stop:(unit -> bool) -> budget:Netsim.Budget.t -> session -> policy ->
+  Relalg.Translate.bounded_outcome
+(** {!check_consensus_shared} on the warm session solver. Same verdict
+    contract as the fresh-solver and per-cell paths (differentially
+    pinned); on [Unknown] the session stays reusable and a retry
+    resumes warm. Raises [Invalid_argument] on a target mismatch like
+    {!shared_assumptions}. *)
+
+val check_consensus_incremental_certified :
+  session -> policy -> Relalg.Translate.certified_outcome
+(** Certified variant. Unlike {!check_consensus_shared_certified} it
+    never asserts the selector literals as clauses — that would poison
+    the warm solver for every later cell — yet the certificate still
+    covers the assumed problem (see {!Sat.Solver.solve_assuming_certified}).
+    Requires [~certify:true] at session open. *)
+
+val session_solver_stats : session -> Sat.Solver.stats option
+(** Lifetime counters of the session solver ([None] when the circuit
+    constant-folded away): per-cell work is a delta between snapshots. *)
+
+val domain_session : shared -> session
+(** The calling domain's cached (uncertified) session for [sh], opened
+    on first use. Keyed by physical equality on [sh] and capped at a
+    few entries per domain, so worker domains and the service's
+    long-lived workers amortize warmth across cells and requests
+    without ever sharing a solver across domains. *)
+
 val check_consensus : ?symmetry:bool -> t -> Alloylite.Compile.outcome
 (** The paper's [check consensus]: searches for a trace refuting
     consensus at the horizon. [Sat inst] is an oscillation/instability

@@ -400,6 +400,67 @@ let solve_certified ?symmetry bounds formula =
 let check_certified ?symmetry bounds ~assertion ~facts =
   solve_certified ?symmetry bounds (Ast.and_ [ facts; Ast.not_ assertion ])
 
+(* Incremental solving session: one warm solver threaded through many
+   assumption-parameterized solves over the same translation. Unlike
+   [solve_translation_bounded], which builds a cold solver per call,
+   the session keeps learnt clauses and VSIDS state across cells — the
+   cells of the policy matrix differ only in selector assumptions, so
+   most learnt clauses transfer. Unlike [solve_translation_certified],
+   the certified path never [add_clause]s assumption units into the
+   solver (that would poison it for every later cell); it relies on
+   [Sat.Solver.solve_assuming_certified], which certifies against the
+   assumed problem without mutating the clause set. *)
+type session = {
+  session_translation : translation;
+  session_solver : Sat.Solver.t option;
+      (* [None] when the circuit constant-folded: nothing to solve *)
+  session_certify : bool;
+}
+
+let session ?(certify = false) tr =
+  let solver =
+    match tr.cnf.F.constant with
+    | Some _ -> None
+    | None -> Some (Sat.Solver.of_problem ~proof:certify tr.cnf.F.problem)
+  in
+  { session_translation = tr; session_solver = solver; session_certify = certify }
+
+let session_translation sn = sn.session_translation
+
+let solve_cell ?stop ~budget sn assumptions =
+  let tr = sn.session_translation in
+  match (tr.cnf.F.constant, sn.session_solver) with
+  | Some false, _ -> Decided Unsat
+  | Some true, _ ->
+      Decided (Sat (instance_of_model tr (trivial_model tr assumptions)))
+  | None, None -> assert false
+  | None, Some solver -> (
+      match Sat.Solver.solve_bounded ?stop ~assumptions ~budget solver with
+      | Sat.Solver.Unknown { reason; _ } -> Unknown reason
+      | Sat.Solver.Decided Sat.Solver.Unsat -> Decided Unsat
+      | Sat.Solver.Decided (Sat.Solver.Sat model) ->
+          Decided (Sat (instance_of_model tr model)))
+
+let solve_cell_certified sn assumptions =
+  if not sn.session_certify then
+    invalid_arg "Translate.solve_cell_certified: session not opened with ~certify:true";
+  let tr = sn.session_translation in
+  match (tr.cnf.F.constant, sn.session_solver) with
+  | Some false, _ -> { outcome = Unsat; certification = None }
+  | Some true, _ ->
+      { outcome = Sat (instance_of_model tr (trivial_model tr assumptions));
+        certification = None }
+  | None, None -> assert false
+  | None, Some solver ->
+      let outcome =
+        match Sat.Solver.solve_assuming_certified ~assumptions solver with
+        | Sat.Solver.Unsat -> Unsat
+        | Sat.Solver.Sat model -> Sat (instance_of_model tr model)
+      in
+      { outcome; certification = Sat.Solver.last_certification solver }
+
+let session_stats sn = Option.map Sat.Solver.stats sn.session_solver
+
 let enumerate ?symmetry ?(limit = 100) bounds formula =
   if limit <= 0 then []
   else

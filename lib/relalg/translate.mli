@@ -97,6 +97,50 @@ val solve_translation_certified :
     assumptions), so the certificate covers exactly the assumed problem.
     Raises {!Sat.Proof.Certification_failed} like {!solve_certified}. *)
 
+type session
+(** An incremental solving session: one warm {!Sat.Solver.t} threaded
+    through many assumption-parameterized solves of the same
+    {!translation}. Learnt clauses and VSIDS state carry across calls,
+    so deciding the six policy-matrix cells — which differ only in
+    three selector assumptions — is measurably cheaper than six
+    independent solves. A session is mutable solver state: it must
+    never be shared across domains (open one per worker; the underlying
+    translation {e can} be shared). *)
+
+val session : ?certify:bool -> translation -> session
+(** Opens a session over [tr]. [~certify:true] (default false) enables
+    DRUP proof logging on the session solver so {!solve_cell_certified}
+    is available; logging has a small per-clause cost. *)
+
+val session_translation : session -> translation
+
+val solve_cell :
+  ?stop:(unit -> bool) ->
+  budget:Netsim.Budget.t -> session -> Sat.Cnf.lit list -> bounded_outcome
+(** Budgeted solve of one cell under the given assumptions, warm. Same
+    verdict contract as {!solve_translation_bounded} — differentially
+    pinned equal in the test suite — but reusing the session solver.
+    On [Unknown] the solver is back at the root level and stays
+    reusable; retrying the same cell with a larger budget resumes warm.
+    Assumptions never leak between calls: they are pseudo-decisions,
+    undone by the root-level backtrack that starts every solve. *)
+
+val solve_cell_certified : session -> Sat.Cnf.lit list -> certified_outcome
+(** Certified solve of one cell, warm. Unlike
+    {!solve_translation_certified} this never asserts the assumptions
+    as clauses — that would poison the session for every later cell —
+    and instead certifies via {!Sat.Solver.solve_assuming_certified}:
+    the certificate still covers exactly the assumed problem. Raises
+    [Invalid_argument] unless the session was opened with
+    [~certify:true], and {!Sat.Proof.Certification_failed} if a
+    certificate is rejected. *)
+
+val session_stats : session -> Sat.Solver.stats option
+(** Counters of the session solver ([None] when the circuit
+    constant-folded and no solver exists) — the observability hook for
+    warm-reuse assertions: conflicts/propagations are lifetime totals,
+    so per-cell work is a delta between snapshots. *)
+
 val assume : translation -> Sat.Cnf.lit list -> Sat.Cnf.problem
 (** The translation's CNF problem extended with one unit clause per
     assumed literal — non-destructive ({!Sat.Cnf.problem} is

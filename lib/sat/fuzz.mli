@@ -46,3 +46,49 @@ val run :
     certificate. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {2 Solver-reuse differential}
+
+    Random {e schedules} of interleaved operations against one warm
+    solver — solve under assumptions, change the assumptions, solve
+    again, add clauses in between — where every solve is checked
+    against a cold solver built from scratch over the clauses added so
+    far. Any divergence means state leaked across calls (the hazard
+    class incremental sessions must exclude); failing schedules are
+    greedily shrunk (dropping whole ops, then single assumption
+    literals) before being reported. *)
+
+type reuse_op =
+  | Solve_with of Cnf.lit list  (** solve under these assumptions *)
+  | Add_clause of Cnf.lit list
+
+type reuse_outcome = {
+  schedules : int;
+  reuse_solves : int;
+      (** warm [Solve_with] steps checked against a cold oracle *)
+  reuse_failures : failure list;
+      (** [detail] carries the shrunk schedule; [dimacs] the base CNF *)
+}
+
+val check_schedule : Cnf.problem -> reuse_op list -> (int * string) option
+(** Replays one schedule; [Some (step, what)] identifies the first
+    diverging solve. Beyond verdict equality it also checks that a warm
+    [Sat] model satisfies the current clauses plus assumptions, and
+    that a warm [Unsat] yields a {!Solver.failed_assumptions} core that
+    is a subset of the assumptions and genuinely unsatisfiable with the
+    current clauses. *)
+
+val run_reuse :
+  ?min_vars:int ->
+  ?max_vars:int ->
+  ?max_ops:int ->
+  count:int ->
+  seed:int ->
+  unit ->
+  reuse_outcome
+(** [run_reuse ~count ~seed ()] fuzzes [count] random schedules over
+    random base CNFs. Defaults: [min_vars = 6], [max_vars = 16],
+    [max_ops = 12]. An empty [reuse_failures] means the warm solver was
+    indistinguishable from a cold one at every step. *)
+
+val pp_reuse_outcome : Format.formatter -> reuse_outcome -> unit

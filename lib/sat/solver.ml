@@ -69,6 +69,8 @@ type t = {
   mutable proof : Proof.trail option; (* DRUP trail, when logging is on *)
   mutable originals : Cnf.clause list; (* pre-simplification clauses, reversed *)
   mutable last_certification : Proof.report option;
+  (* failed-assumption core of the most recent Unsat-under-assumptions *)
+  mutable conflict_core : Cnf.lit list;
   (* statistics *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -102,6 +104,7 @@ let create () =
     proof = None;
     originals = [];
     last_certification = None;
+    conflict_core = [];
     n_decisions = 0;
     n_propagations = 0;
     n_conflicts = 0;
@@ -336,6 +339,51 @@ let cancel_until s lvl =
     s.qhead <- Vec.size s.trail
   end
 
+(* Assumption-aware final conflict analysis (MiniSat's [analyzeFinal]):
+   starting from the literals of a conflicting clause, resolve back
+   through the implication graph until only assumption pseudo-decisions
+   remain. The result is the subset of the assumptions that actually
+   drove the conflict — a core: the formula is already unsatisfiable
+   under just these literals. Must run before the trail is cancelled. *)
+let analyze_final s confl_lits =
+  if decision_level s = 0 then []
+  else begin
+    let seen = s.seen in
+    let marked = ref [] in
+    let mark q =
+      let v = Cnf.var_of q in
+      if (not seen.(v)) && s.level.(v) > 0 then begin
+        seen.(v) <- true;
+        marked := v :: !marked
+      end
+    in
+    Array.iter mark confl_lits;
+    let core = ref [] in
+    let bound = Vec.get s.trail_lim 0 in
+    (* Only literals sitting at a level boundary are pseudo-decisions
+       (here: assumptions — every remaining level is an assumption
+       level when this runs). A reason-less literal in mid-level is a
+       learnt UNIT parked at the assumption level by [record_learnt]:
+       learnt clauses are consequences of the clause set alone, so such
+       a literal needs no assumption behind it and stays out of the
+       core (nor is there a reason clause to resolve through). *)
+    let is_boundary i =
+      let n = Vec.size s.trail_lim in
+      let rec go k = k < n && (Vec.get s.trail_lim k = i || go (k + 1)) in
+      go 0
+    in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Cnf.var_of l in
+      if seen.(v) then
+        match s.reason.(v) with
+        | None -> if is_boundary i then core := l :: !core
+        | Some c -> Array.iter mark c.lits
+    done;
+    List.iter (fun v -> seen.(v) <- false) !marked;
+    !core
+  end
+
 (* Attach a clause of >= 2 literals to the watch lists. *)
 let attach s c =
   watch s (Cnf.negate c.lits.(0)) c;
@@ -473,6 +521,7 @@ let diversify s (config : config) =
   end
 
 let solve_core ~assumptions ~budget ~config ~stop s =
+  s.conflict_core <- [];
   if not s.ok then Decided Unsat
   else begin
     (* make sure assumption variables exist *)
@@ -491,26 +540,31 @@ let solve_core ~assumptions ~budget ~config ~stop s =
       let max_learnts = ref (max 1000 (Vec.size s.clauses / 3)) in
       (* budget accounting is per solve call, not per solver lifetime *)
       let conflicts0 = s.n_conflicts and propagations0 = s.n_propagations in
-      (* push assumptions as pseudo-decisions *)
+      (* push assumptions as pseudo-decisions; [Some core] on failure *)
       let rec push_assumptions = function
-        | [] -> true
+        | [] -> None
         | l :: rest -> (
             match value_lit s l with
             | Cnf.True -> push_assumptions rest
-            | Cnf.False -> false
-            | Cnf.Unknown ->
+            | Cnf.False ->
+                (* l is refuted by root facts and earlier assumptions:
+                   the core is l plus whatever implied its negation *)
+                Some (l :: analyze_final s [| l |])
+            | Cnf.Unknown -> (
                 Vec.push s.trail_lim (Vec.size s.trail);
                 enqueue s l None;
-                if propagate s <> None then false else push_assumptions rest)
+                match propagate s with
+                | Some c -> Some (analyze_final s c.lits)
+                | None -> push_assumptions rest))
       in
-      let n_assumptions = List.length assumptions in
-      if not (push_assumptions assumptions) then begin
-        cancel_until s 0;
-        Decided Unsat
-      end
-      else begin
+      match push_assumptions assumptions with
+      | Some core ->
+          cancel_until s 0;
+          s.conflict_core <- core;
+          Decided Unsat
+      | None ->
+        begin
         let assumption_level = decision_level s in
-        ignore n_assumptions;
         let restart_limit () = config.restart_base *. luby !restart_num in
         (* the budget AND the cancellation hook are polled here, at every
            conflict/decision boundary — not just at restarts — so a
@@ -533,10 +587,21 @@ let solve_core ~assumptions ~budget ~config ~stop s =
                   s.n_conflicts <- s.n_conflicts + 1;
                   incr conflicts_since_restart;
                   if decision_level s <= assumption_level then begin
-                    (* conflict under assumptions only: unsat. Without
-                       assumptions this is a root-level conflict, i.e. a
-                       genuine refutation — close the DRUP trail. *)
-                    if assumptions = [] then log_empty s;
+                    (* conflict at the assumption level or below: unsat.
+                       At level 0 the clause set itself is refuted — no
+                       assumption was even involved — so the solver is
+                       dead for good: close the DRUP trail AND mark it
+                       unsatisfiable, or a later warm reuse would skip
+                       the (already fully propagated) conflict and
+                       fabricate a model. Above level 0 only the
+                       assumptions are refuted: compute the failed core
+                       (before the trail is cancelled) and stay
+                       reusable. *)
+                    if decision_level s = 0 then begin
+                      s.ok <- false;
+                      log_empty s
+                    end
+                    else s.conflict_core <- analyze_final s confl.lits;
                     cancel_until s 0;
                     result := Some (Decided Unsat)
                   end
@@ -589,6 +654,8 @@ let solve_bounded ?(assumptions = []) ?(config = default_config)
     ?(stop = never_stop) ~budget s =
   solve_core ~assumptions ~budget ~config ~stop s
 
+let failed_assumptions s = s.conflict_core
+
 let solve ?(assumptions = []) ?(certify = false) s =
   if certify && assumptions <> [] then
     invalid_arg "Solver.solve: ~certify does not support assumptions";
@@ -615,6 +682,52 @@ let solve ?(assumptions = []) ?(certify = false) s =
     | Ok report -> s.last_certification <- Some report
     | Error msg -> raise (Proof.Certification_failed msg)
   end;
+  r
+
+(* Certified solve under assumptions, for warm (session) solvers.
+
+   [solve ~certify] rejects assumptions because a DRUP trail under
+   assumptions does not refute the clause set alone. Here the assumed
+   problem — original clauses plus one unit clause per assumption — is
+   what gets certified, and the session trail needs no rewriting: every
+   clause the solver learns is derived by resolution from the clause
+   database only (assumption pseudo-decisions have no reason clause, so
+   they surface as negated literals *inside* learnt clauses, never as
+   premises), hence each logged Add is RUP against the originals plus
+   earlier Adds, with or without the assumption units. An Unsat-under-
+   assumptions verdict ends in a conflict reached by unit propagation
+   from root facts and the assumption units, so the per-cell trail
+   slice is closed by appending one empty-clause Add, which is RUP once
+   the assumption units are axioms. A Sat verdict is certified as a
+   model of the assumed problem (assumptions were on the trail when the
+   model was extracted). The solver is NOT mutated beyond the normal
+   warm-solve effects: no unit clauses are added, so the session stays
+   reusable under different assumptions. *)
+let solve_assuming_certified ~assumptions s =
+  if s.proof = None then
+    invalid_arg
+      "Solver.solve_assuming_certified: requires proof logging \
+       (enable_proof or of_problem ~proof:true)";
+  let r =
+    match
+      solve_core ~assumptions ~budget:Netsim.Budget.unlimited
+        ~config:default_config ~stop:never_stop s
+    with
+    | Decided r -> r
+    | Unknown _ -> assert false (* unlimited budgets never expire *)
+  in
+  let p = original_problem s in
+  let assumed =
+    List.fold_left (fun p l -> Cnf.add_clause p [ l ]) p assumptions
+  in
+  let cert =
+    match r with
+    | Sat m -> Proof.Model m
+    | Unsat -> Proof.Refutation (proof_steps s @ [ Proof.Add [||] ])
+  in
+  (match Proof.certify assumed cert with
+  | Ok report -> s.last_certification <- Some report
+  | Error msg -> raise (Proof.Certification_failed msg));
   r
 
 let of_problem ?(proof = false) (p : Cnf.problem) =

@@ -70,7 +70,13 @@ val add_clause : t -> Cnf.lit list -> unit
 val solve : ?assumptions:Cnf.lit list -> ?certify:bool -> t -> result
 (** Decides the instance. With [assumptions], decides satisfiability under
     the given temporary unit hypotheses; the solver can be reused with
-    different assumptions afterwards.
+    different assumptions afterwards: every solve starts from a
+    root-level backtrack, assumptions are pushed as pseudo-decisions
+    below all search decisions, and learnt clauses — which only ever
+    mention assumptions as negated literals, so they are consequences
+    of the clause set alone — stay valid for the next call whatever its
+    assumptions are. This is the warm-session contract the incremental
+    policy-matrix sweep is built on.
 
     With [~certify:true] (default false) the verdict is independently
     certified before being returned: a [Sat] model is re-checked against
@@ -101,6 +107,31 @@ val solve_bounded :
     boundary — not merely at restarts — so when it flips to [true]
     (e.g. a portfolio rival won) the call returns
     [Unknown {reason = "cancelled"; _}] within one conflict. *)
+
+val failed_assumptions : t -> Cnf.lit list
+(** After an [Unsat] answer from {!solve} or {!solve_bounded} under
+    assumptions: the failed-assumption core — a subset of the
+    assumptions that is already unsatisfiable together with the clause
+    set, computed by final conflict analysis (MiniSat's
+    [analyzeFinal]) over the closing conflict. [[]] after an [Unsat]
+    with no assumptions involved (the clause set itself is
+    unsatisfiable), and [[]] after any [Sat] or [Unknown] answer. The
+    core is reset by every solve call. *)
+
+val solve_assuming_certified : assumptions:Cnf.lit list -> t -> result
+(** Certified solve under assumptions, for warm session solvers. The
+    certificate covers the {e assumed problem} — {!original_problem}
+    extended with one unit clause per assumption: a [Sat] model is
+    checked against all of it, and an [Unsat] answer is certified by
+    the session's DRUP trail closed with one empty-clause addition
+    (sound because learnt clauses never use assumptions as premises,
+    and the final conflict is a unit-propagation consequence of the
+    assumption units). The solver itself is {e not} mutated beyond a
+    normal warm solve — in particular the assumptions are never added
+    as clauses, so the session stays reusable under different
+    assumptions. Requires proof logging; raises [Invalid_argument]
+    otherwise and {!Proof.Certification_failed} if the certificate is
+    rejected. *)
 
 val enable_proof : t -> unit
 (** Turns on DRUP proof logging and original-clause capture. Must be

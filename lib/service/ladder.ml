@@ -90,9 +90,14 @@ let consensus_rungs ?stop ~budget_for ~backend ~exhaustive () =
             ~budget:(budget_for Cdcl) model
       | Shared_translation (sh, policy) ->
           (* the cached translation: no rebuild, no re-translation —
-             just a fresh solve under the cell's selector assumptions *)
-          Core.Mca_model.check_consensus_shared ?stop
-            ~budget:(budget_for Cdcl) sh policy)
+             and this worker domain's warm session solver, so learnt
+             clauses amortize across every request that hits the same
+             (scope, target). Service worker domains are long-lived,
+             which is exactly when the per-domain session cache pays. *)
+          Core.Mca_model.check_consensus_incremental ?stop
+            ~budget:(budget_for Cdcl)
+            (Core.Mca_model.domain_session sh)
+            policy)
   in
   let dpll () =
     (* same query, no clause learning: slower on hard instances but a

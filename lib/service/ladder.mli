@@ -49,8 +49,12 @@ val decide :
 (** What the SAT rungs solve: a per-request model compiled from scratch,
     or a cached scope-wide shared translation plus the cell's policy —
     the latter skips the build → translate pipeline entirely and solves
-    the shared CNF under three selector assumptions
-    ({!Core.Mca_model.check_consensus_shared}). *)
+    the shared CNF under three selector assumptions on this worker
+    domain's {e warm incremental session}
+    ({!Core.Mca_model.check_consensus_incremental} over
+    {!Core.Mca_model.domain_session}): service workers are long-lived,
+    so learnt clauses amortize across every request hitting the same
+    (scope, target). *)
 type backend =
   | Fresh_model of Core.Mca_model.t
   | Shared_translation of Core.Mca_model.shared * Core.Mca_model.policy

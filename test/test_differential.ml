@@ -184,13 +184,22 @@ let verdict_name = function
   | Relalg.Translate.Decided (Relalg.Translate.Sat _) -> "violated"
   | Relalg.Translate.Unknown r -> "unknown:" ^ r
 
-(* every policy cell of the paper grid: one translation built once with
-   selector relations must give the cell-for-cell verdicts of the
-   build-per-cell pipeline — and the certified variant must agree while
-   producing a checked DRUP/model certificate for the assumed problem *)
+(* every policy cell of the paper grid, three ways: one translation
+   built once with selector relations must give the cell-for-cell
+   verdicts of the build-per-cell pipeline, on a fresh solver per cell
+   (shared) AND on one warm session solver threaded through all six
+   cells (incremental) — and both certified variants must agree while
+   producing a checked DRUP/model certificate for the assumed problem.
+   The incremental certified path additionally proves the session
+   solver survives certification unpoisoned: the same session keeps
+   answering later cells. *)
 let shared_matches_per_cell test_scope =
   let shared =
     Core.Mca_model.build_shared Core.Mca_model.Efficient test_scope
+  in
+  let session = Core.Mca_model.incremental_session shared in
+  let certified_session =
+    Core.Mca_model.incremental_session ~certify:true shared
   in
   List.iter
     (fun (label, mp) ->
@@ -211,6 +220,13 @@ let shared_matches_per_cell test_scope =
       if verdict_name per_cell <> verdict_name shared_v then
         Alcotest.failf "%s: per-cell says %s, shared translation says %s"
           label (verdict_name per_cell) (verdict_name shared_v);
+      let incr_v =
+        Core.Mca_model.check_consensus_incremental ~budget:(budget ()) session
+          mp
+      in
+      if verdict_name per_cell <> verdict_name incr_v then
+        Alcotest.failf "%s: per-cell says %s, incremental session says %s"
+          label (verdict_name per_cell) (verdict_name incr_v);
       let cert = Core.Mca_model.check_consensus_shared_certified shared mp in
       if
         verdict_name (Relalg.Translate.Decided cert.Relalg.Translate.outcome)
@@ -218,10 +234,25 @@ let shared_matches_per_cell test_scope =
       then
         Alcotest.failf "%s: certified shared verdict (%s) disagrees" label
           (verdict_name (Relalg.Translate.Decided cert.Relalg.Translate.outcome));
-      match cert.Relalg.Translate.certification with
+      (match cert.Relalg.Translate.certification with
       | Some _ -> ()
       | None ->
-          Alcotest.failf "%s: shared verdict came back uncertified" label)
+          Alcotest.failf "%s: shared verdict came back uncertified" label);
+      let icert =
+        Core.Mca_model.check_consensus_incremental_certified certified_session
+          mp
+      in
+      if
+        verdict_name (Relalg.Translate.Decided icert.Relalg.Translate.outcome)
+        <> verdict_name per_cell
+      then
+        Alcotest.failf "%s: certified incremental verdict (%s) disagrees" label
+          (verdict_name
+             (Relalg.Translate.Decided icert.Relalg.Translate.outcome));
+      match icert.Relalg.Translate.certification with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "%s: incremental verdict came back uncertified" label)
     Core.Mca_model.paper_policies
 
 let test_shared_translation_2p2v () =
@@ -231,6 +262,39 @@ let test_shared_translation_3p2v () =
   shared_matches_per_cell
     { Core.Mca_model.pnodes = 3; vnodes = 2; states = 3; values = 4;
       bitwidth = 4 }
+
+(* a learned clause from an UNSAT cell must never leak its verdict into
+   a cell with incompatible selectors: "submod" holds (UNSAT under its
+   assumptions) while "submod+release" is violated (SAT) — alternating
+   them on ONE warm session, each must keep reporting its own verdict,
+   however many refutations the solver has learnt in between *)
+let test_incremental_no_unsat_leak () =
+  let sc = scope ~states:4 ~values:5 in
+  let shared = Core.Mca_model.build_shared Core.Mca_model.Efficient sc in
+  let session = Core.Mca_model.incremental_session shared in
+  let v mp =
+    verdict_name
+      (Core.Mca_model.check_consensus_incremental
+         ~budget:(Netsim.Budget.create ~wall_s:300.0 ())
+         session mp)
+  in
+  let submod = List.assoc "submod" Core.Mca_model.paper_policies in
+  let release = List.assoc "submod+release" Core.Mca_model.paper_policies in
+  let attack =
+    List.assoc "submod+rebid-attack" Core.Mca_model.paper_policies
+  in
+  for round = 1 to 3 do
+    Alcotest.(check string)
+      (Printf.sprintf "round %d: submod still holds" round)
+      "holds" (v submod);
+    Alcotest.(check string)
+      (Printf.sprintf "round %d: submod+release still violated" round)
+      "violated" (v release)
+  done;
+  (* directly conflicting selector sets back to back *)
+  Alcotest.(check string) "attack cell violated" "violated" (v attack);
+  Alcotest.(check string) "submod unaffected by the attack cell" "holds"
+    (v submod)
 
 (* ---- parallel sweep: determinism + the pinned verdict table ---- *)
 
@@ -302,6 +366,25 @@ let test_sweep_determinism_and_pins () =
       | _ -> ())
     r1.Core.Experiments.cells
 
+(* the --incremental/--no-incremental and --jobs axes must be invisible
+   in the canonical rendering: same seed ⇒ byte-identical grids *)
+let test_sweep_incremental_byte_identity () =
+  let run ~jobs ~incremental =
+    Core.Experiments.run_sweep ~jobs ~seed:1
+      ~budget:(Netsim.Budget.create ~wall_s:120.0 ())
+      ~scopes:sweep_scope ~incremental ()
+  in
+  let base =
+    Core.Experiments.render_sweep (run ~jobs:1 ~incremental:false)
+  in
+  List.iter
+    (fun (jobs, incremental) ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs %d, incremental %b" jobs incremental)
+        base
+        (Core.Experiments.render_sweep (run ~jobs ~incremental)))
+    [ (1, true); (4, true); (4, false) ]
+
 let test_sweep_exhausted_budget_is_deterministic () =
   (* a zero wall budget leaves every cell undecided — identically so at
      any job count, and the driver reports it honestly *)
@@ -341,6 +424,10 @@ let suite =
       test_shared_translation_2p2v;
     Alcotest.test_case "shared translation = per-cell (3p2v, certified)" `Slow
       test_shared_translation_3p2v;
+    Alcotest.test_case "incremental session: no UNSAT leak across cells" `Slow
+      test_incremental_no_unsat_leak;
+    Alcotest.test_case "sweep byte-identical across jobs x incremental" `Slow
+      test_sweep_incremental_byte_identity;
     Alcotest.test_case "sweep deterministic under exhausted budget" `Quick
       test_sweep_exhausted_budget_is_deterministic;
     QCheck_alcotest.to_alcotest qcheck_dpll_cdcl_agree_unsat_family;

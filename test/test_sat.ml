@@ -522,6 +522,137 @@ let test_solve_bounded_resumes () =
   Alcotest.(check bool) "matches solve_problem" true
     (Sat.Solver.solve_problem p = Sat.Solver.Unsat)
 
+(* ---- incremental reuse: warm sessions, assumption cores ---- *)
+
+let test_reuse_fuzz () =
+  let o = Sat.Fuzz.run_reuse ~count:200 ~seed:20250808 () in
+  check_int "all schedules ran" 200 o.Sat.Fuzz.schedules;
+  check "warm solves exercised" true (o.Sat.Fuzz.reuse_solves > 200);
+  match o.Sat.Fuzz.reuse_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "reuse fuzz failure at schedule %d: %s\n%s"
+        f.Sat.Fuzz.index f.Sat.Fuzz.detail f.Sat.Fuzz.dimacs
+
+(* pins the warm-retry claim in solver.mli: learnt clauses are kept
+   across an Unknown, so the retry decides with strictly fewer new
+   conflicts than the cold solve needed in total *)
+let test_warm_retry_fewer_conflicts () =
+  let p = Sat.Gen.pigeonhole 6 in
+  let cold = Sat.Solver.of_problem p in
+  (match Sat.Solver.solve_bounded ~budget:Netsim.Budget.unlimited cold with
+  | Sat.Solver.Decided Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "php-7-into-6 must be unsat");
+  let cold_conflicts = (Sat.Solver.stats cold).Sat.Solver.conflicts in
+  check "cold solve worked for it" true (cold_conflicts > 4);
+  let warm = Sat.Solver.of_problem p in
+  (match
+     Sat.Solver.solve_bounded
+       ~budget:(Netsim.Budget.create ~conflicts:(cold_conflicts / 2) ())
+       warm
+   with
+  | Sat.Solver.Unknown _ -> ()
+  | Sat.Solver.Decided _ ->
+      Alcotest.fail "half the cold budget cannot decide (same trajectory)");
+  let before = (Sat.Solver.stats warm).Sat.Solver.conflicts in
+  (match Sat.Solver.solve_bounded ~budget:Netsim.Budget.unlimited warm with
+  | Sat.Solver.Decided Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "warm retry must refute");
+  let retry_conflicts =
+    (Sat.Solver.stats warm).Sat.Solver.conflicts - before
+  in
+  check "retry resumed warm: strictly fewer new conflicts than a cold solve"
+    true
+    (retry_conflicts < cold_conflicts)
+
+let test_failed_assumptions () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ Sat.Cnf.neg 1; Sat.Cnf.neg 2 ];
+  Sat.Solver.add_clause s [ Sat.Cnf.pos 3; Sat.Cnf.pos 4 ];
+  let assumptions = [ Sat.Cnf.pos 1; Sat.Cnf.pos 2; Sat.Cnf.neg 3 ] in
+  (match Sat.Solver.solve ~assumptions s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "1 & 2 contradict (!1 | !2)");
+  let core = Sat.Solver.failed_assumptions s in
+  check "core is non-empty" true (core <> []);
+  check "core within assumptions" true
+    (List.for_all (fun l -> List.mem l assumptions) core);
+  check "core avoids the irrelevant assumption" true
+    (not (List.mem (Sat.Cnf.neg 3) core));
+  (* the core alone refutes: clauses + core units are unsat *)
+  let s2 = Sat.Solver.create () in
+  Sat.Solver.add_clause s2 [ Sat.Cnf.neg 1; Sat.Cnf.neg 2 ];
+  Sat.Solver.add_clause s2 [ Sat.Cnf.pos 3; Sat.Cnf.pos 4 ];
+  List.iter (fun l -> Sat.Solver.add_clause s2 [ l ]) core;
+  check "core refutes" true (Sat.Solver.solve s2 = Sat.Solver.Unsat);
+  (* contradictory assumptions fail before search even starts *)
+  (match Sat.Solver.solve ~assumptions:[ Sat.Cnf.pos 4; Sat.Cnf.neg 4 ] s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "x & !x must be unsat");
+  let core2 = Sat.Solver.failed_assumptions s in
+  check "contradictory pair is its own core" true
+    (List.mem (Sat.Cnf.pos 4) core2 && List.mem (Sat.Cnf.neg 4) core2);
+  (* a Sat answer clears the core *)
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Sat _ -> ()
+  | Sat.Solver.Unsat -> Alcotest.fail "unconstrained solve must be sat");
+  check_int "core cleared on Sat" 0
+    (List.length (Sat.Solver.failed_assumptions s))
+
+let test_solve_assuming_certified () =
+  let p = { Sat.Cnf.num_vars = 4; clauses = [] } in
+  let p = Sat.Cnf.add_clause p [ Sat.Cnf.neg 1; Sat.Cnf.pos 2 ] in
+  let p = Sat.Cnf.add_clause p [ Sat.Cnf.neg 2; Sat.Cnf.pos 3 ] in
+  let s = Sat.Solver.of_problem ~proof:true p in
+  (* one warm session: an unsat cell, then a sat cell, then reuse *)
+  (match
+     Sat.Solver.solve_assuming_certified
+       ~assumptions:[ Sat.Cnf.pos 1; Sat.Cnf.neg 3 ] s
+   with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat _ -> Alcotest.fail "1 & !3 contradicts the implications");
+  (match Sat.Solver.last_certification s with
+  | Some r -> check "assumed refutation certified" true (r.Sat.Proof.kind = `Refutation)
+  | None -> Alcotest.fail "missing refutation report");
+  (match
+     Sat.Solver.solve_assuming_certified ~assumptions:[ Sat.Cnf.pos 1 ] s
+   with
+  | Sat.Solver.Sat m ->
+      check "model obeys the implication chain" true (m.(2) && m.(3))
+  | Sat.Solver.Unsat -> Alcotest.fail "1 alone is satisfiable");
+  (match Sat.Solver.last_certification s with
+  | Some r -> check "assumed model certified" true (r.Sat.Proof.kind = `Model)
+  | None -> Alcotest.fail "missing model report");
+  (* the certification never added the assumptions as clauses: the
+     opposite cell still answers its own verdict on the same solver *)
+  (match Sat.Solver.solve ~assumptions:[ Sat.Cnf.neg 1; Sat.Cnf.neg 3 ] s with
+  | Sat.Solver.Sat _ -> ()
+  | Sat.Solver.Unsat ->
+      Alcotest.fail "!1 & !3 satisfiable — certification poisoned the solver");
+  (* guard: requires proof logging *)
+  let bare = Sat.Solver.of_problem p in
+  match Sat.Solver.solve_assuming_certified ~assumptions:[] bare with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must require proof logging"
+
+let test_assumption_over_fresh_var () =
+  let s = Sat.Solver.create () in
+  Sat.Solver.add_clause s [ Sat.Cnf.pos 1; Sat.Cnf.pos 2 ];
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Sat _ -> ()
+  | Sat.Solver.Unsat -> Alcotest.fail "one clause is satisfiable");
+  (* an assumption over a variable the solver has never seen, after a
+     completed solve: allocated on the fly, honored in the model *)
+  (match Sat.Solver.solve ~assumptions:[ Sat.Cnf.pos 7 ] s with
+  | Sat.Solver.Sat m ->
+      check "fresh var allocated" true (Array.length m > 7);
+      check "assumption honored" true m.(7)
+  | Sat.Solver.Unsat -> Alcotest.fail "still satisfiable");
+  check_int "vars grown to cover the assumption" 7 (Sat.Solver.num_vars s);
+  match Sat.Solver.solve ~assumptions:[ Sat.Cnf.neg 7 ] s with
+  | Sat.Solver.Sat m -> check "assumption not sticky" true (not m.(7))
+  | Sat.Solver.Unsat -> Alcotest.fail "satisfiable with !7 too"
+
 let qcheck_solve_bounded_agrees =
   QCheck.Test.make ~count:30
     ~name:"generous solve_bounded verdict agrees with solve"
@@ -580,6 +711,11 @@ let suite =
     Alcotest.test_case "differential fuzz, certified" `Quick test_differential_fuzz;
     Alcotest.test_case "solve_bounded gives up at the cap" `Quick test_solve_bounded_unknown;
     Alcotest.test_case "solve_bounded resumes after Unknown" `Quick test_solve_bounded_resumes;
+    Alcotest.test_case "reuse fuzz: warm solver = cold oracle" `Quick test_reuse_fuzz;
+    Alcotest.test_case "warm retry beats cold solve" `Quick test_warm_retry_fewer_conflicts;
+    Alcotest.test_case "failed_assumptions core" `Quick test_failed_assumptions;
+    Alcotest.test_case "certified solve under assumptions" `Quick test_solve_assuming_certified;
+    Alcotest.test_case "assumption over a fresh variable" `Quick test_assumption_over_fresh_var;
     QCheck_alcotest.to_alcotest qcheck_solve_bounded_agrees;
     QCheck_alcotest.to_alcotest qcheck_cdcl_vs_dpll;
     QCheck_alcotest.to_alcotest qcheck_luby_like_restart_progress;
