@@ -25,6 +25,12 @@ let cluster_smoke = Array.exists (( = ) "--cluster-smoke") Sys.argv
    gate for the incremental-session speedup and soundness claims. *)
 let incremental_smoke = Array.exists (( = ) "--incremental-smoke") Sys.argv
 
+(* --spec-smoke: run only the E18 spec-submission sweep and exit nonzero
+   if a cached verdict is not cheaper than a cold solve or if a hostile
+   mutating flood gets anything other than a structured reply — the CI
+   gate for the multi-tenant submit verb. *)
+let spec_smoke = Array.exists (( = ) "--spec-smoke") Sys.argv
+
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
@@ -898,6 +904,138 @@ let run_cluster_sweep () =
   kill_identical
 
 (* ------------------------------------------------------------------ *)
+(* E18: the multi-tenant submit verb. Three costs worth pinning: a cold
+   spec (parse + elaborate + translate + solve), a cache hit on the same
+   digest, and a quota refusal (which must be answered from the header
+   alone, before any spec work). The smoke gate also runs the hostile
+   mutating flood and requires every reply to be structured. *)
+
+let spec_fixture =
+  "sig vnode {}\n\
+   sig pnode { pid: one Int, initBids: set vnode }\n\
+   fact uniqueIDs { all disj p, q: pnode | p.pid != q.pid }\n\
+   assert uniqueID { all disj p, q: pnode | p.pid != q.pid }\n\
+   check uniqueID for 3 but 4 Int\n\
+   run {} for 2 but 4 Int\n"
+
+let run_spec_service () =
+  section "E18 - Spec submission service (cold / cached / refused)";
+  let sock = Filename.temp_file "mca_bench_spec" ".sock" in
+  Sys.remove sock;
+  let cfg =
+    {
+      (Service.Server.default_config (Service.Server.Unix_path sock)) with
+      Service.Server.jobs = 2;
+      queue_cap = 8;
+      default_deadline = 10.0;
+      (* tight named-tenant quota so the refusal path is exercised;
+         the timing runs below submit anonymously, which bypasses it *)
+      quota_rate = 0.01;
+      quota_burst = 2.0;
+    }
+  in
+  let t = Service.Server.start cfg in
+  let addr = Service.Server.Unix_path sock in
+  Fun.protect ~finally:(fun () ->
+      Service.Server.stop t;
+      Service.Server.join t;
+      try Sys.remove sock with Sys_error _ -> ())
+  @@ fun () ->
+  let submits = if spec_smoke || fast_mode then 5 else 12 in
+  let time_submit ?tenant ?certify body =
+    let t0 = Unix.gettimeofday () in
+    let r = Service.Client.submit ?tenant ?certify addr body in
+    let wall = Unix.gettimeofday () -. t0 in
+    (r, wall)
+  in
+  (* cold: distinct digests via a trailing comment, so every submission
+     is a real solve and never a cache hit *)
+  let cold =
+    List.init submits (fun i ->
+        let body = Printf.sprintf "%s// cold %d\n" spec_fixture i in
+        match time_submit body with
+        | Ok (Service.Wire.Spec s), wall ->
+            if s.Service.Wire.spec_cached then failwith "E18: cold run cached";
+            if s.Service.Wire.spec_verdict <> Service.Wire.Spec_holds then
+              failwith "E18: paper spec did not hold";
+            wall
+        | _ -> failwith "E18: cold submit failed")
+  in
+  (* cached: the same digest over and over; the first submission warms *)
+  ignore (time_submit spec_fixture);
+  let cached =
+    List.init submits (fun _ ->
+        match time_submit spec_fixture with
+        | Ok (Service.Wire.Spec s), wall ->
+            if not s.Service.Wire.spec_cached then
+              failwith "E18: repeat submission missed the cache";
+            wall
+        | _ -> failwith "E18: cached submit failed")
+  in
+  (* certified: one cold certified solve, for the overhead column *)
+  let certified_wall =
+    match time_submit ~certify:true (spec_fixture ^ "// certified\n") with
+    | Ok (Service.Wire.Spec s), wall ->
+        if not s.Service.Wire.certified then
+          failwith "E18: certification refused on the paper spec";
+        wall
+    | _ -> failwith "E18: certified submit failed"
+  in
+  (* refused: exhaust a named tenant's two-token bucket, then time the
+     quota replies — answered from the header, no spec work *)
+  ignore (time_submit ~tenant:"mallory" spec_fixture);
+  ignore (time_submit ~tenant:"mallory" spec_fixture);
+  let refused =
+    List.init submits (fun _ ->
+        match time_submit ~tenant:"mallory" spec_fixture with
+        | Ok (Service.Wire.Quota _), wall -> wall
+        | _ -> failwith "E18: exhausted tenant was not refused")
+  in
+  let m_cold = median cold
+  and m_cached = median cached
+  and m_refused = median refused in
+  Format.printf "  %-22s %12s@." "path" "median(ms)";
+  Format.printf "  %-22s %12.2f@." "cold solve" (m_cold *. 1e3);
+  Format.printf "  %-22s %12.2f@." "cache hit" (m_cached *. 1e3);
+  Format.printf "  %-22s %12.2f@." "certified cold" (certified_wall *. 1e3);
+  Format.printf "  %-22s %12.2f@." "quota refusal" (m_refused *. 1e3);
+  (* the hostile flood: mutated specs from two concurrent clients; the
+     robustness contract is that transport failures stay at zero *)
+  let flood_total = if spec_smoke || fast_mode then 60 else 200 in
+  let fr =
+    Service.Client.spec_flood ~concurrency:2 ~mutate_seed:18 ~total:flood_total
+      addr spec_fixture
+  in
+  Format.printf "  hostile flood: %a@." Service.Client.pp_spec_flood fr;
+  let flood_ok =
+    fr.Service.Client.spec_sent = flood_total
+    && fr.Service.Client.spec_transport = 0
+  in
+  let cache_ok = m_cached <= m_cold in
+  let oc = open_out "BENCH_E18.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E18-spec-submission-service\",\n";
+  p "  \"mode\": \"%s\",\n"
+    (if spec_smoke then "smoke" else if fast_mode then "fast" else "full");
+  p "  \"submits_per_path\": %d,\n" submits;
+  p "  \"cold_median_ms\": %.3f,\n" (m_cold *. 1e3);
+  p "  \"cached_median_ms\": %.3f,\n" (m_cached *. 1e3);
+  p "  \"certified_cold_ms\": %.3f,\n" (certified_wall *. 1e3);
+  p "  \"quota_refusal_median_ms\": %.3f,\n" (m_refused *. 1e3);
+  p "  \"flood\": {\"total\": %d, \"verdicts\": %d, \"cached\": %d, \
+     \"typed\": %d, \"quota\": %d, \"shed\": %d, \"transport\": %d},\n"
+    flood_total fr.Service.Client.spec_verdicts fr.Service.Client.spec_hits
+    fr.Service.Client.spec_typed fr.Service.Client.spec_quota
+    fr.Service.Client.spec_shed fr.Service.Client.spec_transport;
+  p "  \"cache_hit_cheaper\": %b,\n" cache_ok;
+  p "  \"flood_all_structured\": %b\n" flood_ok;
+  p "}\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_E18.json@.";
+  cache_ok && flood_ok
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: certified verdicts — DRUP proof size and re-check cost      *)
 
 let run_certification () =
@@ -1098,6 +1236,17 @@ let () =
     end;
     Format.printf "@.incremental smoke passed.@."
   end
+  else if spec_smoke then begin
+    Format.printf "MCA verification library — spec-service smoke (E18 only)@.";
+    let ok = run_spec_service () in
+    if not ok then begin
+      Format.eprintf
+        "spec smoke FAILED: cache hit dearer than a cold solve, or the \
+         hostile flood broke the structured-reply contract@.";
+      exit 1
+    end;
+    Format.printf "@.spec smoke passed.@."
+  end
   else begin
     Format.printf "MCA verification library — benchmark & experiment harness@.";
     Format.printf "(%s mode)@." (if fast_mode then "fast" else "full");
@@ -1107,6 +1256,7 @@ let () =
     ignore (run_scaling_sweep () : bool);
     ignore (run_incremental_matrix () : bool);
     run_overload_service ();
+    ignore (run_spec_service () : bool);
     ignore (run_cluster_sweep () : bool);
     run_certification ();
     run_loss_sweep ();

@@ -2,19 +2,24 @@
    compiles and executes every check/run command, printing verdicts and
    counterexample instances.
 
-   Usage: alloy_lite FILE.als [--quiet] [--dot DIR] [--enumerate N]
-                              [--symmetry]
+   Usage: alloy_lite FILE.als [--parse-only] [--quiet] [--dot DIR]
+                              [--enumerate N] [--symmetry]
 
+   --parse-only   stop after parse + elaboration; report diagnostics only
    --dot DIR      also write each found instance as DIR/<command-N>.dot
    --enumerate N  for run commands, list up to N distinct instances
-   --symmetry     add Kodkod-style symmetry-breaking predicates *)
+   --symmetry     add Kodkod-style symmetry-breaking predicates
+
+   Diagnostics are the typed spans of Alloylite.Diag — the same line,
+   column and hint the mca_serve submit verb reports for the same bad
+   spec — printed to stderr with exit 2. *)
 
 open Cmdliner
 
 let sanitize label =
   String.map (fun c -> if c = ' ' || c = '{' || c = '}' then '_' else c) label
 
-let run path quiet dot_dir enumerate symmetry =
+let run path parse_only quiet dot_dir enumerate symmetry =
   let src =
     match open_in path with
     | exception Sys_error msg ->
@@ -27,9 +32,20 @@ let run path quiet dot_dir enumerate symmetry =
         s
   in
   match Alloylite.Elaborate.file (Alloylite.Parser.parse src) with
+  | exception Alloylite.Diag.Error d ->
+      Printf.eprintf "error: %s\n" (Alloylite.Diag.to_string d);
+      exit 2
   | exception Failure msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 2
+  | { Alloylite.Elaborate.model; commands } when parse_only ->
+      ignore model;
+      Format.printf "%s: ok, %d command(s)@." path (List.length commands);
+      List.iter
+        (fun cmd ->
+          Format.printf "  %s@." (Alloylite.Elaborate.command_label cmd))
+        commands;
+      exit 0
   | { Alloylite.Elaborate.model; commands } ->
       let failures = ref 0 in
       let emit_instance label idx inst =
@@ -46,7 +62,7 @@ let run path quiet dot_dir enumerate symmetry =
       List.iter
         (fun cmd ->
           match cmd with
-          | Alloylite.Elaborate.Check (name, scope) -> (
+          | Alloylite.Elaborate.Check (_, name, scope) -> (
               let c = Alloylite.Compile.prepare model scope in
               let label = Printf.sprintf "check %s" name in
               match Alloylite.Compile.check ~symmetry c name with
@@ -56,7 +72,7 @@ let run path quiet dot_dir enumerate symmetry =
                   incr failures;
                   Format.printf "%s: COUNTEREXAMPLE found@." label;
                   emit_instance label 0 inst)
-          | Alloylite.Elaborate.Run (name, f, scope) -> (
+          | Alloylite.Elaborate.Run (_, name, f, scope) -> (
               let c = Alloylite.Compile.prepare model scope in
               let label =
                 match name with
@@ -97,6 +113,15 @@ let run path quiet dot_dir enumerate symmetry =
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-Alloy source file")
 
+let parse_only_flag =
+  Arg.(
+    value & flag
+    & info [ "parse-only" ]
+        ~doc:
+          "Parse and elaborate only; print the command list and exit 0, or \
+           the typed diagnostic (stage, line, col, hint) and exit 2. No \
+           solving.")
+
 let quiet_flag =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Do not print instances")
 
@@ -112,6 +137,8 @@ let symmetry_flag =
 let cmd =
   Cmd.v
     (Cmd.info "alloy_lite" ~doc:"Run check/run commands of a mini-Alloy file")
-    Term.(const run $ path_arg $ quiet_flag $ dot_arg $ enum_arg $ symmetry_flag)
+    Term.(
+      const run $ path_arg $ parse_only_flag $ quiet_flag $ dot_arg $ enum_arg
+      $ symmetry_flag)
 
 let () = exit (Cmd.eval cmd)

@@ -7,9 +7,20 @@
    backlog completes, decided cells land in the --journal, and a
    restarted server (or `mca_check --sweep --resume`) picks them up.
 
-   Client modes: --client POLICY sends one check; --stats dumps the live
-   counters; --flood N hammers the server from --concurrency domains and
-   reports the shed/verdict tally (the overload smoke probe). *)
+   The `submit` verb accepts tenant-supplied mini-Alloy specs: a header
+   line declaring the body byte count, then the spec text itself. Bad
+   specs come back as typed span-carrying diagnostics (stage, line,
+   col, hint — identical to `alloy_lite --parse-only` on the same
+   file), oversized ones are refused at the --max-spec-bytes cap before
+   the body is read, and per-tenant token buckets (--quota-rate,
+   --quota-burst) plus fair queue shares keep one flooding tenant from
+   starving the rest.
+
+   Client modes: --client POLICY sends one check; --submit FILE sends
+   one spec (with --tenant/--cmd/--certify); --stats dumps the live
+   counters; --flood N hammers the check verb; --spec-flood N hammers
+   the submit verb, mutating the base spec per request when --mutate
+   SEED is given (the hostile-tenant smoke probe). *)
 
 open Cmdliner
 
@@ -35,7 +46,7 @@ let addr_of socket tcp =
   | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
 
 let serve addr jobs queue_cap deadline max_deadline io_deadline seed journal
-    trip_after =
+    trip_after max_spec_bytes quota_rate quota_burst =
   let cfg =
     {
       (Service.Server.default_config addr) with
@@ -47,6 +58,9 @@ let serve addr jobs queue_cap deadline max_deadline io_deadline seed journal
       seed;
       journal;
       trip_after;
+      max_spec_bytes;
+      quota_rate;
+      quota_burst;
     }
   in
   let t = Service.Server.start cfg in
@@ -77,7 +91,15 @@ let print_response r =
       | Core.Experiments.Undecided _, _ | _, Core.Experiments.Undecided _ ->
           exit_unknown
       | Core.Experiments.Holds, Core.Experiments.Holds -> 0)
+  | Service.Wire.Spec s -> (
+      match s.Service.Wire.spec_verdict with
+      | Service.Wire.Spec_holds | Service.Wire.Spec_instance -> 0
+      | Service.Wire.Spec_counterexample | Service.Wire.Spec_none ->
+          exit_violated
+      | Service.Wire.Spec_unknown _ -> exit_unknown)
   | Service.Wire.Shed _ -> exit_shed
+  | Service.Wire.Quota _ -> exit_shed
+  | Service.Wire.Bad_spec _ -> exit_error
   | Service.Wire.Error _ -> exit_error
   | Service.Wire.Stats _ -> 0
 
@@ -113,6 +135,42 @@ let stats addr timeout =
       Printf.eprintf "error: %s\n" msg;
       exit_error
 
+let read_spec file =
+  match open_in file with
+  | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+
+let submit_one addr file tenant cmd_name certify deadline timeout =
+  match read_spec file with
+  | None -> exit_error
+  | Some spec -> (
+      match
+        Service.Client.submit ~timeout_s:timeout ~tenant ?cmd:cmd_name ~certify
+          ?deadline_s:deadline addr spec
+      with
+      | Ok r -> print_response r
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit_error)
+
+let spec_flood addr total concurrency file tenant cmd_name certify mutate
+    timeout =
+  match read_spec file with
+  | None -> exit_error
+  | Some spec ->
+      let r =
+        Service.Client.spec_flood ~timeout_s:timeout ~concurrency ~tenant
+          ?cmd:cmd_name ~certify ?mutate_seed:mutate ~total addr spec
+      in
+      Format.printf "%a@." Service.Client.pp_spec_flood r;
+      if r.Service.Client.spec_transport > 0 then exit_error else 0
+
 let flood addr total concurrency policy agents items states seed deadline
     timeout =
   let req =
@@ -126,7 +184,8 @@ let flood addr total concurrency policy agents items states seed deadline
   if r.Service.Client.flood_errors > 0 then exit_error else 0
 
 let main socket tcp mode jobs queue_cap deadline max_deadline io_deadline seed
-    journal trip_after policy agents items states concurrency timeout retries
+    journal trip_after max_spec_bytes quota_rate quota_burst policy agents
+    items states tenant cmd_name certify mutate concurrency timeout retries
     retry_budget =
   match addr_of socket tcp with
   | Error msg ->
@@ -138,13 +197,19 @@ let main socket tcp mode jobs queue_cap deadline max_deadline io_deadline seed
         | `Serve ->
             serve addr jobs queue_cap
               (Option.value deadline ~default:30.0)
-              max_deadline io_deadline seed journal trip_after
+              max_deadline io_deadline seed journal trip_after max_spec_bytes
+              quota_rate quota_burst
         | `Client ->
             client addr policy agents items states seed deadline timeout
               retries retry_budget
+        | `Submit file ->
+            submit_one addr file tenant cmd_name certify deadline timeout
         | `Stats -> stats addr timeout
         | `Flood n ->
             flood addr n concurrency policy agents items states seed deadline
+              timeout
+        | `Spec_flood (file, n) ->
+            spec_flood addr n concurrency file tenant cmd_name certify mutate
               timeout
       with
       | code -> code
@@ -178,16 +243,37 @@ let term =
                ~doc:"send $(docv) concurrent check requests and tally the \
                      shed/verdict split (overload probe)" ~docv:"N")
     in
-    let combine client stats flood =
-      match (client, stats, flood) with
-      | false, false, None -> Ok `Serve
-      | true, false, None -> Ok `Client
-      | false, true, None -> Ok `Stats
-      | false, false, Some n when n > 0 -> Ok (`Flood n)
-      | false, false, Some _ -> Error "non-positive --flood"
-      | _ -> Error "--client, --stats and --flood are mutually exclusive"
+    let submit =
+      Arg.(value & opt (some file) None
+           & info [ "submit" ]
+               ~doc:"send the mini-Alloy spec in $(docv) through the submit \
+                     verb (also the base spec of --spec-flood)"
+               ~docv:"FILE")
     in
-    Term.term_result' ~usage:true Term.(const combine $ client $ stats $ flood)
+    let spec_flood =
+      Arg.(value & opt (some int) None
+           & info [ "spec-flood" ]
+               ~doc:"send $(docv) submissions of the --submit spec and tally \
+                     the verdict/typed-error/quota/shed split (hostile-tenant \
+                     probe; see --mutate)" ~docv:"N")
+    in
+    let combine client stats flood submit spec_flood =
+      match (client, stats, flood, submit, spec_flood) with
+      | false, false, None, None, None -> Ok `Serve
+      | true, false, None, None, None -> Ok `Client
+      | false, true, None, None, None -> Ok `Stats
+      | false, false, Some n, None, None when n > 0 -> Ok (`Flood n)
+      | false, false, Some _, None, None -> Error "non-positive --flood"
+      | false, false, None, Some f, None -> Ok (`Submit f)
+      | false, false, None, Some f, Some n when n > 0 -> Ok (`Spec_flood (f, n))
+      | false, false, None, Some _, Some _ -> Error "non-positive --spec-flood"
+      | false, false, None, None, Some _ -> Error "--spec-flood needs --submit"
+      | _ ->
+          Error
+            "--client, --stats, --flood and --submit are mutually exclusive"
+    in
+    Term.term_result' ~usage:true
+      Term.(const combine $ client $ stats $ flood $ submit $ spec_flood)
   in
   let jobs =
     Arg.(value & opt int 2
@@ -233,6 +319,47 @@ let term =
                    ladder rung is skipped while it cools off (server)"
              ~docv:"N")
   in
+  let max_spec_bytes =
+    Arg.(value & opt int Service.Speccheck.default_caps.Service.Speccheck.max_bytes
+         & info [ "max-spec-bytes" ]
+             ~doc:"submit body cap: larger declarations are refused with a \
+                   typed diagnostic before the body is read (server)"
+             ~docv:"N")
+  in
+  let quota_rate =
+    Arg.(value & opt float Service.Tenant.default_config.Service.Tenant.rate
+         & info [ "quota-rate" ]
+             ~doc:"per-tenant sustained submissions per second (server)"
+             ~docv:"R")
+  in
+  let quota_burst =
+    Arg.(value & opt float Service.Tenant.default_config.Service.Tenant.burst
+         & info [ "quota-burst" ]
+             ~doc:"per-tenant burst allowance (server)" ~docv:"B")
+  in
+  let tenant =
+    Arg.(value & opt string ""
+         & info [ "tenant" ]
+             ~doc:"tenant identity for --submit/--spec-flood (empty = \
+                   anonymous, bypasses quotas)" ~docv:"NAME")
+  in
+  let cmd_name =
+    Arg.(value & opt (some string) None
+         & info [ "cmd" ]
+             ~doc:"check/run command to execute (default: the spec's first)"
+             ~docv:"NAME")
+  in
+  let certify =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"ask for a DRUP-certified verdict (--submit/--spec-flood)")
+  in
+  let mutate =
+    Arg.(value & opt (some int) None
+         & info [ "mutate" ]
+             ~doc:"--spec-flood: mutate the base spec per request with the \
+                   fuzzer operators, seeded with $(docv)" ~docv:"SEED")
+  in
   let policy =
     Arg.(value & opt string "submod"
          & info [ "policy" ]
@@ -273,21 +400,26 @@ let term =
   in
   Term.(
     const main $ socket $ tcp $ mode $ jobs $ queue_cap $ deadline
-    $ max_deadline $ io_deadline $ seed $ journal $ trip_after $ policy
-    $ agents $ items $ states $ concurrency $ timeout $ retries
-    $ retry_budget)
+    $ max_deadline $ io_deadline $ seed $ journal $ trip_after
+    $ max_spec_bytes $ quota_rate $ quota_burst $ policy $ agents $ items
+    $ states $ tenant $ cmd_name $ certify $ mutate $ concurrency $ timeout
+    $ retries $ retry_budget)
 
 let cmd =
   let exits =
     Cmd.Exit.info 0 ~doc:"server: clean drain; client: consensus holds"
-    :: Cmd.Exit.info exit_violated ~doc:"client: consensus violated"
-    :: Cmd.Exit.info exit_error ~doc:"invalid arguments, I/O or server error"
+    :: Cmd.Exit.info exit_violated
+         ~doc:"client: consensus violated; submit: counterexample found or \
+               no instance"
+    :: Cmd.Exit.info exit_error
+         ~doc:"invalid arguments, I/O or server error; submit: the spec was \
+               rejected with a typed diagnostic"
     :: Cmd.Exit.info exit_unknown
          ~doc:"client: UNKNOWN — the degradation ladder ran out of rungs or \
                the request deadline expired"
     :: Cmd.Exit.info exit_shed
          ~doc:"client: the request was shed by admission control (queue at \
-               capacity); retry with backoff"
+               capacity) or refused by a tenant quota; retry with backoff"
     :: Cmd.Exit.defaults
   in
   Cmd.v

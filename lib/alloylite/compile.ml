@@ -105,6 +105,48 @@ let structural_facts model =
     model.Model.sigs;
   List.rev !facts
 
+(* Predicted translation size, computable without allocating anything —
+   the service's pre-admission cap check. Counts are upper bounds (child
+   atoms are double-counted into their parents rather than deduped) and
+   saturate instead of overflowing, so a hostile [for 999999999] scope
+   yields a huge number, not wraparound. *)
+let universe_estimate model scope =
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  let sat_mul a b =
+    if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+  in
+  let sig_count (s : Model.sig_decl) =
+    if s.Model.sig_mult = Model.One then 1
+    else max 0 (Scope.entry_for scope s.Model.sig_name).Scope.count
+  in
+  let ints =
+    match Scope.int_range scope with
+    | None -> 0
+    | Some (lo, hi) -> hi - lo + 1
+  in
+  let atoms =
+    List.fold_left
+      (fun acc s -> sat_add acc (sig_count s))
+      ints model.Model.sigs
+  in
+  let col_count c =
+    if c = "Int" then ints
+    else match Model.find_sig model c with Some s -> sig_count s | None -> 0
+  in
+  let tuples =
+    List.fold_left
+      (fun acc (s : Model.sig_decl) ->
+        List.fold_left
+          (fun acc (f : Model.field) ->
+            sat_add acc
+              (List.fold_left
+                 (fun p c -> sat_mul p (col_count c))
+                 (sig_count s) f.Model.cols))
+          acc s.Model.fields)
+      0 model.Model.sigs
+  in
+  (atoms, tuples)
+
 let prepare model scope =
   (match Model.validate model with
   | Ok () -> ()

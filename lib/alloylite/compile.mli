@@ -20,6 +20,14 @@ type t = {
       (** upper-bound atom names per signature, in allocation order *)
 }
 
+val universe_estimate : Model.t -> Scope.t -> int * int
+(** [(atoms, tuples)]: an upper bound on the universe size (including
+    Int atoms) and on the largest total field-tuple budget that
+    {!prepare} would allocate for this model at this scope — computed
+    without allocating anything, so a service can reject a
+    resource-hungry scope before translation. Both counts saturate at
+    [max_int] instead of overflowing. *)
+
 val prepare : Model.t -> Scope.t -> t
 (** Validates and compiles. Raises [Failure] with the validation message
     on an ill-formed model. *)

@@ -1,0 +1,36 @@
+type span = { line : int; col : int; end_line : int; end_col : int }
+
+type stage = Lex | Parse | Elab | Cap | Model
+
+type t = { stage : stage; span : span; msg : string; hint : string option }
+
+exception Error of t
+
+let point ~line ~col = { line; col; end_line = line; end_col = col }
+
+let spanning ~line ~col ~width =
+  { line; col; end_line = line; end_col = col + width }
+
+let error ?hint stage span msg = raise (Error { stage; span; msg; hint })
+
+let stage_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Elab -> "elaborate"
+  | Cap -> "cap"
+  | Model -> "model"
+
+let stage_of_name = function
+  | "lex" -> Some Lex
+  | "parse" -> Some Parse
+  | "elaborate" -> Some Elab
+  | "cap" -> Some Cap
+  | "model" -> Some Model
+  | _ -> None
+
+let to_string d =
+  Printf.sprintf "%s error: line %d, col %d: %s%s" (stage_name d.stage)
+    d.span.line d.span.col d.msg
+    (match d.hint with Some h -> Printf.sprintf " (hint: %s)" h | None -> "")
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,52 @@
+(** Typed, span-carrying diagnostics for the mini-Alloy frontend.
+
+    Every error the lexer, parser or elaborator can produce is a
+    {!t}: which stage rejected the input, the line/column span of the
+    offending text, a message, and (where the fix is mechanical) a
+    recovery hint. Callers that serve untrusted specs — the CLI's
+    [exit 2] path and the service's [submit] verb — render the same
+    value, so both report identical spans for the same bad spec. *)
+
+type span = {
+  line : int;  (** 1-based start line *)
+  col : int;  (** 1-based start column *)
+  end_line : int;
+  end_col : int;  (** exclusive end column *)
+}
+
+type stage =
+  | Lex  (** illegal characters, unterminated comments, bad literals *)
+  | Parse  (** syntax errors *)
+  | Elab  (** name resolution, duplicate declarations, bad scopes *)
+  | Cap  (** resource caps: spec size, atom or tuple budget *)
+  | Model  (** model validation after elaboration *)
+
+type t = {
+  stage : stage;
+  span : span;
+  msg : string;
+  hint : string option;  (** a recovery suggestion, when one exists *)
+}
+
+exception Error of t
+
+val point : line:int -> col:int -> span
+(** A zero-width span at one position. *)
+
+val spanning : line:int -> col:int -> width:int -> span
+(** A single-line span of [width] columns. *)
+
+val error : ?hint:string -> stage -> span -> string -> 'a
+(** Raises {!Error}. *)
+
+val stage_name : stage -> string
+(** ["lex"], ["parse"], ["elaborate"], ["cap"], ["model"] — the wire
+    and CLI vocabulary. *)
+
+val stage_of_name : string -> stage option
+
+val to_string : t -> string
+(** One human-readable line:
+    ["parse error: line 3, col 7: expected } (hint: ...)"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,13 +1,22 @@
 module A = Relalg.Ast
 
 type command =
-  | Check of string * Scope.t
-  | Run of string option * Relalg.Ast.formula option * Scope.t
+  | Check of Surface.pos * string * Scope.t
+  | Run of Surface.pos * string option * Relalg.Ast.formula option * Scope.t
+
+let command_pos = function Check (p, _, _) | Run (p, _, _, _) -> p
+
+let command_label = function
+  | Check (_, name, _) -> Printf.sprintf "check %s" name
+  | Run (_, Some n, _, _) -> Printf.sprintf "run %s" n
+  | Run (_, None, _, _) -> "run {}"
 
 type elaborated = { model : Model.t; commands : command list }
 
-let located (p : Surface.pos) msg =
-  failwith (Printf.sprintf "elaborate: line %d, col %d: %s" p.Surface.line p.Surface.col msg)
+let located ?hint (p : Surface.pos) msg =
+  Diag.error ?hint Diag.Elab
+    (Diag.point ~line:p.Surface.line ~col:p.Surface.col)
+    msg
 
 (* An integer literal used relationally denotes the matching Int atom. *)
 let int_const n =
@@ -30,7 +39,11 @@ let rec r_expr env (e : Surface.expr) : A.expr =
                 name = o ^ "_first" || name = o ^ "_last" || name = o ^ "_next")
               env.model.Model.orderings
           then A.rel name
-          else located p (Printf.sprintf "unknown name %s" name))
+          else
+            located p
+              (Printf.sprintf "unknown name %s" name)
+              ~hint:"declare a sig or field with this name, or bind it \
+                     with a quantifier")
   | Surface.EInt (_, n) -> int_const n
   | Surface.EUniv _ -> A.Univ
   | Surface.ENone _ -> A.None_
@@ -129,7 +142,10 @@ and formula_env env (f : Surface.fmla) : A.formula =
       let rargs = List.map (r_expr env) args in
       match Model.find_pred env.model name with
       | Some _ -> Model.call env.model name rargs
-      | None -> located p (Printf.sprintf "unknown predicate %s" name))
+      | None ->
+          located p
+            (Printf.sprintf "unknown predicate %s" name)
+            ~hint:"define pred name[...] { ... } before calling it")
   | Surface.FLet (_, x, e, body) ->
       let bound = r_expr env e in
       formula_env { env with vars = (x, bound) :: env.vars } body
@@ -204,7 +220,13 @@ let mult_of = function
   | Surface.Msome -> Model.Some_
   | Surface.Mset -> Model.Set
 
-let scope_of (s : Surface.scope) =
+let scope_of p (s : Surface.scope) =
+  (match s.Surface.s_bitwidth with
+  | Some w when w < 1 || w > 16 ->
+      located p
+        (Printf.sprintf "bitwidth %d out of range" w)
+        ~hint:"Int bitwidths between 1 and 16 are accepted"
+  | _ -> ());
   let but =
     List.filter_map
       (fun (exact, n, name) -> if exact then None else Some (name, n))
@@ -217,12 +239,33 @@ let scope_of (s : Surface.scope) =
   in
   Scope.make ?bitwidth:s.Surface.s_bitwidth ~but ~exactly s.Surface.s_default
 
+let pos_of_paragraph = function
+  | Surface.Psig { p_pos; _ } -> p_pos
+  | Surface.Pfact (p, _, _)
+  | Surface.Ppred (p, _, _, _)
+  | Surface.Pfun (p, _, _, _)
+  | Surface.Passert (p, _, _)
+  | Surface.Popen_ordering (p, _)
+  | Surface.Pcheck (p, _, _)
+  | Surface.Prun (p, _, _, _) ->
+      p
+
+(* The model builders police their own invariants (duplicate names,
+   unknown ordering targets) with [Invalid_argument]/[Failure]; on the
+   untrusted-spec path those must surface as located diagnostics, not
+   raw exceptions. *)
+let guarded p f =
+  try f () with
+  | Diag.Error _ as e -> raise e
+  | Invalid_argument msg | Failure msg -> located (pos_of_paragraph p) msg
+
 let file (paragraphs : Surface.file) =
   (* signatures and orderings first, so facts and predicates can refer
      to any of them regardless of paragraph order *)
   let model = ref Model.empty in
   List.iter
     (fun p ->
+      guarded p @@ fun () ->
       match p with
       | Surface.Psig { flags; name; extends; fields; _ } ->
           let abstract = List.mem Surface.Sabstract flags in
@@ -247,6 +290,7 @@ let file (paragraphs : Surface.file) =
   let fact_count = ref 0 in
   List.iter
     (fun p ->
+      guarded p @@ fun () ->
       let env = { model = !model; vars = [] } in
       match p with
       | Surface.Psig _ | Surface.Popen_ordering _ -> ()
@@ -281,15 +325,19 @@ let file (paragraphs : Surface.file) =
           model := Model.assert_ name (formula_env env f) !model
       | Surface.Pcheck (p, name, scope) ->
           if Model.find_assert !model name = None then
-            located p (Printf.sprintf "unknown assertion %s" name);
-          commands := Check (name, scope_of scope) :: !commands
+            located p
+              (Printf.sprintf "unknown assertion %s" name)
+              ~hint:"define assert name { ... } before checking it";
+          commands := Check (p, name, scope_of p scope) :: !commands
       | Surface.Prun (p, name, f, scope) ->
           (match name with
           | Some n when Model.find_pred !model n = None ->
-              located p (Printf.sprintf "unknown predicate %s" n)
+              located p
+                (Printf.sprintf "unknown predicate %s" n)
+                ~hint:"define pred name[...] { ... } before running it"
           | _ -> ());
           let f = Option.map (formula_env env) f in
-          commands := Run (name, f, scope_of scope) :: !commands)
+          commands := Run (p, name, f, scope_of p scope) :: !commands)
     paragraphs;
   { model = !model; commands = List.rev !commands }
 
@@ -301,10 +349,10 @@ let run_file src =
   List.map
     (fun cmd ->
       match cmd with
-      | Check (name, scope) ->
+      | Check (_, name, scope) ->
           let c = Compile.prepare model scope in
           (Printf.sprintf "check %s" name, Compile.check c name)
-      | Run (name, f, scope) ->
+      | Run (_, name, f, scope) ->
           let c = Compile.prepare model scope in
           let outcome =
             match (name, f) with
@@ -312,8 +360,5 @@ let run_file src =
             | None, Some f -> Compile.run_formula c f
             | None, None -> Compile.run_formula c A.tt
           in
-          let label =
-            match name with Some n -> Printf.sprintf "run %s" n | None -> "run {}"
-          in
-          (label, outcome))
+          (command_label cmd, outcome))
     commands

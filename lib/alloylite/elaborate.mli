@@ -12,14 +12,23 @@
     the corresponding [Int] atom. *)
 
 type command =
-  | Check of string * Scope.t  (** assertion name *)
-  | Run of string option * Relalg.Ast.formula option * Scope.t
+  | Check of Surface.pos * string * Scope.t  (** assertion name *)
+  | Run of Surface.pos * string option * Relalg.Ast.formula option * Scope.t
+
+val command_pos : command -> Surface.pos
+(** Source position of the command paragraph — the span resource-cap
+    rejections are attached to. *)
+
+val command_label : command -> string
+(** ["check a"], ["run p"] or ["run {}"] — the label used by the CLI
+    output, [run_file] and the service's [submit] replies. *)
 
 type elaborated = { model : Model.t; commands : command list }
 
 val file : Surface.file -> elaborated
-(** Raises [Failure] with a located message on unresolved names, arity
-    misuse, or duplicate declarations. *)
+(** Raises {!Diag.Error} (stage {!Diag.Elab}) with the offending span
+    on unresolved names, arity misuse, duplicate declarations, or
+    out-of-range bitwidths. *)
 
 val formula : Model.t -> (string * Relalg.Ast.expr) list -> Surface.fmla -> Relalg.Ast.formula
 (** Elaborates one formula against a model, with extra variable

@@ -1,0 +1,148 @@
+module Rng = Netsim.Rng
+
+(* valid bases: a trimmed version of the paper's listing, an ordering
+   model, and an arithmetic one — together they touch every paragraph
+   kind the parser knows *)
+let seeds =
+  [
+    {|
+sig vnode {}
+sig pnode { pid: one Int, pcp: one Int, initBids: set vnode,
+            pconnections: set pnode }
+fact uniqueIDs { all disj p, q: pnode | p.pid != q.pid }
+fact connectivity { all p: pnode | p !in p.pconnections
+                    && pconnections = ~pconnections }
+assert uniqueID { all disj p, q: pnode | p.pid != q.pid }
+check uniqueID for 3 but 4 Int
+run {} for 3 but 4 Int
+|};
+    {|
+open util/ordering[st]
+sig st {}
+assert firstHasNoPred { no st_next.st_first }
+check firstHasNoPred for 4
+|};
+    {|
+sig item {}
+pred covered[i: item] { some j: item | i = j }
+fun twice[i: item]: set item { i + i }
+assert selfCover { all i: item | covered[i] }
+check selfCover for 3
+run covered for 2
+|};
+  ]
+
+let tokens =
+  [
+    "sig"; "fact"; "pred"; "fun"; "assert"; "check"; "run"; "for"; "but";
+    "exactly"; "all"; "some"; "no"; "one"; "lone"; "disj"; "let"; "not";
+    "and"; "or"; "implies"; "iff"; "in"; "sum"; "univ"; "none"; "iden";
+    "Int"; "open"; "extends"; "abstract"; "{"; "}"; "["; "]"; "("; ")";
+    ":"; ","; "|"; "."; "+"; "-"; "&"; "->"; "~"; "^"; "*"; "#"; "++";
+    "<:"; ":>"; "!"; "&&"; "||"; "=>"; "<=>"; "="; "!="; "<"; "<="; ">";
+    ">="; "!in"; "0"; "7"; "4611686018427387904";
+    "99999999999999999999999999999999";
+  ]
+
+let random_bytes rng n =
+  String.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+let splice s i len repl =
+  let i = max 0 (min i (String.length s)) in
+  let len = max 0 (min len (String.length s - i)) in
+  String.sub s 0 i ^ repl ^ String.sub s (i + len) (String.length s - i - len)
+
+let mutate rng s =
+  let n = String.length s in
+  let at () = if n = 0 then 0 else Rng.int rng (n + 1) in
+  match Rng.int rng 10 with
+  | 0 when n > 0 ->
+      (* flip one byte *)
+      let i = Rng.int rng n in
+      splice s i 1 (String.make 1 (Char.chr (Rng.int rng 256)))
+  | 1 ->
+      (* insert a token where whitespace was expected *)
+      splice s (at ()) 0 (" " ^ Rng.pick rng tokens ^ " ")
+  | 2 when n > 1 ->
+      (* delete a chunk *)
+      splice s (Rng.int rng n) (1 + Rng.int rng (max 1 (n / 4))) ""
+  | 3 when n > 1 ->
+      (* duplicate a chunk elsewhere *)
+      let i = Rng.int rng n in
+      let len = 1 + Rng.int rng (max 1 (n / 4)) in
+      let len = min len (n - i) in
+      splice s (at ()) 0 (String.sub s i len)
+  | 4 when n > 0 ->
+      (* truncate mid-token *)
+      String.sub s 0 (Rng.int rng n)
+  | 5 ->
+      (* splice random bytes into the middle *)
+      splice s (at ()) 0 (random_bytes rng (1 + Rng.int rng 16))
+  | 6 ->
+      (* nesting bomb: blows a naive recursive descent's stack *)
+      let depth = 64 + Rng.int rng 1200 in
+      let open_c = Rng.pick rng [ "("; "~"; "!"; "#" ] in
+      let bomb = String.concat "" (List.init depth (fun _ -> open_c)) in
+      splice s (at ()) 0 bomb
+  | 7 ->
+      (* oversized scope or literal *)
+      splice s (at ()) 0
+        (Rng.pick rng
+           [ " for 999999999 "; " for 3 but 16 Int "; " for 3 but 99 Int ";
+             " 123456789123456789123456789 " ])
+  | 8 ->
+      (* concatenate a second seed: duplicate declarations *)
+      s ^ "\n" ^ Rng.pick rng seeds
+  | _ ->
+      (* swap two halves *)
+      if n < 2 then s ^ " }"
+      else
+        let i = 1 + Rng.int rng (n - 1) in
+        String.sub s i (n - i) ^ String.sub s 0 i
+
+type failure = { input : string; exn : string }
+
+type outcome = {
+  cases : int;
+  elaborated : int;
+  typed_errors : int;
+  failures : failure list;
+}
+
+let classify input (ok, typed, failures) =
+  match Elaborate.file (Parser.parse input) with
+  | _ -> (ok + 1, typed, failures)
+  | exception Diag.Error _ -> (ok, typed + 1, failures)
+  | exception e ->
+      (ok, typed, { input; exn = Printexc.to_string e } :: failures)
+
+let run ?(seeds = seeds) ~count ~seed () =
+  let rng = Rng.create seed in
+  let rec go i acc =
+    if i >= count then acc
+    else
+      let input =
+        if i mod 5 = 4 then
+          (* raw garbage: exercises the lexer's whole byte range *)
+          random_bytes rng (Rng.int rng 256)
+        else begin
+          let base = Rng.pick rng seeds in
+          let steps = 1 + Rng.int rng 4 in
+          let rec apply k s = if k = 0 then s else apply (k - 1) (mutate rng s) in
+          apply steps base
+        end
+      in
+      go (i + 1) (classify input acc)
+  in
+  let elaborated, typed_errors, failures = go 0 (0, 0, []) in
+  { cases = count; elaborated; typed_errors; failures = List.rev failures }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "cases=%d elaborated=%d typed=%d failures=%d" o.cases
+    o.elaborated o.typed_errors (List.length o.failures);
+  List.iteri
+    (fun i f ->
+      Format.fprintf ppf "@.[%d] %s on %S" i f.exn
+        (if String.length f.input > 120 then String.sub f.input 0 120
+         else f.input))
+    o.failures

@@ -1,0 +1,36 @@
+(** Parser/elaborator fuzzer for the untrusted-spec path.
+
+    Mutates valid mini-Alloy specs (byte flips, chunk churn, token
+    splices, nesting bombs, oversized literals) and feeds pure random
+    bytes, then asserts the frontend's robustness contract: every input
+    either elaborates or raises {!Diag.Error} — never any other
+    exception, never a [Stack_overflow], never a hang. Same spirit as
+    [Sat.Fuzz]: deterministic under [seed], failures carried in the
+    outcome for shrink-free reproduction. *)
+
+val seeds : string list
+(** Embedded valid specs (the paper's model among them) used as
+    mutation bases. *)
+
+val mutate : Netsim.Rng.t -> string -> string
+(** One randomized mutation step. Composes: the harness (and the
+    [mca_serve --spec-flood --mutate] client) applies several. *)
+
+type failure = {
+  input : string;  (** the offending spec text *)
+  exn : string;  (** [Printexc.to_string] of the non-[Diag] exception *)
+}
+
+type outcome = {
+  cases : int;
+  elaborated : int;  (** inputs accepted end-to-end (parse + elaborate) *)
+  typed_errors : int;  (** inputs rejected with a {!Diag.Error} *)
+  failures : failure list;  (** contract violations — must be empty *)
+}
+
+val run : ?seeds:string list -> count:int -> seed:int -> unit -> outcome
+(** Runs [count] cases: mutated seeds interleaved with raw random-byte
+    inputs. Only parse + elaborate are exercised (no solving — resource
+    caps guard that stage separately, in [Service.Speccheck]). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

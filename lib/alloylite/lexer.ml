@@ -32,7 +32,9 @@ let tokenize src =
   let line = ref 1 and col = ref 1 in
   let toks = ref [] in
   let emit t l c = toks := { token = t; line = l; col = c } :: !toks in
-  let fail msg l c = failwith (Printf.sprintf "lexer: line %d, col %d: %s" l c msg) in
+  let fail ?hint ?(width = 1) msg l c =
+    Diag.error ?hint Diag.Lex (Diag.spanning ~line:l ~col:c ~width) msg
+  in
   let i = ref 0 in
   let advance () =
     if !i < n then begin
@@ -69,14 +71,25 @@ let tokenize src =
         end
         else advance ()
       done;
-      if not !closed then fail "unterminated comment" l cl
+      if not !closed then
+        fail ~width:2 ~hint:"close the comment with */" "unterminated comment"
+          l cl
     end
     else if is_digit c then begin
       let start = !i in
       while !i < n && is_digit src.[!i] do
         advance ()
       done;
-      emit (INT (int_of_string (String.sub src start (!i - start)))) l cl
+      let lit = String.sub src start (!i - start) in
+      match int_of_string_opt lit with
+      | Some v -> emit (INT v) l cl
+      | None ->
+          (* a literal wider than the native int must not crash the
+             tokenizer with a bare [Failure _] *)
+          fail ~width:(String.length lit)
+            ~hint:"use a literal that fits a 63-bit integer"
+            (Printf.sprintf "integer literal %s out of range" lit)
+            l cl
     end
     else if is_ident_start c then begin
       let start = !i in
@@ -127,11 +140,27 @@ let tokenize src =
         | '=' -> adv 1; emit EQ l cl
         | '<' -> adv 1; emit LT l cl
         | '>' -> adv 1; emit GT l cl
-        | _ -> fail (Printf.sprintf "illegal character %C" c) l cl
+        | _ ->
+            fail
+              ~hint:"remove the character; only ASCII mini-Alloy syntax is \
+                     accepted"
+              (Printf.sprintf "illegal character %C" c)
+              l cl
     end
   done;
   emit EOF !line !col;
   List.rev !toks
+
+(* source width of a token, for diagnostic spans *)
+let token_width = function
+  | IDENT s | KW s -> String.length s
+  | INT n -> String.length (string_of_int n)
+  | IFF | NOTIN -> 3
+  | ARROW | PLUSPLUS | LTCOLON | COLONGT | AMPAMP | BARBAR | IMPLIES | NEQ
+  | LE | GE ->
+      2
+  | EOF -> 0
+  | _ -> 1
 
 let pp_token ppf = function
   | IDENT s -> Format.fprintf ppf "identifier %s" s

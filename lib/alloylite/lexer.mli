@@ -15,11 +15,16 @@ type token =
 type located = { token : token; line : int; col : int }
 
 val tokenize : string -> located list
-(** Raises [Failure] with a located message on illegal input. Line
-    comments ([//] and [--]) and block comments ([/* ... */]) are
-    skipped. *)
+(** Raises {!Diag.Error} (stage {!Diag.Lex}) with the offending span on
+    illegal input — including integer literals that overflow the native
+    int. Line comments ([//] and [--]) and block comments
+    ([/* ... */]) are skipped. *)
 
 val keywords : string list
 (** Words lexed as [KW] rather than [IDENT]. *)
+
+val token_width : token -> int
+(** Source width of a token in columns (0 for [EOF]), used to extend
+    diagnostic spans past their start position. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -1,26 +1,61 @@
 open Surface
 
-type state = { mutable toks : Lexer.located list }
+type state = {
+  mutable toks : Lexer.located list;
+  mutable last : Lexer.located;  (** last consumed token, for EOF spans *)
+  mutable depth : int;  (** recursion guard against nesting bombs *)
+}
 
 let pos_of (l : Lexer.located) = { line = l.Lexer.line; col = l.Lexer.col }
 
+(* Past the token list (the lexer always appends EOF, so this only
+   happens after EOF itself was consumed) the parser still reports a
+   real position: a synthetic EOF at the span of the last consumed
+   token, never a bare "unexpected end" without line/col. *)
 let peek st =
-  match st.toks with [] -> failwith "parser: unexpected end" | t :: _ -> t
+  match st.toks with
+  | t :: _ -> t
+  | [] ->
+      { Lexer.token = Lexer.EOF; line = st.last.Lexer.line;
+        col = st.last.Lexer.col }
 
 let peek2 st = match st.toks with _ :: t :: _ -> Some t.Lexer.token | _ -> None
 
 let advance st =
-  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+  match st.toks with
+  | [] -> ()
+  | t :: rest ->
+      st.last <- t;
+      st.toks <- rest
 
-let fail st msg =
-  let t = peek st in
-  failwith
-    (Format.asprintf "parser: line %d, col %d: %s (found %a)" t.Lexer.line
-       t.Lexer.col msg Lexer.pp_token t.Lexer.token)
+let span_of (t : Lexer.located) =
+  Diag.spanning ~line:t.Lexer.line ~col:t.Lexer.col
+    ~width:(Lexer.token_width t.Lexer.token)
 
-let expect st token msg =
+let fail ?hint st msg =
   let t = peek st in
-  if t.Lexer.token = token then advance st else fail st msg
+  Diag.error ?hint Diag.Parse (span_of t)
+    (Format.asprintf "%s (found %a)" msg Lexer.pp_token t.Lexer.token)
+
+(* Untrusted input may nest arbitrarily deep ("(((((..."); the
+   recursive-descent parser must answer with a typed error, not a
+   [Stack_overflow]. The bound is far above anything a real spec
+   needs. *)
+let max_depth = 400
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    fail st "expression nests too deeply"
+      ~hint:
+        (Printf.sprintf "at most %d nested expressions or formulas are \
+                         accepted" max_depth)
+
+let leave st = st.depth <- st.depth - 1
+
+let expect ?hint st token msg =
+  let t = peek st in
+  if t.Lexer.token = token then advance st else fail ?hint st msg
 
 let accept st token =
   let t = peek st in
@@ -66,7 +101,11 @@ let starts_decl st =
    precedence (loosest to tightest):
      + -  |  &  |  ++  |  <: :>  |  ->  |  .  |  unary ~ ^ * # sum  | atom *)
 
-let rec parse_expr_prec st = parse_union st
+let rec parse_expr_prec st =
+  enter st;
+  let e = parse_union st in
+  leave st;
+  e
 
 and parse_union st =
   let lhs = ref (parse_card st) in
@@ -87,16 +126,21 @@ and parse_union st =
 (* # and sum bind looser than the other connectives (Alloy's precedence):
    [sum p.initBids] is [sum (p.initBids)] *)
 and parse_card st =
+  enter st;
   let t = peek st in
   let p = pos_of t in
-  match t.Lexer.token with
-  | Lexer.HASH ->
-      advance st;
-      ECard (p, parse_card st)
-  | Lexer.KW "sum" ->
-      advance st;
-      ESum (p, parse_card st)
-  | _ -> parse_inter st
+  let e =
+    match t.Lexer.token with
+    | Lexer.HASH ->
+        advance st;
+        ECard (p, parse_card st)
+    | Lexer.KW "sum" ->
+        advance st;
+        ESum (p, parse_card st)
+    | _ -> parse_inter st
+  in
+  leave st;
+  e
 
 and parse_inter st =
   let lhs = ref (parse_override st) in
@@ -146,19 +190,24 @@ and parse_join st =
   !lhs
 
 and parse_unary st =
+  enter st;
   let t = peek st in
   let p = pos_of t in
-  match t.Lexer.token with
-  | Lexer.TILDE ->
-      advance st;
-      ETranspose (p, parse_unary st)
-  | Lexer.CARET ->
-      advance st;
-      EClosure (p, parse_unary st)
-  | Lexer.STAR ->
-      advance st;
-      ERClosure (p, parse_unary st)
-  | _ -> parse_atom st
+  let e =
+    match t.Lexer.token with
+    | Lexer.TILDE ->
+        advance st;
+        ETranspose (p, parse_unary st)
+    | Lexer.CARET ->
+        advance st;
+        EClosure (p, parse_unary st)
+    | Lexer.STAR ->
+        advance st;
+        ERClosure (p, parse_unary st)
+    | _ -> parse_atom st
+  in
+  leave st;
+  e
 
 and parse_atom st =
   let t = peek st in
@@ -219,7 +268,11 @@ and parse_expr_list st =
 
    precedence: iff < implies < or < and < not < atomic *)
 
-and parse_formula_prec st = parse_iff st
+and parse_formula_prec st =
+  enter st;
+  let f = parse_iff st in
+  leave st;
+  f
 
 and parse_iff st =
   let lhs = parse_implies st in
@@ -254,11 +307,16 @@ and parse_and st =
   !lhs
 
 and parse_not st =
-  match (peek st).Lexer.token with
-  | Lexer.BANG | Lexer.KW "not" ->
-      advance st;
-      FNot (parse_not st)
-  | _ -> parse_atomic_formula st
+  enter st;
+  let f =
+    match (peek st).Lexer.token with
+    | Lexer.BANG | Lexer.KW "not" ->
+        advance st;
+        FNot (parse_not st)
+    | _ -> parse_atomic_formula st
+  in
+  leave st;
+  f
 
 and parse_decls st =
   let parse_decl () =
@@ -317,12 +375,18 @@ and parse_atomic_formula st =
   | Lexer.LPAREN -> (
       (* could be a parenthesized formula or expression comparison;
          try formula first by scanning — simplest: attempt formula parse
-         and fall back to comparison via backtracking on the token list *)
+         and fall back to comparison via backtracking on the token list.
+         [last] and [depth] are restored with the tokens: an aborted
+         attempt must not shift later EOF spans or leak depth budget. *)
       let saved = st.toks in
+      let saved_last = st.last in
+      let saved_depth = st.depth in
       match parse_paren_formula st with
       | Some f -> f
       | None ->
           st.toks <- saved;
+          st.last <- saved_last;
+          st.depth <- saved_depth;
           parse_comparison st)
   | _ -> parse_comparison st
 
@@ -339,7 +403,11 @@ and parse_paren_formula st =
             None (* it was an expression in disguise; re-parse *)
         | _ -> Some f
       else None
-  | exception _ -> None
+  | exception Diag.Error _ ->
+      (* only the parser's own failure triggers the backtrack;
+         anything else ([Out_of_memory], [Stack_overflow], ...) must
+         propagate, not be silently swallowed into a re-parse *)
+      None
 
 and parse_comparison st =
   let t = peek st in
@@ -451,7 +519,9 @@ let parse_scope st =
       | Lexer.INT n ->
           advance st;
           n
-      | _ -> fail st "expected a scope bound"
+      | _ ->
+          fail st "expected a scope bound"
+            ~hint:"write for N, e.g. check A for 3 but 4 Int"
     in
     let but = ref [] in
     let bitwidth = ref None in
@@ -612,7 +682,9 @@ let rec parse_paragraph st =
         let scope = parse_scope st in
         Prun (p, Some name, None, scope)
       end
-  | _ -> fail st "expected a paragraph (sig, fact, pred, assert, check, run, open)"
+  | _ ->
+      fail st "expected a paragraph (sig, fact, pred, assert, check, run, open)"
+        ~hint:"every top-level declaration starts with one of these keywords"
 
 (* the body of a fact/pred/assert: formulas separated by newlines are
    implicitly conjoined; we conjoin until the closing brace *)
@@ -629,8 +701,15 @@ and parse_fact_body_open st =
   in
   more first
 
+let init src =
+  {
+    toks = Lexer.tokenize src;
+    last = { Lexer.token = Lexer.EOF; line = 1; col = 1 };
+    depth = 0;
+  }
+
 let parse src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = init src in
   let rec go acc =
     if (peek st).Lexer.token = Lexer.EOF then List.rev acc
     else go (parse_paragraph st :: acc)
@@ -638,13 +717,13 @@ let parse src =
   go []
 
 let parse_formula src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = init src in
   let f = parse_formula_prec st in
   if (peek st).Lexer.token <> Lexer.EOF then fail st "trailing input";
   f
 
 let parse_expr src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = init src in
   let e = parse_expr_prec st in
   if (peek st).Lexer.token <> Lexer.EOF then fail st "trailing input";
   e

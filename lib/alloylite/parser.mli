@@ -12,8 +12,11 @@
     [none], [iden], and integer literals. *)
 
 val parse : string -> Surface.file
-(** Raises [Failure] with a line/column-located message on syntax
-    errors. *)
+(** Raises {!Diag.Error} (stage {!Diag.Parse}, or {!Diag.Lex} from the
+    tokenizer) carrying the span of the offending token — the span of
+    the last consumed token when input ends unexpectedly — and a
+    recovery hint where one exists. Nesting deeper than an internal
+    bound is a typed error too, never a [Stack_overflow]. *)
 
 val parse_formula : string -> Surface.fmla
 (** Parses a single formula (used by tests and the REPL-style CLI). *)

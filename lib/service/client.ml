@@ -69,6 +69,30 @@ let roundtrip ?timeout_s addr line =
 let check ?timeout_s addr req =
   roundtrip ?timeout_s addr (Wire.render_request req)
 
+(* Submit framing: the header line, then the raw body bytes. The write
+   can hit EPIPE when the server refuses from the header alone (cap,
+   quota, shed) and closes before reading our body — the refusal reply
+   is already on the wire, so swallow the write error and read it. *)
+let submit ?timeout_s ?id ?tenant ?cmd ?certify ?deadline_s addr spec =
+  let header =
+    Wire.submit ?id ?tenant ?cmd ?certify ?deadline_s
+      ~spec_bytes:(String.length spec) ()
+  in
+  match connect ?timeout_s addr with
+  | exception e ->
+      Result.Error (Printf.sprintf "connect: %s" (Printexc.to_string e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try send_all fd (Wire.render_submit_header header ^ "\n" ^ spec)
+           with Unix.Unix_error _ | Failure _ -> ());
+          match recv_line fd with
+          | None -> Result.Error "connection closed before reply"
+          | Some reply -> Wire.parse_response reply
+          | exception e ->
+              Result.Error (Printf.sprintf "i/o: %s" (Printexc.to_string e)))
+
 let get_stats ?timeout_s addr =
   match roundtrip ?timeout_s addr Wire.stats_request with
   | Ok (Wire.Stats kvs) -> Ok kvs
@@ -180,7 +204,10 @@ let flood ?timeout_s ?(concurrency = 4) ~total addr reqs =
             | Core.Experiments.Undecided _ -> incr undecided
             | _ -> ())
         | Ok (Wire.Shed _) -> incr shed
-        | Ok (Wire.Error _) | Ok (Wire.Stats _) | Result.Error _ ->
+        | Ok (Wire.Spec _ | Wire.Quota _ | Wire.Bad_spec _)
+        | Ok (Wire.Error _)
+        | Ok (Wire.Stats _)
+        | Result.Error _ ->
             incr errors);
         loop ()
       end
@@ -206,3 +233,95 @@ let pp_flood ppf r =
   Format.fprintf ppf
     "sent=%d verdicts=%d shed=%d errors=%d undecided=%d" r.sent r.verdicts
     r.flood_shed r.flood_errors r.undecided
+
+(* ---- the hostile-tenant probe -------------------------------------- *)
+
+(* Floods the submit verb, optionally mutating the base spec per
+   request (the Alloylite.Fuzz operators — the wire-level continuation
+   of the parser fuzz suite). The robustness contract being probed:
+   every reply is a verdict, a typed diagnostic, a quota refusal or a
+   shed; [spec_transport] (connection died, no reply) stays 0. *)
+
+type spec_flood_report = {
+  spec_sent : int;
+  spec_verdicts : int;  (** [spec] replies (cached or computed) *)
+  spec_hits : int;  (** the subset served from the verdict cache *)
+  spec_typed : int;  (** [Bad_spec] replies with a span *)
+  spec_quota : int;
+  spec_shed : int;
+  spec_transport : int;  (** no structured reply — must stay 0 *)
+}
+
+let spec_flood ?timeout_s ?(concurrency = 2) ?tenant ?cmd ?certify ?mutate_seed
+    ~total addr spec =
+  if concurrency < 1 then invalid_arg "Client.spec_flood: concurrency < 1";
+  let next = Atomic.make 0 in
+  let tally () =
+    let verdicts = ref 0
+    and hits = ref 0
+    and typed = ref 0
+    and quota = ref 0
+    and shed = ref 0
+    and transport = ref 0
+    and mine = ref 0 in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < total then begin
+        incr mine;
+        let body =
+          match mutate_seed with
+          | None -> spec
+          | Some seed ->
+              (* deterministic per request: seed + index, 1–3 steps *)
+              let rng = Netsim.Rng.create (seed + i) in
+              let steps = 1 + Netsim.Rng.int rng 3 in
+              let rec apply k s =
+                if k = 0 then s else apply (k - 1) (Alloylite.Fuzz.mutate rng s)
+              in
+              apply steps spec
+        in
+        let id = Printf.sprintf "sf%d" i in
+        (match submit ?timeout_s ~id ?tenant ?cmd ?certify addr body with
+        | Ok (Wire.Spec s) ->
+            incr verdicts;
+            if s.Wire.spec_cached then incr hits
+        | Ok (Wire.Bad_spec _) -> incr typed
+        | Ok (Wire.Quota _) -> incr quota
+        | Ok (Wire.Shed _) -> incr shed
+        | Ok (Wire.Verdict _ | Wire.Error _ | Wire.Stats _) | Result.Error _ ->
+            incr transport);
+        loop ()
+      end
+    in
+    loop ();
+    (!mine, !verdicts, !hits, !typed, !quota, !shed, !transport)
+  in
+  let domains = List.init concurrency (fun _ -> Domain.spawn tally) in
+  let parts = List.map Domain.join domains in
+  List.fold_left
+    (fun acc (m, v, h, t, q, s, tr) ->
+      {
+        spec_sent = acc.spec_sent + m;
+        spec_verdicts = acc.spec_verdicts + v;
+        spec_hits = acc.spec_hits + h;
+        spec_typed = acc.spec_typed + t;
+        spec_quota = acc.spec_quota + q;
+        spec_shed = acc.spec_shed + s;
+        spec_transport = acc.spec_transport + tr;
+      })
+    {
+      spec_sent = 0;
+      spec_verdicts = 0;
+      spec_hits = 0;
+      spec_typed = 0;
+      spec_quota = 0;
+      spec_shed = 0;
+      spec_transport = 0;
+    }
+    parts
+
+let pp_spec_flood ppf r =
+  Format.fprintf ppf
+    "sent=%d verdicts=%d cached=%d typed=%d quota=%d shed=%d transport=%d"
+    r.spec_sent r.spec_verdicts r.spec_hits r.spec_typed r.spec_quota
+    r.spec_shed r.spec_transport

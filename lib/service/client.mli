@@ -16,6 +16,21 @@ val check :
 val get_stats :
   ?timeout_s:float -> Server.addr -> ((string * int) list, string) result
 
+val submit :
+  ?timeout_s:float ->
+  ?id:string ->
+  ?tenant:string ->
+  ?cmd:string ->
+  ?certify:bool ->
+  ?deadline_s:float ->
+  Server.addr -> string -> (Wire.response, string) result
+(** Submits a mini-Alloy spec text: sends the [submit] header line
+    followed by the raw body bytes, then reads the one reply — a
+    [Spec] verdict, a [Bad_spec] diagnostic, a [Quota] or [Shed]
+    refusal. A body-write failure (the server refused from the header
+    alone and closed) is swallowed so the refusal reply is still
+    read. *)
+
 (** Outcome of a {!check_retry}: how many tries, and why the last
     failure (if any) was returned instead of retried. *)
 type retry_report = {
@@ -66,3 +81,34 @@ val flood :
     ["f<i>"]) using [concurrency] (default 4) client domains. *)
 
 val pp_flood : Format.formatter -> flood_report -> unit
+
+(** The hostile-tenant probe: flood the [submit] verb, optionally
+    mutating the base spec per request with the {!Alloylite.Fuzz}
+    operators. The contract asserted by the CI smoke job: every
+    request gets a structured reply — a verdict, a typed spanned
+    diagnostic, a quota refusal or a shed — so [spec_transport]
+    (and the untyped-error bucket folded into it) stays 0. *)
+type spec_flood_report = {
+  spec_sent : int;
+  spec_verdicts : int;  (** [spec] replies (cached or computed) *)
+  spec_hits : int;  (** the subset served from the verdict cache *)
+  spec_typed : int;  (** [Bad_spec] replies carrying a span *)
+  spec_quota : int;
+  spec_shed : int;
+  spec_transport : int;  (** no structured reply, or an untyped error *)
+}
+
+val spec_flood :
+  ?timeout_s:float ->
+  ?concurrency:int ->
+  ?tenant:string ->
+  ?cmd:string ->
+  ?certify:bool ->
+  ?mutate_seed:int ->
+  total:int -> Server.addr -> string -> spec_flood_report
+(** Sends [total] submissions of [spec] (ids ["sf<i>"]) from
+    [concurrency] (default 2) domains. With [mutate_seed], request [i]
+    instead sends the base spec after 1–3 deterministic
+    {!Alloylite.Fuzz.mutate} steps seeded with [seed + i]. *)
+
+val pp_spec_flood : Format.formatter -> spec_flood_report -> unit

@@ -359,7 +359,8 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
       | Ok (Wire.Error { msg; _ }) ->
           worker_ok w;
           `Refused msg
-      | Ok (Wire.Stats _) -> `Transport "unexpected stats reply"
+      | Ok (Wire.Stats _ | Wire.Spec _ | Wire.Quota _ | Wire.Bad_spec _) ->
+          `Transport "unexpected reply kind to check"
       | Result.Error msg ->
           worker_fail w;
           `Transport msg

@@ -41,6 +41,11 @@ type config = {
   trip_after : int;  (** breaker: consecutive timeouts before opening *)
   breaker_base_s : float;
   breaker_cap_s : float;
+  max_spec_bytes : int;  (** submit body cap (≤ {!Wire.max_spec_bytes}) *)
+  max_atoms : int;  (** submit universe-estimate ceiling *)
+  max_tuples : int;  (** submit field-tuple ceiling *)
+  quota_rate : float;  (** per-tenant submissions per second *)
+  quota_burst : float;  (** per-tenant burst allowance *)
 }
 
 let default_config addr =
@@ -56,9 +61,22 @@ let default_config addr =
     trip_after = 3;
     breaker_base_s = 0.5;
     breaker_cap_s = 30.0;
+    max_spec_bytes = Speccheck.default_caps.Speccheck.max_bytes;
+    max_atoms = Speccheck.default_caps.Speccheck.max_atoms;
+    max_tuples = Speccheck.default_caps.Speccheck.max_tuples;
+    quota_rate = Tenant.default_config.Tenant.rate;
+    quota_burst = Tenant.default_config.Tenant.burst;
   }
 
-type job = { fd : Unix.file_descr; req : Wire.request }
+type work =
+  | Cell of Wire.request
+  | Spec of Wire.submit_header * string  (** header plus the body text *)
+
+type job = { fd : Unix.file_descr; work : work }
+
+let work_id = function
+  | Cell req -> req.Wire.id
+  | Spec (h, _) -> h.Wire.sub_id
 
 type counters = {
   conns : int Atomic.t;  (** connections accepted *)
@@ -70,6 +88,10 @@ type counters = {
   cached : int Atomic.t;  (** served from the journal cache *)
   degraded : int Atomic.t;  (** answered below the CDCL rung *)
   drained : int Atomic.t;  (** requests completed during drain *)
+  submits : int Atomic.t;  (** well-formed submit headers *)
+  quota : int Atomic.t;  (** submissions refused by tenant admission *)
+  spec_errors : int Atomic.t;  (** typed spec rejections (Bad_spec) *)
+  spec_cached : int Atomic.t;  (** submits served from the verdict cache *)
 }
 
 let new_counters () =
@@ -83,6 +105,10 @@ let new_counters () =
     cached = Atomic.make 0;
     degraded = Atomic.make 0;
     drained = Atomic.make 0;
+    submits = Atomic.make 0;
+    quota = Atomic.make 0;
+    spec_errors = Atomic.make 0;
+    spec_cached = Atomic.make 0;
   }
 
 type t = {
@@ -100,6 +126,12 @@ type t = {
           the same scope solve it under selector assumptions instead of
           rebuilding the model per request *)
   shared_lock : Mutex.t;
+  tenants : Tenant.t;
+  spec_cache : (string * string * bool, Speccheck.record) Hashtbl.t;
+      (** content-addressed submit verdicts, keyed on (spec digest,
+          requested command, certify); loaded from and appended to the
+          same journal as the sweep cells *)
+  spec_lock : Mutex.t;
   journal_w : Parallel.Journal.writer option;
   listen_fd : Unix.file_descr;
   mutable domains : unit Domain.t list;
@@ -142,12 +174,16 @@ let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let cache_key ~seed ~policy ~scope_tag = (seed, policy, scope_tag)
 
-let load_cache cfg cache =
+let spec_cache_key ~digest ~cmd ~certify =
+  (digest, Option.value cmd ~default:"", certify)
+
+let load_cache cfg cache spec_cache =
   match cfg.journal with
   | None -> None
   | Some path ->
       (* recover: truncate a torn tail, then trust only digest-valid
-         records — the PR 4 resume contract *)
+         records — the PR 4 resume contract. Cell and spec records
+         share the file; each codec skips the other's lines. *)
       let { Parallel.Journal.entries; _ } = Parallel.Journal.recover path in
       List.iter
         (fun line ->
@@ -157,7 +193,15 @@ let load_cache cfg cache =
                 (cache_key ~seed ~policy:cell.Core.Experiments.policy_label
                    ~scope_tag:cell.Core.Experiments.scope_tag)
                 cell
-          | None -> ())
+          | None -> (
+              match Speccheck.spec_of_record line with
+              | Some r ->
+                  Hashtbl.replace spec_cache
+                    ( r.Speccheck.rec_digest,
+                      r.Speccheck.rec_req,
+                      r.Speccheck.rec_certify )
+                    r
+              | None -> ()))
         entries;
       Some (Parallel.Journal.open_append path)
 
@@ -222,6 +266,11 @@ let stats_of t =
     ("cached", Atomic.get c.cached);
     ("degraded", Atomic.get c.degraded);
     ("drained", Atomic.get c.drained);
+    ("submits", Atomic.get c.submits);
+    ("quota", Atomic.get c.quota);
+    ("spec_errors", Atomic.get c.spec_errors);
+    ("spec_cached", Atomic.get c.spec_cached);
+    ("tenants", Tenant.active t.tenants);
     ("depth", Parallel.Bqueue.length t.queue);
     ("cap", t.cfg.queue_cap);
     ("jobs", t.cfg.jobs);
@@ -299,8 +348,7 @@ let compute_cell t (req : Wire.request) ~stop ~abs_deadline =
       in
       Ok (cell, answer)
 
-let serve_check t (job : job) =
-  let req = job.req in
+let serve_check t fd (req : Wire.request) =
   let c = t.counters in
   let now0 = Unix.gettimeofday () in
   let deadline_s =
@@ -313,10 +361,7 @@ let serve_check t (job : job) =
     (* count before the write lands: a client that reads its reply and
        immediately asks for stats must see itself in the counter *)
     Atomic.incr c.served;
-    if
-      not
-        (send_line job.fd ~deadline:(io_deadline ())
-           (Wire.render_response resp))
+    if not (send_line fd ~deadline:(io_deadline ()) (Wire.render_response resp))
     then Atomic.decr c.served
   in
   let scope_tag, _ = Wire.scope_of_request req in
@@ -382,7 +427,113 @@ let serve_check t (job : job) =
                  secs = cell.Core.Experiments.cell_seconds;
                }))
 
+let serve_submit t fd (h : Wire.submit_header) spec =
+  let c = t.counters in
+  let now0 = Unix.gettimeofday () in
+  let deadline_s =
+    Float.min t.cfg.max_deadline
+      (Option.value h.Wire.sub_deadline_s ~default:t.cfg.default_deadline)
+  in
+  let abs_deadline = now0 +. deadline_s in
+  let reply resp =
+    Atomic.incr c.served;
+    if
+      not
+        (send_line fd
+           ~deadline:(Unix.gettimeofday () +. t.cfg.io_deadline)
+           (Wire.render_response resp))
+    then Atomic.decr c.served
+  in
+  let digest = Speccheck.digest spec in
+  let key = spec_cache_key ~digest ~cmd:h.Wire.sub_cmd ~certify:h.Wire.certify in
+  let hit =
+    Mutex.lock t.spec_lock;
+    let r = Hashtbl.find_opt t.spec_cache key in
+    Mutex.unlock t.spec_lock;
+    r
+  in
+  match hit with
+  | Some r ->
+      Atomic.incr c.spec_cached;
+      reply
+        (Wire.Spec
+           {
+             Wire.spec_id = h.Wire.sub_id;
+             digest;
+             command = r.Speccheck.rec_cmd;
+             spec_verdict = r.Speccheck.rec_verdict;
+             certified = r.Speccheck.rec_certify;
+             spec_cached = true;
+             spec_secs = r.Speccheck.rec_secs;
+           })
+  | None -> (
+      let stop () =
+        Atomic.get t.aborting || Unix.gettimeofday () >= abs_deadline
+      in
+      let caps =
+        {
+          Speccheck.max_bytes = t.cfg.max_spec_bytes;
+          max_atoms = t.cfg.max_atoms;
+          max_tuples = t.cfg.max_tuples;
+        }
+      in
+      match
+        Speccheck.analyze ~caps ~certify:h.Wire.certify ?cmd:h.Wire.sub_cmd
+          ~stop ~deadline:abs_deadline spec
+      with
+      | Result.Error d ->
+          Atomic.incr c.spec_errors;
+          reply (Wire.Bad_spec { req_id = h.Wire.sub_id; diag = d })
+      | Ok r ->
+          let decided =
+            match r.Speccheck.verdict with
+            | Wire.Spec_unknown _ -> false
+            | _ -> true
+          in
+          (* cache only verdicts that can be replayed verbatim: decided,
+             and — when certification was asked for — actually certified *)
+          if decided && ((not h.Wire.certify) || r.Speccheck.certified) then begin
+            let record =
+              {
+                Speccheck.rec_digest = digest;
+                rec_req = Option.value h.Wire.sub_cmd ~default:"";
+                rec_cmd = r.Speccheck.command;
+                rec_certify = r.Speccheck.certified;
+                rec_verdict = r.Speccheck.verdict;
+                rec_secs = r.Speccheck.secs;
+              }
+            in
+            (match t.journal_w with
+            | Some w -> Parallel.Journal.append w (Speccheck.spec_record record)
+            | None -> ());
+            Mutex.lock t.spec_lock;
+            Hashtbl.replace t.spec_cache key record;
+            Mutex.unlock t.spec_lock
+          end;
+          if Atomic.get t.stopping then Atomic.incr c.drained;
+          reply
+            (Wire.Spec
+               {
+                 Wire.spec_id = h.Wire.sub_id;
+                 digest;
+                 command = r.Speccheck.command;
+                 spec_verdict = r.Speccheck.verdict;
+                 certified = r.Speccheck.certified;
+                 spec_cached = false;
+                 spec_secs = r.Speccheck.secs;
+               }))
+
 let worker t =
+  let serve job =
+    match job.work with
+    | Cell req -> serve_check t job.fd req
+    | Spec (h, spec) ->
+        (* the acceptor took the tenant's queue slot at admission; give
+           it back whatever happens to the job *)
+        Fun.protect
+          ~finally:(fun () -> Tenant.release t.tenants h.Wire.tenant)
+          (fun () -> serve_submit t job.fd h spec)
+  in
   let rec loop () =
     match
       Parallel.Bqueue.pop_deadline t.queue
@@ -391,7 +542,7 @@ let worker t =
     | Parallel.Bqueue.Closed -> ()
     | Parallel.Bqueue.Timeout -> loop ()
     | Parallel.Bqueue.Item job ->
-        (try serve_check t job
+        (try serve job
          with e ->
            Atomic.incr t.counters.errors;
            ignore
@@ -399,7 +550,7 @@ let worker t =
                 ~deadline:(Unix.gettimeofday () +. t.cfg.io_deadline)
                 (Wire.render_response
                    (Wire.Error
-                      { req_id = job.req.Wire.id;
+                      { req_id = work_id job.work;
                         msg = "internal: " ^ Printexc.to_string e }))));
         close_quiet job.fd;
         loop ()
@@ -410,11 +561,62 @@ let worker t =
 
 let max_line = 65536
 
+type pmode =
+  | Header  (** assembling the one-line request *)
+  | Body of Wire.submit_header  (** assembling a submit body *)
+
 type pending = {
   pfd : Unix.file_descr;
   buf : Buffer.t;
-  expires : float;  (** the slow-loris cutoff *)
+  expires : float;  (** the slow-loris cutoff (header and body alike) *)
+  mutable mode : pmode;
 }
+
+let shed_reply t req_id =
+  Wire.Shed
+    {
+      req_id;
+      depth = Parallel.Bqueue.length t.queue;
+      capacity = t.cfg.queue_cap;
+    }
+
+(* A complete submit (header + body) arrived: tenant admission, then
+   the queue. The order matters — a Granted decision takes a queue
+   slot that must be released, so the cheap stopping check runs first
+   and a failed push gives the slot straight back. *)
+let handle_submit t fd h spec =
+  let c = t.counters in
+  let io_deadline = Unix.gettimeofday () +. t.cfg.io_deadline in
+  let refuse resp =
+    ignore (send_line fd ~deadline:io_deadline (Wire.render_response resp));
+    close_quiet fd
+  in
+  if Atomic.get t.stopping then begin
+    Atomic.incr c.shed;
+    refuse (shed_reply t h.Wire.sub_id)
+  end
+  else
+    match
+      Tenant.admit t.tenants ~now:(Unix.gettimeofday ())
+        ~queue_cap:t.cfg.queue_cap h.Wire.tenant
+    with
+    | Tenant.Quota { retry_after_s } ->
+        Atomic.incr c.quota;
+        refuse
+          (Wire.Quota
+             { req_id = h.Wire.sub_id; tenant = h.Wire.tenant; retry_after_s })
+    | Tenant.Granted ->
+        if Parallel.Bqueue.try_push t.queue { fd; work = Spec (h, spec) } then
+          Atomic.incr c.admitted
+        else begin
+          Tenant.release t.tenants h.Wire.tenant;
+          Atomic.incr c.shed;
+          refuse (shed_reply t h.Wire.sub_id)
+        end
+
+type line_action =
+  | Line_done  (** socket closed or handed off to a worker *)
+  | Await_body of Wire.submit_header  (** keep reading: a body follows *)
 
 let handle_line t fd line =
   let c = t.counters in
@@ -426,32 +628,53 @@ let handle_line t fd line =
   match Wire.parse_incoming line with
   | Result.Error msg ->
       Atomic.incr c.errors;
-      refuse (Wire.Error { req_id = ""; msg })
-  | Ok Wire.Get_stats -> refuse (Wire.Stats (stats_of t))
+      refuse (Wire.Error { req_id = ""; msg });
+      Line_done
+  | Ok Wire.Get_stats ->
+      refuse (Wire.Stats (stats_of t));
+      Line_done
+  | Ok (Wire.Submit h) ->
+      Atomic.incr c.submits;
+      if h.Wire.spec_bytes > t.cfg.max_spec_bytes then begin
+        (* refused before a single body byte is buffered; the client
+           learns the cap from the typed diagnostic *)
+        Atomic.incr c.spec_errors;
+        refuse
+          (Wire.Bad_spec
+             {
+               req_id = h.Wire.sub_id;
+               diag =
+                 {
+                   Alloylite.Diag.stage = Alloylite.Diag.Cap;
+                   span = Alloylite.Diag.point ~line:1 ~col:1;
+                   msg =
+                     Printf.sprintf "spec is %d bytes, cap is %d"
+                       h.Wire.spec_bytes t.cfg.max_spec_bytes;
+                   hint = Some "split the model or inline fewer paragraphs";
+                 };
+             });
+        Line_done
+      end
+      else Await_body h
   | Ok (Wire.Check req) ->
       Atomic.incr c.requests;
-      if Core.Experiments.lookup_policy req.Wire.policy = None then begin
-        Atomic.incr c.errors;
-        refuse
-          (Wire.Error
-             { req_id = req.Wire.id;
-               msg = Printf.sprintf "unknown policy %S" req.Wire.policy })
-      end
-      else if
-        Atomic.get t.stopping
-        (* draining: no new admissions, only the backlog finishes *)
-        || not (Parallel.Bqueue.try_push t.queue { fd; req })
-      then begin
-        Atomic.incr c.shed;
-        refuse
-          (Wire.Shed
-             {
-               req_id = req.Wire.id;
-               depth = Parallel.Bqueue.length t.queue;
-               capacity = t.cfg.queue_cap;
-             })
-      end
-      else Atomic.incr c.admitted
+      (if Core.Experiments.lookup_policy req.Wire.policy = None then begin
+         Atomic.incr c.errors;
+         refuse
+           (Wire.Error
+              { req_id = req.Wire.id;
+                msg = Printf.sprintf "unknown policy %S" req.Wire.policy })
+       end
+       else if
+         Atomic.get t.stopping
+         (* draining: no new admissions, only the backlog finishes *)
+         || not (Parallel.Bqueue.try_push t.queue { fd; work = Cell req })
+       then begin
+         Atomic.incr c.shed;
+         refuse (shed_reply t req.Wire.id)
+       end
+       else Atomic.incr c.admitted);
+      Line_done
 (* on successful push the worker owns [fd] *)
 
 let acceptor t =
@@ -459,18 +682,43 @@ let acceptor t =
   let chunk = Bytes.create 4096 in
   let drop p = close_quiet p.pfd in
   let rec feed p =
-    (* read what is available; a complete line hands the socket off *)
+    (* read what is available; a complete request hands the socket off *)
     match Unix.read p.pfd chunk 0 (Bytes.length chunk) with
     | 0 ->
         drop p;
         None
-    | n -> (
+    | n ->
         Buffer.add_subbytes p.buf chunk 0 n;
+        advance p
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Some p
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> feed p
+    | exception Unix.Unix_error _ ->
+        drop p;
+        None
+  and advance p =
+    match p.mode with
+    | Body h ->
+        if Buffer.length p.buf >= h.Wire.spec_bytes then begin
+          (* bytes past the declared length are ignored: one request
+             per connection, no pipelining *)
+          handle_submit t p.pfd h (Buffer.sub p.buf 0 h.Wire.spec_bytes);
+          None
+        end
+        else feed p
+    | Header -> (
         let s = Buffer.contents p.buf in
         match String.index_opt s '\n' with
-        | Some i ->
-            handle_line t p.pfd (String.sub s 0 i);
-            None
+        | Some i -> (
+            match handle_line t p.pfd (String.sub s 0 i) with
+            | Line_done -> None
+            | Await_body h ->
+                (* whatever followed the newline is body prefix *)
+                let rest = String.sub s (i + 1) (String.length s - i - 1) in
+                Buffer.clear p.buf;
+                Buffer.add_string p.buf rest;
+                p.mode <- Body h;
+                advance p)
         | None ->
             if Buffer.length p.buf > max_line then begin
               Atomic.incr t.counters.errors;
@@ -483,12 +731,6 @@ let acceptor t =
               None
             end
             else feed p)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Some p
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> feed p
-    | exception Unix.Unix_error _ ->
-        drop p;
-        None
   in
   let rec loop () =
     if Atomic.get t.stopping then ()
@@ -508,6 +750,7 @@ let acceptor t =
                   pfd = fd;
                   buf = Buffer.create 128;
                   expires = Unix.gettimeofday () +. t.cfg.io_deadline;
+                  mode = Header;
                 }
                 :: !pending;
               accept_all ()
@@ -558,8 +801,11 @@ let start cfg =
   if cfg.queue_cap < 1 then invalid_arg "Server.start: queue_cap < 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  if cfg.max_spec_bytes > Wire.max_spec_bytes then
+    invalid_arg "Server.start: max_spec_bytes above the framing cap";
   let cache = Hashtbl.create 64 in
-  let journal_w = load_cache cfg cache in
+  let spec_cache = Hashtbl.create 64 in
+  let journal_w = load_cache cfg cache spec_cache in
   let t =
     {
       cfg;
@@ -577,6 +823,13 @@ let start cfg =
       cache_lock = Mutex.create ();
       shared_cache = Hashtbl.create 8;
       shared_lock = Mutex.create ();
+      tenants =
+        Tenant.create
+          { Tenant.default_config with
+            Tenant.rate = cfg.quota_rate;
+            burst = cfg.quota_burst };
+      spec_cache;
+      spec_lock = Mutex.create ();
       journal_w;
       listen_fd = listen cfg;
       domains = [];

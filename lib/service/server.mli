@@ -2,7 +2,18 @@
 
     Serves {!Wire} [check] requests — one policy-matrix cell each, the
     same verdict vocabulary as [mca_check --sweep] — over a Unix or TCP
-    socket, one newline-framed request per connection.
+    socket, one newline-framed request per connection. The [submit]
+    verb additionally accepts a tenant-supplied mini-Alloy spec body
+    (header line + declared byte count), runs it through the
+    {!Speccheck} pipeline under per-tenant {!Tenant} admission, and
+    answers with a verdict, a typed span-carrying diagnostic, a
+    [quota] refusal or a [shed] — never a raw exception, never a hang:
+    spec size is capped at the framing layer, scope is capped by
+    {!Alloylite.Compile.universe_estimate} before translation, and the
+    solve runs under the same deadline/budget regime as [check].
+    Decided submit verdicts are content-addressed — journaled as
+    [spec|1|…] records next to the sweep's cells and replayed
+    byte-identically on resubmission.
 
     Overload behaviour is explicit, never emergent:
 
@@ -48,12 +59,21 @@ type config = {
   trip_after : int;  (** breaker: consecutive timeouts before opening *)
   breaker_base_s : float;
   breaker_cap_s : float;
+  max_spec_bytes : int;
+      (** [submit] body cap; must not exceed {!Wire.max_spec_bytes}.
+          An oversized declaration is refused with a typed [Cap]
+          diagnostic before any body byte is read. *)
+  max_atoms : int;  (** submit universe-estimate ceiling (pre-translation) *)
+  max_tuples : int;  (** submit field-tuple ceiling (pre-translation) *)
+  quota_rate : float;  (** per-tenant sustained submissions per second *)
+  quota_burst : float;  (** per-tenant burst allowance *)
 }
 
 val default_config : addr -> config
 (** 2 workers, queue of 8, 30 s default / 120 s max deadline, 5 s I/O
     allowance, seed 1, no journal, breakers trip after 3 with 0.5–30 s
-    cooldowns. *)
+    cooldowns; submit caps and quotas from {!Speccheck.default_caps}
+    and {!Tenant.default_config}. *)
 
 type t
 
@@ -80,7 +100,8 @@ val run : config -> unit
 val stats : t -> (string * int) list
 (** The live counters of the [stats] wire reply: [conns], [requests],
     [admitted], [shed], [errors], [served], [cached], [degraded],
-    [drained], [depth], [cap], [jobs], and one [breaker_*_open] flag
+    [drained], [submits], [quota], [spec_errors], [spec_cached],
+    [tenants], [depth], [cap], [jobs], and one [breaker_*_open] flag
     per ladder rung. *)
 
 val address : t -> addr

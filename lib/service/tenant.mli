@@ -1,0 +1,45 @@
+(** Per-tenant admission control for the [submit] verb: a token-bucket
+    rate limit plus weighted-fair queue occupancy.
+
+    The token bucket smooths request rate (each admission spends one
+    token; buckets refill at [rate] per second up to [burst]). The
+    fair-share rule bounds how much of the server's work queue one
+    tenant may occupy at once: a tenant holding at least
+    [queue_cap / (active tenants + 1)] slots is refused until one of
+    its jobs completes — so a flooding tenant cannot starve a polite
+    one, whatever its request rate. The anonymous tenant ([""])
+    bypasses both, preserving the untenanted [check] verb's behavior.
+
+    All entry points are thread-safe (one registry mutex); the
+    registry is bounded at [max_tenants] with least-recently-seen
+    eviction of slot-free entries, so hostile clients cannot grow it
+    without bound by inventing tenant names. *)
+
+type config = {
+  rate : float;  (** tokens per second *)
+  burst : float;  (** bucket capacity *)
+  max_tenants : int;  (** registry bound before eviction kicks in *)
+}
+
+val default_config : config
+(** 5 submissions/s sustained, bursts of 10, 1024 tracked tenants. *)
+
+type t
+
+val create : config -> t
+
+type decision =
+  | Granted
+  | Quota of { retry_after_s : float }
+      (** refused; the client should wait at least this long *)
+
+val admit : t -> now:float -> queue_cap:int -> string -> decision
+(** [admit t ~now ~queue_cap name] spends one token and takes one
+    queue slot, or refuses. On [Granted] the caller MUST pair it with
+    {!release} once the job leaves the queue (served or failed). *)
+
+val release : t -> string -> unit
+(** Returns the queue slot taken by a [Granted] admission. *)
+
+val active : t -> int
+(** Tenants currently holding at least one queue slot. *)

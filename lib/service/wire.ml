@@ -33,6 +33,62 @@ let scope_of_request r =
       bitwidth = 4;
     } )
 
+(* ---- tenant spec submission --------------------------------------- *)
+
+(* The absolute framing cap: a submit header declaring more body bytes
+   than this is malformed, full stop — the server never reads past it
+   no matter how the per-server [max_spec_bytes] is configured. *)
+let max_spec_bytes = 1 lsl 20
+
+type submit_header = {
+  sub_id : string;
+  tenant : string;  (** quota/fairness identity; [""] = anonymous *)
+  spec_bytes : int;  (** declared body length following the header line *)
+  sub_cmd : string option;  (** named command to run; [None] = first *)
+  certify : bool;
+  sub_deadline_s : float option;
+}
+
+let submit ?(id = "") ?(tenant = "") ?cmd ?(certify = false) ?deadline_s
+    ~spec_bytes () =
+  { sub_id = id; tenant; spec_bytes; sub_cmd = cmd; certify;
+    sub_deadline_s = deadline_s }
+
+type spec_verdict =
+  | Spec_holds
+  | Spec_counterexample
+  | Spec_instance
+  | Spec_none
+  | Spec_unknown of string
+
+let spec_verdict_to_wire = function
+  | Spec_holds -> "holds"
+  | Spec_counterexample -> "counterexample"
+  | Spec_instance -> "instance"
+  | Spec_none -> "none"
+  | Spec_unknown r -> "unknown:" ^ escape r
+
+let spec_verdict_of_wire s =
+  match s with
+  | "holds" -> Some Spec_holds
+  | "counterexample" -> Some Spec_counterexample
+  | "instance" -> Some Spec_instance
+  | "none" -> Some Spec_none
+  | _ ->
+      if String.length s >= 8 && String.sub s 0 8 = "unknown:" then
+        Some (Spec_unknown (unescape (String.sub s 8 (String.length s - 8))))
+      else None
+
+type spec_reply = {
+  spec_id : string;
+  digest : string;  (** content address of the submitted spec text *)
+  command : string;  (** the command that was run, e.g. ["check a"] *)
+  spec_verdict : spec_verdict;
+  certified : bool;
+  spec_cached : bool;
+  spec_secs : float;  (** solve seconds (the original ones on a hit) *)
+}
+
 type verdict_reply = {
   req_id : string;
   sat : Core.Experiments.sweep_verdict;
@@ -45,11 +101,17 @@ type verdict_reply = {
 
 type response =
   | Verdict of verdict_reply
+  | Spec of spec_reply
   | Shed of { req_id : string; depth : int; capacity : int }
+  | Quota of { req_id : string; tenant : string; retry_after_s : float }
+      (** per-tenant admission refused: token bucket empty or fair
+          share of the queue already held *)
+  | Bad_spec of { req_id : string; diag : Alloylite.Diag.t }
+      (** a typed, span-carrying rejection of the submitted spec *)
   | Error of { req_id : string; msg : string }
   | Stats of (string * int) list
 
-type incoming = Check of request | Get_stats
+type incoming = Check of request | Submit of submit_header | Get_stats
 
 (* ---- rendering ---- *)
 
@@ -61,6 +123,20 @@ let render_request r =
     | Some d -> Printf.sprintf "|deadline=%.6f" d)
 
 let stats_request = "stats|1"
+
+(* The submit header line. The spec body — exactly [spec_bytes] raw
+   bytes, NOT escaped and possibly containing newlines — follows
+   immediately after the header's terminating newline. *)
+let render_submit_header h =
+  Printf.sprintf "submit|1|id=%s|tenant=%s|bytes=%d%s%s%s" (escape h.sub_id)
+    (escape h.tenant) h.spec_bytes
+    (match h.sub_cmd with
+    | None -> ""
+    | Some c -> Printf.sprintf "|cmd=%s" (escape c))
+    (if h.certify then "|certify=true" else "")
+    (match h.sub_deadline_s with
+    | None -> ""
+    | Some d -> Printf.sprintf "|deadline=%.6f" d)
 
 (* Every reply names the protocol revision it speaks ([proto=1]).
    Parsers ignore keys they do not know (and a coordinator may meet
@@ -79,9 +155,31 @@ let render_response = function
         (Core.Experiments.verdict_to_wire v.sat)
         (Core.Experiments.verdict_to_wire v.exhaustive)
         v.sim_ok (escape v.rung) v.cached v.secs
+  | Spec s ->
+      Printf.sprintf
+        "spec|1|id=%s|proto=%d|digest=%s|cmd=%s|verdict=%s|cert=%b|cached=%b|secs=%.6f"
+        (escape s.spec_id) proto_version (escape s.digest) (escape s.command)
+        (spec_verdict_to_wire s.spec_verdict)
+        s.certified s.spec_cached s.spec_secs
   | Shed s ->
       Printf.sprintf "shed|1|id=%s|proto=%d|depth=%d|cap=%d" (escape s.req_id)
         proto_version s.depth s.capacity
+  | Quota q ->
+      Printf.sprintf "quota|1|id=%s|proto=%d|tenant=%s|retry=%.3f"
+        (escape q.req_id) proto_version (escape q.tenant) q.retry_after_s
+  | Bad_spec b ->
+      (* rendered as an [error] reply so one-revision-old clients still
+         see a refusal; the extra span keys are what typed clients use *)
+      let d = b.diag in
+      Printf.sprintf
+        "error|1|id=%s|proto=%d|stage=%s|line=%d|col=%d|eline=%d|ecol=%d|msg=%s%s"
+        (escape b.req_id) proto_version
+        (Alloylite.Diag.stage_name d.Alloylite.Diag.stage)
+        d.span.line d.span.col d.span.end_line d.span.end_col
+        (escape (Alloylite.Diag.to_string d))
+        (match d.hint with
+        | None -> ""
+        | Some h -> Printf.sprintf "|hint=%s" (escape h))
   | Error e ->
       Printf.sprintf "error|1|id=%s|proto=%d|msg=%s" (escape e.req_id)
         proto_version (escape e.msg)
@@ -146,6 +244,38 @@ let parse_incoming line =
             (Check
                { id; policy; agents; items; states; values; seed;
                  deadline_s = None }))
+  | Some ("submit", assoc) -> (
+      let ( let* ) = Result.bind in
+      let* spec_bytes =
+        Option.to_result ~none:"missing bytes" (int_field assoc "bytes")
+      in
+      let* spec_bytes =
+        if spec_bytes < 0 then Result.Error "negative bytes"
+        else if spec_bytes > max_spec_bytes then
+          Result.Error
+            (Printf.sprintf "declared body of %d bytes exceeds framing cap %d"
+               spec_bytes max_spec_bytes)
+        else Ok spec_bytes
+      in
+      let header =
+        {
+          sub_id = Option.value (field assoc "id") ~default:"";
+          tenant = Option.value (field assoc "tenant") ~default:"";
+          spec_bytes;
+          sub_cmd = field assoc "cmd";
+          certify =
+            Option.value ~default:false
+              (Option.bind (List.assoc_opt "certify" assoc) bool_of_string_opt);
+          sub_deadline_s = None;
+        }
+      in
+      match List.assoc_opt "deadline" assoc with
+      | Some d -> (
+          match float_of_string_opt d with
+          | Some d when d > 0.0 ->
+              Ok (Submit { header with sub_deadline_s = Some d })
+          | _ -> Result.Error "invalid deadline")
+      | None -> Ok (Submit header))
   | Some (kind, _) -> Result.Error (Printf.sprintf "unknown request kind %S" kind)
   | None -> Result.Error "malformed request line"
 
@@ -186,6 +316,31 @@ let parse_response line =
              cached;
              secs;
            }))
+  | Some ("spec", assoc) -> (
+      let ( let* ) = Result.bind in
+      let* spec_verdict =
+        Option.to_result ~none:"missing spec verdict"
+          (Option.bind (List.assoc_opt "verdict" assoc) spec_verdict_of_wire)
+      in
+      Ok
+        (Spec
+           {
+             spec_id = Option.value (field assoc "id") ~default:"";
+             digest = Option.value (field assoc "digest") ~default:"";
+             command = Option.value (field assoc "cmd") ~default:"";
+             spec_verdict;
+             certified =
+               Option.value ~default:false
+                 (Option.bind (List.assoc_opt "cert" assoc) bool_of_string_opt);
+             spec_cached =
+               Option.value ~default:false
+                 (Option.bind (List.assoc_opt "cached" assoc)
+                    bool_of_string_opt);
+             spec_secs =
+               Option.value ~default:0.0
+                 (Option.bind (List.assoc_opt "secs" assoc)
+                    float_of_string_opt);
+           }))
   | Some ("shed", assoc) ->
       Ok
         (Shed
@@ -194,13 +349,68 @@ let parse_response line =
              depth = Option.value (int_field assoc "depth") ~default:0;
              capacity = Option.value (int_field assoc "cap") ~default:0;
            })
-  | Some ("error", assoc) ->
+  | Some ("quota", assoc) ->
       Ok
-        (Error
+        (Quota
            {
              req_id = Option.value (field assoc "id") ~default:"";
-             msg = Option.value (field assoc "msg") ~default:"";
+             tenant = Option.value (field assoc "tenant") ~default:"";
+             retry_after_s =
+               Option.value ~default:0.0
+                 (Option.bind (List.assoc_opt "retry" assoc)
+                    float_of_string_opt);
            })
+  | Some ("error", assoc) -> (
+      let req_id = Option.value (field assoc "id") ~default:"" in
+      let msg = Option.value (field assoc "msg") ~default:"" in
+      (* an [error] carrying a [stage] key is a typed spec rejection *)
+      match Option.bind (field assoc "stage") Alloylite.Diag.stage_of_name with
+      | Some stage ->
+          let at k d = Option.value (int_field assoc k) ~default:d in
+          let line = at "line" 1 and col = at "col" 1 in
+          let hint = field assoc "hint" in
+          (* the [msg] field carries the full rendered diagnostic for the
+             benefit of pre-submit clients; strip the location prefix and
+             hint suffix back off so re-rendering is idempotent *)
+          let msg =
+            let prefix =
+              Printf.sprintf "%s error: line %d, col %d: "
+                (Alloylite.Diag.stage_name stage)
+                line col
+            in
+            let msg =
+              if String.starts_with ~prefix msg then
+                String.sub msg (String.length prefix)
+                  (String.length msg - String.length prefix)
+              else msg
+            in
+            match hint with
+            | None -> msg
+            | Some h ->
+                let suffix = Printf.sprintf " (hint: %s)" h in
+                if String.ends_with ~suffix msg then
+                  String.sub msg 0 (String.length msg - String.length suffix)
+                else msg
+          in
+          Ok
+            (Bad_spec
+               {
+                 req_id;
+                 diag =
+                   {
+                     Alloylite.Diag.stage;
+                     span =
+                       {
+                         line;
+                         col;
+                         end_line = at "eline" line;
+                         end_col = at "ecol" col;
+                       };
+                     msg;
+                     hint;
+                   };
+               })
+      | None -> Ok (Error { req_id; msg }))
   | Some ("stats", assoc) ->
       Ok
         (Stats

@@ -7,12 +7,21 @@
 
     {v
     check|1|id=r1|policy=submod|n=2|j=2|st=5|vals=6|seed=1|deadline=2.5
+    submit|1|id=s1|tenant=alice|bytes=212|cmd=uniqueID|certify=true
     stats|1
     verdict|1|id=r1|proto=1|sat=holds|exh=holds|sim=true|rung=cdcl|cached=false|secs=0.41
+    spec|1|id=s1|proto=1|digest=9af..|cmd=check uniqueID|verdict=holds|cert=true|cached=false|secs=0.12
     shed|1|id=|proto=1|depth=8|cap=8
+    quota|1|id=s1|proto=1|tenant=mallory|retry=0.180
+    error|1|id=s1|proto=1|stage=parse|line=3|col=7|eline=3|ecol=8|msg=...|hint=...
     error|1|id=r1|proto=1|msg=unknown policy
     stats|1|proto=1|accepted=12|admitted=9|shed=3|...
     v}
+
+    A [submit] header line is followed by exactly [bytes] raw body
+    bytes (the spec text, unescaped, newlines allowed) — the only
+    frame that is not one line. The declared length is capped at
+    {!max_spec_bytes} before a single body byte is read.
 
     Forward compatibility: parsers on both sides ignore [key=value]
     fields they do not recognize, and every reply carries a
@@ -47,6 +56,45 @@ val scope_of_request : request -> string * Core.Mca_model.scope_spec
 (** The (scope tag, scope) pair, tagged exactly as [mca_check --sweep]
     tags it — so journal records are interchangeable between the two. *)
 
+val max_spec_bytes : int
+(** Absolute framing cap on a submitted spec body (1 MiB). A header
+    declaring more is rejected before any body byte is read,
+    regardless of the per-server configured cap. *)
+
+type submit_header = {
+  sub_id : string;  (** client-chosen correlation id, echoed back *)
+  tenant : string;  (** quota/fairness identity; [""] = anonymous *)
+  spec_bytes : int;  (** declared body length following the header *)
+  sub_cmd : string option;
+      (** named check/run command to execute; [None] = the file's first *)
+  certify : bool;  (** ask for a DRUP-certified verdict *)
+  sub_deadline_s : float option;
+}
+
+val submit :
+  ?id:string -> ?tenant:string -> ?cmd:string -> ?certify:bool ->
+  ?deadline_s:float -> spec_bytes:int -> unit -> submit_header
+
+type spec_verdict =
+  | Spec_holds  (** check command: assertion holds in scope *)
+  | Spec_counterexample  (** check command: counterexample exists *)
+  | Spec_instance  (** run command: satisfying instance exists *)
+  | Spec_none  (** run command: no instance in scope *)
+  | Spec_unknown of string  (** budget or deadline exhausted; reason *)
+
+val spec_verdict_to_wire : spec_verdict -> string
+val spec_verdict_of_wire : string -> spec_verdict option
+
+type spec_reply = {
+  spec_id : string;
+  digest : string;  (** content address (hex) of the spec text *)
+  command : string;  (** the command that ran, e.g. ["check uniqueID"] *)
+  spec_verdict : spec_verdict;
+  certified : bool;  (** the refutation was DRUP-checked *)
+  spec_cached : bool;  (** served from the verdict cache *)
+  spec_secs : float;  (** solve seconds (the original ones on a hit) *)
+}
+
 type verdict_reply = {
   req_id : string;
   sat : Core.Experiments.sweep_verdict;
@@ -61,14 +109,28 @@ type verdict_reply = {
 
 type response =
   | Verdict of verdict_reply
+  | Spec of spec_reply
   | Shed of { req_id : string; depth : int; capacity : int }
       (** admission refused: queue depth was at the watermark *)
+  | Quota of { req_id : string; tenant : string; retry_after_s : float }
+      (** per-tenant admission refused: token bucket empty or the
+          tenant already holds its fair share of the queue *)
+  | Bad_spec of { req_id : string; diag : Alloylite.Diag.t }
+      (** typed rejection of a submitted spec, carrying the stage,
+          span and hint of {!Alloylite.Diag}; rendered as an [error]
+          frame with extra [stage=…|line=…|col=…] keys so old clients
+          still see a refusal *)
   | Error of { req_id : string; msg : string }
   | Stats of (string * int) list
 
-type incoming = Check of request | Get_stats
+type incoming = Check of request | Submit of submit_header | Get_stats
 
 val render_request : request -> string
+
+val render_submit_header : submit_header -> string
+(** The header line only — the caller sends the raw body bytes after
+    the terminating newline. *)
+
 val stats_request : string
 
 val parse_incoming : string -> (incoming, string) result

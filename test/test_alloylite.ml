@@ -202,15 +202,18 @@ let test_lexer_block_comment () =
 
 let test_lexer_error_located () =
   match Alloylite.Lexer.tokenize "a\n  ?" with
-  | exception Failure msg ->
-      check "line 2 in message" true
-        (String.length msg > 0
-        && (let has_sub s sub =
-              let n = String.length s and m = String.length sub in
-              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-              go 0
-            in
-            has_sub msg "line 2"))
+  | exception Alloylite.Diag.Error d ->
+      check "stage lex" true (d.Alloylite.Diag.stage = Alloylite.Diag.Lex);
+      check_int "line 2" 2 d.Alloylite.Diag.span.Alloylite.Diag.line;
+      check_int "col 3" 3 d.Alloylite.Diag.span.Alloylite.Diag.col;
+      check "rendered mentions line 2" true
+        (let msg = Alloylite.Diag.to_string d in
+         let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub msg "line 2")
   | _ -> Alcotest.fail "expected lexer failure"
 
 (* ---- Parser + Elaborate, end to end ---- *)
@@ -256,9 +259,11 @@ let test_parse_expr_precedence () =
 
 let test_parse_error_located () =
   match Alloylite.Parser.parse "sig {}" with
-  | exception Failure msg ->
+  | exception Alloylite.Diag.Error d ->
+      check "stage parse" true (d.Alloylite.Diag.stage = Alloylite.Diag.Parse);
       check "message mentions identifier" true
-        (let has_sub s sub =
+        (let msg = Alloylite.Diag.to_string d in
+         let has_sub s sub =
            let n = String.length s and m = String.length sub in
            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
            go 0
@@ -281,9 +286,12 @@ let test_elaborate_int_coercion () =
 
 let test_elaborate_unknown_name () =
   match Alloylite.Elaborate.run_file "fact f { some ghost } run {} for 2" with
-  | exception Failure msg ->
+  | exception Alloylite.Diag.Error d ->
+      check "stage elaborate" true
+        (d.Alloylite.Diag.stage = Alloylite.Diag.Elab);
       check "unknown name reported" true
-        (let has_sub s sub =
+        (let msg = Alloylite.Diag.to_string d in
+         let has_sub s sub =
            let n = String.length s and m = String.length sub in
            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
            go 0
@@ -398,6 +406,105 @@ let test_dependent_decls () =
   | [ (_, r) ] -> check "dependent decl assertion holds" false (outcome_sat r)
   | _ -> Alcotest.fail "unexpected commands"
 
+(* ---- typed diagnostics and the untrusted-input envelope ---------- *)
+
+module Diag = Alloylite.Diag
+
+let test_parse_unexpected_end () =
+  (* satellite: input that ends mid-paragraph must report the span of
+     the last consumed token, not a positionless "unexpected end" *)
+  match Alloylite.Parser.parse "sig a {" with
+  | exception Diag.Error d ->
+      check "stage parse" true (d.Diag.stage = Diag.Parse);
+      check_int "line at end of input" 1 d.Diag.span.Diag.line;
+      check_int "col just past last token" 8 d.Diag.span.Diag.col;
+      check "names end of input" true
+        (let msg = d.Diag.msg in
+         let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub msg "end of input")
+  | _ -> Alcotest.fail "expected parse failure"
+
+let test_parse_depth_guard () =
+  (* a nesting bomb must be a typed error, never a Stack_overflow *)
+  let bomb = String.concat "" (List.init 5000 (fun _ -> "(")) ^ "x" in
+  (match Alloylite.Parser.parse_expr bomb with
+  | exception Diag.Error d ->
+      check "stage parse" true (d.Diag.stage = Diag.Parse);
+      check "hint present" true (d.Diag.hint <> None)
+  | _ -> Alcotest.fail "expected depth guard to fire");
+  let not_bomb = String.concat "" (List.init 5000 (fun _ -> "!")) ^ "some a" in
+  match Alloylite.Parser.parse_formula not_bomb with
+  | exception Diag.Error _ -> ()
+  | _ -> Alcotest.fail "expected depth guard on formula nesting"
+
+let test_lexer_huge_int () =
+  match Alloylite.Lexer.tokenize "99999999999999999999999999" with
+  | exception Diag.Error d ->
+      check "stage lex" true (d.Diag.stage = Diag.Lex)
+  | _ -> Alcotest.fail "expected out-of-range literal to be rejected"
+
+let test_elaborate_duplicate_sig () =
+  (* duplicate declarations come from Model builders as
+     Invalid_argument; the elaborator must relocate them to a span *)
+  match Alloylite.Elaborate.file (Alloylite.Parser.parse "sig a {}\nsig a {}") with
+  | exception Diag.Error d ->
+      check "stage elaborate" true (d.Diag.stage = Diag.Elab);
+      check_int "second declaration's line" 2 d.Diag.span.Diag.line
+  | _ -> Alcotest.fail "expected duplicate sig failure"
+
+let test_elaborate_bitwidth_range () =
+  match Alloylite.Elaborate.file (Alloylite.Parser.parse "run {} for 2 but 99 Int") with
+  | exception Diag.Error d ->
+      check "stage elaborate" true (d.Diag.stage = Diag.Elab);
+      check "hint names the range" true (d.Diag.hint <> None)
+  | _ -> Alcotest.fail "expected bitwidth rejection"
+
+let test_universe_estimate () =
+  let { Alloylite.Elaborate.model; commands } =
+    Alloylite.Elaborate.file
+      (Alloylite.Parser.parse
+         {|
+           sig vnode {}
+           sig pnode { pid: one Int, initBids: set vnode }
+           run {} for 3 but 4 Int
+         |})
+  in
+  let scope =
+    match commands with
+    | [ Alloylite.Elaborate.Run (_, _, _, s) ] -> s
+    | _ -> Alcotest.fail "expected one run command"
+  in
+  let atoms, tuples = Alloylite.Compile.universe_estimate model scope in
+  (* 3 vnode + 3 pnode + 16 Int *)
+  check_int "atom estimate" 22 atoms;
+  (* pid 3*16 + initBids 3*3 *)
+  check_int "tuple estimate" 57 tuples;
+  (* a hostile scope saturates instead of overflowing *)
+  let huge =
+    Alloylite.Scope.make ~but:[ ("pnode", max_int); ("vnode", max_int) ] 3
+  in
+  let atoms, _ = Alloylite.Compile.universe_estimate model huge in
+  check "saturates" true (atoms = max_int)
+
+let test_fuzz_frontend_total () =
+  (* the tentpole gate: no mutated or random input may escape the typed
+     error surface *)
+  let o = Alloylite.Fuzz.run ~count:200 ~seed:7 () in
+  check_int "cases" 200 o.Alloylite.Fuzz.cases;
+  (match o.Alloylite.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "frontend crash: %s on %S" f.Alloylite.Fuzz.exn
+        f.Alloylite.Fuzz.input);
+  (* the corpus must exercise both sides of the contract *)
+  check "some inputs elaborate" true (o.Alloylite.Fuzz.elaborated > 0);
+  check "some inputs are typed errors" true
+    (o.Alloylite.Fuzz.typed_errors > 0)
+
 let suite =
   [
     Alcotest.test_case "model building" `Quick test_model_building;
@@ -430,4 +537,11 @@ let suite =
     Alcotest.test_case "compile-level enumeration" `Quick test_enumerate_via_compile;
     Alcotest.test_case "textual comprehension and exact scopes" `Quick test_textual_comprehension_and_scope;
     Alcotest.test_case "dependent quantifier declarations" `Quick test_dependent_decls;
+    Alcotest.test_case "parse unexpected end span" `Quick test_parse_unexpected_end;
+    Alcotest.test_case "parser depth guard" `Quick test_parse_depth_guard;
+    Alcotest.test_case "lexer huge int literal" `Quick test_lexer_huge_int;
+    Alcotest.test_case "duplicate sig located" `Quick test_elaborate_duplicate_sig;
+    Alcotest.test_case "bitwidth range located" `Quick test_elaborate_bitwidth_range;
+    Alcotest.test_case "universe estimate" `Quick test_universe_estimate;
+    Alcotest.test_case "frontend fuzz: typed errors only" `Quick test_fuzz_frontend_total;
   ]

@@ -159,6 +159,7 @@ let stop_fake t =
 
 let incoming_id = function
   | Service.Wire.Check r -> r.Service.Wire.id
+  | Service.Wire.Submit h -> h.Service.Wire.sub_id
   | Service.Wire.Get_stats -> ""
 
 let holds_reply inc =
@@ -191,7 +192,7 @@ let shed_reply inc =
 let always_holds n inc =
   match inc with
   | Service.Wire.Get_stats -> Service.Wire.Stats [ ("requests", n) ]
-  | Service.Wire.Check _ -> holds_reply inc
+  | Service.Wire.Check _ | Service.Wire.Submit _ -> holds_reply inc
 
 (* ---- helper child processes (SIGKILL targets) ---- *)
 
@@ -434,7 +435,7 @@ let test_cluster_shed_soft_escalation () =
   let script n inc =
     match inc with
     | Service.Wire.Get_stats -> Service.Wire.Stats [ ("requests", n) ]
-    | Service.Wire.Check _ ->
+    | Service.Wire.Check _ | Service.Wire.Submit _ ->
         if n = 0 then shed_reply inc
         else if n = 1 then undecided_reply inc
         else holds_reply inc
@@ -637,7 +638,8 @@ let test_client_retry_shed () =
   let script n inc =
     match inc with
     | Service.Wire.Get_stats -> Service.Wire.Stats []
-    | Service.Wire.Check _ -> if n < 2 then shed_reply inc else holds_reply inc
+    | Service.Wire.Check _ | Service.Wire.Submit _ ->
+        if n < 2 then shed_reply inc else holds_reply inc
   in
   let fake = start_fake script in
   Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
@@ -662,7 +664,7 @@ let test_client_retry_budget () =
   let fake = start_fake (fun _ inc ->
       match inc with
       | Service.Wire.Get_stats -> Service.Wire.Stats []
-      | Service.Wire.Check _ -> shed_reply inc)
+      | Service.Wire.Check _ | Service.Wire.Submit _ -> shed_reply inc)
   in
   Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
   let req = Service.Wire.request ~id:"b1" ~states:3 "submod" in

@@ -566,6 +566,405 @@ let test_server_abort_restart_byte_identical () =
   check_string "resumed sweep byte-identical to uninterrupted run" reference
     (Core.Experiments.render_sweep resumed)
 
+(* ---- the submit verb: wire, tenants, pipeline, daemon ---- *)
+
+let test_wire_submit_roundtrip () =
+  let hostile = "a|b=c%d\ne" in
+  let h =
+    Service.Wire.submit ~id:hostile ~tenant:"t|1" ~cmd:"uniqueID"
+      ~certify:true ~deadline_s:2.5 ~spec_bytes:212 ()
+  in
+  let line = Service.Wire.render_submit_header h in
+  check "header is one line" true (not (String.contains line '\n'));
+  (match Service.Wire.parse_incoming line with
+  | Ok (Service.Wire.Submit h') ->
+      check_string "id survives escaping" hostile h'.Service.Wire.sub_id;
+      check_string "tenant" "t|1" h'.Service.Wire.tenant;
+      check_int "bytes" 212 h'.Service.Wire.spec_bytes;
+      check "cmd" true (h'.Service.Wire.sub_cmd = Some "uniqueID");
+      check "certify" true h'.Service.Wire.certify;
+      check "deadline" true (h'.Service.Wire.sub_deadline_s = Some 2.5)
+  | _ -> Alcotest.fail "submit header did not parse");
+  let rejected s =
+    match Service.Wire.parse_incoming s with
+    | Result.Error _ -> true
+    | Ok _ -> false
+  in
+  check "missing bytes" true (rejected "submit|1|id=x");
+  check "negative bytes" true (rejected "submit|1|bytes=-1");
+  check "bytes over the framing cap" true
+    (rejected
+       (Printf.sprintf "submit|1|bytes=%d" (Service.Wire.max_spec_bytes + 1)));
+  check "bytes at the framing cap accepted" false
+    (rejected (Printf.sprintf "submit|1|bytes=%d" Service.Wire.max_spec_bytes))
+
+let test_wire_spec_replies_roundtrip () =
+  let roundtrip r =
+    match Service.Wire.parse_response (Service.Wire.render_response r) with
+    | Ok r' -> r' = r
+    | Result.Error _ -> false
+  in
+  check "spec verdict" true
+    (roundtrip
+       (Service.Wire.Spec
+          {
+            Service.Wire.spec_id = "s|1";
+            digest = "9af3";
+            command = "check uniqueID";
+            spec_verdict = Service.Wire.Spec_holds;
+            certified = true;
+            spec_cached = false;
+            spec_secs = 0.25;
+          }));
+  check "unknown verdict carries its reason" true
+    (roundtrip
+       (Service.Wire.Spec
+          {
+            Service.Wire.spec_id = "s2";
+            digest = "00";
+            command = "run {}";
+            spec_verdict = Service.Wire.Spec_unknown "deadline|2s";
+            certified = false;
+            spec_cached = true;
+            spec_secs = 0.5;
+          }));
+  check "quota" true
+    (roundtrip
+       (Service.Wire.Quota
+          { req_id = "q1"; tenant = "mallory"; retry_after_s = 0.125 }));
+  (* a typed rejection: the span survives the wire, and the frame is an
+     [error] so a pre-submit client still sees a refusal *)
+  let diag =
+    {
+      Alloylite.Diag.stage = Alloylite.Diag.Parse;
+      span = { Alloylite.Diag.line = 3; col = 7; end_line = 3; end_col = 8 };
+      msg = "expected } (found ])";
+      hint = Some "close the block";
+    }
+  in
+  let line =
+    Service.Wire.render_response
+      (Service.Wire.Bad_spec { req_id = "b1"; diag })
+  in
+  check "typed rejection is an error frame" true
+    (String.length line >= 6 && String.sub line 0 6 = "error|");
+  check "stage on the wire" true (contains line "|stage=parse");
+  check "span on the wire" true (contains line "|line=3|col=7");
+  match Service.Wire.parse_response line with
+  | Ok (Service.Wire.Bad_spec { req_id; diag = d }) ->
+      check_string "id" "b1" req_id;
+      check "stage" true (d.Alloylite.Diag.stage = Alloylite.Diag.Parse);
+      check "span" true (d.Alloylite.Diag.span = diag.Alloylite.Diag.span);
+      check "hint" true (d.Alloylite.Diag.hint = Some "close the block");
+      check_string "msg round-trips exactly" "expected } (found ])"
+        d.Alloylite.Diag.msg
+  | _ -> Alcotest.fail "typed rejection did not parse back"
+
+let test_tenant_bucket_and_fairness () =
+  let t =
+    Service.Tenant.create
+      { Service.Tenant.rate = 1.0; burst = 2.0; max_tenants = 16 }
+  in
+  let admit ~now name = Service.Tenant.admit t ~now ~queue_cap:8 name in
+  check "first" true (admit ~now:0.0 "m" = Service.Tenant.Granted);
+  check "burst" true (admit ~now:0.0 "m" = Service.Tenant.Granted);
+  (match admit ~now:0.0 "m" with
+  | Service.Tenant.Quota { retry_after_s } ->
+      check "retry hint positive" true (retry_after_s > 0.0)
+  | Service.Tenant.Granted -> Alcotest.fail "bucket did not exhaust");
+  check "tokens refill with time" true
+    (admit ~now:5.0 "m" = Service.Tenant.Granted);
+  (* anonymous bypasses both mechanisms *)
+  for _ = 1 to 50 do
+    check "anonymous always admitted" true
+      (admit ~now:0.0 "" = Service.Tenant.Granted)
+  done;
+  check_int "anonymous holds no slots" 1 (Service.Tenant.active t);
+  (* fair share with queue_cap 4: a newcomer gets one slot while [m]
+     holds three, and its second in-flight request is refused even
+     though its token bucket is full *)
+  let admit4 ~now name = Service.Tenant.admit t ~now ~queue_cap:4 name in
+  check "newcomer admitted" true (admit4 ~now:5.0 "a" = Service.Tenant.Granted);
+  (match admit4 ~now:5.0 "a" with
+  | Service.Tenant.Quota _ -> ()
+  | Service.Tenant.Granted -> Alcotest.fail "fair share did not bind");
+  Service.Tenant.release t "a";
+  check "release frees the slot" true
+    (admit4 ~now:5.2 "a" = Service.Tenant.Granted);
+  check_int "two tenants in flight" 2 (Service.Tenant.active t)
+
+(* a trimmed version of the paper's model: uniqueIDs holds by fact *)
+let paper_spec =
+  "sig vnode {}\n\
+   sig pnode { pid: one Int, initBids: set vnode }\n\
+   fact uniqueIDs { all disj p, q: pnode | p.pid != q.pid }\n\
+   assert uniqueID { all disj p, q: pnode | p.pid != q.pid }\n\
+   check uniqueID for 3 but 4 Int\n\
+   run {} for 2 but 4 Int\n"
+
+let far_deadline () = Unix.gettimeofday () +. 30.0
+
+let test_speccheck_pipeline () =
+  (* first command by default *)
+  (match Service.Speccheck.analyze ~deadline:(far_deadline ()) paper_spec with
+  | Ok r ->
+      check_string "command" "check uniqueID" r.Service.Speccheck.command;
+      check "holds" true (r.Service.Speccheck.verdict = Service.Wire.Spec_holds);
+      check "uncertified by default" false r.Service.Speccheck.certified
+  | Result.Error d -> Alcotest.failf "pipeline: %s" (Alloylite.Diag.to_string d));
+  (* named run command, certified check *)
+  (match
+     Service.Speccheck.analyze ~certify:true ~deadline:(far_deadline ())
+       paper_spec
+   with
+  | Ok r -> check "certified" true r.Service.Speccheck.certified
+  | Result.Error d -> Alcotest.failf "certify: %s" (Alloylite.Diag.to_string d));
+  (* unknown command: typed error listing what the spec defines *)
+  (match
+     Service.Speccheck.analyze ~cmd:"ghost" ~deadline:(far_deadline ())
+       paper_spec
+   with
+  | Result.Error d ->
+      check "elab stage" true (d.Alloylite.Diag.stage = Alloylite.Diag.Elab);
+      check "hint lists the commands" true
+        (match d.Alloylite.Diag.hint with
+        | Some h -> contains h "check uniqueID"
+        | None -> false)
+  | Ok _ -> Alcotest.fail "unknown command accepted");
+  (* a parse error surfaces with its span, never an exception *)
+  (match Service.Speccheck.analyze ~deadline:(far_deadline ()) "sig a {" with
+  | Result.Error d ->
+      check "parse stage" true (d.Alloylite.Diag.stage = Alloylite.Diag.Parse)
+  | Ok _ -> Alcotest.fail "truncated spec accepted");
+  (* a resource-hungry scope is refused before translation *)
+  match
+    Service.Speccheck.analyze ~deadline:(far_deadline ())
+      "sig a {}\nrun {} for 999999"
+  with
+  | Result.Error d ->
+      check "cap stage" true (d.Alloylite.Diag.stage = Alloylite.Diag.Cap);
+      check "span points at the command" true
+        (d.Alloylite.Diag.span.Alloylite.Diag.line = 2)
+  | Ok _ -> Alcotest.fail "hostile scope accepted"
+
+let test_speccheck_record_roundtrip () =
+  let r =
+    {
+      Service.Speccheck.rec_digest = Service.Speccheck.digest paper_spec;
+      rec_req = "";
+      rec_cmd = "check uniqueID";
+      rec_certify = true;
+      rec_verdict = Service.Wire.Spec_holds;
+      rec_secs = 0.125;
+    }
+  in
+  let line = Service.Speccheck.spec_record r in
+  (match Service.Speccheck.spec_of_record line with
+  | Some r' -> check "round trip" true (r = r')
+  | None -> Alcotest.fail "record did not parse back");
+  (* a flipped byte breaks the fingerprint *)
+  let corrupt = String.map (fun c -> if c = '0' then '1' else c) line in
+  check "corrupt record rejected" true
+    (corrupt = line || Service.Speccheck.spec_of_record corrupt = None);
+  (* the sweep's cell records share the journal and are skipped *)
+  check "cell record skipped" true
+    (Service.Speccheck.spec_of_record
+       "cell|1|seed=1|scope=2p2v/3st|policy=submod|sat=holds|exh=holds|sim=true|secs=0.1|cert=00000000"
+    = None)
+
+let submit_cfg ?(queue_cap = 8) ?journal ?(max_spec_bytes = 65536)
+    ?(quota_rate = 1000.0) ?(quota_burst = 1000.0) path =
+  {
+    (Service.Server.default_config (Service.Server.Unix_path path)) with
+    Service.Server.jobs = 1;
+    queue_cap;
+    journal;
+    default_deadline = 20.0;
+    io_deadline = 5.0;
+    max_spec_bytes;
+    quota_rate;
+    quota_burst;
+  }
+
+let test_server_submit_end_to_end () =
+  let path = temp_sock () in
+  let t = Service.Server.start (submit_cfg ~max_spec_bytes:512 path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  (* a valid spec: verdict with the spec's content address *)
+  (match Service.Client.submit ~id:"s1" addr paper_spec with
+  | Ok (Service.Wire.Spec s) ->
+      check_string "id echoed" "s1" s.Service.Wire.spec_id;
+      check_string "digest" (Service.Speccheck.digest paper_spec)
+        s.Service.Wire.digest;
+      check_string "command" "check uniqueID" s.Service.Wire.command;
+      check "holds" true (s.Service.Wire.spec_verdict = Service.Wire.Spec_holds);
+      check "computed, not cached" false s.Service.Wire.spec_cached
+  | r ->
+      Alcotest.failf "valid spec: %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e));
+  (* the run command of the same file, by name selection *)
+  (match Service.Client.submit ~id:"s2" ~cmd:"uniqueID" addr paper_spec with
+  | Ok (Service.Wire.Spec s) ->
+      check "named command served" true
+        (s.Service.Wire.spec_verdict = Service.Wire.Spec_holds)
+  | _ -> Alcotest.fail "named command failed");
+  (* malformed spec: a span-bearing typed error, not a disconnect *)
+  (match Service.Client.submit ~id:"s3" addr "sig a {\n  pid: one Int" with
+  | Ok (Service.Wire.Bad_spec { req_id; diag }) ->
+      check_string "id echoed on rejection" "s3" req_id;
+      check "parse stage" true
+        (diag.Alloylite.Diag.stage = Alloylite.Diag.Parse);
+      check "span present" true (diag.Alloylite.Diag.span.Alloylite.Diag.line >= 1)
+  | r ->
+      Alcotest.failf "malformed spec: %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e));
+  (* oversized spec: refused at the cap from the header alone *)
+  (match Service.Client.submit ~id:"s4" addr (String.make 4096 'x') with
+  | Ok (Service.Wire.Bad_spec { diag; _ }) ->
+      check "cap stage" true (diag.Alloylite.Diag.stage = Alloylite.Diag.Cap)
+  | r ->
+      Alcotest.failf "oversized spec: %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e));
+  (* certified verdict, then a byte-identical certified cache hit *)
+  let canonical s =
+    Service.Wire.render_response
+      (Service.Wire.Spec { s with Service.Wire.spec_id = ""; spec_cached = false })
+  in
+  let first =
+    match Service.Client.submit ~id:"c" ~certify:true addr paper_spec with
+    | Ok (Service.Wire.Spec s) ->
+        check "certified" true s.Service.Wire.certified;
+        s
+    | _ -> Alcotest.fail "certified submit failed"
+  in
+  (match Service.Client.submit ~id:"c" ~certify:true addr paper_spec with
+  | Ok (Service.Wire.Spec s) ->
+      check "served from the cache" true s.Service.Wire.spec_cached;
+      check "cache hit still certified" true s.Service.Wire.certified;
+      check_string "cache hit byte-identical (canonical fields)"
+        (canonical first) (canonical s)
+  | _ -> Alcotest.fail "cache hit failed");
+  match Service.Client.get_stats addr with
+  | Ok kvs ->
+      let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+      check_int "submits" 6 (get "submits");
+      check_int "spec_errors" 2 (get "spec_errors");
+      check_int "spec_cached" 1 (get "spec_cached");
+      check_int "no sheds" 0 (get "shed")
+  | Result.Error e -> Alcotest.failf "stats failed: %s" e
+
+let test_server_tenant_quota_isolation () =
+  let path = temp_sock () in
+  (* two-token buckets, negligible refill: the third rapid submission
+     from one tenant must be refused while another tenant's first
+     request sails through *)
+  let t =
+    Service.Server.start
+      (submit_cfg ~queue_cap:4 ~quota_rate:0.01 ~quota_burst:2.0 path)
+  in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  let submit ~id tenant =
+    Service.Client.submit ~id ~tenant addr paper_spec
+  in
+  let mallory_quota = ref 0 and mallory_served = ref 0 in
+  for i = 1 to 4 do
+    match submit ~id:(Printf.sprintf "m%d" i) "mallory" with
+    | Ok (Service.Wire.Quota { tenant; retry_after_s; _ }) ->
+        check_string "quota names the tenant" "mallory" tenant;
+        check "retry hint positive" true (retry_after_s > 0.0);
+        incr mallory_quota
+    | Ok (Service.Wire.Spec _) -> incr mallory_served
+    | r ->
+        Alcotest.failf "mallory %d: %s" i
+          (match r with
+          | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+          | Result.Error e -> e)
+  done;
+  check_int "burst of 2 served" 2 !mallory_served;
+  check_int "the rest refused by quota" 2 !mallory_quota;
+  (* the polite tenant is untouched by mallory's exhaustion *)
+  (match submit ~id:"a1" "alice" with
+  | Ok (Service.Wire.Spec s) ->
+      check "alice served" true
+        (s.Service.Wire.spec_verdict = Service.Wire.Spec_holds)
+  | r ->
+      Alcotest.failf "alice: %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e));
+  match Service.Client.get_stats addr with
+  | Ok kvs ->
+      let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+      check_int "server counted the quota refusals" 2 (get "quota")
+  | Result.Error e -> Alcotest.failf "stats failed: %s" e
+
+let test_server_spec_journal_restart () =
+  with_temp ".wal" @@ fun journal ->
+  Sys.remove journal;
+  let path = temp_sock () in
+  let addr = Service.Server.Unix_path path in
+  let secs1 =
+    let t1 = Service.Server.start (submit_cfg ~journal path) in
+    Fun.protect ~finally:(fun () -> stop_and_join t1) @@ fun () ->
+    match Service.Client.submit ~id:"j1" ~certify:true addr paper_spec with
+    | Ok (Service.Wire.Spec s) ->
+        check "decided" true
+          (s.Service.Wire.spec_verdict = Service.Wire.Spec_holds);
+        s.Service.Wire.spec_secs
+    | _ -> Alcotest.fail "first submit failed"
+  in
+  (* restart on the same journal: the resubmission must be a cache hit
+     carrying the original solve time — no recomputation *)
+  let t2 = Service.Server.start (submit_cfg ~journal path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t2) @@ fun () ->
+  match Service.Client.submit ~id:"j2" ~certify:true addr paper_spec with
+  | Ok (Service.Wire.Spec s) ->
+      check "served from the recovered journal" true s.Service.Wire.spec_cached;
+      check "certified across the restart" true s.Service.Wire.certified;
+      check "original solve seconds replayed" true
+        (Float.abs (s.Service.Wire.spec_secs -. secs1) < 1e-6)
+  | r ->
+      Alcotest.failf "restart submit: %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e)
+
+(* The hostile-tenant smoke, in-process: a mutating flood against the
+   submit verb. The contract: every request is answered with a verdict,
+   a typed diagnostic, a quota refusal or a shed — transport stays 0
+   and the server is still healthy afterwards. *)
+let test_server_hostile_spec_flood () =
+  let path = temp_sock () in
+  let t = Service.Server.start (submit_cfg ~queue_cap:4 path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  let r =
+    Service.Client.spec_flood ~concurrency:2 ~mutate_seed:11 ~total:40 addr
+      paper_spec
+  in
+  check_int "every submission answered" 40 r.Service.Client.spec_sent;
+  check_int "no transport errors, no internal errors" 0
+    r.Service.Client.spec_transport;
+  check "mutants both pass and fail" true
+    (r.Service.Client.spec_verdicts > 0 && r.Service.Client.spec_typed > 0);
+  check_int "tally is complete" 40
+    (r.Service.Client.spec_verdicts + r.Service.Client.spec_typed
+    + r.Service.Client.spec_quota + r.Service.Client.spec_shed);
+  (* the server survived: a clean request still gets a clean verdict *)
+  match Service.Client.submit ~id:"after" addr paper_spec with
+  | Ok (Service.Wire.Spec s) ->
+      check "healthy after the flood" true
+        (s.Service.Wire.spec_verdict = Service.Wire.Spec_holds)
+  | _ -> Alcotest.fail "server unhealthy after the flood"
+
 let suite =
   [
     Alcotest.test_case "wire: request round trip" `Quick test_wire_request_roundtrip;
@@ -599,4 +998,22 @@ let suite =
       test_server_abort_restart_byte_identical;
     Alcotest.test_case "server: serves clients one protocol revision apart"
       `Slow test_wire_cross_revision_server;
+    Alcotest.test_case "wire: submit header round trip, hostile headers"
+      `Quick test_wire_submit_roundtrip;
+    Alcotest.test_case "wire: spec/quota/typed-error replies round trip"
+      `Quick test_wire_spec_replies_roundtrip;
+    Alcotest.test_case "tenant: token bucket and fair share" `Quick
+      test_tenant_bucket_and_fairness;
+    Alcotest.test_case "speccheck: pipeline verdicts and typed rejections"
+      `Quick test_speccheck_pipeline;
+    Alcotest.test_case "speccheck: journal record round trip" `Quick
+      test_speccheck_record_roundtrip;
+    Alcotest.test_case "server: submit verb end to end (caps, spans, cache)"
+      `Slow test_server_submit_end_to_end;
+    Alcotest.test_case "server: tenant quotas isolate the polite tenant"
+      `Slow test_server_tenant_quota_isolation;
+    Alcotest.test_case "server: verdict cache survives a restart" `Slow
+      test_server_spec_journal_restart;
+    Alcotest.test_case "server: hostile spec flood never hangs or crashes"
+      `Slow test_server_hostile_spec_flood;
   ]
