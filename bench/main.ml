@@ -31,6 +31,12 @@ let incremental_smoke = Array.exists (( = ) "--incremental-smoke") Sys.argv
    gate for the multi-tenant submit verb. *)
 let spec_smoke = Array.exists (( = ) "--spec-smoke") Sys.argv
 
+(* --failover-smoke: run only the E19 replicated-coordinator bench and
+   exit nonzero if the replication stream costs a healthy sweep more
+   than 10%, or if a takeover sweep is not byte-identical to the
+   reference — the CI gate for the warm-standby failover invariant. *)
+let failover_smoke = Array.exists (( = ) "--failover-smoke") Sys.argv
+
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
@@ -904,6 +910,248 @@ let run_cluster_sweep () =
   kill_identical
 
 (* ------------------------------------------------------------------ *)
+(* E19: the replicated coordinator. Two numbers worth pinning: what the
+   always-on replication stream costs a healthy sweep (a publisher
+   serving the journal plus a standby tailing every group commit must
+   stay within the same 10% budget the journal itself is held to), and
+   how long a takeover takes as a function of the lease — with the
+   takeover sweep, resumed at a fenced epoch from the replica journal,
+   still byte-identical to the reference grid. *)
+
+let run_failover_bench () =
+  section "E19 - Replicated coordinator (replication overhead, takeover vs lease)";
+  let states = if failover_smoke || fast_mode then 3 else 4 in
+  let tag = Printf.sprintf "2p2v/%dst" states in
+  let scope =
+    { Core.Mca_model.pnodes = 2; vnodes = 2; states; values = 6; bitwidth = 4 }
+  in
+  let scopes = [ (tag, scope) ] in
+  let start_worker () =
+    let sock = Filename.temp_file "mca_fobench" ".sock" in
+    let t =
+      Service.Server.start
+        {
+          (Service.Server.default_config (Service.Server.Unix_path sock)) with
+          Service.Server.jobs = 1;
+        }
+    in
+    (Service.Server.Unix_path sock, t, sock)
+  in
+  let stop_worker (_, t, sock) =
+    Service.Server.stop t;
+    Service.Server.join t;
+    try Sys.remove sock with Sys_error _ -> ()
+  in
+  let rm p = try Sys.remove p with Sys_error _ -> () in
+  let reference =
+    Core.Experiments.render_sweep
+      (Core.Experiments.run_sweep ~jobs:2 ~seed:1 ~scopes ())
+  in
+  let mk_cfg ?journal ?repl ?(epoch = 0) ?(throttle = 0.0) workers =
+    {
+      (Service.Cluster.default_config workers) with
+      Service.Cluster.dispatchers = 4;
+      max_attempts = 200;
+      backoff = Netsim.Backoff.make ~base_s:0.02 ~cap_s:0.5 ();
+      heartbeat_s = 0.1;
+      deadline_s = 10.0;
+      timeout_s = 12.0;
+      cl_journal = journal;
+      repl_listen =
+        (match repl with
+        | None -> None
+        | Some p -> Some (Service.Server.Unix_path p));
+      epoch;
+      cl_throttle_s = throttle;
+    }
+  in
+  (* -- replication overhead: plain journaled sweep vs the same sweep
+     with the publisher on and a live standby tailing it, interleaved
+     repeats, medians.  The replica must come out a verbatim prefix of
+     the primary journal (the drain races the publisher shutdown for
+     the final batch, so prefix — not equality — is the invariant). *)
+  let repeats = if failover_smoke || fast_mode then 3 else 4 in
+  (* every timed run gets a fresh fleet so both configurations pay the
+     same cold solves: against warm worker caches the sweep collapses
+     to ~50ms of wire traffic and a 10% gate would measure jitter, not
+     the replication stream *)
+  let plain_walls = ref [] and repl_walls = ref [] in
+  let prefix_ok = ref true in
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> x = y && is_prefix a' b'
+    | _ :: _, [] -> false
+  in
+  for _ = 1 to repeats do
+    let fleet = List.init 3 (fun _ -> start_worker ()) in
+    let workers = List.map (fun (a, _, _) -> a) fleet in
+    let j = Filename.temp_file "mca_fobench" ".journal" in
+    let t0 = Unix.gettimeofday () in
+    let r = Service.Cluster.run_sweep ~scopes (mk_cfg ~journal:j workers) in
+    plain_walls := (Unix.gettimeofday () -. t0) :: !plain_walls;
+    if Core.Experiments.render_sweep r.Service.Cluster.sweep <> reference then
+      failwith "E19: plain journaled sweep diverged from the reference";
+    List.iter stop_worker fleet;
+    rm j;
+    let fleet = List.init 3 (fun _ -> start_worker ()) in
+    let workers = List.map (fun (a, _, _) -> a) fleet in
+    let j = Filename.temp_file "mca_fobench" ".journal" in
+    let replica = Filename.temp_file "mca_fobench" ".replica" in
+    let repl_sock = Filename.temp_file "mca_fobench" ".sock" in
+    let drained = Atomic.make false in
+    let sb_cfg =
+      {
+        (Service.Cluster.default_standby
+           ~source:(Service.Server.Unix_path repl_sock)
+           (mk_cfg ~journal:replica workers))
+        with
+        Service.Cluster.sb_poll_s = 0.01;
+        sb_lease_s = 3600.0;
+        sb_down_after = max_int;
+      }
+    in
+    let standby =
+      Domain.spawn (fun () ->
+          Service.Cluster.run_standby
+            ~stop:(fun () -> Atomic.get drained)
+            ~scopes sb_cfg)
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Service.Cluster.run_sweep ~scopes
+        (mk_cfg ~journal:j ~repl:repl_sock ~epoch:1 workers)
+    in
+    repl_walls := (Unix.gettimeofday () -. t0) :: !repl_walls;
+    Atomic.set drained true;
+    (match Domain.join standby with
+    | Service.Cluster.Standby_drained _ -> ()
+    | Service.Cluster.Took_over _ ->
+        failwith "E19: the tailing standby took over a healthy sweep");
+    if Core.Experiments.render_sweep r.Service.Cluster.sweep <> reference then
+      failwith "E19: replicated sweep diverged from the reference";
+    let primary = (Parallel.Journal.recover j).Parallel.Journal.entries in
+    let replica_entries =
+      (Parallel.Journal.recover replica).Parallel.Journal.entries
+    in
+    if not (is_prefix replica_entries primary) then prefix_ok := false;
+    List.iter stop_worker fleet;
+    List.iter rm [ j; replica; repl_sock ]
+  done;
+  let plain_med = median !plain_walls and repl_med = median !repl_walls in
+  let ratio = repl_med /. plain_med in
+  let overhead_ok = ratio <= 1.10 in
+  Format.printf
+    "  replication overhead: plain %.2fs vs replicated %.2fs (%.2fx, \
+     replica prefix ok=%b)@."
+    plain_med repl_med ratio !prefix_ok;
+  (* -- takeover latency vs lease: a throttled primary is stopped once
+     the standby has replicated two records; the standby must detect
+     the silence (down_after consecutive failed pulls AND a lapsed
+     lease), fence the fleet at epoch 2 and finish to the same grid. *)
+  let leases =
+    if failover_smoke || fast_mode then [ 0.2; 0.5 ] else [ 0.2; 0.5; 1.0 ]
+  in
+  let takeover_points =
+    List.map
+      (fun lease ->
+        let fleet = List.init 3 (fun _ -> start_worker ()) in
+        let workers = List.map (fun (a, _, _) -> a) fleet in
+        let j = Filename.temp_file "mca_fobench" ".journal" in
+        let replica = Filename.temp_file "mca_fobench" ".replica" in
+        let repl_sock = Filename.temp_file "mca_fobench" ".sock" in
+        let dead = Atomic.make false in
+        let primary =
+          Domain.spawn (fun () ->
+              Service.Cluster.run_sweep
+                ~stop:(fun () -> Atomic.get dead)
+                ~scopes
+                (mk_cfg ~journal:j ~repl:repl_sock ~epoch:1 ~throttle:0.1
+                   workers))
+        in
+        (* only start the standby's lease clock once the publisher is
+           reachable, as mca_cluster --standby operators are told to *)
+        let rec wait_up deadline =
+          match
+            Service.Repl.pull (Service.Server.Unix_path repl_sock) ~from:0
+          with
+          | Ok _ -> ()
+          | Error _ ->
+              if Unix.gettimeofday () > deadline then
+                failwith "E19: replication publisher never came up"
+              else begin
+                Unix.sleepf 0.02;
+                wait_up deadline
+              end
+        in
+        wait_up (Unix.gettimeofday () +. 30.0);
+        let sb_cfg =
+          {
+            (Service.Cluster.default_standby
+               ~source:(Service.Server.Unix_path repl_sock)
+               (mk_cfg ~journal:replica ~epoch:1 workers))
+            with
+            Service.Cluster.sb_poll_s = 0.02;
+            sb_lease_s = lease;
+            sb_down_after = 2;
+          }
+        in
+        let outcome =
+          Service.Cluster.run_standby ~scopes
+            ~on_replicated:(fun n -> if n >= 2 then Atomic.set dead true)
+            sb_cfg
+        in
+        ignore (Domain.join primary : Service.Cluster.report);
+        List.iter stop_worker fleet;
+        match outcome with
+        | Service.Cluster.Standby_drained _ ->
+            failwith "E19: standby drained instead of taking over"
+        | Service.Cluster.Took_over
+            { takeover_epoch; replicated; takeover_latency_s; report } ->
+            let identical =
+              Core.Experiments.render_sweep report.Service.Cluster.sweep
+              = reference
+            in
+            Format.printf
+              "  lease %.1fs: takeover at epoch %d after %d records, \
+               latency %.3fs, identical=%b@."
+              lease takeover_epoch replicated takeover_latency_s identical;
+            List.iter rm [ j; replica; repl_sock ];
+            (lease, takeover_latency_s, replicated, identical))
+      leases
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, ok) -> ok) takeover_points
+  in
+  let oc = open_out "BENCH_E19.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E19-replicated-coordinator\",\n";
+  p "  \"mode\": \"%s\",\n"
+    (if failover_smoke then "smoke" else if fast_mode then "fast" else "full");
+  p "  \"scope\": \"%s\",\n" (json_escape tag);
+  p
+    "  \"replication_overhead\": {\"plain_wall_median_s\": %.3f, \
+     \"replicated_wall_median_s\": %.3f, \"ratio\": %.3f, \
+     \"replica_prefix_ok\": %b, \"within_10_percent\": %b},\n"
+    plain_med repl_med ratio !prefix_ok overhead_ok;
+  p "  \"takeover\": [\n";
+  List.iteri
+    (fun i (lease, latency, replicated, identical) ->
+      p
+        "    {\"lease_s\": %.2f, \"takeover_latency_s\": %.3f, \
+         \"replicated_records\": %d, \"verdicts_identical\": %b}%s\n"
+        lease latency replicated identical
+        (if i = List.length takeover_points - 1 then "" else ","))
+    takeover_points;
+  p "  ],\n";
+  p "  \"verdicts_identical\": %b\n" all_identical;
+  p "}\n";
+  close_out oc;
+  Format.printf "  wrote BENCH_E19.json@.";
+  overhead_ok && !prefix_ok && all_identical
+
+(* ------------------------------------------------------------------ *)
 (* E18: the multi-tenant submit verb. Three costs worth pinning: a cold
    spec (parse + elaborate + translate + solve), a cache hit on the same
    digest, and a quota refusal (which must be answered from the header
@@ -1236,6 +1484,18 @@ let () =
     end;
     Format.printf "@.incremental smoke passed.@."
   end
+  else if failover_smoke then begin
+    Format.printf "MCA verification library — failover smoke (E19 only)@.";
+    let ok = run_failover_bench () in
+    if not ok then begin
+      Format.eprintf
+        "failover smoke FAILED: replication stream above 10%% overhead, the \
+         replica diverged from the primary journal, or a takeover sweep \
+         changed a verdict@.";
+      exit 1
+    end;
+    Format.printf "@.failover smoke passed.@."
+  end
   else if spec_smoke then begin
     Format.printf "MCA verification library — spec-service smoke (E18 only)@.";
     let ok = run_spec_service () in
@@ -1258,6 +1518,7 @@ let () =
     run_overload_service ();
     ignore (run_spec_service () : bool);
     ignore (run_cluster_sweep () : bool);
+    ignore (run_failover_bench () : bool);
     run_certification ();
     run_loss_sweep ();
     run_benchmarks ();

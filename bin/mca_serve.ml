@@ -101,6 +101,8 @@ let print_response r =
   | Service.Wire.Quota _ -> exit_shed
   | Service.Wire.Bad_spec _ -> exit_error
   | Service.Wire.Error _ -> exit_error
+  | Service.Wire.Fenced _ -> exit_error
+  | Service.Wire.Repl_ack _ | Service.Wire.Repl_frame _ -> exit_error
   | Service.Wire.Stats _ -> 0
 
 let client addr policy agents items states seed deadline timeout retries
@@ -146,14 +148,24 @@ let read_spec file =
       close_in ic;
       Some s
 
-let submit_one addr file tenant cmd_name certify deadline timeout =
+let submit_one addr file tenant cmd_name certify deadline timeout retries
+    retry_budget seed =
   match read_spec file with
   | None -> exit_error
   | Some spec -> (
-      match
-        Service.Client.submit ~timeout_s:timeout ~tenant ?cmd:cmd_name ~certify
-          ?deadline_s:deadline addr spec
-      with
+      let reply, report =
+        Service.Client.submit_retry ~timeout_s:timeout ~tenant ?cmd:cmd_name
+          ~certify ?deadline_s:deadline ~retries ?retry_budget_s:retry_budget
+          ~seed addr spec
+      in
+      if report.Service.Client.attempts > 1 then
+        Printf.eprintf "retried: attempts=%d quota=%d transport=%d%s\n"
+          report.Service.Client.attempts report.Service.Client.retried_quota
+          report.Service.Client.retried_transport
+          (match report.Service.Client.gave_up with
+          | Some why -> " gave-up=" ^ why
+          | None -> "");
+      match reply with
       | Ok r -> print_response r
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
@@ -204,6 +216,7 @@ let main socket tcp mode jobs queue_cap deadline max_deadline io_deadline seed
               retries retry_budget
         | `Submit file ->
             submit_one addr file tenant cmd_name certify deadline timeout
+              retries retry_budget seed
         | `Stats -> stats addr timeout
         | `Flood n ->
             flood addr n concurrency policy agents items states seed deadline
@@ -390,7 +403,9 @@ let term =
          & info [ "retries" ]
              ~doc:"client: retry a shed reply or a transport failure up to \
                    $(docv) times with jittered exponential backoff (default \
-                   0: a single shed stays terminal, exit 12)" ~docv:"N")
+                   0: a single shed stays terminal, exit 12). With --submit, \
+                   retries transport failures and quota refusals (honoring \
+                   the server's retry=… hint); shed stays terminal" ~docv:"N")
   in
   let retry_budget =
     Arg.(value & opt (some float) None

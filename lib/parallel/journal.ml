@@ -205,40 +205,46 @@ let read_file path =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> Some (really_input_string ic (in_channel_length ic)))
 
+(* scan whole frames starting at [start]; returns (records oldest first,
+   offset just past the last valid frame, why the scan stopped early) *)
+let scan_frames data start =
+  let n = String.length data in
+  let entries = ref [] in
+  let pos = ref start in
+  let corruption = ref None in
+  let stop reason = corruption := Some reason in
+  let continue () = !corruption = None && !pos < n in
+  while continue () do
+    let off = !pos in
+    if n - off < 8 then
+      stop (Printf.sprintf "torn frame header at byte %d" off)
+    else begin
+      let len = read_u32_le data off in
+      let crc_stored = read_u32_le data (off + 4) in
+      if len < 0 || len > max_record_len then
+        stop (Printf.sprintf "absurd record length %d at byte %d" len off)
+      else if n - off - 8 < len then
+        stop (Printf.sprintf "torn payload at byte %d" off)
+      else begin
+        let payload = String.sub data (off + 8) len in
+        let crc = int32_unsigned (crc32_frame (u32_le len) payload) in
+        if crc <> crc_stored then
+          stop (Printf.sprintf "crc mismatch at byte %d" off)
+        else begin
+          entries := payload :: !entries;
+          pos := off + 8 + len
+        end
+      end
+    end
+  done;
+  (List.rev !entries, !pos, !corruption)
+
 let read path =
   match read_file path with
   | None -> { entries = []; valid_bytes = 0; corruption = None }
   | Some data ->
-      let n = String.length data in
-      let entries = ref [] in
-      let pos = ref 0 in
-      let corruption = ref None in
-      let stop reason = corruption := Some reason in
-      let continue () = !corruption = None && !pos < n in
-      while continue () do
-        let off = !pos in
-        if n - off < 8 then
-          stop (Printf.sprintf "torn frame header at byte %d" off)
-        else begin
-          let len = read_u32_le data off in
-          let crc_stored = read_u32_le data (off + 4) in
-          if len < 0 || len > max_record_len then
-            stop (Printf.sprintf "absurd record length %d at byte %d" len off)
-          else if n - off - 8 < len then
-            stop (Printf.sprintf "torn payload at byte %d" off)
-          else begin
-            let payload = String.sub data (off + 8) len in
-            let crc = int32_unsigned (crc32_frame (u32_le len) payload) in
-            if crc <> crc_stored then
-              stop (Printf.sprintf "crc mismatch at byte %d" off)
-            else begin
-              entries := payload :: !entries;
-              pos := off + 8 + len
-            end
-          end
-        end
-      done;
-      { entries = List.rev !entries; valid_bytes = !pos; corruption = !corruption }
+      let entries, valid_bytes, corruption = scan_frames data 0 in
+      { entries; valid_bytes; corruption }
 
 let recover path =
   let r = read path in
@@ -246,3 +252,44 @@ let recover path =
   | Some _ -> ( try Unix.truncate path r.valid_bytes with Unix.Unix_error _ -> ())
   | None -> ());
   r
+
+(* ---- tailer ---- *)
+
+(* A tailer incrementally follows a journal another process is still
+   appending to. It is strictly read-only and never advances past an
+   invalid frame: a torn tail (the writer crashed mid-append, or we
+   raced a group commit's write) is reported as [tail_torn] and the
+   position stays at the end of the validated prefix, so the next poll
+   re-examines the same bytes. If the writer's recovery later truncates
+   that torn tail and appends fresh records, the tailer picks them up
+   from the same position — it never has to "un-see" a record, which is
+   what makes replication from a tailer safe: the replica is always a
+   prefix of what the writer acknowledged as durable. *)
+
+type tailer = { t_path : string; mutable t_pos : int }
+
+type tail_result = {
+  tailed : string list;
+  tail_torn : bool;
+  tail_truncated : bool;
+}
+
+let open_tail ?(pos = 0) path =
+  if pos < 0 then invalid_arg "Journal.open_tail: negative position";
+  { t_path = path; t_pos = pos }
+
+let tail_pos t = t.t_pos
+
+let tail_poll t =
+  match read_file t.t_path with
+  | None -> { tailed = []; tail_torn = false; tail_truncated = false }
+  | Some data ->
+      if String.length data < t.t_pos then
+        (* the file shrank below our validated prefix: this is not a
+           torn append but a different history (e.g. the journal was
+           deleted and recreated) — the caller must resynchronize *)
+        { tailed = []; tail_torn = false; tail_truncated = true }
+      else
+        let entries, pos, corruption = scan_frames data t.t_pos in
+        t.t_pos <- pos;
+        { tailed = entries; tail_torn = corruption <> None; tail_truncated = false }

@@ -80,6 +80,38 @@ val recover : string -> read_result
 (** {!read}, then truncates the file to [valid_bytes] when corruption
     was found — the resume entry point. *)
 
+type tailer
+(** Incremental, read-only follower of a journal another process is
+    still appending to — the replication substrate. *)
+
+type tail_result = {
+  tailed : string list;  (** new complete, valid records, oldest first *)
+  tail_torn : bool;
+      (** an incomplete or invalid frame sits at the current tail; the
+          position did {e not} advance past it — poll again after the
+          writer finishes (or recovers and rewrites) the append *)
+  tail_truncated : bool;
+      (** the file shrank below the validated position: a different
+          history, not a torn append — resynchronize from scratch *)
+}
+
+val open_tail : ?pos:int -> string -> tailer
+(** A tailer positioned at byte [pos] (default [0] — the whole file).
+    [pos] must be a frame boundary previously returned by {!tail_pos}
+    (or [0]); the file need not exist yet. *)
+
+val tail_poll : tailer -> tail_result
+(** Scans from the current position to end of file and returns the new
+    whole, CRC-valid records, advancing the position past them. Never
+    modifies the file, and never advances past a torn or corrupt frame:
+    a torn tail blocks the tailer at the validated prefix rather than
+    truncating (that is the {e writer}'s recovery decision, not the
+    reader's). A missing file polls as empty. *)
+
+val tail_pos : tailer -> int
+(** Byte offset of the validated prefix — the resume point for
+    {!open_tail}. *)
+
 val crc32 : string -> int32
 (** The IEEE CRC-32 used for framing, exposed so callers can fingerprint
     record {e contents} (e.g. a verdict/certificate digest that must be

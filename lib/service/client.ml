@@ -99,6 +99,15 @@ let get_stats ?timeout_s addr =
   | Ok _ -> Result.Error "unexpected reply to stats"
   | Result.Error _ as e -> e
 
+(* Raising a watermark is idempotent and monotonic, so re-sending a
+   fence after a transport failure is always safe. The ack echoes the
+   worker's watermark *after* the raise — ≥ the requested epoch. *)
+let fence ?timeout_s ?(id = "") addr ~epoch =
+  match roundtrip ?timeout_s addr (Wire.render_fence ~id ~epoch) with
+  | Ok (Wire.Fenced { fenced_epoch; _ }) -> Ok fenced_epoch
+  | Ok _ -> Result.Error "unexpected reply to fence"
+  | Result.Error _ as e -> e
+
 (* ---- retrying check ----------------------------------------------- *)
 
 (* A check names a pure verification problem, so re-asking is always
@@ -113,6 +122,7 @@ type retry_report = {
   attempts : int;  (** total tries, including the first *)
   retried_shed : int;
   retried_transport : int;
+  retried_quota : int;  (** quota refusals waited out (submit only) *)
   gave_up : string option;
       (** why the last failure was returned instead of retried *)
 }
@@ -168,7 +178,83 @@ let check_retry ?timeout_s ?(retries = 0) ?retry_budget_s
       attempts;
       retried_shed = !shed;
       retried_transport = !transport;
+      retried_quota = 0;
       gave_up = (if failed_reply reply then gave_up else None);
+    } )
+
+(* ---- retrying submit ---------------------------------------------- *)
+
+(* Submissions are as safe to re-ask as checks: verdicts are
+   content-addressed (digest × command × certify), so a duplicate
+   submission can only hit the cache, never double-apply. Only two
+   failure shapes are retried: transport failures, and [quota] refusals
+   — which carry an explicit [retry=…] hint that we honor as a floor
+   under the jittered backoff. A [shed] is NOT retried here: the quota
+   layer in front of the queue means a shed on submit signals global
+   overload where backing off a single tenant does not help; callers
+   who want that behavior can loop themselves. Anything the server
+   answered with substance — a spec verdict, a typed diagnostic — is
+   final. *)
+
+let submit_retry ?timeout_s ?id ?tenant ?cmd ?certify ?deadline_s
+    ?(retries = 0) ?retry_budget_s ?(backoff = Netsim.Backoff.make ())
+    ?(seed = 0) addr spec =
+  if retries < 0 then invalid_arg "Client.submit_retry: retries < 0";
+  (match retry_budget_s with
+  | Some b when b < 0.0 -> invalid_arg "Client.submit_retry: negative budget"
+  | _ -> ());
+  let rng =
+    Netsim.Backoff.stream ~seed
+      ~key:("client/submit/" ^ Option.value id ~default:"")
+  in
+  let started = Unix.gettimeofday () in
+  let quota = ref 0 and transport = ref 0 in
+  let within_budget delay =
+    match retry_budget_s with
+    | None -> true
+    | Some b -> Unix.gettimeofday () -. started +. delay <= b
+  in
+  let rec go attempt =
+    let reply = submit ?timeout_s ?id ?tenant ?cmd ?certify ?deadline_s addr spec in
+    let failure =
+      match reply with
+      | Ok (Wire.Quota { retry_after_s; _ }) -> Some (`Quota retry_after_s)
+      | Result.Error _ -> Some `Transport
+      | Ok _ -> None
+    in
+    match failure with
+    | None -> (reply, attempt, None)
+    | Some kind ->
+        if attempt > retries then (reply, attempt, Some "retries exhausted")
+        else
+          let delay =
+            let d = Netsim.Backoff.delay backoff ~rng ~attempt in
+            match kind with
+            | `Quota hint -> Float.max d hint
+            | `Transport -> d
+          in
+          if not (within_budget delay) then
+            (reply, attempt, Some "retry budget exhausted")
+          else begin
+            (match kind with
+            | `Quota _ -> incr quota
+            | `Transport -> incr transport);
+            Unix.sleepf delay;
+            go (attempt + 1)
+          end
+  in
+  let reply, attempts, gave_up = go 1 in
+  let failed = match reply with
+    | Ok (Wire.Quota _) | Result.Error _ -> true
+    | Ok _ -> false
+  in
+  ( reply,
+    {
+      attempts;
+      retried_shed = 0;
+      retried_transport = !transport;
+      retried_quota = !quota;
+      gave_up = (if failed then gave_up else None);
     } )
 
 (* ---- the overload probe ------------------------------------------- *)
@@ -206,7 +292,7 @@ let flood ?timeout_s ?(concurrency = 4) ~total addr reqs =
         | Ok (Wire.Shed _) -> incr shed
         | Ok (Wire.Spec _ | Wire.Quota _ | Wire.Bad_spec _)
         | Ok (Wire.Error _)
-        | Ok (Wire.Stats _)
+        | Ok (Wire.Stats _ | Wire.Fenced _ | Wire.Repl_ack _ | Wire.Repl_frame _)
         | Result.Error _ ->
             incr errors);
         loop ()
@@ -288,7 +374,10 @@ let spec_flood ?timeout_s ?(concurrency = 2) ?tenant ?cmd ?certify ?mutate_seed
         | Ok (Wire.Bad_spec _) -> incr typed
         | Ok (Wire.Quota _) -> incr quota
         | Ok (Wire.Shed _) -> incr shed
-        | Ok (Wire.Verdict _ | Wire.Error _ | Wire.Stats _) | Result.Error _ ->
+        | Ok
+            ( Wire.Verdict _ | Wire.Error _ | Wire.Stats _ | Wire.Fenced _
+            | Wire.Repl_ack _ | Wire.Repl_frame _ )
+        | Result.Error _ ->
             incr transport);
         loop ()
       end

@@ -1,6 +1,21 @@
 (** Blocking client for the verification service: one newline-framed
     request and one reply per connection. *)
 
+(** {2 Low-level socket plumbing}
+
+    Exposed for protocol extensions that read more than one reply line
+    per connection (the replication puller in {!Repl}). *)
+
+val connect : ?timeout_s:float -> Server.addr -> Unix.file_descr
+(** Connected socket with send/receive timeouts set. Raises on
+    failure (callers wrap). *)
+
+val send_all : Unix.file_descr -> string -> unit
+
+val recv_line : Unix.file_descr -> string option
+(** One newline-terminated line ([None] on a clean EOF before any
+    byte). Raises [Failure] past 64 KiB without a newline. *)
+
 val roundtrip :
   ?timeout_s:float ->
   Server.addr -> string -> (Wire.response, string) result
@@ -15,6 +30,16 @@ val check :
 
 val get_stats :
   ?timeout_s:float -> Server.addr -> ((string * int) list, string) result
+
+val fence :
+  ?timeout_s:float ->
+  ?id:string -> Server.addr -> epoch:int -> (int, string) result
+(** Raises the worker's coordinator-epoch watermark to at least [epoch]
+    and returns the watermark after the raise. Sent by a coordinator
+    announcing itself (primary at startup, standby at takeover) before
+    it dispatches any work, so that a deposed coordinator's next
+    request meets a [fenced] refusal. Idempotent and monotonic —
+    re-sending after a transport failure is always safe. *)
 
 val submit :
   ?timeout_s:float ->
@@ -31,12 +56,13 @@ val submit :
     alone and closed) is swallowed so the refusal reply is still
     read. *)
 
-(** Outcome of a {!check_retry}: how many tries, and why the last
-    failure (if any) was returned instead of retried. *)
+(** Outcome of a {!check_retry} or {!submit_retry}: how many tries, and
+    why the last failure (if any) was returned instead of retried. *)
 type retry_report = {
   attempts : int;  (** total tries, including the first *)
-  retried_shed : int;
+  retried_shed : int;  (** shed replies waited out (check only) *)
   retried_transport : int;
+  retried_quota : int;  (** quota refusals waited out (submit only) *)
   gave_up : string option;
       (** [Some _] only when the returned reply is still a failure:
           ["retries exhausted"] or ["retry budget exhausted"] *)
@@ -60,6 +86,27 @@ val check_retry :
     {!Netsim.Backoff.stream} [~seed ~key:("client/" ^ policy ^ "/" ^ id)],
     so many clients shed at the same instant spread their retries out
     instead of re-flooding in lockstep. *)
+
+val submit_retry :
+  ?timeout_s:float ->
+  ?id:string ->
+  ?tenant:string ->
+  ?cmd:string ->
+  ?certify:bool ->
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?retry_budget_s:float ->
+  ?backoff:Netsim.Backoff.t ->
+  ?seed:int ->
+  Server.addr -> string -> (Wire.response, string) result * retry_report
+(** {!submit} with the same jittered-backoff retry machinery as
+    {!check_retry}, retrying only transport failures and [quota]
+    refusals — safe because verdicts are content-addressed, so a
+    duplicate submission can only hit the cache. A [quota] reply's
+    [retry=…] hint is honored as a floor under the backoff delay.
+    [shed] replies are {e not} retried (global overload — a refusal
+    with substance), and neither are spec verdicts or typed
+    diagnostics. *)
 
 (** The overload probe: hammer the server from several domains and
     tally how every request was answered. The CI smoke job floods at

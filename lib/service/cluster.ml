@@ -36,6 +36,18 @@ type config = {
   cl_journal : string option;
   cl_resume : bool;
   cl_flush_every : int;
+  epoch : int;
+      (** leadership epoch; 0 = unfenced legacy mode. When positive,
+          every worker is fenced to it before dispatch, every request
+          and journal record is stamped with it, and a [fenced] reply
+          (a newer coordinator exists) deposes this run. *)
+  repl_listen : Server.addr option;
+      (** serve journal replication pulls from this address (requires
+          [cl_journal]) — the warm standby's feed *)
+  cl_throttle_s : float;
+      (** sleep this long before dispatching each cell; 0 = off. Meant
+          for failover tests and benches that must land a kill or a
+          partition mid-sweep deterministically, not for production. *)
 }
 
 let default_config workers =
@@ -55,12 +67,21 @@ let default_config workers =
     cl_journal = None;
     cl_resume = false;
     cl_flush_every = 1;
+    epoch = 0;
+    repl_listen = None;
+    cl_throttle_s = 0.0;
   }
 
 type report = {
   sweep : E.sweep_report;
   cluster_stats : (string * int) list;
   worker_up : bool list;
+  cl_epoch : int;  (** the epoch this run dispatched under *)
+  deposed : bool;
+      (** a worker refused us for a stale epoch: a newer coordinator
+          took over mid-sweep. Dispatch and journaling stopped at the
+          first refusal; the report is partial and must not be
+          trusted past it — the successor owns the sweep now. *)
 }
 
 (* ---- internal state ----------------------------------------------- *)
@@ -106,6 +127,7 @@ type counters = {
   c_hb_failures : int Atomic.t;
   c_marked_down : int Atomic.t;
   c_revived : int Atomic.t;
+  c_fenced : int Atomic.t;  (* replies refusing our epoch as stale *)
 }
 
 let fresh_counters () =
@@ -123,6 +145,7 @@ let fresh_counters () =
     c_hb_failures = Atomic.make 0;
     c_marked_down = Atomic.make 0;
     c_revived = Atomic.make 0;
+    c_fenced = Atomic.make 0;
   }
 
 let counters_assoc c =
@@ -140,6 +163,7 @@ let counters_assoc c =
     ("hb_failures", Atomic.get c.c_hb_failures);
     ("marked_down", Atomic.get c.c_marked_down);
     ("revived", Atomic.get c.c_revived);
+    ("fenced", Atomic.get c.c_fenced);
   ]
 
 let cell_decided (c : E.sweep_cell) =
@@ -157,6 +181,49 @@ let disp_record ~seed ~key ~worker ~attempt =
   Printf.sprintf "disp|1|seed=%d|key=%s|worker=%d|attempt=%d" seed
     (E.escape_field key) worker attempt
 
+(* ---- epoch records -------------------------------------------------- *)
+
+(* Leadership marker, written once at the head of each coordinator's
+   tenure. Foreign to cell readers, like [disp]. Additionally, when a
+   run has a positive epoch every journaled record gets an
+   [|epoch=N] suffix — cell records stay interchangeable with
+   [mca_check --sweep --resume] because the cell codec ignores fields
+   it does not know and its fingerprint covers only semantic fields. *)
+let epoch_record ~seed ~epoch =
+  Printf.sprintf "epoch|1|seed=%d|epoch=%d" seed epoch
+
+(* the highest [epoch=N] field anywhere in a record, 0 if none — reads
+   both epoch markers and stamped cell/disp records *)
+let record_epoch line =
+  match String.split_on_char '|' line with
+  | _kind :: "1" :: fields ->
+      List.fold_left
+        (fun acc f ->
+          match String.index_opt f '=' with
+          | Some i when String.sub f 0 i = "epoch" -> (
+              match
+                int_of_string_opt (String.sub f (i + 1) (String.length f - i - 1))
+              with
+              | Some e -> max acc e
+              | None -> acc)
+          | _ -> acc)
+        0 fields
+  | _ -> 0
+
+(* the durable epoch floor: the highest epoch recorded in a journal
+   file. A restarted coordinator reads this before choosing its own
+   epoch, so a crash can never make it reuse one it already spent. *)
+let latest_epoch path =
+  List.fold_left
+    (fun acc line -> max acc (record_epoch line))
+    0 (Parallel.Journal.read path).Parallel.Journal.entries
+
+let commit_epoch path ~seed ~epoch =
+  let w = Parallel.Journal.open_append path in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Journal.close w)
+    (fun () -> Parallel.Journal.append w (epoch_record ~seed ~epoch))
+
 (* ---- run_sweep ---------------------------------------------------- *)
 
 let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
@@ -165,6 +232,9 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
   if cfg.max_attempts < 1 then invalid_arg "Cluster.run_sweep: max_attempts < 1";
   if cfg.cl_resume && cfg.cl_journal = None then
     invalid_arg "Cluster.run_sweep: cl_resume without cl_journal";
+  if cfg.epoch < 0 then invalid_arg "Cluster.run_sweep: negative epoch";
+  if cfg.repl_listen <> None && cfg.cl_journal = None then
+    invalid_arg "Cluster.run_sweep: repl_listen without cl_journal";
   let t0 = Unix.gettimeofday () in
   let tasks = E.sweep_tasks ?scopes () in
   let workers = Array.of_list cfg.workers in
@@ -196,15 +266,37 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
       (fun p -> Parallel.Journal.open_append ~flush_every:cfg.cl_flush_every p)
       cfg.cl_journal
   in
+  (* Deposition: set on the first [fenced] reply. The commit gate runs
+     under the journal lock, so once the flag is observed here no
+     further record — cell or dispatch intent — can reach the file:
+     everything a deposed coordinator computes after the refusal dies
+     in memory, which is the journal half of the split-brain
+     argument (the worker half is the epoch watermark). *)
+  let deposed = Atomic.make false in
+  let deposed_by = Atomic.make 0 in
   let journal_lock = Mutex.create () in
-  let journal line =
+  let journal_raw line =
     match writer with
     | None -> ()
     | Some w ->
         Mutex.lock journal_lock;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock journal_lock)
-          (fun () -> Parallel.Journal.append w line)
+          (fun () ->
+            if not (Atomic.get deposed) then Parallel.Journal.append w line)
+  in
+  let journal line =
+    journal_raw
+      (if cfg.epoch > 0 then
+         Printf.sprintf "%s|epoch=%d" line cfg.epoch
+       else line)
+  in
+  if cfg.epoch > 0 then journal_raw (epoch_record ~seed:cfg.seed ~epoch:cfg.epoch);
+  let publisher =
+    match (cfg.repl_listen, cfg.cl_journal) with
+    | Some addr, Some path ->
+        Some (Repl.start_publisher ~addr ~journal:path ~epoch:cfg.epoch)
+    | _ -> None
   in
 
   let slots =
@@ -254,6 +346,24 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
     Atomic.set states.(w).w_fails 0;
     if Atomic.exchange states.(w).w_down false then Atomic.incr ctr.c_revived
   in
+
+  (* ---- announce the epoch before dispatching anything ---- *)
+  (* Fence-first ordering is what makes takeover safe: by the time this
+     coordinator asks any worker for work, every reachable worker's
+     watermark is at [cfg.epoch], so a deposed predecessor's next
+     request meets a refusal there. A worker that cannot be reached is
+     ordinary failure evidence — if it comes back it learns the epoch
+     from our first stamped request instead. *)
+  if cfg.epoch > 0 then
+    Array.iteri
+      (fun i w ->
+        match
+          Client.fence ~timeout_s:(Float.min cfg.timeout_s 2.0) w.w_addr
+            ~epoch:cfg.epoch
+        with
+        | Ok _ -> worker_ok i
+        | Result.Error _ -> worker_fail i)
+      states;
 
   (* ---- certified relocation re-check ---- *)
   let shared_lock = Mutex.create () in
@@ -319,7 +429,9 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
     Wire.request
       ~id:(Printf.sprintf "c%d%s" slot.s_index id_suffix)
       ~agents:scope.M.pnodes ~items:scope.M.vnodes ~states:scope.M.states
-      ~values:scope.M.values ~seed:cfg.seed ~deadline_s:cfg.deadline_s label
+      ~values:scope.M.values ~seed:cfg.seed ~deadline_s:cfg.deadline_s
+      ?epoch:(if cfg.epoch > 0 then Some cfg.epoch else None)
+      label
   in
   let cell_of_reply slot (v : Wire.verdict_reply) =
     let label, _, _, tag, _ = slot.s_task in
@@ -359,7 +471,22 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
       | Ok (Wire.Error { msg; _ }) ->
           worker_ok w;
           `Refused msg
-      | Ok (Wire.Stats _ | Wire.Spec _ | Wire.Quota _ | Wire.Bad_spec _) ->
+      | Ok (Wire.Fenced { fenced_epoch; _ }) ->
+          (* the worker answered — it is alive — but a coordinator with
+             a newer epoch owns the fleet now. This run is over. *)
+          worker_ok w;
+          Atomic.incr ctr.c_fenced;
+          let rec bump () =
+            let cur = Atomic.get deposed_by in
+            if fenced_epoch > cur && not (Atomic.compare_and_set deposed_by cur fenced_epoch)
+            then bump ()
+          in
+          bump ();
+          Atomic.set deposed true;
+          `Fenced
+      | Ok
+          ( Wire.Stats _ | Wire.Spec _ | Wire.Quota _ | Wire.Bad_spec _
+          | Wire.Repl_ack _ | Wire.Repl_frame _ ) ->
           `Transport "unexpected reply kind to check"
       | Result.Error msg ->
           worker_fail w;
@@ -397,14 +524,16 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
       origin;
     }
   in
+  let halted () = stop () || Atomic.get deposed in
   let dispatch_slot slot =
-    if Atomic.get slot.s_result = None then begin
+    if Atomic.get slot.s_result = None && not (Atomic.get deposed) then begin
+      if cfg.cl_throttle_s > 0.0 then Unix.sleepf cfg.cl_throttle_s;
       let rng =
         Netsim.Backoff.stream ~seed:cfg.seed ~key:("cluster/" ^ slot.s_key)
       in
       let last_soft = ref None in
       let rec go attempt ~avoid =
-        if Atomic.get slot.s_result <> None || stop () then ()
+        if Atomic.get slot.s_result <> None || halted () then ()
         else if attempt > cfg.max_attempts then
           (* report the fleet's last honest answer, not a fabricated one *)
           let cell =
@@ -431,6 +560,7 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
               journal (disp_record ~seed:cfg.seed ~key:slot.s_key ~worker:w ~attempt);
               match try_worker slot w ~id_suffix:(Printf.sprintf "-a%d" attempt) ~stolen:false with
               | `Accepted -> ()
+              | `Fenced -> ()  (* deposed: the successor owns this cell *)
               | `Soft cell ->
                   last_soft := Some cell;
                   Atomic.incr ctr.c_soft_retries;
@@ -504,7 +634,7 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
     drain ();
     (* queue empty: help stragglers until the sweep is complete *)
     let rec steal_loop () =
-      if all_done () || stop () then ()
+      if all_done () || halted () then ()
       else begin
         if not (steal_pass ()) then Unix.sleepf 0.02;
         steal_loop ()
@@ -544,6 +674,10 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
   Atomic.set hb_stop true;
   Domain.join hb;
   (match writer with Some w -> Parallel.Journal.close w | None -> ());
+  (* the standby gets one last chance to pull everything the close just
+     flushed; stopping the publisher before the writer would strand the
+     final group-commit batch on our disk only *)
+  (match publisher with Some p -> Repl.stop_publisher p | None -> ());
 
   (* ---- collect, in task order ---- *)
   let cells =
@@ -569,7 +703,133 @@ let run_sweep ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes cfg =
     cluster_stats = counters_assoc ctr;
     worker_up =
       Array.to_list (Array.map (fun w -> not (Atomic.get w.w_down)) states);
+    cl_epoch = max cfg.epoch (Atomic.get deposed_by);
+    deposed = Atomic.get deposed;
   }
 
 let fleet_stats ?timeout_s addrs =
   List.mapi (fun i a -> (i, Client.get_stats ?timeout_s a)) addrs
+
+(* ---- warm standby --------------------------------------------------- *)
+
+type standby_config = {
+  sb_cluster : config;
+      (* the configuration the standby runs the sweep with at takeover.
+         [cl_journal] is the *replica* journal path (required — it is
+         what replication fills and what the takeover resumes from).
+         [epoch] here is a floor of epochs known to be spent (e.g. read
+         from an epoch journal with {!latest_epoch}), not an epoch to
+         run at: the takeover epoch is one past the highest epoch seen
+         anywhere — floor, replication acks, replicated records. *)
+  sb_source : Server.addr;
+  sb_poll_s : float;
+  sb_lease_s : float;
+  sb_down_after : int;
+}
+
+let default_standby ~source cluster =
+  {
+    sb_cluster = cluster;
+    sb_source = source;
+    sb_poll_s = 0.05;
+    sb_lease_s = 1.0;
+    sb_down_after = 3;
+  }
+
+type standby_outcome =
+  | Took_over of {
+      takeover_epoch : int;
+      replicated : int;  (* records in the replica at takeover *)
+      takeover_latency_s : float;  (* last successful pull -> takeover *)
+      report : report;
+    }
+  | Standby_drained of { replicated : int }
+
+(* The standby loop: pull, append, watch the lease.
+
+   Liveness is evidence-based, exactly like the coordinator's view of
+   its workers: only *observed* failed pulls count, and takeover
+   additionally requires the lease — a wall-clock span since the last
+   successful pull — to have elapsed. Both conditions together mean a
+   merely slow primary (one long GC pause, one dropped connection)
+   cannot trigger a takeover by itself; a partitioned or dead one
+   cannot avoid it. Split-brain safety does NOT rest on this detector
+   being right — it may fire against a partitioned-but-alive primary —
+   but on epoch fencing: the takeover sweep runs at an epoch strictly
+   above anything the old primary ever held, fences every worker
+   first, and the old primary's next dispatch meets [fenced] refusals
+   and deposes itself without committing another record. *)
+let run_standby ?(stop = fun () -> Parallel.Supervise.draining ()) ?scopes
+    ?(on_replicated = fun (_ : int) -> ()) sb =
+  let cfg = sb.sb_cluster in
+  let path =
+    match cfg.cl_journal with
+    | Some p -> p
+    | None -> invalid_arg "Cluster.run_standby: sb_cluster.cl_journal required"
+  in
+  if sb.sb_poll_s <= 0.0 then invalid_arg "Cluster.run_standby: sb_poll_s <= 0";
+  if sb.sb_down_after < 1 then
+    invalid_arg "Cluster.run_standby: sb_down_after < 1";
+  (* resume an existing replica; recover truncates a torn tail we could
+     only have if a previous standby died mid-append (pulls themselves
+     only ever deliver whole verified records) *)
+  let existing = (Parallel.Journal.recover path).Parallel.Journal.entries in
+  let count = ref (List.length existing) in
+  let epoch_seen =
+    ref
+      (List.fold_left
+         (fun acc l -> max acc (record_epoch l))
+         (max 0 cfg.epoch) existing)
+  in
+  let w = Parallel.Journal.open_append ~flush_every:1 path in
+  let closed = ref false in
+  let close_writer () =
+    if not !closed then begin
+      closed := true;
+      Parallel.Journal.close w
+    end
+  in
+  let fails = ref 0 in
+  let last_ok = ref (Unix.gettimeofday ()) in
+  let rec loop () =
+    if stop () then begin
+      close_writer ();
+      Standby_drained { replicated = !count }
+    end
+    else begin
+      (match
+         Repl.pull
+           ~timeout_s:(Float.max sb.sb_poll_s 1.0)
+           sb.sb_source ~from:!count
+       with
+      | Ok p ->
+          fails := 0;
+          last_ok := Unix.gettimeofday ();
+          epoch_seen := max !epoch_seen p.Repl.pulled_epoch;
+          List.iter
+            (fun r ->
+              Parallel.Journal.append w r;
+              epoch_seen := max !epoch_seen (record_epoch r);
+              incr count)
+            p.Repl.pulled_records;
+          on_replicated !count
+      | Result.Error _ -> incr fails);
+      let now = Unix.gettimeofday () in
+      if !fails >= sb.sb_down_after && now -. !last_ok >= sb.sb_lease_s then begin
+        close_writer ();
+        let takeover_epoch = !epoch_seen + 1 in
+        let latency = now -. !last_ok in
+        let report =
+          run_sweep ~stop ?scopes
+            { cfg with cl_resume = true; epoch = takeover_epoch }
+        in
+        Took_over
+          { takeover_epoch; replicated = !count; takeover_latency_s = latency; report }
+      end
+      else begin
+        Unix.sleepf sb.sb_poll_s;
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -41,7 +41,24 @@
 
     A cell still unanswered after [max_attempts] tries across the fleet
     is reported honestly as its last [Undecided] answer (origin
-    [Quarantined]) — one unreachable cell never wedges the sweep. *)
+    [Quarantined]) — one unreachable cell never wedges the sweep.
+
+    {b Replication and epoch fencing} (the failover layer): a
+    coordinator run can carry a positive leadership {e epoch}. It then
+    announces the epoch to every worker ([fence] verb) before
+    dispatching anything, stamps it into every wire request and every
+    journal record, and — with [repl_listen] — publishes its journal
+    record-by-record to a warm standby ({!Repl}). The standby
+    ({!run_standby}) tails the journal into a local replica, watches
+    primary liveness with the same evidence-based discipline the
+    coordinator applies to workers, and on lease expiry takes over:
+    re-derives the remaining cells from its replica ([cl_resume]) and
+    finishes the sweep at an epoch strictly above anything the old
+    primary held. Split-brain safety rests on fencing, not on the
+    failure detector being right: workers refuse stale-epoch requests
+    with [fenced], and a deposed coordinator stops journaling at the
+    first refusal — the commit gate runs inside the journal lock, so
+    zero records land after deposition. *)
 
 type config = {
   workers : Server.addr list;
@@ -59,21 +76,39 @@ type config = {
   cl_journal : string option;
   cl_resume : bool;
   cl_flush_every : int;  (** journal group-commit batch *)
+  epoch : int;
+      (** leadership epoch; [0] = unfenced legacy mode. Positive:
+          workers are fenced to it before dispatch, every request and
+          journal record carries it, and a [fenced] reply deposes the
+          run. *)
+  repl_listen : Server.addr option;
+      (** serve journal replication pulls here (requires
+          [cl_journal]) *)
+  cl_throttle_s : float;
+      (** sleep before dispatching each cell; [0.] = off. For failover
+          tests and benches that must land a kill or partition
+          mid-sweep deterministically — not for production. *)
 }
 
 val default_config : Server.addr list -> config
 (** 4 dispatchers, seed 1, 30 s cell deadline, 35 s socket timeout,
     5 attempts, 20 ms–0.5 s backoff, down after 2, 0.5 s heartbeat,
     steal after 5 s, relocation re-check on, 64 ring points, no
-    journal. *)
+    journal, epoch 0, no replication, no throttle. *)
 
 type report = {
   sweep : Core.Experiments.sweep_report;
       (** render with {!Core.Experiments.render_sweep} — byte-identical
           to the single-process sweep when every cell was decided *)
   cluster_stats : (string * int) list;
-      (** dispatch/failover/steal/relocation/heartbeat counters *)
+      (** dispatch/failover/steal/relocation/heartbeat/fenced counters *)
   worker_up : bool list;  (** final liveness, in [workers] order *)
+  cl_epoch : int;
+      (** the epoch dispatched under, or the deposing epoch if higher *)
+  deposed : bool;
+      (** a worker refused this run's epoch as stale: a newer
+          coordinator owns the fleet. Dispatch and journaling stopped at
+          the first refusal; the report is partial past it. *)
 }
 
 val run_sweep :
@@ -93,3 +128,71 @@ val fleet_stats :
   Server.addr list -> (int * ((string * int) list, string) result) list
 (** One [stats] probe per worker, indexed — the [--stats] mode of the
     CLI. *)
+
+(** {2 Epoch durability}
+
+    A coordinator must never reuse an epoch it already spent — a
+    restarted primary at an old epoch would not be refused by workers
+    that never saw the successor. These helpers maintain the durable
+    floor: record every epoch before running at it, read the floor back
+    at startup and start strictly above it. Any journal file works,
+    including the coordinator journal itself (epochs appear both as
+    [epoch] marker records and as [|epoch=N] stamps). *)
+
+val latest_epoch : string -> int
+(** Highest epoch recorded anywhere in the journal at [path]; [0] for a
+    missing or epoch-free journal. *)
+
+val commit_epoch : string -> seed:int -> epoch:int -> unit
+(** Durably appends an [epoch] marker record to the journal at [path]
+    (created if missing), fsync'd before return. *)
+
+(** {2 Warm standby} *)
+
+type standby_config = {
+  sb_cluster : config;
+      (** the configuration the takeover sweep runs with.
+          [cl_journal] is the {e replica} journal path (required):
+          replication fills it, takeover resumes from it. [epoch] here
+          is a {e floor} of epochs known spent (e.g. from
+          {!latest_epoch}), not an epoch to run at — the takeover epoch
+          is one past the highest epoch seen anywhere. *)
+  sb_source : Server.addr;  (** the primary's [repl_listen] address *)
+  sb_poll_s : float;  (** delay between replication pulls *)
+  sb_lease_s : float;
+      (** wall clock since the last successful pull before takeover *)
+  sb_down_after : int;
+      (** consecutive failed pulls before takeover (both conditions
+          must hold — lease {e and} failure evidence) *)
+}
+
+val default_standby : source:Server.addr -> config -> standby_config
+(** 50 ms poll, 1 s lease, 3 consecutive failures. *)
+
+type standby_outcome =
+  | Took_over of {
+      takeover_epoch : int;
+      replicated : int;  (** records in the replica at takeover *)
+      takeover_latency_s : float;
+          (** last successful pull → takeover decision *)
+      report : report;  (** the completed (or again-interrupted) sweep *)
+    }
+  | Standby_drained of { replicated : int }  (** [stop] fired first *)
+
+val run_standby :
+  ?stop:(unit -> bool) ->
+  ?scopes:(string * Core.Mca_model.scope_spec) list ->
+  ?on_replicated:(int -> unit) ->
+  standby_config -> standby_outcome
+(** Tails the primary's journal into the replica (pull loop, verified
+    frames, append with [flush_every=1]) until either [stop] fires or
+    the lease expires on hard evidence — [sb_down_after] consecutive
+    failed pulls {e and} [sb_lease_s] elapsed since the last good one.
+    A merely slow primary cannot trigger takeover; a partitioned-but-
+    alive one can, and split-brain safety then rests on epoch fencing,
+    not on the detector. On takeover, runs {!run_sweep} with
+    [cl_resume] from the replica at the fresh epoch and returns its
+    report. [on_replicated] is called with the replica record count
+    after every successful pull (test synchronization hook). Raises
+    [Invalid_argument] without [sb_cluster.cl_journal], or on
+    non-positive [sb_poll_s]/[sb_down_after]. *)

@@ -1,0 +1,48 @@
+(** Coordinator-journal replication: the primary publishes its journal
+    record-by-record over the wire protocol; a warm standby pulls.
+
+    Pull-based by design, one connection per pull: the standby sends
+    [repl-hello|1|id=…|from=N]; the publisher answers one [repl-ack]
+    (epoch, acknowledged position, record count) plus one [repl-frame]
+    per record in [N..count), then closes.
+
+    - The publisher serves from a {!Parallel.Journal} tailer over the
+      journal {e file}, so only records the group commit has made
+      durable are ever shipped — the replica is always a prefix of the
+      primary's disk.
+    - One pull = one accepted connection = one logical send under the
+      socket-level fault shim ({!Shim}), so partition and crash windows
+      from a {!Netsim.Faults} plan apply to replication directly.
+    - A failed pull is one observed transport failure against the
+      primary; the standby applies the same consecutive-failure
+      discipline the coordinator applies to workers
+      ({!Cluster.run_standby}). *)
+
+type publisher
+
+val start_publisher :
+  addr:Server.addr -> journal:string -> epoch:int -> publisher
+(** Binds [addr] and serves pulls from a background domain, tailing
+    [journal] (which need not exist yet) on each pull. [epoch] is the
+    publishing coordinator's leadership epoch, echoed in every
+    [repl-ack]. Raises [Unix.Unix_error] if the address cannot be
+    bound. *)
+
+val stop_publisher : publisher -> unit
+(** Stops the acceptor domain and closes the listener. Idempotent. *)
+
+type pulled = {
+  pulled_epoch : int;  (** the publisher's leadership epoch *)
+  pulled_have : int;  (** the publisher's total record count *)
+  pulled_records : string list;
+      (** records [from..pulled_have), fingerprint-verified and
+          contiguous — a rejected frame rejects the whole pull *)
+}
+
+val pull :
+  ?timeout_s:float -> Server.addr -> from:int -> (pulled, string) result
+(** One pull: records from index [from] to the publisher's current
+    count. Any transport failure, out-of-order frame, fingerprint
+    mismatch, or an acknowledgment below [from] (the publisher holds a
+    shorter history than the replica — divergence, not lag) is an
+    [Error]; nothing from a failed pull should enter the replica. *)

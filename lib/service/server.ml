@@ -92,6 +92,7 @@ type counters = {
   quota : int Atomic.t;  (** submissions refused by tenant admission *)
   spec_errors : int Atomic.t;  (** typed spec rejections (Bad_spec) *)
   spec_cached : int Atomic.t;  (** submits served from the verdict cache *)
+  fenced : int Atomic.t;  (** requests refused for a stale epoch *)
 }
 
 let new_counters () =
@@ -109,6 +110,7 @@ let new_counters () =
     quota = Atomic.make 0;
     spec_errors = Atomic.make 0;
     spec_cached = Atomic.make 0;
+    fenced = Atomic.make 0;
   }
 
 type t = {
@@ -133,9 +135,20 @@ type t = {
           same journal as the sweep cells *)
   spec_lock : Mutex.t;
   journal_w : Parallel.Journal.writer option;
+  epoch : int Atomic.t;
+      (** highest coordinator epoch seen — the fencing watermark. Raised
+          monotonically by [fence] verbs and epoch-stamped checks; a
+          check below it is refused before any work or journaling. *)
   listen_fd : Unix.file_descr;
   mutable domains : unit Domain.t list;
 }
+
+(* monotonic max-update; returns the watermark after the raise *)
+let rec raise_epoch a e =
+  let cur = Atomic.get a in
+  if e <= cur then cur
+  else if Atomic.compare_and_set a cur e then e
+  else raise_epoch a e
 
 (* ---- non-blocking, deadline-bounded socket I/O -------------------- *)
 
@@ -270,6 +283,8 @@ let stats_of t =
     ("quota", Atomic.get c.quota);
     ("spec_errors", Atomic.get c.spec_errors);
     ("spec_cached", Atomic.get c.spec_cached);
+    ("fenced", Atomic.get c.fenced);
+    ("epoch", Atomic.get t.epoch);
     ("tenants", Tenant.active t.tenants);
     ("depth", Parallel.Bqueue.length t.queue);
     ("cap", t.cfg.queue_cap);
@@ -278,6 +293,7 @@ let stats_of t =
     ("breaker_dpll_open", breaker_open Ladder.Dpll);
     ("breaker_explicit_open", breaker_open Ladder.Explicit);
   ]
+  @ Tenant.stats t.tenants
 
 let compute_cell t (req : Wire.request) ~stop ~abs_deadline =
   let scope_tag, scope = Wire.scope_of_request req in
@@ -455,6 +471,8 @@ let serve_submit t fd (h : Wire.submit_header) spec =
   match hit with
   | Some r ->
       Atomic.incr c.spec_cached;
+      Tenant.note_served t.tenants h.Wire.tenant;
+      Tenant.note_cached t.tenants h.Wire.tenant;
       reply
         (Wire.Spec
            {
@@ -483,6 +501,7 @@ let serve_submit t fd (h : Wire.submit_header) spec =
       with
       | Result.Error d ->
           Atomic.incr c.spec_errors;
+          Tenant.note_served t.tenants h.Wire.tenant;
           reply (Wire.Bad_spec { req_id = h.Wire.sub_id; diag = d })
       | Ok r ->
           let decided =
@@ -511,6 +530,7 @@ let serve_submit t fd (h : Wire.submit_header) spec =
             Mutex.unlock t.spec_lock
           end;
           if Atomic.get t.stopping then Atomic.incr c.drained;
+          Tenant.note_served t.tenants h.Wire.tenant;
           reply
             (Wire.Spec
                {
@@ -633,6 +653,19 @@ let handle_line t fd line =
   | Ok Wire.Get_stats ->
       refuse (Wire.Stats (stats_of t));
       Line_done
+  | Ok (Wire.Fence { fence_id; fence_epoch }) ->
+      (* a coordinator announcing itself: raise the watermark and echo
+         it back. Answered inline — a fence must not queue behind work
+         dispatched by the very coordinator it is deposing. *)
+      let watermark = raise_epoch t.epoch fence_epoch in
+      refuse (Wire.Fenced { req_id = fence_id; fenced_epoch = watermark });
+      Line_done
+  | Ok (Wire.Repl_hello { repl_id; _ }) ->
+      (* workers are not replication sources; only a coordinator's
+         journal publisher answers this verb *)
+      Atomic.incr c.errors;
+      refuse (Wire.Error { req_id = repl_id; msg = "not a replication source" });
+      Line_done
   | Ok (Wire.Submit h) ->
       Atomic.incr c.submits;
       if h.Wire.spec_bytes > t.cfg.max_spec_bytes then begin
@@ -658,7 +691,24 @@ let handle_line t fd line =
       else Await_body h
   | Ok (Wire.Check req) ->
       Atomic.incr c.requests;
-      (if Core.Experiments.lookup_policy req.Wire.policy = None then begin
+      let stale_epoch =
+        (* admission-time fencing: a request from a deposed coordinator
+           is refused before it can reach a worker or the journal. An
+           epoch at or above the watermark raises it (the check itself
+           announces the coordinator), and epoch-less legacy clients
+           are never fenced. *)
+        match req.Wire.epoch with
+        | None -> None
+        | Some e ->
+            let watermark = raise_epoch t.epoch e in
+            if e < watermark then Some watermark else None
+      in
+      (match stale_epoch with
+       | Some watermark ->
+           Atomic.incr c.fenced;
+           refuse (Wire.Fenced { req_id = req.Wire.id; fenced_epoch = watermark })
+       | None ->
+      if Core.Experiments.lookup_policy req.Wire.policy = None then begin
          Atomic.incr c.errors;
          refuse
            (Wire.Error
@@ -831,6 +881,7 @@ let start cfg =
       spec_cache;
       spec_lock = Mutex.create ();
       journal_w;
+      epoch = Atomic.make 0;
       listen_fd = listen cfg;
       domains = [];
     }

@@ -101,7 +101,10 @@ val stats : t -> (string * int) list
 (** The live counters of the [stats] wire reply: [conns], [requests],
     [admitted], [shed], [errors], [served], [cached], [degraded],
     [drained], [submits], [quota], [spec_errors], [spec_cached],
-    [tenants], [depth], [cap], [jobs], and one [breaker_*_open] flag
-    per ladder rung. *)
+    [fenced] (checks refused for a stale coordinator epoch), [epoch]
+    (the fencing watermark), [tenants], [depth], [cap], [jobs], one
+    [breaker_*_open] flag per ladder rung, and one
+    [tenant.<name>.served]/[.refused]/[.cached] triple per tracked
+    tenant ({!Tenant.stats}). *)
 
 val address : t -> addr

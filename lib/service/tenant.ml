@@ -7,6 +7,9 @@ type entry = {
   mutable last : float;  (** last refill instant *)
   mutable slots : int;  (** queue slots currently held *)
   mutable last_seen : float;  (** eviction ordering *)
+  mutable served : int;  (** submissions answered with substance *)
+  mutable refused : int;  (** quota refusals (either rule) *)
+  mutable cached : int;  (** the subset of [served] from the cache *)
 }
 
 type t = {
@@ -46,7 +49,8 @@ let entry_of t ~now name =
   | None ->
       if Hashtbl.length t.entries >= t.cfg.max_tenants then evict_one t;
       let e =
-        { tokens = t.cfg.burst; last = now; slots = 0; last_seen = now }
+        { tokens = t.cfg.burst; last = now; slots = 0; last_seen = now;
+          served = 0; refused = 0; cached = 0 }
       in
       Hashtbl.add t.entries name e;
       e
@@ -65,17 +69,21 @@ let admit t ~now ~queue_cap name =
     e.tokens <-
       Float.min t.cfg.burst (e.tokens +. ((now -. e.last) *. t.cfg.rate));
     e.last <- now;
-    if e.tokens < 1.0 then
+    if e.tokens < 1.0 then begin
+      e.refused <- e.refused + 1;
       Quota { retry_after_s = (1.0 -. e.tokens) /. t.cfg.rate }
+    end
     else begin
       (* fair share of the queue among tenants currently in flight,
          with headroom for one newcomer *)
       let others = holders t - if e.slots > 0 then 1 else 0 in
       let share = max 1 (queue_cap / (others + 2)) in
-      if e.slots >= share then
+      if e.slots >= share then begin
         (* not a rate problem: retry once a slot frees up. Advertise
            one expected service interval. *)
+        e.refused <- e.refused + 1;
         Quota { retry_after_s = 1.0 /. t.cfg.rate }
+      end
       else begin
         e.tokens <- e.tokens -. 1.0;
         e.slots <- e.slots + 1;
@@ -91,3 +99,36 @@ let release t name =
     | None -> ()
 
 let active t = locked t @@ fun () -> holders t
+
+(* ---- per-tenant accounting ----------------------------------------- *)
+
+(* Serving happens in a worker domain after admission released the
+   registry mutex, so the notes re-find the entry; a tenant evicted
+   between admission and service (possible only once the registry is
+   past max_tenants) just loses that one count. *)
+
+let note t name f =
+  if name <> "" then
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.entries name with Some e -> f e | None -> ()
+
+let note_served t name = note t name (fun e -> e.served <- e.served + 1)
+
+let note_cached t name = note t name (fun e -> e.cached <- e.cached + 1)
+
+let stats t =
+  locked t @@ fun () ->
+  let rows =
+    Hashtbl.fold
+      (fun name e acc -> (name, e.served, e.refused, e.cached) :: acc)
+      t.entries []
+  in
+  let rows = List.sort compare rows in
+  List.concat_map
+    (fun (name, served, refused, cached) ->
+      [
+        (Printf.sprintf "tenant.%s.served" name, served);
+        (Printf.sprintf "tenant.%s.refused" name, refused);
+        (Printf.sprintf "tenant.%s.cached" name, cached);
+      ])
+    rows

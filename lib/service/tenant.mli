@@ -43,3 +43,19 @@ val release : t -> string -> unit
 
 val active : t -> int
 (** Tenants currently holding at least one queue slot. *)
+
+val note_served : t -> string -> unit
+(** Counts one submission answered with substance (a spec verdict or a
+    typed diagnostic) for this tenant. No-op for the anonymous
+    tenant. *)
+
+val note_cached : t -> string -> unit
+(** Counts one cache-served submission (a subset of served). *)
+
+val stats : t -> (string * int) list
+(** Per-tenant accounting rows for the [stats] wire reply:
+    [tenant.<name>.served], [tenant.<name>.refused] (quota refusals,
+    counted inside {!admit}) and [tenant.<name>.cached], sorted by
+    tenant name. Counters live in the bounded registry, so a tenant
+    evicted under registry pressure restarts from zero — operational
+    accounting, not billing-grade bookkeeping. *)

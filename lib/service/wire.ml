@@ -17,11 +17,13 @@ type request = {
   values : int;
   seed : int;
   deadline_s : float option;
+  epoch : int option;
+      (** coordinator leadership epoch; [None] = unfenced legacy client *)
 }
 
 let request ?(id = "") ?(agents = 2) ?(items = 2) ?(states = 5) ?(values = 6)
-    ?(seed = 1) ?deadline_s policy =
-  { id; policy; agents; items; states; values; seed; deadline_s }
+    ?(seed = 1) ?deadline_s ?epoch policy =
+  { id; policy; agents; items; states; values; seed; deadline_s; epoch }
 
 let scope_of_request r =
   ( Printf.sprintf "%dp%dv/%dst" r.agents r.items r.states,
@@ -110,19 +112,51 @@ type response =
       (** a typed, span-carrying rejection of the submitted spec *)
   | Error of { req_id : string; msg : string }
   | Stats of (string * int) list
+  | Fenced of { req_id : string; fenced_epoch : int }
+      (** the request carried a stale coordinator epoch: a newer
+          coordinator has taken over at [fenced_epoch] and this worker
+          refuses to do (or journal) any work for the deposed one *)
+  | Repl_ack of { repl_epoch : int; repl_from : int; repl_have : int }
+      (** replication handshake reply: the primary speaks epoch
+          [repl_epoch], acknowledges the standby's position [repl_from]
+          and holds [repl_have] journal records; [repl-frame] lines for
+          records [repl_from..repl_have-1] follow on the same
+          connection *)
+  | Repl_frame of { frame_idx : int; frame_fp : string; frame_rec : string }
+      (** one replicated journal record: its index in the primary's
+          journal, the CRC-32 of its bytes (the same fingerprint
+          {!Parallel.Journal} frames with), and the record itself *)
 
-type incoming = Check of request | Submit of submit_header | Get_stats
+type incoming =
+  | Check of request
+  | Submit of submit_header
+  | Get_stats
+  | Fence of { fence_id : string; fence_epoch : int }
+      (** raise this worker's epoch watermark — a new coordinator
+          announcing itself before dispatching any work *)
+  | Repl_hello of { repl_id : string; repl_from : int }
+      (** a standby asking the primary for journal records from index
+          [repl_from] on *)
 
 (* ---- rendering ---- *)
 
 let render_request r =
-  Printf.sprintf "check|1|id=%s|policy=%s|n=%d|j=%d|st=%d|vals=%d|seed=%d%s"
+  Printf.sprintf "check|1|id=%s|policy=%s|n=%d|j=%d|st=%d|vals=%d|seed=%d%s%s"
     (escape r.id) (escape r.policy) r.agents r.items r.states r.values r.seed
     (match r.deadline_s with
     | None -> ""
     | Some d -> Printf.sprintf "|deadline=%.6f" d)
+    (match r.epoch with
+    | None -> ""
+    | Some e -> Printf.sprintf "|epoch=%d" e)
 
 let stats_request = "stats|1"
+
+let render_fence ~id ~epoch =
+  Printf.sprintf "fence|1|id=%s|epoch=%d" (escape id) epoch
+
+let render_repl_hello ~id ~from =
+  Printf.sprintf "repl-hello|1|id=%s|from=%d" (escape id) from
 
 (* The submit header line. The spec body — exactly [spec_bytes] raw
    bytes, NOT escaped and possibly containing newlines — follows
@@ -188,6 +222,15 @@ let render_response = function
         ("stats" :: "1"
         :: Printf.sprintf "proto=%d" proto_version
         :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" (escape k) v) kvs)
+  | Fenced f ->
+      Printf.sprintf "fenced|1|id=%s|proto=%d|epoch=%d" (escape f.req_id)
+        proto_version f.fenced_epoch
+  | Repl_ack a ->
+      Printf.sprintf "repl-ack|1|proto=%d|epoch=%d|from=%d|have=%d"
+        proto_version a.repl_epoch a.repl_from a.repl_have
+  | Repl_frame f ->
+      Printf.sprintf "repl-frame|1|idx=%d|fp=%s|rec=%s" f.frame_idx
+        (escape f.frame_fp) (escape f.frame_rec)
 
 (* ---- parsing ---- *)
 
@@ -230,6 +273,7 @@ let parse_incoming line =
       let* values = positive "vals" (int_field assoc "vals") in
       let seed = Option.value (int_field assoc "seed") ~default:1 in
       let id = Option.value (field assoc "id") ~default:"" in
+      let epoch = int_field assoc "epoch" in
       match List.assoc_opt "deadline" assoc with
       | Some d -> (
           match float_of_string_opt d with
@@ -237,13 +281,33 @@ let parse_incoming line =
               Ok
                 (Check
                    { id; policy; agents; items; states; values; seed;
-                     deadline_s = Some d })
+                     deadline_s = Some d; epoch })
           | _ -> Result.Error "invalid deadline")
       | None ->
           Ok
             (Check
                { id; policy; agents; items; states; values; seed;
-                 deadline_s = None }))
+                 deadline_s = None; epoch }))
+  | Some ("fence", assoc) -> (
+      match int_field assoc "epoch" with
+      | Some e when e >= 1 ->
+          Ok
+            (Fence
+               {
+                 fence_id = Option.value (field assoc "id") ~default:"";
+                 fence_epoch = e;
+               })
+      | _ -> Result.Error "fence without a positive epoch")
+  | Some ("repl-hello", assoc) -> (
+      match int_field assoc "from" with
+      | Some from when from >= 0 ->
+          Ok
+            (Repl_hello
+               {
+                 repl_id = Option.value (field assoc "id") ~default:"";
+                 repl_from = from;
+               })
+      | _ -> Result.Error "repl-hello without a valid position")
   | Some ("submit", assoc) -> (
       let ( let* ) = Result.bind in
       let* spec_bytes =
@@ -421,6 +485,29 @@ let parse_response line =
                 else
                   Option.map (fun n -> (unescape k, n)) (int_of_string_opt v))
               assoc))
+  | Some ("fenced", assoc) -> (
+      match int_field assoc "epoch" with
+      | Some e ->
+          Ok
+            (Fenced
+               {
+                 req_id = Option.value (field assoc "id") ~default:"";
+                 fenced_epoch = e;
+               })
+      | None -> Result.Error "fenced reply without an epoch")
+  | Some ("repl-ack", assoc) -> (
+      match
+        (int_field assoc "epoch", int_field assoc "from", int_field assoc "have")
+      with
+      | Some repl_epoch, Some repl_from, Some repl_have
+        when repl_from >= 0 && repl_have >= 0 ->
+          Ok (Repl_ack { repl_epoch; repl_from; repl_have })
+      | _ -> Result.Error "malformed repl-ack")
+  | Some ("repl-frame", assoc) -> (
+      match (int_field assoc "idx", field assoc "fp", field assoc "rec") with
+      | Some frame_idx, Some frame_fp, Some frame_rec when frame_idx >= 0 ->
+          Ok (Repl_frame { frame_idx; frame_fp; frame_rec })
+      | _ -> Result.Error "malformed repl-frame")
   | Some (kind, _) -> Result.Error (Printf.sprintf "unknown response kind %S" kind)
   | None -> Result.Error "malformed response line"
 

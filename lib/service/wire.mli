@@ -16,6 +16,11 @@
     error|1|id=s1|proto=1|stage=parse|line=3|col=7|eline=3|ecol=8|msg=...|hint=...
     error|1|id=r1|proto=1|msg=unknown policy
     stats|1|proto=1|accepted=12|admitted=9|shed=3|...
+    fence|1|id=co2|epoch=2
+    fenced|1|id=r9|proto=1|epoch=2
+    repl-hello|1|id=sb1|from=4
+    repl-ack|1|proto=1|epoch=1|from=4|have=6
+    repl-frame|1|idx=4|fp=9af31c02|rec=cell%7c1%7cseed=1...
     v}
 
     A [submit] header line is followed by exactly [bytes] raw body
@@ -44,13 +49,19 @@ type request = {
   deadline_s : float option;
       (** wall-clock allowance for this request, from the moment a
           worker picks it up; capped by the server's [max_deadline] *)
+  epoch : int option;
+      (** the sending coordinator's leadership epoch. Workers remember
+          the highest epoch they have seen and answer a lower one with
+          {!Fenced} instead of doing any work — the split-brain guard
+          for replicated coordinators. [None] (legacy clients, plain
+          [mca_serve --client]) is never fenced. *)
 }
 
 val request :
   ?id:string -> ?agents:int -> ?items:int -> ?states:int -> ?values:int ->
-  ?seed:int -> ?deadline_s:float -> string -> request
+  ?seed:int -> ?deadline_s:float -> ?epoch:int -> string -> request
 (** [request policy] with the sweep defaults (2p/2v, 5 states,
-    6 values, seed 1, no deadline). *)
+    6 values, seed 1, no deadline, no epoch). *)
 
 val scope_of_request : request -> string * Core.Mca_model.scope_spec
 (** The (scope tag, scope) pair, tagged exactly as [mca_check --sweep]
@@ -122,8 +133,31 @@ type response =
           still see a refusal *)
   | Error of { req_id : string; msg : string }
   | Stats of (string * int) list
+  | Fenced of { req_id : string; fenced_epoch : int }
+      (** the request carried a coordinator epoch below this worker's
+          watermark: a newer coordinator has announced itself at
+          [fenced_epoch], so the worker refuses the deposed one —
+          no verification runs and nothing is journaled *)
+  | Repl_ack of { repl_epoch : int; repl_from : int; repl_have : int }
+      (** replication handshake reply: the primary's current epoch,
+          the acknowledged standby position, and the primary's record
+          count; [Repl_frame] lines for [repl_from..repl_have-1]
+          follow on the same connection *)
+  | Repl_frame of { frame_idx : int; frame_fp : string; frame_rec : string }
+      (** one replicated journal record with its index and the CRC-32
+          fingerprint of its bytes (verified by the standby before the
+          record enters the replica journal) *)
 
-type incoming = Check of request | Submit of submit_header | Get_stats
+type incoming =
+  | Check of request
+  | Submit of submit_header
+  | Get_stats
+  | Fence of { fence_id : string; fence_epoch : int }
+      (** raise this worker's epoch watermark to [fence_epoch] — sent
+          by a coordinator announcing itself before dispatching work,
+          so a deposed primary's next request is refused *)
+  | Repl_hello of { repl_id : string; repl_from : int }
+      (** a standby asking for journal records from [repl_from] on *)
 
 val render_request : request -> string
 
@@ -132,6 +166,12 @@ val render_submit_header : submit_header -> string
     the terminating newline. *)
 
 val stats_request : string
+
+val render_fence : id:string -> epoch:int -> string
+(** The one-line [fence|1|id=…|epoch=…] request. *)
+
+val render_repl_hello : id:string -> from:int -> string
+(** The one-line [repl-hello|1|id=…|from=…] request. *)
 
 val parse_incoming : string -> (incoming, string) result
 (** Server side; the error string is safe to echo back to the client. *)

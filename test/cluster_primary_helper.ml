@@ -1,0 +1,49 @@
+(* Standalone primary-coordinator child for the failover tests: runs a
+   journaled, replicated, epoch-fenced sweep of the small test scope
+   over the given workers, spawned with Unix.create_process so a test
+   can land a genuine SIGKILL on the *coordinator* mid-sweep (or leave
+   it alive behind a partition and watch it depose itself).
+   argv: JOURNAL REPL_SOCK EPOCH DELAY_MS WORKER_SOCKET...
+   Exits 13 when deposed by a newer epoch, 0 on a completed sweep. *)
+
+let () =
+  if Array.length Sys.argv < 6 then begin
+    prerr_endline
+      "usage: cluster_primary_helper JOURNAL REPL_SOCK EPOCH DELAY_MS \
+       WORKER...";
+    exit 2
+  end;
+  let journal = Sys.argv.(1) in
+  let repl = Sys.argv.(2) in
+  let epoch = int_of_string Sys.argv.(3) in
+  let delay_ms = int_of_string Sys.argv.(4) in
+  let workers =
+    Array.to_list
+      (Array.map
+         (fun p -> Service.Server.Unix_path p)
+         (Array.sub Sys.argv 5 (Array.length Sys.argv - 5)))
+  in
+  let scope =
+    ( "2p2v/3st",
+      {
+        Core.Mca_model.pnodes = 2;
+        vnodes = 2;
+        states = 3;
+        values = 6;
+        bitwidth = 4;
+      } )
+  in
+  let cfg =
+    {
+      (Service.Cluster.default_config workers) with
+      Service.Cluster.dispatchers = 1;
+      heartbeat_s = 0.0;
+      backoff = Netsim.Backoff.make ~base_s:0.01 ~cap_s:0.1 ();
+      cl_journal = Some journal;
+      epoch;
+      repl_listen = Some (Service.Server.Unix_path repl);
+      cl_throttle_s = float_of_int delay_ms /. 1000.0;
+    }
+  in
+  let r = Service.Cluster.run_sweep ~scopes:[ scope ] cfg in
+  exit (if r.Service.Cluster.deposed then 13 else 0)

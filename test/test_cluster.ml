@@ -160,7 +160,17 @@ let stop_fake t =
 let incoming_id = function
   | Service.Wire.Check r -> r.Service.Wire.id
   | Service.Wire.Submit h -> h.Service.Wire.sub_id
+  | Service.Wire.Fence { fence_id; _ } -> fence_id
+  | Service.Wire.Repl_hello { repl_id; _ } -> repl_id
   | Service.Wire.Get_stats -> ""
+
+(* fence and repl verbs arriving at a scripted fake: accept the fence
+   (echo the epoch back), refuse replication *)
+let control_reply inc =
+  match inc with
+  | Service.Wire.Fence { fence_id; fence_epoch } ->
+      Service.Wire.Fenced { req_id = fence_id; fenced_epoch = fence_epoch }
+  | _ -> Service.Wire.Error { req_id = ""; msg = "unsupported verb" }
 
 let holds_reply inc =
   Service.Wire.Verdict
@@ -192,6 +202,7 @@ let shed_reply inc =
 let always_holds n inc =
   match inc with
   | Service.Wire.Get_stats -> Service.Wire.Stats [ ("requests", n) ]
+  | Service.Wire.Fence _ | Service.Wire.Repl_hello _ -> control_reply inc
   | Service.Wire.Check _ | Service.Wire.Submit _ -> holds_reply inc
 
 (* ---- helper child processes (SIGKILL targets) ---- *)
@@ -435,6 +446,7 @@ let test_cluster_shed_soft_escalation () =
   let script n inc =
     match inc with
     | Service.Wire.Get_stats -> Service.Wire.Stats [ ("requests", n) ]
+    | Service.Wire.Fence _ | Service.Wire.Repl_hello _ -> control_reply inc
     | Service.Wire.Check _ | Service.Wire.Submit _ ->
         if n = 0 then shed_reply inc
         else if n = 1 then undecided_reply inc
@@ -638,6 +650,7 @@ let test_client_retry_shed () =
   let script n inc =
     match inc with
     | Service.Wire.Get_stats -> Service.Wire.Stats []
+    | Service.Wire.Fence _ | Service.Wire.Repl_hello _ -> control_reply inc
     | Service.Wire.Check _ | Service.Wire.Submit _ ->
         if n < 2 then shed_reply inc else holds_reply inc
   in
@@ -664,6 +677,7 @@ let test_client_retry_budget () =
   let fake = start_fake (fun _ inc ->
       match inc with
       | Service.Wire.Get_stats -> Service.Wire.Stats []
+      | Service.Wire.Fence _ | Service.Wire.Repl_hello _ -> control_reply inc
       | Service.Wire.Check _ | Service.Wire.Submit _ -> shed_reply inc)
   in
   Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
@@ -679,6 +693,293 @@ let test_client_retry_budget () =
   check "the budget stopped the retries" true
     (rep.Service.Client.gave_up = Some "retry budget exhausted");
   check "several attempts were made" true (rep.Service.Client.attempts >= 2)
+
+let test_client_submit_retry_quota () =
+  (* first submit meets a quota refusal carrying a retry hint, the
+     second a shed: submit_retry must wait out the quota (at least the
+     hint) and take the shed at face value — global overload is a
+     refusal with substance, not a transient *)
+  let script n inc =
+    match inc with
+    | Service.Wire.Get_stats -> Service.Wire.Stats []
+    | Service.Wire.Fence _ | Service.Wire.Repl_hello _ -> control_reply inc
+    | Service.Wire.Check _ -> holds_reply inc
+    | Service.Wire.Submit _ ->
+        if n = 0 then
+          Service.Wire.Quota
+            { req_id = incoming_id inc; tenant = "t"; retry_after_s = 0.25 }
+        else shed_reply inc
+  in
+  let fake = start_fake script in
+  Fun.protect ~finally:(fun () -> stop_fake fake) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let resp, rep =
+    Service.Client.submit_retry ~id:"q1" ~tenant:"t" ~retries:5
+      ~backoff:(Netsim.Backoff.make ~base_s:0.01 ~cap_s:0.05 ())
+      fake.f_addr "sig a {}"
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match resp with
+  | Ok (Service.Wire.Shed _) -> ()
+  | _ -> Alcotest.fail "the shed must come back unretried");
+  check_int "exactly the quota was retried" 1
+    rep.Service.Client.retried_quota;
+  check_int "two attempts total (shed is terminal)" 2
+    rep.Service.Client.attempts;
+  check "shed is not an exhaustion" true
+    (rep.Service.Client.gave_up = None);
+  check "the retry hint floors the backoff delay" true (elapsed >= 0.25)
+
+(* ---- coordinator replication (tentpole) ---- *)
+
+let test_repl_publish_pull () =
+  let journal = temp_path ".wal" in
+  let w = Parallel.Journal.open_append journal in
+  List.iter (Parallel.Journal.append w)
+    [ "epoch|1|seed=1|epoch=3"; "cell|1|seed=1|scope=s/p|epoch=3" ];
+  let repl_sock = temp_sock () in
+  let addr = Service.Server.Unix_path repl_sock in
+  let p = Service.Repl.start_publisher ~addr ~journal ~epoch:3 in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Repl.stop_publisher p;
+      Parallel.Journal.close w;
+      Sys.remove journal)
+  @@ fun () ->
+  (* a fresh replica pulls everything durable so far *)
+  (match Service.Repl.pull addr ~from:0 with
+  | Ok pulled ->
+      check_int "publisher announces its epoch" 3
+        pulled.Service.Repl.pulled_epoch;
+      check_int "both records shipped" 2 pulled.Service.Repl.pulled_have;
+      check "records arrive verbatim and in order" true
+        (pulled.Service.Repl.pulled_records
+        = [ "epoch|1|seed=1|epoch=3"; "cell|1|seed=1|scope=s/p|epoch=3" ])
+  | Result.Error e -> Alcotest.fail e);
+  (* an up-to-date replica pulls the empty delta *)
+  (match Service.Repl.pull addr ~from:2 with
+  | Ok pulled ->
+      check "nothing new" true (pulled.Service.Repl.pulled_records = [])
+  | Result.Error e -> Alcotest.fail e);
+  (* the writer appends and flushes: the next pull sees exactly the
+     delta — the publisher serves from the durable file, nothing else *)
+  Parallel.Journal.append w "cell|1|seed=1|scope=s/q|epoch=3";
+  Parallel.Journal.flush w;
+  (match Service.Repl.pull addr ~from:2 with
+  | Ok pulled ->
+      check "the delta alone" true
+        (pulled.Service.Repl.pulled_records
+        = [ "cell|1|seed=1|scope=s/q|epoch=3" ])
+  | Result.Error e -> Alcotest.fail e);
+  (* a replica claiming more history than the publisher has is
+     divergence, not lag: the pull must refuse *)
+  match Service.Repl.pull addr ~from:10 with
+  | Ok _ -> Alcotest.fail "a divergent pull must be refused"
+  | Result.Error msg -> check "refusal explains itself" true (msg <> "")
+
+let helper_worker_paths ws =
+  List.map
+    (fun (a, _) ->
+      match a with
+      | Service.Server.Unix_path p -> p
+      | Service.Server.Tcp _ -> Alcotest.fail "unix workers expected")
+    ws
+
+let spawn_primary ~journal ~repl ~epoch ~delay_ms worker_paths =
+  let exe = helper_exe "cluster_primary_helper.exe" in
+  let args =
+    Array.of_list
+      ([ exe; journal; repl; string_of_int epoch; string_of_int delay_ms ]
+      @ worker_paths)
+  in
+  Unix.create_process exe args Unix.stdin Unix.stdout Unix.stderr
+
+(* the standby must not start its lease clock before the primary's
+   publisher is actually up *)
+let wait_repl_up addr =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match Service.Repl.pull ~timeout_s:1.0 addr ~from:0 with
+    | Ok _ -> ()
+    | Result.Error _ ->
+        if Unix.gettimeofday () -. t0 > 30.0 then
+          Alcotest.fail "primary's replication listener did not come up"
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let mk_standby ~replica ~source workers =
+  {
+    (Service.Cluster.default_standby ~source (mk_ccfg ~journal:replica workers))
+    with
+    Service.Cluster.sb_poll_s = 0.02;
+    sb_lease_s = 0.4;
+    sb_down_after = 2;
+  }
+
+let test_cluster_standby_takeover_sigkill () =
+  (* three real workers; a child-process primary runs a replicated
+     epoch-1 sweep slowly; the standby tails the journal and the test
+     SIGKILLs the primary the moment a few records have replicated.
+     The standby must take over at epoch 2, finish from its replica,
+     and produce the byte-identical grid with zero UNKNOWNs. *)
+  let ws = List.init 3 (fun _ -> start_worker ()) in
+  Fun.protect ~finally:(fun () -> List.iter (fun (_, t) -> stop_worker t) ws)
+  @@ fun () ->
+  let worker_addrs = List.map fst ws in
+  let primary_journal = temp_path ".wal" in
+  let replica = temp_path ".wal" in
+  let repl_sock = temp_sock () in
+  let pid =
+    spawn_primary ~journal:primary_journal ~repl:repl_sock ~epoch:1
+      ~delay_ms:200 (helper_worker_paths ws)
+  in
+  let killed = Atomic.make false in
+  let kill_primary () =
+    if not (Atomic.exchange killed true) then
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_primary ();
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let source = Service.Server.Unix_path repl_sock in
+  wait_repl_up source;
+  let sb = mk_standby ~replica ~source worker_addrs in
+  let outcome =
+    Service.Cluster.run_standby ~scopes:[ scope3 ]
+      ~on_replicated:(fun n -> if n >= 3 then kill_primary ())
+      sb
+  in
+  match outcome with
+  | Service.Cluster.Standby_drained _ ->
+      Alcotest.fail "the standby never took over"
+  | Service.Cluster.Took_over
+      { takeover_epoch; replicated; takeover_latency_s; report } ->
+      check_int "takeover at the next epoch" 2 takeover_epoch;
+      check "records replicated before the kill" true (replicated >= 3);
+      check "takeover latency measured" true (takeover_latency_s > 0.0);
+      check "takeover sweep completed" true
+        (not report.Service.Cluster.sweep.E.sweep_partial);
+      check "takeover not itself deposed" false report.Service.Cluster.deposed;
+      List.iter
+        (fun c -> check "no UNKNOWN cells after takeover" true (cell_decided c))
+        report.Service.Cluster.sweep.E.cells;
+      check_string "zero lost or changed verdicts across the kill"
+        (reference_render ())
+        (canonical report.Service.Cluster.sweep);
+      (* the replica hands off to the single-process sweep like any
+         journal: epoch-stamped records stay interchangeable *)
+      let resumed =
+        E.run_sweep ~jobs:1 ~seed:1 ~scopes:[ scope3 ] ~journal:replica
+          ~resume:true ()
+      in
+      check_int "every cell recoverable from the replica"
+        (List.length report.Service.Cluster.sweep.E.cells)
+        resumed.E.sweep_resumed;
+      check_string "replica handoff byte-identical" (reference_render ())
+        (canonical resumed);
+      Sys.remove replica;
+      (try Sys.remove primary_journal with Sys_error _ -> ());
+      try Sys.remove repl_sock with Sys_error _ -> ()
+
+let test_cluster_split_brain_fencing () =
+  (* the primary stays alive but the replication path partitions: the
+     standby takes over anyway, and epoch fencing — not the failure
+     detector — keeps the two histories from interleaving. The old
+     primary must depose itself (exit 13) and its journal must hold no
+     record at or above the takeover epoch. *)
+  let ws = List.init 2 (fun _ -> start_worker ()) in
+  Fun.protect ~finally:(fun () -> List.iter (fun (_, t) -> stop_worker t) ws)
+  @@ fun () ->
+  let worker_addrs = List.map fst ws in
+  let primary_journal = temp_path ".wal" in
+  let replica = temp_path ".wal" in
+  let repl_sock = temp_sock () in
+  (* the standby reaches the primary only through the shim; the first
+     two pulls pass, everything after is partitioned away *)
+  let shim_listen = Service.Server.Unix_path (temp_sock ()) in
+  let plan =
+    Netsim.Faults.plan
+      ~windows:
+        (Netsim.Faults.link_down ~src:0 ~dst:1 ~from_t:2 ~until_t:1_000_000)
+      ~seed:7 ()
+  in
+  let shim =
+    Service.Shim.start
+      (Service.Shim.config ~listen:shim_listen
+         ~forward:(Service.Server.Unix_path repl_sock)
+         plan)
+  in
+  Fun.protect ~finally:(fun () -> Service.Shim.stop shim) @@ fun () ->
+  let pid =
+    spawn_primary ~journal:primary_journal ~repl:repl_sock ~epoch:1
+      ~delay_ms:300 (helper_worker_paths ws)
+  in
+  let reaped = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !reaped then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+      end)
+  @@ fun () ->
+  wait_repl_up (Service.Server.Unix_path repl_sock);
+  let sb = mk_standby ~replica ~source:shim_listen worker_addrs in
+  let outcome = Service.Cluster.run_standby ~scopes:[ scope3 ] sb in
+  (match outcome with
+  | Service.Cluster.Standby_drained _ ->
+      Alcotest.fail "the standby never took over"
+  | Service.Cluster.Took_over { takeover_epoch; report; _ } ->
+      check_int "takeover at the next epoch" 2 takeover_epoch;
+      check "takeover not itself deposed" false report.Service.Cluster.deposed;
+      check "takeover sweep completed" true
+        (not report.Service.Cluster.sweep.E.sweep_partial);
+      check_string "byte-identical grid despite the live old primary"
+        (reference_render ())
+        (canonical report.Service.Cluster.sweep));
+  (* the partitioned-but-alive old primary must have deposed itself *)
+  let _, status = Unix.waitpid [] pid in
+  reaped := true;
+  (match status with
+  | Unix.WEXITED 13 -> ()
+  | Unix.WEXITED n ->
+      Alcotest.failf "old primary exited %d, expected 13 (deposed)" n
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+      Alcotest.fail "old primary did not exit cleanly");
+  (* split-brain invariant: every record a positive-epoch coordinator
+     journals is epoch-stamped, so a journal whose highest epoch is
+     still 1 holds not one record committed at or after the takeover *)
+  check_int "old primary committed nothing at the takeover epoch" 1
+    (Service.Cluster.latest_epoch primary_journal);
+  (* and the records it did commit agree verdict-for-verdict with the
+     reference — the histories never diverged, they only stopped *)
+  let ref_cells = (Lazy.force reference3).E.cells in
+  List.iter
+    (fun line ->
+      match E.cell_of_record line with
+      | Some (_, cell) ->
+          let r =
+            List.find
+              (fun c ->
+                c.E.policy_label = cell.E.policy_label
+                && c.E.scope_tag = cell.E.scope_tag)
+              ref_cells
+          in
+          check "old primary's cells match the reference" true
+            (cell.E.sat_verdict = r.E.sat_verdict
+            && cell.E.exhaustive = r.E.exhaustive)
+      | None -> ())
+    (Parallel.Journal.read primary_journal).Parallel.Journal.entries;
+  let _, lost, _, _ = Netsim.Faults.totals (Service.Shim.faults shim) in
+  check "the partition actually blocked pulls" true (lost >= 1);
+  Sys.remove replica;
+  (try Sys.remove primary_journal with Sys_error _ -> ());
+  try Sys.remove repl_sock with Sys_error _ -> ()
 
 (* ---- journal directory durability (satellite) ---- *)
 
@@ -718,6 +1019,14 @@ let suite =
       test_client_retry_shed;
     Alcotest.test_case "client: the retry budget is honored" `Quick
       test_client_retry_budget;
+    Alcotest.test_case "client: submit_retry waits out quota, takes shed"
+      `Quick test_client_submit_retry_quota;
+    Alcotest.test_case "repl: publish and pull over the durable journal"
+      `Quick test_repl_publish_pull;
+    Alcotest.test_case "cluster: SIGKILL'd primary, standby finishes the sweep"
+      `Slow test_cluster_standby_takeover_sigkill;
+    Alcotest.test_case "cluster: split brain fenced, old primary deposed"
+      `Slow test_cluster_split_brain_fencing;
     Alcotest.test_case "cluster: shed and UNKNOWN escalate to a verdict"
       `Quick test_cluster_shed_soft_escalation;
     Alcotest.test_case "cluster: matches the single-process sweep" `Slow

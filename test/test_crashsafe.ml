@@ -121,6 +121,55 @@ let test_journal_torn_final_frame () =
         (r3.Parallel.Journal.entries = [ "alpha"; "beta"; "delta" ]
         && r3.Parallel.Journal.corruption = None))
 
+let test_journal_tail_blocks_on_torn_frame () =
+  (* the replication tailer racing a writer mid-append: it must hold its
+     position at the validated prefix — never truncate, never advance —
+     and resume cleanly once the frame completes *)
+  with_temp (fun path ->
+      write_records path [ "alpha"; "beta"; "gamma" ];
+      let full_bytes =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* chop 3 bytes off the final frame: exactly what a tailer sees
+         when it races a half-flushed group commit *)
+      Unix.truncate path (String.length full_bytes - 3);
+      let t = Parallel.Journal.open_tail path in
+      let r1 = Parallel.Journal.tail_poll t in
+      check "prefix delivered" true
+        (r1.Parallel.Journal.tailed = [ "alpha"; "beta" ]);
+      check "torn tail reported, not swallowed" true
+        r1.Parallel.Journal.tail_torn;
+      check "torn tail is not a truncation" false
+        r1.Parallel.Journal.tail_truncated;
+      let held = Parallel.Journal.tail_pos t in
+      (* polling again must block at the same position: no divergence,
+         no re-delivery, no advance past the torn frame *)
+      let r2 = Parallel.Journal.tail_poll t in
+      check "nothing new while the frame is torn" true
+        (r2.Parallel.Journal.tailed = [] && r2.Parallel.Journal.tail_torn);
+      check_int "position held at the validated prefix" held
+        (Parallel.Journal.tail_pos t);
+      (* the writer finishes the append: the tailer resumes and delivers
+         exactly the completed record *)
+      let oc = open_out_bin path in
+      output_string oc full_bytes;
+      close_out oc;
+      let r3 = Parallel.Journal.tail_poll t in
+      check "completed frame delivered" true
+        (r3.Parallel.Journal.tailed = [ "gamma" ]
+        && not r3.Parallel.Journal.tail_torn);
+      (* a file shorter than the validated prefix is a different
+         history, reported as truncation — resynchronize, don't guess *)
+      Unix.truncate path 0;
+      let r4 = Parallel.Journal.tail_poll t in
+      check "shrunk file reported as truncation" true
+        r4.Parallel.Journal.tail_truncated;
+      check "truncation delivers nothing" true
+        (r4.Parallel.Journal.tailed = []))
+
 let test_journal_bitflip_crc () =
   with_temp (fun path ->
       write_records path [ "alpha"; "beta"; "gamma" ];
@@ -574,6 +623,8 @@ let suite =
     Alcotest.test_case "journal: empty and missing files" `Quick test_journal_empty_and_missing;
     Alcotest.test_case "journal: truncated final frame recovers" `Quick
       test_journal_torn_final_frame;
+    Alcotest.test_case "journal: tailer blocks on a torn final frame" `Quick
+      test_journal_tail_blocks_on_torn_frame;
     Alcotest.test_case "journal: bit-flipped CRC stops the reader" `Quick
       test_journal_bitflip_crc;
     Alcotest.test_case "journal: closed-writer discipline" `Quick

@@ -906,6 +906,109 @@ let test_server_tenant_quota_isolation () =
       check_int "server counted the quota refusals" 2 (get "quota")
   | Result.Error e -> Alcotest.failf "stats failed: %s" e
 
+let test_server_epoch_fencing () =
+  let path = temp_sock () in
+  let t = Service.Server.start (mk_cfg ~jobs:1 path) in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  let req epoch id =
+    Service.Wire.request ~id ?epoch ~states:3 ~seed:1 "submod"
+  in
+  (* legacy requests carry no epoch and are never fenced *)
+  (match Service.Client.check addr (req None "l1") with
+  | Ok (Service.Wire.Verdict _) -> ()
+  | _ -> Alcotest.fail "unfenced legacy check must be served");
+  (* a coordinator announces epoch 5; the fence is answered inline *)
+  (match Service.Client.fence ~id:"f1" addr ~epoch:5 with
+  | Ok e -> check_int "fence raises the watermark" 5 e
+  | Result.Error e -> Alcotest.fail e);
+  (* fencing is monotonic: a lower fence leaves the watermark alone *)
+  (match Service.Client.fence addr ~epoch:3 with
+  | Ok e -> check_int "stale fence cannot lower the watermark" 5 e
+  | Result.Error e -> Alcotest.fail e);
+  (* a request from the fenced-off coordinator is refused with the
+     watermark — never queued, never computed *)
+  (match Service.Client.check addr (req (Some 4) "old1") with
+  | Ok (Service.Wire.Fenced { req_id; fenced_epoch }) ->
+      check_string "refusal echoes the request id" "old1" req_id;
+      check_int "refusal names the watermark" 5 fenced_epoch
+  | Ok r -> Alcotest.failf "stale check: %a" Service.Wire.pp_response r
+  | Result.Error e -> Alcotest.fail e);
+  (* the current epoch is served *)
+  (match Service.Client.check addr (req (Some 5) "cur1") with
+  | Ok (Service.Wire.Verdict _) -> ()
+  | _ -> Alcotest.fail "current-epoch check must be served");
+  (* a newer epoch in an ordinary request raises the watermark too —
+     a worker that missed the fence learns it from the first stamped
+     request *)
+  (match Service.Client.check addr (req (Some 7) "new1") with
+  | Ok (Service.Wire.Verdict _) -> ()
+  | _ -> Alcotest.fail "newer-epoch check must be served");
+  (match Service.Client.check addr (req (Some 5) "dep1") with
+  | Ok (Service.Wire.Fenced { fenced_epoch; _ }) ->
+      check_int "the implicit raise fences the old epoch" 7 fenced_epoch
+  | Ok r -> Alcotest.failf "deposed check: %a" Service.Wire.pp_response r
+  | Result.Error e -> Alcotest.fail e);
+  (* legacy requests still pass after all the fencing *)
+  (match Service.Client.check addr (req None "l2") with
+  | Ok (Service.Wire.Verdict _) -> ()
+  | _ -> Alcotest.fail "legacy check must survive fencing");
+  match Service.Client.get_stats addr with
+  | Ok kvs ->
+      let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+      check_int "stats expose the watermark" 7 (get "epoch");
+      check_int "stats count the refusals" 2 (get "fenced")
+  | Result.Error e -> Alcotest.failf "stats failed: %s" e
+
+let test_server_tenant_stats_two_tenant_flood () =
+  let path = temp_sock () in
+  (* three-token buckets, negligible refill: the per-tenant ledger must
+     come out exactly pinned — admission (and therefore quota spend)
+     happens before the cache, so cache hits consume tokens too *)
+  let t =
+    Service.Server.start
+      (submit_cfg ~queue_cap:8 ~quota_rate:0.001 ~quota_burst:3.0 path)
+  in
+  Fun.protect ~finally:(fun () -> stop_and_join t) @@ fun () ->
+  let addr = Service.Server.Unix_path path in
+  let submit ~id tenant = Service.Client.submit ~id ~tenant addr paper_spec in
+  let expect_spec ~cached name r =
+    match r with
+    | Ok (Service.Wire.Spec s) ->
+        check (name ^ " cached flag") cached s.Service.Wire.spec_cached
+    | r ->
+        Alcotest.failf "%s: %s" name
+          (match r with
+          | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+          | Result.Error e -> e)
+  in
+  (* alice: compute, two cache hits, then a quota refusal *)
+  expect_spec ~cached:false "alice 1" (submit ~id:"a1" "alice");
+  expect_spec ~cached:true "alice 2" (submit ~id:"a2" "alice");
+  expect_spec ~cached:true "alice 3" (submit ~id:"a3" "alice");
+  (match submit ~id:"a4" "alice" with
+  | Ok (Service.Wire.Quota { tenant; _ }) ->
+      check_string "refusal names alice" "alice" tenant
+  | r ->
+      Alcotest.failf "alice 4: %s"
+        (match r with
+        | Ok resp -> Format.asprintf "%a" Service.Wire.pp_response resp
+        | Result.Error e -> e));
+  (* bob rides the shared content-addressed cache, within his own quota *)
+  expect_spec ~cached:true "bob 1" (submit ~id:"b1" "bob");
+  expect_spec ~cached:true "bob 2" (submit ~id:"b2" "bob");
+  match Service.Client.get_stats addr with
+  | Ok kvs ->
+      let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+      check_int "alice served" 3 (get "tenant.alice.served");
+      check_int "alice refused" 1 (get "tenant.alice.refused");
+      check_int "alice cache hits" 2 (get "tenant.alice.cached");
+      check_int "bob served" 2 (get "tenant.bob.served");
+      check_int "bob refused" 0 (get "tenant.bob.refused");
+      check_int "bob cache hits" 2 (get "tenant.bob.cached");
+      check_int "server-wide quota refusals" 1 (get "quota")
+  | Result.Error e -> Alcotest.failf "stats failed: %s" e
+
 let test_server_spec_journal_restart () =
   with_temp ".wal" @@ fun journal ->
   Sys.remove journal;
@@ -1012,6 +1115,10 @@ let suite =
       `Slow test_server_submit_end_to_end;
     Alcotest.test_case "server: tenant quotas isolate the polite tenant"
       `Slow test_server_tenant_quota_isolation;
+    Alcotest.test_case "server: epoch fencing refuses a deposed coordinator"
+      `Slow test_server_epoch_fencing;
+    Alcotest.test_case "server: per-tenant ledger pinned by two-tenant flood"
+      `Slow test_server_tenant_stats_two_tenant_flood;
     Alcotest.test_case "server: verdict cache survives a restart" `Slow
       test_server_spec_journal_restart;
     Alcotest.test_case "server: hostile spec flood never hangs or crashes"
